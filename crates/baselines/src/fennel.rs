@@ -1,0 +1,156 @@
+//! Fennel streaming partitioning (Tsourakakis et al., WSDM 2014 — reference
+//! \[28\] of the paper).
+//!
+//! Fennel places each arriving vertex on the partition maximising
+//! `|N(v) ∩ P_i| − α·γ·|P_i|^(γ−1)`, interpolating between locality and an
+//! additive size penalty, with a hard cap `|P_i| ≤ ν·n/k`. The paper's
+//! Table I uses the authors' recommended `γ = 1.5`, `ν = 1.1` (which is why
+//! Fennel's ρ column reads 1.10 across all k).
+
+use crate::stream::{stream_order, StreamOrder};
+use crate::Label;
+use spinner_graph::rng::SplitMix64;
+use spinner_graph::UndirectedGraph;
+
+/// Fennel configuration.
+#[derive(Debug, Clone)]
+pub struct FennelConfig {
+    /// Number of partitions.
+    pub k: u32,
+    /// Exponent γ of the size penalty (1.5 recommended).
+    pub gamma: f64,
+    /// Hard balance cap ν: no partition exceeds `ν·n/k` vertices.
+    pub nu: f64,
+    /// Arrival order.
+    pub order: StreamOrder,
+    /// Seed for ordering and tie-breaking.
+    pub seed: u64,
+}
+
+impl FennelConfig {
+    /// The paper-recommended configuration.
+    pub fn new(k: u32) -> Self {
+        Self { k, gamma: 1.5, nu: 1.1, order: StreamOrder::Random, seed: 1 }
+    }
+}
+
+/// Runs Fennel over the weighted undirected graph (neighbour counts use the
+/// Eq. 3 weights).
+pub fn fennel_partition(g: &UndirectedGraph, cfg: &FennelConfig) -> Vec<Label> {
+    let n = g.num_vertices();
+    assert!(cfg.k >= 1);
+    let k = cfg.k as usize;
+    let m = g.total_weight() as f64 / 2.0; // undirected weighted edge count
+    // α = m · k^(γ−1) / n^γ (Fennel §3, with the interpolation objective).
+    let alpha = m * (k as f64).powf(cfg.gamma - 1.0) / (n as f64).powf(cfg.gamma);
+    let capacity = (cfg.nu * n as f64 / k as f64).max(1.0);
+    let order = stream_order(n, cfg.order, cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xFE77E1);
+
+    const UNASSIGNED: Label = Label::MAX;
+    let mut labels = vec![UNASSIGNED; n as usize];
+    let mut sizes = vec![0u64; k];
+    let mut neighbor_weight = vec![0u64; k];
+
+    for v in order {
+        let (ts, ws) = g.neighbors(v);
+        let mut touched: Vec<usize> = Vec::new();
+        for (&t, &w) in ts.iter().zip(ws) {
+            let l = labels[t as usize];
+            if l != UNASSIGNED {
+                if neighbor_weight[l as usize] == 0 {
+                    touched.push(l as usize);
+                }
+                neighbor_weight[l as usize] += w as u64;
+            }
+        }
+        let mut best = usize::MAX;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut n_best = 0u64;
+        for i in 0..k {
+            if sizes[i] as f64 >= capacity {
+                continue;
+            }
+            let score = neighbor_weight[i] as f64
+                - alpha * cfg.gamma * (sizes[i] as f64).powf(cfg.gamma - 1.0);
+            if score > best_score {
+                best_score = score;
+                best = i;
+                n_best = 1;
+            } else if score == best_score {
+                n_best += 1;
+                if rng.next_bounded(n_best) == 0 {
+                    best = i;
+                }
+            }
+        }
+        if best == usize::MAX {
+            best = (0..k).min_by_key(|&i| sizes[i]).unwrap();
+        }
+        labels[v as usize] = best as Label;
+        sizes[best] += 1;
+        for &i in &touched {
+            neighbor_weight[i] = 0;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::to_weighted_undirected;
+    use spinner_graph::generators::{planted_partition, SbmConfig};
+
+    fn community_graph() -> UndirectedGraph {
+        to_weighted_undirected(&planted_partition(SbmConfig {
+            n: 4000,
+            communities: 8,
+            internal_degree: 8.0,
+            external_degree: 1.0,
+            skew: None,
+            seed: 6,
+        }))
+    }
+
+    #[test]
+    fn finds_locality_and_respects_nu_cap() {
+        let g = community_graph();
+        let cfg = FennelConfig::new(8);
+        let labels = fennel_partition(&g, &cfg);
+        let phi = spinner_metrics::phi(&g, &labels);
+        let hash = crate::hash::hash_partition(g.num_vertices(), 8, 1);
+        assert!(phi > 2.0 * spinner_metrics::phi(&g, &hash), "phi {phi}");
+
+        let mut sizes = vec![0u64; 8];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        let cap = (1.1_f64 * 4000.0 / 8.0).ceil() as u64 + 1;
+        assert!(sizes.iter().all(|&s| s <= cap), "{sizes:?}");
+    }
+
+    #[test]
+    fn higher_gamma_prioritises_balance() {
+        let g = community_graph();
+        let loose = FennelConfig { gamma: 1.1, ..FennelConfig::new(8) };
+        let tight = FennelConfig { gamma: 3.0, ..FennelConfig::new(8) };
+        let spread = |labels: &[Label]| {
+            let mut sizes = vec![0i64; 8];
+            for &l in labels {
+                sizes[l as usize] += 1;
+            }
+            sizes.iter().max().unwrap() - sizes.iter().min().unwrap()
+        };
+        let s_loose = spread(&fennel_partition(&g, &loose));
+        let s_tight = spread(&fennel_partition(&g, &tight));
+        assert!(s_tight <= s_loose, "tight {s_tight} loose {s_loose}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = community_graph();
+        let cfg = FennelConfig::new(4);
+        assert_eq!(fennel_partition(&g, &cfg), fennel_partition(&g, &cfg));
+    }
+}

@@ -1,0 +1,61 @@
+//! Hash partitioning: the lightweight default of large-scale graph systems
+//! ("systems often resort to lightweight solutions, such as hash
+//! partitioning, despite the poor locality that it offers", §I).
+
+use crate::Label;
+use spinner_graph::rng::mix3;
+use spinner_graph::VertexId;
+
+/// Assigns `label(v) = hash(v) mod k`, mirroring Giraph's default placement.
+pub fn hash_partition(num_vertices: VertexId, k: u32, seed: u64) -> Vec<Label> {
+    assert!(k >= 1);
+    (0..num_vertices)
+        .map(|v| (mix3(seed, v as u64, 0x4A54) % k as u64) as Label)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::to_weighted_undirected;
+    use spinner_graph::generators::{planted_partition, SbmConfig};
+
+    #[test]
+    fn covers_all_partitions_roughly_evenly() {
+        let labels = hash_partition(10_000, 16, 1);
+        let mut counts = vec![0u32; 16];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((500..750).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn phi_is_about_one_over_k() {
+        let g = to_weighted_undirected(&planted_partition(SbmConfig {
+            n: 5000,
+            communities: 10,
+            internal_degree: 8.0,
+            external_degree: 2.0,
+            skew: None,
+            seed: 2,
+        }));
+        for k in [2u32, 8, 32] {
+            let labels = hash_partition(5000, k, 7);
+            let phi = spinner_metrics::phi(&g, &labels);
+            let expect = 1.0 / k as f64;
+            assert!(
+                (phi - expect).abs() < 0.35 * expect + 0.02,
+                "k={k}: phi {phi} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(hash_partition(100, 4, 3), hash_partition(100, 4, 3));
+        assert_ne!(hash_partition(100, 4, 3), hash_partition(100, 4, 4));
+    }
+}

@@ -1,0 +1,36 @@
+//! Baseline partitioners from the Spinner paper's evaluation (Table I and
+//! the hash-partitioning comparisons), reimplemented from their original
+//! papers:
+//!
+//! - [`hash`]: hash partitioning, the de-facto standard Spinner aims to
+//!   replace.
+//! - [`ldg`]: Stanton & Kleinberg's Linear Deterministic Greedy streaming
+//!   partitioner \[24\].
+//! - [`fennel`]: Tsourakakis et al.'s Fennel streaming partitioner \[28\].
+//! - [`multilevel`]: a sequential multilevel partitioner in the METIS
+//!   tradition \[12\] (heavy-edge matching coarsening, balanced initial
+//!   assignment, FM-style boundary refinement), with vertex weights set to
+//!   weighted degree so that balance is on edges like Spinner's.
+//! - [`wang`]: the approach of Wang et al. \[30\]: LPA-based coarsening,
+//!   multilevel partitioning of the coarse graph, projection back —
+//!   *vertex*-balanced, which is why it shows high edge-load ρ in Table I.
+//!
+//! All partitioners take the weighted undirected graph of Eq. 3 and return a
+//! dense label vector, so results are directly comparable with
+//! `spinner-core` through `spinner-metrics`.
+
+pub mod fennel;
+pub mod hash;
+pub mod ldg;
+pub mod multilevel;
+pub mod stream;
+pub mod wang;
+
+pub use fennel::{fennel_partition, FennelConfig};
+pub use hash::hash_partition;
+pub use ldg::{ldg_partition, LdgConfig};
+pub use multilevel::{multilevel_partition, MultilevelConfig};
+pub use wang::{wang_partition, WangConfig};
+
+/// A partition label, matching `spinner_core::Label`.
+pub type Label = u32;

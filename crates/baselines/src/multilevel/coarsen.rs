@@ -1,0 +1,125 @@
+//! Heavy-edge matching coarsening.
+//!
+//! Vertices are visited in random order; each unmatched vertex is matched
+//! with the unmatched neighbour connected by the heaviest edge (HEM), then
+//! matched pairs are contracted. HEM preserves cut structure well because
+//! heavy edges — which should never be cut — vanish into coarse vertices.
+
+use super::work_graph::WorkGraph;
+use spinner_graph::rng::SplitMix64;
+
+/// One round of heavy-edge matching + contraction. Returns the coarse graph
+/// and the fine→coarse map.
+pub fn coarsen_once(g: &WorkGraph, seed: u64) -> (WorkGraph, Vec<u32>) {
+    let n = g.num_vertices();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut matched = vec![UNMATCHED; n];
+
+    // Random visit order for matching quality (and determinism per seed).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SplitMix64::new(seed ^ 0xC0A25E);
+    for i in (1..n).rev() {
+        let j = rng.next_bounded(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+
+    for &v in &order {
+        if matched[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for &(t, w) in &g.adj[v as usize] {
+            if matched[t as usize] == UNMATCHED && t != v {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((t, w)),
+                }
+            }
+        }
+        match best {
+            Some((t, _)) => {
+                matched[v as usize] = t;
+                matched[t as usize] = v;
+            }
+            None => matched[v as usize] = v, // stays single
+        }
+    }
+
+    // Assign coarse ids: one per matched pair / singleton.
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = matched[v as usize];
+        map[v as usize] = next;
+        if m != v {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    let coarse = g.contract(&map, next as usize);
+    (coarse, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::from_undirected_edges;
+    use spinner_graph::GraphBuilder;
+
+    fn work_graph(n: u32, edges: &[(u32, u32)]) -> WorkGraph {
+        WorkGraph::from_undirected(&from_undirected_edges(
+            &GraphBuilder::new(n).add_edges(edges.iter().copied()).build(),
+        ))
+    }
+
+    #[test]
+    fn matching_roughly_halves_a_cycle() {
+        let edges: Vec<(u32, u32)> = (0..100).map(|i| (i, (i + 1) % 100)).collect();
+        let g = work_graph(100, &edges);
+        let (coarse, map) = coarsen_once(&g, 1);
+        assert!(coarse.num_vertices() <= 60, "coarse n {}", coarse.num_vertices());
+        assert!(coarse.num_vertices() >= 50);
+        // Map covers all coarse ids.
+        let max = *map.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, coarse.num_vertices());
+    }
+
+    #[test]
+    fn total_vertex_weight_is_preserved() {
+        let edges: Vec<(u32, u32)> = (0..50).flat_map(|i| [(i, (i + 1) % 50), (i, (i + 7) % 50)]).collect();
+        let g = work_graph(50, &edges);
+        let before = g.total_weight();
+        let (coarse, _) = coarsen_once(&g, 3);
+        assert_eq!(coarse.total_weight(), before);
+    }
+
+    #[test]
+    fn heavy_edges_are_contracted_first() {
+        // Two reciprocal (weight-2) pairs 0<->1 and 2<->3 cross-linked by
+        // weight-1 edges. Whatever the visit order, every vertex's heaviest
+        // unmatched neighbour is its reciprocal partner, so HEM must
+        // contract exactly those pairs.
+        let d = GraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)])
+            .build();
+        let u = spinner_graph::conversion::to_weighted_undirected(&d);
+        let g = WorkGraph::from_undirected(&u);
+        for seed in 0..10 {
+            let (_, map) = coarsen_once(&g, seed);
+            assert_eq!(map[0], map[1], "heavy pair 0-1 should contract (seed {seed})");
+            assert_eq!(map[2], map[3], "heavy pair 2-3 should contract (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_stay_single() {
+        let g = work_graph(3, &[(0, 1)]);
+        let (coarse, map) = coarsen_once(&g, 7);
+        assert_eq!(coarse.num_vertices(), 2);
+        assert_eq!(map[0], map[1]);
+        assert_ne!(map[2], map[0]);
+    }
+}

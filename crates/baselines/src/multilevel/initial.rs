@@ -1,0 +1,150 @@
+//! Initial partitioning of the coarsest graph.
+//!
+//! Greedy graph growing: each partition in turn is seeded with the heaviest
+//! unassigned vertex and grows along its strongest connections (max-gain
+//! frontier) until it reaches its weight share. Leftovers go to the lightest
+//! partition. Refinement cleans up afterwards, so simplicity beats
+//! sophistication here.
+
+use super::work_graph::WorkGraph;
+use super::MultilevelConfig;
+use crate::Label;
+use std::collections::BinaryHeap;
+
+const UNASSIGNED: Label = Label::MAX;
+
+/// Produces a balanced initial assignment of the coarsest graph.
+pub fn initial_partition(g: &WorkGraph, cfg: &MultilevelConfig) -> Vec<Label> {
+    let n = g.num_vertices();
+    let k = cfg.k as usize;
+    let total = g.total_weight();
+    let share = total as f64 / k as f64;
+
+    let mut labels = vec![UNASSIGNED; n];
+    let mut loads = vec![0u64; k];
+
+    // Heaviest-first seed order.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.vwgt[v as usize]));
+    let mut seed_cursor = 0usize;
+
+    // Connection weight towards the region currently being grown, plus a
+    // lazy-deletion max-heap of (gain, vertex) candidates.
+    let mut gain = vec![0u64; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for part in 0..k {
+        // Find the heaviest still-unassigned seed.
+        while seed_cursor < n && labels[order[seed_cursor] as usize] != UNASSIGNED {
+            seed_cursor += 1;
+        }
+        let Some(&seed) = order.get(seed_cursor) else { break };
+
+        let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::new();
+        let assign = |v: u32,
+                          labels: &mut Vec<Label>,
+                          loads: &mut Vec<u64>,
+                          heap: &mut BinaryHeap<(u64, u32)>,
+                          gain: &mut Vec<u64>,
+                          touched: &mut Vec<u32>| {
+            labels[v as usize] = part as Label;
+            loads[part] += g.vwgt[v as usize];
+            for &(t, w) in &g.adj[v as usize] {
+                if labels[t as usize] == UNASSIGNED {
+                    if gain[t as usize] == 0 {
+                        touched.push(t);
+                    }
+                    gain[t as usize] += w;
+                    heap.push((gain[t as usize], t));
+                }
+            }
+        };
+        assign(seed, &mut labels, &mut loads, &mut heap, &mut gain, &mut touched);
+
+        while (loads[part] as f64) < share {
+            // Pop until a live entry (lazy deletion).
+            let Some((gval, v)) = heap.pop() else { break };
+            if labels[v as usize] != UNASSIGNED || gain[v as usize] != gval {
+                continue;
+            }
+            assign(v, &mut labels, &mut loads, &mut heap, &mut gain, &mut touched);
+        }
+        // Reset gains for the next region.
+        for &t in &touched {
+            gain[t as usize] = 0;
+        }
+        touched.clear();
+    }
+
+    // Leftovers (disconnected bits, or everything if k regions filled up
+    // early): lightest partition first, heaviest vertices first.
+    for &v in &order {
+        if labels[v as usize] == UNASSIGNED {
+            let lightest = (0..k).min_by_key(|&i| loads[i]).unwrap();
+            labels[v as usize] = lightest as Label;
+            loads[lightest] += g.vwgt[v as usize];
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::from_undirected_edges;
+    use spinner_graph::GraphBuilder;
+
+    fn work_graph(n: u32, edges: &[(u32, u32)]) -> WorkGraph {
+        WorkGraph::from_undirected(&from_undirected_edges(
+            &GraphBuilder::new(n).add_edges(edges.iter().copied()).build(),
+        ))
+    }
+
+    #[test]
+    fn two_cliques_split_cleanly_after_refinement() {
+        // Cliques {0..4} and {5..9} joined by one bridge. Region growing
+        // may pick the bridge on an early tie; the initial+refine contract
+        // must still separate the cliques.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((4, 5));
+        let g = work_graph(10, &edges);
+        let cfg = MultilevelConfig::new(2);
+        let mut labels = initial_partition(&g, &cfg);
+        super::super::refine::refine(&g, &mut labels, &cfg);
+        // Each clique should be monochromatic.
+        assert!(labels[0..5].iter().all(|&l| l == labels[0]), "{labels:?}");
+        assert!(labels[5..10].iter().all(|&l| l == labels[5]), "{labels:?}");
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn all_vertices_assigned_and_loads_close() {
+        let edges: Vec<(u32, u32)> =
+            (0..200).flat_map(|i| [(i, (i + 1) % 200), (i, (i + 5) % 200)]).collect();
+        let g = work_graph(200, &edges);
+        let cfg = MultilevelConfig::new(4);
+        let labels = initial_partition(&g, &cfg);
+        assert!(labels.iter().all(|&l| l < 4));
+        let mut loads = vec![0u64; 4];
+        for (v, &l) in labels.iter().enumerate() {
+            loads[l as usize] += g.vwgt[v];
+        }
+        let ideal = g.total_weight() as f64 / 4.0;
+        for &l in &loads {
+            assert!((l as f64) < 1.5 * ideal, "loads {loads:?}");
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        let g = work_graph(6, &[(0, 1), (2, 3)]);
+        let labels = initial_partition(&g, &MultilevelConfig::new(3));
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+}

@@ -1,0 +1,216 @@
+//! FM-style boundary refinement with best-prefix rollback.
+//!
+//! Each pass sweeps the vertices once, tentatively moving each at most once
+//! to its best-gain admissible partition. Moves may temporarily overshoot
+//! the balance cap (up to a relaxation factor) — that is what lets FM escape
+//! states where only a *pair* of moves improves the cut. At the end of the
+//! pass the best prefix of the move sequence is kept (judged by feasibility
+//! first, then cumulative gain, then peak load) and the rest is rolled back.
+
+use super::work_graph::WorkGraph;
+use super::MultilevelConfig;
+use crate::Label;
+
+/// How far a tentative move may overshoot the balance cap within a pass.
+const RELAXATION: f64 = 1.3;
+
+/// Runs up to `cfg.refine_passes` FM passes in place.
+pub fn refine(g: &WorkGraph, labels: &mut [Label], cfg: &MultilevelConfig) {
+    let n = g.num_vertices();
+    let k = cfg.k as usize;
+    if k <= 1 || n == 0 {
+        return;
+    }
+    let total = g.total_weight();
+    let max_load = (cfg.balance * total as f64 / k as f64).max(1.0);
+    let relax_cap = max_load * RELAXATION;
+
+    let mut loads = vec![0u64; k];
+    for (v, &l) in labels.iter().enumerate() {
+        loads[l as usize] += g.vwgt[v];
+    }
+
+    let mut conn = vec![0u64; k];
+    let mut touched: Vec<Label> = Vec::new();
+    let mut moved = vec![false; n];
+
+    for _ in 0..cfg.refine_passes {
+        moved.iter_mut().for_each(|m| *m = false);
+        // The tentative move log and the per-prefix score.
+        let mut log: Vec<(usize, usize, usize)> = Vec::new(); // (v, from, to)
+        let mut cum_gain: i64 = 0;
+        let score_of = |loads: &[u64], gain: i64| -> (bool, i64, i64) {
+            let max = *loads.iter().max().unwrap();
+            ((max as f64) <= max_load, gain, -(max as i64))
+        };
+        let empty_score = score_of(&loads, 0);
+        let mut best_score = empty_score;
+        let mut best_prefix = 0usize;
+
+        for v in 0..n {
+            if moved[v] || g.adj[v].is_empty() {
+                continue;
+            }
+            let current = labels[v] as usize;
+            debug_assert!(touched.iter().all(|&l| conn[l as usize] == 0));
+            let mut internal = 0u64;
+            for &(t, w) in &g.adj[v] {
+                let lt = labels[t as usize] as usize;
+                if lt == current {
+                    internal += w;
+                } else {
+                    if conn[lt] == 0 {
+                        touched.push(lt as Label);
+                    }
+                    conn[lt] += w;
+                }
+            }
+            let w_v = g.vwgt[v];
+            let over_cap = loads[current] as f64 > max_load;
+
+            // Candidate targets: adjacent partitions, plus — when the source
+            // is over the cap — the globally lightest one (the vertex may
+            // have no boundary at all, like a spoke behind a hub).
+            let lightest = if over_cap {
+                (0..k).filter(|&i| i != current).min_by_key(|&i| loads[i])
+            } else {
+                None
+            };
+            let mut best: Option<(usize, i64)> = None;
+            for cand in touched.iter().map(|&l| l as usize).chain(lightest) {
+                if cand == current {
+                    continue;
+                }
+                let target_after = loads[cand] + w_v;
+                let fits_strict = (target_after as f64) <= max_load;
+                let rebalances = over_cap && target_after < loads[current];
+                // Overshooting the strict cap (up to the relaxation) is only
+                // allowed for vertices escaping an over-cap partition — the
+                // pair-swap pattern the rollback exists for. Without the
+                // source-side condition, positive-gain moves pile into
+                // already-full partitions and the pass never reaches a
+                // feasible prefix.
+                let relaxed_escape = over_cap && (target_after as f64) <= relax_cap;
+                if !fits_strict && !rebalances && !relaxed_escape {
+                    continue;
+                }
+                let gain = conn[cand] as i64 - internal as i64;
+                let admissible = gain > 0
+                    || (gain == 0 && loads[current] > target_after)
+                    || (gain < 0 && rebalances);
+                if !admissible {
+                    continue;
+                }
+                let better = match best {
+                    Some((bt, bg)) => gain > bg || (gain == bg && loads[cand] < loads[bt]),
+                    None => true,
+                };
+                if better {
+                    best = Some((cand, gain));
+                }
+            }
+            for &lt in &touched {
+                conn[lt as usize] = 0;
+            }
+            touched.clear();
+
+            if let Some((target, gain)) = best {
+                labels[v] = target as Label;
+                loads[current] -= w_v;
+                loads[target] += w_v;
+                moved[v] = true;
+                cum_gain += gain;
+                log.push((v, current, target));
+                let s = score_of(&loads, cum_gain);
+                if s > best_score {
+                    best_score = s;
+                    best_prefix = log.len();
+                }
+            }
+        }
+
+        // Roll back everything after the best prefix.
+        for &(v, from, to) in log[best_prefix..].iter().rev() {
+            labels[v] = from as Label;
+            loads[to] -= g.vwgt[v];
+            loads[from] += g.vwgt[v];
+        }
+        if best_prefix == 0 || best_score <= empty_score {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::from_undirected_edges;
+    use spinner_graph::GraphBuilder;
+
+    fn work_graph(n: u32, edges: &[(u32, u32)]) -> WorkGraph {
+        WorkGraph::from_undirected(&from_undirected_edges(
+            &GraphBuilder::new(n).add_edges(edges.iter().copied()).build(),
+        ))
+    }
+
+    /// Two triangles bridged by one edge; a deliberately bad split must be
+    /// repaired by refinement.
+    #[test]
+    fn repairs_bad_cut() {
+        let g = work_graph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let mut labels = vec![1, 0, 0, 1, 1, 1];
+        refine(&g, &mut labels, &MultilevelConfig::new(2));
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    /// The star needs non-boundary rebalancing moves: spokes sharing the
+    /// hub's partition have no adjacent alternative partition.
+    #[test]
+    fn respects_balance_constraint() {
+        let edges: Vec<(u32, u32)> = (1..9).map(|i| (0u32, i)).collect();
+        let g = work_graph(9, &edges);
+        let mut labels: Vec<Label> = (0..9).map(|v| (v % 2) as Label).collect();
+        let cfg = MultilevelConfig::new(2);
+        refine(&g, &mut labels, &cfg);
+        let mut loads = vec![0u64; 2];
+        for (v, &l) in labels.iter().enumerate() {
+            loads[l as usize] += g.vwgt[v];
+        }
+        let max_load = (cfg.balance * g.total_weight() as f64 / 2.0) as u64;
+        assert!(loads.iter().all(|&l| l <= max_load + 1), "{loads:?}");
+    }
+
+    /// A cut that only a *pair* of moves can repair (the FM rollback case):
+    /// moving either vertex alone violates balance, moving both improves
+    /// cut and balance.
+    #[test]
+    fn escapes_single_move_deadlock() {
+        // Cliques {0..4} and {5..9} with bridge 4-5, mislabelled so that
+        // v4 sits with the wrong clique.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((4, 5));
+        let g = work_graph(10, &edges);
+        let mut labels = vec![1, 1, 1, 1, 0, 0, 1, 0, 0, 0];
+        refine(&g, &mut labels, &MultilevelConfig::new(2));
+        assert!(labels[0..5].iter().all(|&l| l == labels[0]), "{labels:?}");
+        assert!(labels[5..10].iter().all(|&l| l == labels[5]), "{labels:?}");
+    }
+
+    #[test]
+    fn noop_on_k_equal_one() {
+        let g = work_graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut labels = vec![0; 4];
+        refine(&g, &mut labels, &MultilevelConfig::new(1));
+        assert_eq!(labels, vec![0; 4]);
+    }
+}

@@ -1,0 +1,148 @@
+//! The mutable weighted graph the multilevel pipeline operates on.
+
+use spinner_graph::UndirectedGraph;
+
+/// An adjacency-list weighted graph with vertex weights; cheap to contract.
+#[derive(Debug, Clone)]
+pub struct WorkGraph {
+    /// Vertex weights (load contribution; degree-based for edge balance).
+    pub vwgt: Vec<u64>,
+    /// Adjacency: `(neighbor, edge_weight)`, deduplicated, no self-loops.
+    pub adj: Vec<Vec<(u32, u64)>>,
+}
+
+impl WorkGraph {
+    /// Builds from an undirected graph with vertex weight = weighted degree
+    /// (balance on edges, like Spinner/ρ).
+    pub fn from_undirected(g: &UndirectedGraph) -> Self {
+        Self::from_undirected_with(g, |v| g.weighted_degree(v).max(1))
+    }
+
+    /// Builds with unit vertex weights (balance on vertex counts, like Wang
+    /// et al.).
+    pub fn from_undirected_unit_weights(g: &UndirectedGraph) -> Self {
+        Self::from_undirected_with(g, |_| 1)
+    }
+
+    fn from_undirected_with(g: &UndirectedGraph, weight: impl Fn(u32) -> u64) -> Self {
+        let n = g.num_vertices() as usize;
+        let mut adj = Vec::with_capacity(n);
+        let mut vwgt = Vec::with_capacity(n);
+        for v in g.vertices() {
+            let (ts, ws) = g.neighbors(v);
+            adj.push(
+                ts.iter()
+                    .zip(ws)
+                    .map(|(&t, &w)| (t, w as u64))
+                    .collect::<Vec<_>>(),
+            );
+            vwgt.push(weight(v));
+        }
+        Self { vwgt, adj }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Contracts the graph given a fine→coarse vertex map with `coarse_n`
+    /// coarse vertices: vertex weights add up, parallel edges merge their
+    /// weights, intra-cluster edges vanish.
+    pub fn contract(&self, map: &[u32], coarse_n: usize) -> WorkGraph {
+        let mut vwgt = vec![0u64; coarse_n];
+        for (v, &c) in map.iter().enumerate() {
+            vwgt[c as usize] += self.vwgt[v];
+        }
+        // Merge adjacency through a scratch accumulator per coarse vertex.
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); coarse_n];
+        let mut acc: Vec<u64> = vec![0; coarse_n];
+        let mut touched: Vec<u32> = Vec::new();
+        // Group fine vertices by coarse id for cache-friendly accumulation.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); coarse_n];
+        for (v, &c) in map.iter().enumerate() {
+            members[c as usize].push(v as u32);
+        }
+        for (c, verts) in members.iter().enumerate() {
+            for &v in verts {
+                for &(t, w) in &self.adj[v as usize] {
+                    let ct = map[t as usize];
+                    if ct as usize == c {
+                        continue; // interior edge disappears
+                    }
+                    if acc[ct as usize] == 0 {
+                        touched.push(ct);
+                    }
+                    acc[ct as usize] += w;
+                }
+            }
+            touched.sort_unstable();
+            let list: Vec<(u32, u64)> =
+                touched.iter().map(|&ct| (ct, acc[ct as usize])).collect();
+            for &ct in &touched {
+                acc[ct as usize] = 0;
+            }
+            touched.clear();
+            adj[c] = list;
+        }
+        WorkGraph { vwgt, adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::from_undirected_edges;
+    use spinner_graph::GraphBuilder;
+
+    fn path4() -> WorkGraph {
+        let g = from_undirected_edges(
+            &GraphBuilder::new(4).add_edges([(0, 1), (1, 2), (2, 3)]).build(),
+        );
+        WorkGraph::from_undirected(&g)
+    }
+
+    #[test]
+    fn vertex_weights_are_degrees() {
+        let wg = path4();
+        assert_eq!(wg.vwgt, vec![1, 2, 2, 1]);
+        assert_eq!(wg.total_weight(), 6);
+    }
+
+    #[test]
+    fn contraction_merges_weights_and_drops_interior_edges() {
+        let wg = path4();
+        // Contract {0,1} -> 0 and {2,3} -> 1.
+        let coarse = wg.contract(&[0, 0, 1, 1], 2);
+        assert_eq!(coarse.vwgt, vec![3, 3]);
+        assert_eq!(coarse.adj[0], vec![(1, 1)]);
+        assert_eq!(coarse.adj[1], vec![(0, 1)]);
+    }
+
+    #[test]
+    fn contraction_accumulates_parallel_edges() {
+        // Square 0-1-2-3-0; contract {0,1} and {2,3}: two parallel edges
+        // between the clusters merge into weight 2.
+        let g = from_undirected_edges(
+            &GraphBuilder::new(4).add_edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build(),
+        );
+        let wg = WorkGraph::from_undirected(&g);
+        let coarse = wg.contract(&[0, 0, 1, 1], 2);
+        assert_eq!(coarse.adj[0], vec![(1, 2)]);
+        assert_eq!(coarse.vwgt, vec![4, 4]);
+    }
+
+    #[test]
+    fn unit_weights_mode() {
+        let g = from_undirected_edges(
+            &GraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build(),
+        );
+        let wg = WorkGraph::from_undirected_unit_weights(&g);
+        assert_eq!(wg.vwgt, vec![1, 1, 1]);
+    }
+}

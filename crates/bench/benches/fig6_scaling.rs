@@ -1,0 +1,52 @@
+//! Criterion bench: the Fig. 6 scalability sweeps at reduced scale —
+//! first-iteration runtime vs graph size and vs k on Watts-Strogatz graphs
+//! (out-degree 40, β = 0.3, the paper's §V-B setting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spinner_core::SpinnerConfig;
+use spinner_graph::conversion::to_weighted_undirected;
+use spinner_graph::generators::watts_strogatz;
+use spinner_graph::UndirectedGraph;
+
+fn one_iteration_cfg(k: u32) -> SpinnerConfig {
+    let mut cfg = SpinnerConfig::new(k);
+    cfg.max_iterations = 1;
+    cfg.ignore_halting = true;
+    cfg.num_workers = 16;
+    cfg
+}
+
+fn ws(n: u32) -> UndirectedGraph {
+    to_weighted_undirected(&watts_strogatz(n, 40, 0.3, 7))
+}
+
+fn bench_fig6a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_size");
+    group.sample_size(10);
+    for shift in [12u32, 13, 14, 15] {
+        let n = 1u32 << shift;
+        let g = ws(n);
+        group.throughput(Throughput::Elements(g.total_weight()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let cfg = one_iteration_cfg(64);
+            b.iter(|| spinner_core::partition(g, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6c_partitions");
+    group.sample_size(10);
+    let g = ws(1 << 14);
+    for k in [2u32, 16, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            let cfg = one_iteration_cfg(k);
+            b.iter(|| spinner_core::partition(g, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6a, bench_fig6c);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: synthetic generator and conversion throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spinner_graph::conversion::to_weighted_undirected;
+use spinner_graph::generators::{
+    barabasi_albert, erdos_renyi, planted_partition, rmat, watts_strogatz, RmatConfig,
+    SbmConfig,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    let n: u32 = 100_000;
+    group.throughput(Throughput::Elements(n as u64 * 10));
+
+    group.bench_function("watts_strogatz", |b| b.iter(|| watts_strogatz(n, 10, 0.3, 1)));
+    group.bench_function("erdos_renyi", |b| b.iter(|| erdos_renyi(n, n as u64 * 10, 1)));
+    group.bench_function("barabasi_albert", |b| b.iter(|| barabasi_albert(n, 10, 1)));
+    group.bench_function("rmat", |b| b.iter(|| rmat(RmatConfig::graph500(17, 8, 1))));
+    group.bench_function("sbm", |b| {
+        b.iter(|| {
+            planted_partition(SbmConfig {
+                n,
+                communities: 100,
+                internal_degree: 8.0,
+                external_degree: 2.0,
+                skew: None,
+                seed: 1,
+            })
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("conversion");
+    group.sample_size(10);
+    let d = rmat(RmatConfig::graph500(17, 8, 2));
+    group.throughput(Throughput::Elements(d.num_edges()));
+    group.bench_function("eq3_weighted_undirected", |b| {
+        b.iter(|| to_weighted_undirected(&d))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: one-shot partitioning cost of Spinner vs the Table I
+//! baselines on a small community graph (quality is covered by `exp-table1`;
+//! this tracks compute cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinner_baselines as baselines;
+use spinner_core::SpinnerConfig;
+use spinner_graph::conversion::to_weighted_undirected;
+use spinner_graph::generators::{planted_partition, SbmConfig};
+use spinner_graph::UndirectedGraph;
+
+fn graph() -> UndirectedGraph {
+    to_weighted_undirected(&planted_partition(SbmConfig {
+        n: 20_000,
+        communities: 16,
+        internal_degree: 8.0,
+        external_degree: 2.0,
+        skew: None,
+        seed: 1,
+    }))
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = graph();
+    let k = 8u32;
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("spinner", k), |b| {
+        let mut cfg = SpinnerConfig::new(k);
+        cfg.max_iterations = 30;
+        cfg.num_workers = 8;
+        b.iter(|| spinner_core::partition(&g, &cfg))
+    });
+    group.bench_function(BenchmarkId::new("ldg", k), |b| {
+        let cfg = baselines::LdgConfig::new(k);
+        b.iter(|| baselines::ldg_partition(&g, &cfg))
+    });
+    group.bench_function(BenchmarkId::new("fennel", k), |b| {
+        let cfg = baselines::FennelConfig::new(k);
+        b.iter(|| baselines::fennel_partition(&g, &cfg))
+    });
+    group.bench_function(BenchmarkId::new("multilevel", k), |b| {
+        let cfg = baselines::MultilevelConfig::new(k);
+        b.iter(|| baselines::multilevel_partition(&g, &cfg))
+    });
+    group.bench_function(BenchmarkId::new("wang", k), |b| {
+        let cfg = baselines::WangConfig::new(k);
+        b.iter(|| baselines::wang_partition(&g, &cfg))
+    });
+    group.bench_function(BenchmarkId::new("hash", k), |b| {
+        b.iter(|| baselines::hash_partition(g.num_vertices(), k, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: Pregel engine throughput — PageRank supersteps
+//! (message-heavy), SSSP (sparse activation), and thread scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spinner_graph::generators::watts_strogatz;
+use spinner_graph::DirectedGraph;
+use spinner_pregel::algorithms::{run_pagerank, run_sssp};
+use spinner_pregel::{EngineConfig, Placement};
+
+fn graph() -> DirectedGraph {
+    watts_strogatz(50_000, 16, 0.3, 3)
+}
+
+fn engine_cfg(threads: usize) -> EngineConfig {
+    EngineConfig { num_threads: threads, max_supersteps: 10_000, seed: 1 }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let g = graph();
+    let n = g.num_vertices();
+    let edges = g.num_edges();
+    let placement = Placement::hashed(n, 16, 5);
+
+    let mut group = c.benchmark_group("pregel");
+    group.sample_size(10);
+    // 5 PageRank iterations move ~5x|E| messages.
+    group.throughput(Throughput::Elements(5 * edges));
+    group.bench_function("pagerank_x5_1thread", |b| {
+        b.iter(|| run_pagerank(&g, &placement, engine_cfg(1), 5))
+    });
+    group.bench_function("pagerank_x5_8threads", |b| {
+        b.iter(|| run_pagerank(&g, &placement, engine_cfg(8), 5))
+    });
+    group.throughput(Throughput::Elements(edges));
+    group.bench_function("bfs_sssp", |b| {
+        b.iter(|| run_sssp(&g, &placement, engine_cfg(8), 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

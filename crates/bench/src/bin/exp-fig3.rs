@@ -1,0 +1,76 @@
+//! **Figure 3 + Table III** — (a) Spinner's locality φ as a function of the
+//! number of partitions k ∈ {2..512} on the five real-graph analogues;
+//! (b) φ improvement relative to hash partitioning; Table III: average ρ
+//! per graph.
+//!
+//! Expected shape (paper): φ decreases with k but stays high (e.g. LJ ≈ 0.9
+//! at k=2 down to ≈ 0.6 at k=512; TW is hardest); the improvement over hash
+//! grows with k, up to ~250x at k=512; ρ stays ≈ 1.05 everywhere.
+
+use spinner_baselines::hash_partition;
+use spinner_bench::{f2, f3, load_dataset, run_spinner, scale_from_env, spinner_cfg, Table};
+use spinner_graph::Dataset;
+
+/// Paper Table III: average ρ per graph.
+const PAPER_RHO: [(&str, f64); 5] =
+    [("LJ", 1.053), ("G+", 1.042), ("TU", 1.052), ("TW", 1.059), ("FR", 1.047)];
+
+fn main() {
+    let scale = scale_from_env();
+    let ks = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
+
+    let mut phi_table = Table::new("Figure 3a: phi vs number of partitions")
+        .header(std::iter::once("k".to_string()).chain(
+            Dataset::FIG3.iter().map(|d| d.short_name().to_string()),
+        ));
+    let mut imp_table = Table::new("Figure 3b: phi improvement over hash partitioning (x)")
+        .header(std::iter::once("k".to_string()).chain(
+            Dataset::FIG3.iter().map(|d| d.short_name().to_string()),
+        ));
+
+    let graphs: Vec<_> =
+        Dataset::FIG3.iter().map(|&d| (d, load_dataset(d, scale))).collect();
+
+    let mut rho_sums = vec![0.0f64; graphs.len()];
+    let mut phi_rows: Vec<Vec<f64>> = Vec::new();
+    let mut imp_rows: Vec<Vec<f64>> = Vec::new();
+    for &k in &ks {
+        let mut phis = Vec::new();
+        let mut imps = Vec::new();
+        for (i, (_, g)) in graphs.iter().enumerate() {
+            let r = run_spinner(g, &spinner_cfg(k, 42));
+            rho_sums[i] += r.quality.rho;
+            let hash = hash_partition(g.num_vertices(), k, 7);
+            let phi_hash = spinner_metrics::phi(g, &hash).max(1e-9);
+            phis.push(r.quality.phi);
+            imps.push(r.quality.phi / phi_hash);
+        }
+        phi_rows.push(phis);
+        imp_rows.push(imps);
+    }
+
+    for (row, &k) in phi_rows.iter().zip(&ks) {
+        phi_table
+            .row(std::iter::once(k.to_string()).chain(row.iter().map(|&p| f2(p))));
+    }
+    for (row, &k) in imp_rows.iter().zip(&ks) {
+        imp_table.row(
+            std::iter::once(k.to_string()).chain(row.iter().map(|&i| format!("{i:.1}x"))),
+        );
+    }
+    println!("{phi_table}");
+    println!("{imp_table}");
+
+    let mut rho_table = Table::new("Table III: average rho per graph, measured (paper)")
+        .header(["graph", "avg rho", "paper"]);
+    for (i, (d, _)) in graphs.iter().enumerate() {
+        let avg = rho_sums[i] / ks.len() as f64;
+        let paper = PAPER_RHO
+            .iter()
+            .find(|(n, _)| *n == d.short_name())
+            .map(|&(_, r)| r)
+            .unwrap_or(f64::NAN);
+        rho_table.row([d.short_name().to_string(), f3(avg), f3(paper)]);
+    }
+    println!("{rho_table}");
+}

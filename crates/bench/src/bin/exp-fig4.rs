@@ -1,0 +1,77 @@
+//! **Figure 4** — evolution of φ, ρ, and score(G) across iterations while
+//! partitioning (a) the Twitter analogue (k = 256, halting ignored, 115
+//! iterations) and (b) the Yahoo! web-graph analogue (k = 115, halting on).
+//!
+//! Expected shape (paper): Twitter starts badly unbalanced under random
+//! initialisation (ρ ≈ 1.67) and is rebalanced within ~20 iterations while
+//! φ climbs steadily; the halting heuristic would stop the run around
+//! iteration 41. Yahoo! starts more balanced and converges to φ ≈ 0.73
+//! after ~42 iterations.
+
+use spinner_bench::{f2, f3, load_dataset, scale_from_env, spinner_cfg, Table};
+use spinner_core::partition;
+use spinner_graph::Dataset;
+
+fn print_history(title: &str, r: &spinner_core::PartitionResult) {
+    let mut t = Table::new(title).header(["iter", "phi", "rho", "score", "migrations"]);
+    // Print every iteration for short runs, every 5th for long ones.
+    let stride = if r.history.len() > 40 { 5 } else { 1 };
+    for (i, h) in r.history.iter().enumerate() {
+        if i % stride == 0 || i + 1 == r.history.len() {
+            t.row([
+                h.iteration.to_string(),
+                f2(h.phi),
+                f3(h.rho),
+                format!("{:.1}", h.score),
+                h.migrations.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+}
+
+fn main() {
+    let scale = scale_from_env();
+
+    // (a) Twitter. The paper uses k=256 on the 1.5B-edge graph, where the
+    // largest hub holds ~25% of a partition's capacity. Our analogue is
+    // ~130x smaller, so k is scaled to 64 to keep the hub-degree /
+    // capacity ratio in the paper's regime (at k=256 a single hub would
+    // exceed a whole partition's capacity, which the original setting
+    // never exhibits).
+    let tw = load_dataset(Dataset::Twitter, scale);
+    let k = 64u32;
+    let mut cfg = spinner_cfg(k, 42);
+    cfg.ignore_halting = true;
+    cfg.max_iterations = 115;
+    let r = partition(&tw, &cfg);
+    print_history(
+        &format!("Figure 4a: Twitter analogue, k={k} (115 iterations)"),
+        &r,
+    );
+    let initial_rho = r.history.first().map(|h| h.rho).unwrap_or(f64::NAN);
+    println!(
+        "initial rho under random partitioning: {} (paper: 1.67); final rho {} (paper: 1.05)",
+        f3(initial_rho),
+        f3(r.quality.rho),
+    );
+    // Where would the halting heuristic have stopped?
+    let mut halt_cfg = spinner_cfg(k, 42);
+    halt_cfg.max_iterations = 115;
+    let halted = partition(&tw, &halt_cfg);
+    println!(
+        "halting heuristic stops at iteration {} (paper: 41)\n",
+        halted.iterations
+    );
+
+    // (b) Yahoo!, k=115, halting on.
+    let y = load_dataset(Dataset::Yahoo, scale);
+    let r = partition(&y, &spinner_cfg(115, 42));
+    print_history("Figure 4b: Yahoo! analogue, k=115 (halting on)", &r);
+    println!(
+        "converged after {} iterations to phi {} (paper: 42 iterations, phi 0.73), rho {} (paper: 1.10)",
+        r.iterations,
+        f2(r.quality.phi),
+        f3(r.quality.rho),
+    );
+}

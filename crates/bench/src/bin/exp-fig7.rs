@@ -1,0 +1,86 @@
+//! **Figure 7** — adapting to dynamic graph changes on the Tuenti analogue:
+//! add a varying percentage of new (triadic-closure) edges and compare
+//! incremental adaptation against re-partitioning from scratch on
+//! (a) savings in processing time and messages, (b) partitioning stability
+//! (fraction of vertices that must move).
+//!
+//! Expected shape (paper): up to ~86% time / ~92% message savings for small
+//! changes, still ≥ ~80% time savings at large (30%) changes; the adaptive
+//! approach moves only 8–11% of vertices where scratch moves 95–98%; final
+//! quality matches scratch (φ 67–69%, ρ ≈ 1.047).
+
+use spinner_bench::{f2, f3, pct1, savings_pct, scale_from_env, spinner_cfg, Table};
+use spinner_core::{adapt, partition};
+use spinner_graph::conversion::from_undirected_edges;
+use spinner_graph::mutation::{apply_delta, sample_new_edges};
+use spinner_graph::{Dataset, GraphDelta};
+use spinner_metrics::partitioning_difference;
+
+fn main() {
+    let scale = scale_from_env();
+    let k = 32u32;
+    // The underlying directed edge list (Tuenti is undirected at source; we
+    // mutate the edge list and re-derive the undirected view).
+    let base_directed = Dataset::Tuenti.build_directed(scale);
+    let base = from_undirected_edges(&base_directed);
+    eprintln!(
+        "tuenti analogue: |V|={} |E|={}",
+        base.num_vertices(),
+        base.num_edges()
+    );
+
+    let cfg = spinner_cfg(k, 42);
+    eprintln!("initial partitioning...");
+    let initial = partition(&base, &cfg);
+    eprintln!(
+        "initial: phi={:.3} rho={:.3} iters={}",
+        initial.quality.phi, initial.quality.rho, initial.iterations
+    );
+
+    let mut t = Table::new("Figure 7: adapting to graph changes (Tuenti analogue, k=32)")
+        .header([
+            "% new edges",
+            "time saved",
+            "msgs saved",
+            "moved adapt",
+            "moved scratch",
+            "phi adapt",
+            "rho adapt",
+        ]);
+
+    for pct in [0.1f64, 0.5, 1.0, 2.5, 5.0, 10.0, 20.0, 30.0] {
+        let count = (base_directed.num_edges() as f64 * pct / 100.0) as usize;
+        let new_edges = sample_new_edges(&base_directed, count, 0.8, 99);
+        let changed =
+            apply_delta(&base_directed, &GraphDelta::additions(new_edges));
+        let g2 = from_undirected_edges(&changed);
+
+        let adapted = adapt(&g2, &initial.labels, &cfg);
+        let scratch = partition(&g2, &cfg.clone().with_seed(4242));
+
+        let time_saved =
+            savings_pct(scratch.wall_ns as f64, adapted.wall_ns as f64);
+        let msg_saved =
+            savings_pct(scratch.totals.messages as f64, adapted.totals.messages as f64);
+        let moved_adapt = partitioning_difference(&initial.labels, &adapted.labels);
+        let moved_scratch = partitioning_difference(&initial.labels, &scratch.labels);
+
+        t.row([
+            format!("{pct}%"),
+            pct1(time_saved),
+            pct1(msg_saved),
+            pct1(100.0 * moved_adapt),
+            pct1(100.0 * moved_scratch),
+            f2(adapted.quality.phi),
+            f3(adapted.quality.rho),
+        ]);
+        eprintln!(
+            "{pct}% new edges: time saved {time_saved:.1}%, msgs saved {msg_saved:.1}%, moved {:.1}% vs {:.1}%",
+            100.0 * moved_adapt,
+            100.0 * moved_scratch
+        );
+    }
+    println!("{t}");
+    println!("(paper: ~86%/92% savings at 0.5%, >=80% time saved at 30%;");
+    println!(" adaptive moves 8-11% of vertices vs 95-98% from scratch)");
+}

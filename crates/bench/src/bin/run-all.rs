@@ -1,0 +1,41 @@
+//! Runs every experiment binary in sequence (the full paper reproduction).
+//!
+//! `SPINNER_SCALE=tiny cargo run --release --bin run-all` for a smoke pass;
+//! default scale regenerates the EXPERIMENTS.md numbers.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp-table1",
+    "exp-fig3",
+    "exp-fig4",
+    "exp-fig5",
+    "exp-fig6",
+    "exp-fig7",
+    "exp-fig8",
+    "exp-fig9",
+    "exp-table4",
+    "exp-ablation",
+    "exp-theory",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir");
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("{name} FAILED with {status}");
+            failed.push(*name);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        panic!("failed experiments: {failed:?}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared harness utilities for the experiment binaries (`exp-*`).
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary
+//! in `src/bin/` that regenerates it (see DESIGN.md §3 for the index).
+//! Binaries honour two environment variables:
+//!
+//! - `SPINNER_SCALE` — `tiny` / `small` / `full` (default `full`): dataset
+//!   scale. `full` is the calibrated experiment scale; `tiny` is a smoke
+//!   run.
+//! - `SPINNER_THREADS` — OS threads for the engine (default: all cores).
+
+use spinner_core::{PartitionResult, SpinnerConfig};
+use spinner_graph::{Dataset, Scale, UndirectedGraph};
+
+pub use spinner_metrics::Table;
+
+/// Reads the dataset scale from `SPINNER_SCALE`.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("SPINNER_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("small") => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+/// Reads the thread count from `SPINNER_THREADS`.
+pub fn threads_from_env() -> usize {
+    std::env::var("SPINNER_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        })
+}
+
+/// The paper's default Spinner configuration for the experiments
+/// (§V-A: c = 1.05, ε = 0.001, w = 5).
+pub fn spinner_cfg(k: u32, seed: u64) -> SpinnerConfig {
+    let mut cfg = SpinnerConfig::new(k).with_seed(seed);
+    cfg.num_threads = threads_from_env();
+    cfg.num_workers = 16.max(cfg.num_threads);
+    cfg
+}
+
+/// Runs Spinner and prints a one-line summary.
+pub fn run_spinner(graph: &UndirectedGraph, cfg: &SpinnerConfig) -> PartitionResult {
+    let r = spinner_core::partition(graph, cfg);
+    eprintln!(
+        "  spinner k={:<4} phi={:.3} rho={:.3} iters={} ({} supersteps, {:.1}s)",
+        cfg.k,
+        r.quality.phi,
+        r.quality.rho,
+        r.iterations,
+        r.supersteps,
+        r.wall_ns as f64 * 1e-9
+    );
+    r
+}
+
+/// Builds a dataset's undirected analogue, logging its size.
+pub fn load_dataset(d: Dataset, scale: Scale) -> UndirectedGraph {
+    let g = d.build_undirected(scale);
+    eprintln!(
+        "dataset {}: |V|={} |E|={} (total weight {})",
+        d.short_name(),
+        g.num_vertices(),
+        g.num_edges(),
+        g.total_weight()
+    );
+    g
+}
+
+/// Percentage savings of `new` relative to `base` (positive = cheaper).
+pub fn savings_pct(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        100.0 * (1.0 - new / base)
+    }
+}
+
+/// Percentage improvement of `new` over `base` runtime (positive = faster).
+pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    savings_pct(base, new)
+}
+
+/// Formats `x` with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats `x` with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct1(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_math() {
+        assert_eq!(savings_pct(100.0, 20.0), 80.0);
+        assert_eq!(savings_pct(0.0, 5.0), 0.0);
+        assert!(savings_pct(50.0, 75.0) < 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f2(1.057), "1.06");
+        assert_eq!(f3(0.8512), "0.851");
+        assert_eq!(pct1(86.23), "86.2%");
+    }
+
+    #[test]
+    fn env_scale_defaults_to_full() {
+        // Do not set the var in-process (tests run in parallel); just check
+        // the default path.
+        if std::env::var("SPINNER_SCALE").is_err() {
+            assert_eq!(scale_from_env(), Scale::Full);
+        }
+    }
+}

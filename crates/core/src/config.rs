@@ -1,0 +1,171 @@
+//! Spinner configuration.
+
+/// What a partition's load counts (§II-A: "although our approach is general,
+/// here we will focus on balancing partitions on the number of edges they
+/// contain" — both options are implemented).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalanceObjective {
+    /// Balance weighted-degree mass (messages) — the paper's default.
+    #[default]
+    Edges,
+    /// Balance vertex counts (the objective of Wang et al. [30]).
+    Vertices,
+}
+
+/// Which vertices restart migrations upon incremental adaptation (§III-D
+/// describes both strategies; the paper opts for `All`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartScope {
+    /// Every vertex participates ("increases the likelihood that the
+    /// algorithm jumps out of a local optimum") — the paper's choice.
+    #[default]
+    All,
+    /// Only vertices affected by the change (plus any vertex later woken by
+    /// a neighbour's migration) participate — "minimizes the amount of
+    /// computation to adapt".
+    AffectedOnly,
+}
+
+/// Tunable parameters of the Spinner algorithm.
+///
+/// The paper's evaluation settings (§V-A) are the defaults: `c = 1.05`,
+/// `ε = 0.001`, `w = 5`. The ablation switches (`balance_penalty`,
+/// `probabilistic_migration`, `async_worker_loads`, `in_engine_conversion`)
+/// all default to the paper's design and exist for the ablation experiments
+/// called out in DESIGN.md.
+#[derive(Debug, Clone)]
+pub struct SpinnerConfig {
+    /// Number of partitions `k`.
+    pub k: u32,
+    /// Additional capacity constant `c > 1` (Eq. 5). Bounds unbalance
+    /// (`ρ ≤ c` with high probability) and trades balance for convergence
+    /// speed (Fig. 5).
+    pub c: f64,
+    /// Halting threshold ε: minimum per-vertex-normalised score improvement
+    /// counted as progress.
+    pub epsilon: f64,
+    /// Halting window w: iterations without progress before halting.
+    pub window: u32,
+    /// Hard cap on LPA iterations.
+    pub max_iterations: u32,
+    /// Ignore the ε/w halting heuristic and run to `max_iterations`
+    /// (used by Fig. 4, which plots the full evolution).
+    pub ignore_halting: bool,
+    /// Seed for label initialisation, tie-breaking, and migration draws.
+    pub seed: u64,
+    /// Number of logical Pregel workers hosting the computation.
+    pub num_workers: usize,
+    /// Number of OS threads executing the logical workers.
+    pub num_threads: usize,
+    /// §IV-A4 asynchronous per-worker load counters (ablation switch).
+    pub async_worker_loads: bool,
+    /// Eq. 8 balance penalty; disabling yields plain (unbalanced) LPA
+    /// (ablation switch).
+    pub balance_penalty: bool,
+    /// Eq. 14 probabilistic migrations; disabling migrates every candidate
+    /// greedily (ablation switch).
+    pub probabilistic_migration: bool,
+    /// Perform the directed→undirected conversion as two supersteps inside
+    /// the engine (NeighborPropagation/NeighborDiscovery, §IV-A1) instead of
+    /// offline. Only affects [`crate::partition_directed`].
+    pub in_engine_conversion: bool,
+    /// What to balance: edge load (paper default) or vertex counts.
+    pub objective: BalanceObjective,
+    /// Optional per-partition capacity weights for heterogeneous clusters
+    /// (length `k`, positive): partition `l` gets capacity
+    /// `c · total · w_l / Σw`. `None` means the paper's homogeneous setup.
+    pub capacity_weights: Option<Vec<f64>>,
+    /// Restart scope for incremental adaptation (§III-D).
+    pub restart_scope: RestartScope,
+    /// Evaluate all `k` labels per vertex, as the paper's implementation
+    /// does ("the complexity of the heuristic executed by each vertex is
+    /// proportional to the number of partitions k", §V-B). The default
+    /// `false` uses an exact optimisation: only labels adjacent to the
+    /// vertex plus the minimum-penalty label can maximise Eq. 8, so the
+    /// scan is O(deg) amortised. Both modes find the same maximum score;
+    /// they can only differ in tie-breaks among equally-penalised
+    /// non-adjacent labels.
+    pub exhaustive_candidate_scan: bool,
+}
+
+impl SpinnerConfig {
+    /// The paper's default configuration for `k` partitions.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1, "need at least one partition");
+        Self {
+            k,
+            c: 1.05,
+            epsilon: 0.001,
+            window: 5,
+            max_iterations: 300,
+            ignore_halting: false,
+            seed: 1,
+            num_workers: 16,
+            num_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            async_worker_loads: true,
+            balance_penalty: true,
+            probabilistic_migration: true,
+            in_engine_conversion: false,
+            objective: BalanceObjective::default(),
+            capacity_weights: None,
+            restart_scope: RestartScope::default(),
+            exhaustive_candidate_scan: false,
+        }
+    }
+
+    /// Builder-style heterogeneous-capacity override. `weights[l]` is the
+    /// relative share of partition `l` (e.g. machine memory sizes).
+    pub fn with_capacity_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.k as usize, "need one weight per partition");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        self.capacity_weights = Some(weights);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style capacity-constant override.
+    pub fn with_c(mut self, c: f64) -> Self {
+        assert!(c > 1.0, "c must exceed 1 (Eq. 5)");
+        self.c = c;
+        self
+    }
+
+    /// Builder-style worker-count override.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1);
+        self.num_workers = workers;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SpinnerConfig::new(32);
+        assert_eq!(cfg.k, 32);
+        assert!((cfg.c - 1.05).abs() < 1e-12);
+        assert!((cfg.epsilon - 0.001).abs() < 1e-12);
+        assert_eq!(cfg.window, 5);
+        assert!(cfg.balance_penalty && cfg.probabilistic_migration);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        SpinnerConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "c must exceed 1")]
+    fn c_below_one_rejected() {
+        let _ = SpinnerConfig::new(2).with_c(0.9);
+    }
+}

@@ -1,0 +1,652 @@
+//! High-level Spinner API: partition from scratch, adapt to graph changes,
+//! and adapt to partition-count changes.
+
+use crate::config::SpinnerConfig;
+use crate::program::SpinnerProgram;
+use crate::state::{EdgeState, Label, Phase, VertexState, NO_LABEL};
+use spinner_graph::conversion::to_weighted_undirected;
+use spinner_graph::GraphDelta;
+use spinner_graph::rng::{vertex_stream, SplitMix64};
+use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
+use spinner_metrics::PartitionQuality;
+use spinner_pregel::engine::{Engine, EngineConfig};
+use spinner_pregel::metrics::RunTotals;
+use spinner_pregel::Placement;
+
+/// Per-iteration metrics (the curves of Fig. 4). φ/ρ/score are measured at
+/// the ComputeScores superstep and therefore describe the state *entering*
+/// the iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// LPA iteration (0-based).
+    pub iteration: u32,
+    /// Ratio of local edges φ.
+    pub phi: f64,
+    /// Maximum normalized load ρ.
+    pub rho: f64,
+    /// Global score(G) (Eq. 10).
+    pub score: f64,
+    /// Vertices that migrated in this iteration's ComputeMigrations step.
+    pub migrations: u64,
+}
+
+/// The outcome of a Spinner run.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// Final label per vertex.
+    pub labels: Vec<Label>,
+    /// Number of partitions.
+    pub k: u32,
+    /// Exact final quality (recomputed from the labels, not the aggregators).
+    pub quality: PartitionQuality,
+    /// Per-iteration history.
+    pub history: Vec<IterationStats>,
+    /// LPA iterations executed.
+    pub iterations: u32,
+    /// Pregel supersteps executed (including conversion/initialisation).
+    pub supersteps: u64,
+    /// True when the ε/w steady-state heuristic triggered the halt.
+    pub halted_steady: bool,
+    /// Engine traffic/compute totals (messages are the network-cost proxy
+    /// used by Figs. 7–8).
+    pub totals: RunTotals,
+    /// Wall-clock nanoseconds of the whole run.
+    pub wall_ns: u64,
+}
+
+/// Partitions a weighted undirected graph from scratch with random initial
+/// labels (§III-A).
+pub fn partition(graph: &UndirectedGraph, cfg: &SpinnerConfig) -> PartitionResult {
+    let labels = random_labels(graph.num_vertices(), cfg.k, cfg.seed);
+    run_from_labels(graph, cfg, labels)
+}
+
+/// Partitions a directed graph: converts it to the weighted undirected form
+/// of Eq. 3 first — offline by default, or with the in-engine
+/// NeighborPropagation/NeighborDiscovery supersteps when
+/// `cfg.in_engine_conversion` is set (§IV-A1). Both paths produce identical
+/// partitionings.
+pub fn partition_directed(graph: &DirectedGraph, cfg: &SpinnerConfig) -> PartitionResult {
+    if cfg.in_engine_conversion {
+        let labels = random_labels(graph.num_vertices(), cfg.k, cfg.seed);
+        run_in_engine_conversion(graph, cfg, labels)
+    } else {
+        partition(&to_weighted_undirected(graph), cfg)
+    }
+}
+
+/// Adapts a previous partitioning to a changed graph (§III-D, incremental
+/// label propagation). `previous` may cover fewer vertices than `graph`
+/// (new vertices appended at the end); new vertices start in the least
+/// loaded partition, then every vertex participates in migration.
+pub fn adapt(
+    graph: &UndirectedGraph,
+    previous: &[Label],
+    cfg: &SpinnerConfig,
+) -> PartitionResult {
+    assert!(
+        previous.len() <= graph.num_vertices() as usize,
+        "previous labelling covers more vertices than the graph has"
+    );
+    let labels = incremental_labels(graph, previous, cfg.k);
+    // Without delta information only the appended vertices are known to be
+    // affected (relevant under `RestartScope::AffectedOnly`).
+    let affected = affected_flags(graph.num_vertices(), previous.len() as VertexId, &[]);
+    run_from_labels_scoped(graph, cfg, labels, affected)
+}
+
+/// Like [`adapt`], but with the explicit [`GraphDelta`] that produced
+/// `graph`, so the affected-only restart strategy (§III-D,
+/// [`crate::config::RestartScope::AffectedOnly`]) knows which vertices the
+/// change touched (endpoints of added/removed edges plus new vertices).
+pub fn adapt_with_delta(
+    graph: &UndirectedGraph,
+    previous: &[Label],
+    delta: &GraphDelta,
+    cfg: &SpinnerConfig,
+) -> PartitionResult {
+    assert!(
+        previous.len() <= graph.num_vertices() as usize,
+        "previous labelling covers more vertices than the graph has"
+    );
+    let labels = incremental_labels(graph, previous, cfg.k);
+    let touched: Vec<VertexId> = delta
+        .added_edges
+        .iter()
+        .chain(&delta.removed_edges)
+        .flat_map(|&(a, b)| [a, b])
+        .collect();
+    let affected = affected_flags(graph.num_vertices(), previous.len() as VertexId, &touched);
+    run_from_labels_scoped(graph, cfg, labels, affected)
+}
+
+fn affected_flags(n: VertexId, old_n: VertexId, touched: &[VertexId]) -> Vec<bool> {
+    let mut affected = vec![false; n as usize];
+    for v in old_n..n {
+        affected[v as usize] = true;
+    }
+    for &v in touched {
+        if (v as usize) < affected.len() {
+            affected[v as usize] = true;
+        }
+    }
+    affected
+}
+
+/// Adapts a previous `old_k`-way partitioning to `cfg.k` partitions
+/// (§III-E, elastic label propagation): when adding `n = cfg.k - old_k`
+/// partitions, each vertex moves to a random new partition with probability
+/// `n/(k+n)` (Eq. 11); when removing, vertices of removed partitions
+/// redistribute uniformly.
+pub fn elastic(
+    graph: &UndirectedGraph,
+    previous: &[Label],
+    old_k: u32,
+    cfg: &SpinnerConfig,
+) -> PartitionResult {
+    assert_eq!(previous.len(), graph.num_vertices() as usize);
+    let labels = elastic_labels(previous, old_k, cfg.k, cfg.seed);
+    run_from_labels(graph, cfg, labels)
+}
+
+/// Random initial labels (scratch initialisation).
+pub fn random_labels(n: VertexId, k: u32, seed: u64) -> Vec<Label> {
+    (0..n).map(|v| vertex_stream(seed, v as u64, 0x1417).next_bounded(k as u64) as Label).collect()
+}
+
+/// Incremental initialisation (§III-D): keep old labels; send each new
+/// vertex to the least-loaded partition at its arrival.
+fn incremental_labels(graph: &UndirectedGraph, previous: &[Label], k: u32) -> Vec<Label> {
+    let n = graph.num_vertices() as usize;
+    let mut labels = Vec::with_capacity(n);
+    let mut loads = vec![0i64; k as usize];
+    for (v, &l) in previous.iter().enumerate() {
+        assert!(l < k, "previous label {l} out of range for k={k}");
+        loads[l as usize] += graph.weighted_degree(v as VertexId) as i64;
+        labels.push(l);
+    }
+    for v in previous.len()..n {
+        let least = (0..k as usize).min_by_key(|&l| loads[l]).unwrap() as Label;
+        loads[least as usize] += graph.weighted_degree(v as VertexId) as i64;
+        labels.push(least);
+    }
+    labels
+}
+
+/// Elastic initialisation (§III-E / Eq. 11).
+fn elastic_labels(previous: &[Label], old_k: u32, new_k: u32, seed: u64) -> Vec<Label> {
+    assert!(old_k >= 1 && new_k >= 1);
+    previous
+        .iter()
+        .enumerate()
+        .map(|(v, &l)| {
+            assert!(l < old_k, "previous label {l} out of range for old_k={old_k}");
+            let mut rng: SplitMix64 = vertex_stream(seed, v as u64, 0xE1A5);
+            if new_k > old_k {
+                let n_new = (new_k - old_k) as u64;
+                // Migrate with p = n/(k+n) to a uniformly random new
+                // partition.
+                if rng.next_f64() < n_new as f64 / new_k as f64 {
+                    old_k + rng.next_bounded(n_new) as Label
+                } else {
+                    l
+                }
+            } else if l >= new_k {
+                // Partition removed: choose uniformly among the remaining.
+                rng.next_bounded(new_k as u64) as Label
+            } else {
+                l
+            }
+        })
+        .collect()
+}
+
+fn engine_config(cfg: &SpinnerConfig) -> EngineConfig {
+    EngineConfig {
+        num_threads: cfg.num_threads,
+        // Two supersteps per iteration plus conversion/init slack.
+        max_supersteps: 2 * cfg.max_iterations as u64 + 8,
+        seed: cfg.seed,
+    }
+}
+
+/// Runs the main LPA loop starting from a complete label assignment on an
+/// already-undirected graph.
+fn run_from_labels(
+    graph: &UndirectedGraph,
+    cfg: &SpinnerConfig,
+    labels: Vec<Label>,
+) -> PartitionResult {
+    run_from_labels_scoped(graph, cfg, labels, Vec::new())
+}
+
+/// `affected` marks the vertices that restart migrations under
+/// `RestartScope::AffectedOnly`; an empty vector marks everyone affected.
+fn run_from_labels_scoped(
+    graph: &UndirectedGraph,
+    cfg: &SpinnerConfig,
+    labels: Vec<Label>,
+    affected: Vec<bool>,
+) -> PartitionResult {
+    let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::Initialize };
+    let placement =
+        Placement::hashed(graph.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
+    let mut engine = Engine::from_undirected(
+        program,
+        graph,
+        &placement,
+        engine_config(cfg),
+        |v| VertexState {
+            label: labels[v as usize],
+            degree: 0,
+            candidate: NO_LABEL,
+            affected: affected.get(v as usize).copied().unwrap_or(true),
+        },
+        |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
+    );
+    let summary = engine.run();
+    finish(cfg, engine, summary, Some(graph))
+}
+
+/// Runs with in-engine conversion from a directed graph (faithful §IV-A1
+/// path).
+fn run_in_engine_conversion(
+    graph: &DirectedGraph,
+    cfg: &SpinnerConfig,
+    labels: Vec<Label>,
+) -> PartitionResult {
+    let program =
+        SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::NeighborPropagation };
+    let placement =
+        Placement::hashed(graph.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
+    let mut engine = Engine::from_directed(
+        program,
+        graph,
+        &placement,
+        engine_config(cfg),
+        |v| VertexState {
+            label: labels[v as usize],
+            degree: 0,
+            candidate: NO_LABEL,
+            affected: true,
+        },
+        |_, _, _| EdgeState { weight: 1, neighbor_label: NO_LABEL },
+    );
+    let summary = engine.run();
+    finish(cfg, engine, summary, None)
+}
+
+fn finish(
+    cfg: &SpinnerConfig,
+    engine: Engine<SpinnerProgram>,
+    summary: spinner_pregel::RunSummary,
+    graph: Option<&UndirectedGraph>,
+) -> PartitionResult {
+    let labels: Vec<Label> = engine.collect_values().into_iter().map(|v| v.label).collect();
+    let global = engine.global();
+    // Exact final quality from the labels themselves. The engine's own
+    // adjacency is authoritative for loads (covers in-engine conversion),
+    // but φ/ρ recomputation needs the undirected graph; reconstruct loads
+    // from the persistent aggregator instead to stay engine-agnostic.
+    let loads: Vec<u64> =
+        global.loads.iter().map(|&l| l.max(0) as u64).collect();
+    let total: u64 = loads.iter().sum();
+    let last = global.history.last();
+    // rho relative to each partition's ideal share (C_l / c), which is
+    // total/k in the homogeneous case.
+    let rho = if total > 0 {
+        loads
+            .iter()
+            .zip(&global.capacities)
+            .map(|(&b, &cap)| if cap > 0.0 { b as f64 * cfg.c / cap } else { 1.0 })
+            .fold(1.0, f64::max)
+    } else {
+        1.0
+    };
+    // Per-iteration aggregates only cover vertices that computed in that
+    // superstep; under `RestartScope::AffectedOnly` most vertices sleep, so
+    // the final phi is recomputed exactly from the labels when the graph is
+    // at hand (the in-engine-conversion path keeps the aggregate value,
+    // which is exact there because all vertices stay active).
+    let phi = match graph {
+        Some(g) => spinner_metrics::phi(g, &labels),
+        None => last.map_or(1.0, |h| h.phi),
+    };
+    let quality = PartitionQuality {
+        phi,
+        rho,
+        score: last.map_or(0.0, |h| h.score),
+        loads,
+    };
+    PartitionResult {
+        labels,
+        k: cfg.k,
+        quality,
+        history: global.history.clone(),
+        iterations: global.iteration,
+        supersteps: summary.supersteps,
+        halted_steady: global.halted_steady,
+        totals: summary.totals(),
+        wall_ns: summary.wall_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::from_undirected_edges;
+    use spinner_graph::generators::{planted_partition, SbmConfig};
+
+    fn community_graph(n: u32, communities: u32, seed: u64) -> UndirectedGraph {
+        to_weighted_undirected(&planted_partition(SbmConfig {
+            n,
+            communities,
+            internal_degree: 8.0,
+            external_degree: 1.5,
+            skew: None,
+            seed,
+        }))
+    }
+
+    fn small_cfg(k: u32) -> SpinnerConfig {
+        let mut cfg = SpinnerConfig::new(k);
+        cfg.num_workers = 4;
+        cfg.max_iterations = 60;
+        cfg
+    }
+
+    #[test]
+    fn recovers_locality_on_community_graph() {
+        let g = community_graph(4000, 8, 3);
+        let r = partition(&g, &small_cfg(8));
+        assert!(r.quality.phi > 0.65, "phi {}", r.quality.phi);
+        assert!(r.quality.rho < 1.15, "rho {}", r.quality.rho);
+        assert!(r.iterations >= 5);
+        // History φ must (weakly) trend upward from random (~1/k).
+        let first = r.history.first().unwrap().phi;
+        let last_phi = r.history.last().unwrap().phi;
+        assert!(last_phi > first + 0.2, "phi {first} -> {last_phi}");
+    }
+
+    #[test]
+    fn respects_capacity_bound() {
+        let g = community_graph(3000, 6, 5);
+        let cfg = small_cfg(6).with_c(1.10);
+        let r = partition(&g, &cfg);
+        // ρ ≤ c with high probability (§V-A1); allow slack for the
+        // bounded-probability overshoot.
+        assert!(r.quality.rho <= 1.10 + 0.05, "rho {}", r.quality.rho);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = community_graph(1500, 4, 7);
+        let mut cfg1 = small_cfg(4);
+        cfg1.num_threads = 1;
+        let mut cfg8 = small_cfg(4);
+        cfg8.num_threads = 8;
+        let r1 = partition(&g, &cfg1);
+        let r8 = partition(&g, &cfg8);
+        assert_eq!(r1.labels, r8.labels);
+        assert_eq!(r1.history.len(), r8.history.len());
+    }
+
+    #[test]
+    fn k_equals_one_is_trivially_perfect() {
+        let g = community_graph(500, 2, 9);
+        let r = partition(&g, &small_cfg(1));
+        assert!(r.labels.iter().all(|&l| l == 0));
+        assert!((r.quality.phi - 1.0).abs() < 1e-9);
+        assert!((r.quality.rho - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_engine_conversion_matches_offline() {
+        let d = planted_partition(SbmConfig {
+            n: 800,
+            communities: 4,
+            internal_degree: 6.0,
+            external_degree: 1.0,
+            skew: None,
+            seed: 11,
+        });
+        let mut cfg = small_cfg(4);
+        cfg.max_iterations = 20;
+        cfg.ignore_halting = true;
+        let offline = partition_directed(&d, &cfg);
+        cfg.in_engine_conversion = true;
+        let in_engine = partition_directed(&d, &cfg);
+        assert_eq!(offline.labels, in_engine.labels);
+        assert_eq!(offline.history.len(), in_engine.history.len());
+        for (a, b) in offline.history.iter().zip(&in_engine.history) {
+            assert!((a.phi - b.phi).abs() < 1e-12);
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adapt_moves_few_vertices() {
+        let base = planted_partition(SbmConfig {
+            n: 3000,
+            communities: 6,
+            internal_degree: 8.0,
+            external_degree: 1.0,
+            skew: None,
+            seed: 13,
+        });
+        let g = to_weighted_undirected(&base);
+        let cfg = small_cfg(6);
+        let initial = partition(&g, &cfg);
+
+        // Add 1% new edges and adapt.
+        let new_edges = spinner_graph::mutation::sample_new_edges(&base, 240, 0.8, 17);
+        let changed = spinner_graph::mutation::apply_delta(
+            &base,
+            &spinner_graph::GraphDelta::additions(new_edges),
+        );
+        let g2 = to_weighted_undirected(&changed);
+        let adapted = adapt(&g2, &initial.labels, &cfg);
+        let scratch = partition(&g2, &cfg.clone().with_seed(99));
+
+        let d_adapt =
+            spinner_metrics::partitioning_difference(&initial.labels, &adapted.labels);
+        let d_scratch =
+            spinner_metrics::partitioning_difference(&initial.labels, &scratch.labels);
+        assert!(d_adapt < 0.35, "adaptive moved {d_adapt}");
+        assert!(d_adapt < d_scratch, "adapt {d_adapt} vs scratch {d_scratch}");
+        assert!(adapted.quality.phi > 0.6);
+        // Adaptation converges in fewer iterations than repartitioning.
+        assert!(adapted.iterations <= scratch.iterations);
+    }
+
+    #[test]
+    fn elastic_grows_partitions() {
+        let g = community_graph(2000, 8, 19);
+        let cfg8 = small_cfg(8);
+        let base = partition(&g, &cfg8);
+        let cfg10 = small_cfg(10);
+        let grown = elastic(&g, &base.labels, 8, &cfg10);
+        assert_eq!(grown.k, 10);
+        // All ten partitions must end up populated.
+        assert!(grown.quality.loads.iter().all(|&l| l > 0));
+        assert!(grown.quality.rho < 1.25, "rho {}", grown.quality.rho);
+        let moved = spinner_metrics::partitioning_difference(&base.labels, &grown.labels);
+        assert!(moved < 0.6, "moved {moved}");
+    }
+
+    #[test]
+    fn elastic_shrinks_partitions() {
+        let g = community_graph(2000, 8, 23);
+        let base = partition(&g, &small_cfg(8));
+        let shrunk = elastic(&g, &base.labels, 8, &small_cfg(6));
+        assert_eq!(shrunk.k, 6);
+        assert!(shrunk.labels.iter().all(|&l| l < 6));
+        assert!(shrunk.quality.loads.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn incremental_labels_fill_least_loaded() {
+        let g = from_undirected_edges(
+            &spinner_graph::GraphBuilder::new(4)
+                .add_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+                .build(),
+        );
+        // Vertices 0,1 labelled 0; vertices 2,3 are new.
+        let labels = incremental_labels(&g, &[0, 0], 2);
+        assert_eq!(labels[2], 1);
+        assert_eq!(labels[3], 1);
+    }
+
+    #[test]
+    fn plain_lpa_ablation_loses_balance_on_skewed_graph() {
+        let d = spinner_graph::generators::rmat(
+            spinner_graph::generators::RmatConfig::graph500(11, 12, 3),
+        );
+        let g = to_weighted_undirected(&d);
+        let mut balanced_cfg = small_cfg(8);
+        balanced_cfg.max_iterations = 30;
+        let mut plain_cfg = balanced_cfg.clone();
+        plain_cfg.balance_penalty = false;
+        plain_cfg.probabilistic_migration = false;
+        let balanced = partition(&g, &balanced_cfg);
+        let plain = partition(&g, &plain_cfg);
+        assert!(
+            plain.quality.rho > balanced.quality.rho + 0.3,
+            "plain {} vs balanced {}",
+            plain.quality.rho,
+            balanced.quality.rho
+        );
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::config::{BalanceObjective, RestartScope};
+    use spinner_graph::generators::{planted_partition, rmat, RmatConfig, SbmConfig};
+    use spinner_graph::mutation::{apply_delta, sample_new_edges};
+
+    fn community_graph(n: u32, communities: u32, seed: u64) -> UndirectedGraph {
+        to_weighted_undirected(&planted_partition(SbmConfig {
+            n,
+            communities,
+            internal_degree: 8.0,
+            external_degree: 1.5,
+            skew: None,
+            seed,
+        }))
+    }
+
+    fn small_cfg(k: u32) -> SpinnerConfig {
+        let mut cfg = SpinnerConfig::new(k);
+        cfg.num_workers = 4;
+        cfg.max_iterations = 60;
+        cfg
+    }
+
+    #[test]
+    fn heterogeneous_capacities_shift_load() {
+        let g = community_graph(3000, 8, 31);
+        // Partition 0 gets twice the capacity of each of the others.
+        let mut weights = vec![1.0; 4];
+        weights[0] = 2.0;
+        let cfg = small_cfg(4).with_capacity_weights(weights);
+        let r = partition(&g, &cfg);
+        let total: u64 = r.quality.loads.iter().sum();
+        let share0 = r.quality.loads[0] as f64 / total as f64;
+        // Ideal share is 2/5 = 0.4 vs 0.2 for the others.
+        assert!((0.30..=0.45).contains(&share0), "share0 {share0}");
+        // Weighted rho stays near c.
+        assert!(r.quality.rho < 1.2, "rho {}", r.quality.rho);
+        for l in 1..4 {
+            let share = r.quality.loads[l] as f64 / total as f64;
+            assert!(share < share0, "partition {l} share {share} >= {share0}");
+        }
+    }
+
+    #[test]
+    fn vertex_objective_balances_vertex_counts_on_skewed_graph() {
+        let g = to_weighted_undirected(&rmat(RmatConfig::graph500(11, 12, 5)));
+        let mut cfg = small_cfg(8);
+        cfg.objective = BalanceObjective::Vertices;
+        let r = partition(&g, &cfg);
+        let mut counts = vec![0u64; 8];
+        for &l in &r.labels {
+            counts[l as usize] += 1;
+        }
+        let ideal = g.num_vertices() as f64 / 8.0;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / ideal < 1.15, "vertex rho {}", max / ideal);
+        // Edge loads are NOT balanced under this objective on a hub graph.
+        let edge_rho = spinner_metrics::rho(&g, &r.labels, 8);
+        assert!(edge_rho > max / ideal, "edge rho {edge_rho}");
+    }
+
+    #[test]
+    fn affected_only_restart_is_cheaper_and_stable() {
+        let directed = planted_partition(SbmConfig {
+            n: 3000,
+            communities: 6,
+            internal_degree: 10.0,
+            external_degree: 1.0,
+            skew: None,
+            seed: 77,
+        });
+        let g = to_weighted_undirected(&directed);
+        let cfg = small_cfg(6);
+        let initial = partition(&g, &cfg);
+
+        let new_edges = sample_new_edges(&directed, 60, 0.8, 5); // 0.2% change
+        let delta = spinner_graph::GraphDelta::additions(new_edges);
+        let changed = apply_delta(&directed, &delta);
+        let g2 = to_weighted_undirected(&changed);
+
+        let mut scoped = cfg.clone();
+        scoped.restart_scope = RestartScope::AffectedOnly;
+        let affected_run = adapt_with_delta(&g2, &initial.labels, &delta, &scoped);
+        let full_run = adapt_with_delta(&g2, &initial.labels, &delta, &cfg);
+
+        // The affected-only strategy computes far fewer vertices.
+        assert!(
+            (affected_run.totals.computed as f64) < 0.7 * full_run.totals.computed as f64,
+            "computed {} vs {}",
+            affected_run.totals.computed,
+            full_run.totals.computed
+        );
+        // Quality stays comparable.
+        assert!(
+            affected_run.quality.phi > full_run.quality.phi - 0.1,
+            "phi {} vs {}",
+            affected_run.quality.phi,
+            full_run.quality.phi
+        );
+        // And it is at least as stable.
+        let moved_affected =
+            spinner_metrics::partitioning_difference(&initial.labels, &affected_run.labels);
+        let moved_full =
+            spinner_metrics::partitioning_difference(&initial.labels, &full_run.labels);
+        assert!(moved_affected <= moved_full + 0.01);
+    }
+
+    #[test]
+    fn exhaustive_scan_matches_optimized_quality() {
+        let g = community_graph(2500, 5, 41);
+        let cfg_opt = small_cfg(5);
+        let mut cfg_ex = small_cfg(5);
+        cfg_ex.exhaustive_candidate_scan = true;
+        let opt = partition(&g, &cfg_opt);
+        let ex = partition(&g, &cfg_ex);
+        assert!(
+            (opt.quality.phi - ex.quality.phi).abs() < 0.05,
+            "phi {} vs {}",
+            opt.quality.phi,
+            ex.quality.phi
+        );
+        assert!(
+            (opt.quality.rho - ex.quality.rho).abs() < 0.05,
+            "rho {} vs {}",
+            opt.quality.rho,
+            ex.quality.rho
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! The Spinner vertex program (paper §IV), expressed against the Pregel
+//! engine: phases, score maximisation, and decentralised migrations.
+
+use crate::config::{BalanceObjective, RestartScope, SpinnerConfig};
+use crate::driver::IterationStats;
+use crate::state::{
+    EdgeState, GlobalState, Label, MigrationMsg, Phase, VertexState, WorkerState, NO_LABEL,
+};
+use spinner_graph::rng::vertex_stream;
+use spinner_pregel::aggregate::{AggOp, AggregatorSpec};
+use spinner_pregel::program::{MasterContext, Program};
+use spinner_pregel::{VertexContext, WorkerId};
+
+/// Aggregator: persistent partition loads b(l) (VecSumI64, length k).
+pub const AGG_LOADS: usize = 0;
+/// Aggregator: candidate load m(l) per label for Eq. 14 (VecSumI64).
+pub const AGG_CANDIDATES: usize = 1;
+/// Aggregator: global score Σ_v score''(v, α(v)) (SumF64, Eq. 10).
+pub const AGG_SCORE: usize = 2;
+/// Aggregator: Σ_v (local incident weight) = 2·(local edge weight) (SumI64).
+pub const AGG_LOCAL_WEIGHT: usize = 3;
+/// Aggregator: number of migrations this superstep (SumI64).
+pub const AGG_MIGRATIONS: usize = 4;
+
+/// The Spinner Pregel program. Immutable during a run; all evolving state
+/// lives in vertex values, edge values, and [`GlobalState`].
+pub struct SpinnerProgram {
+    /// Algorithm parameters.
+    pub cfg: SpinnerConfig,
+    /// Phase to start from: `NeighborPropagation` for in-engine conversion
+    /// of a directed graph, `Initialize` otherwise.
+    pub start_phase: Phase,
+}
+
+impl SpinnerProgram {
+    /// Deterministic per-vertex randomness, keyed by *logical* step rather
+    /// than raw superstep so that runs with and without the two conversion
+    /// supersteps make identical draws.
+    fn logical_rng(&self, vertex: u32, global: &GlobalState, salt: u64) -> spinner_graph::rng::SplitMix64 {
+        let step = (global.iteration as u64) << 3 | salt;
+        vertex_stream(self.cfg.seed, vertex as u64, step)
+    }
+
+    /// The load a vertex contributes to its partition under the configured
+    /// balance objective.
+    #[inline]
+    fn load_of(&self, degw: u64) -> u64 {
+        match self.cfg.objective {
+            BalanceObjective::Edges => degw,
+            BalanceObjective::Vertices => 1,
+        }
+    }
+
+    /// The score of assigning `label` to a vertex: normalised locality minus
+    /// the balance penalty (Eq. 8).
+    #[inline]
+    fn label_score(
+        &self,
+        neighbor_weight: u64,
+        total_weight: u64,
+        load: i64,
+        capacity: f64,
+    ) -> f64 {
+        let locality = if total_weight > 0 {
+            neighbor_weight as f64 / total_weight as f64
+        } else {
+            0.0
+        };
+        if self.cfg.balance_penalty {
+            locality - load as f64 / capacity
+        } else {
+            locality
+        }
+    }
+
+    fn compute_scores(&self, ctx: &mut VertexContext<'_, Self>, messages: &[MigrationMsg]) {
+        // (i) Fold migration announcements into the cached edge labels.
+        for &(sender, label) in messages {
+            if let Some(i) = ctx.edges.index_of(sender) {
+                ctx.edges.values[i].neighbor_label = label;
+            }
+        }
+
+        let g = ctx.global;
+        let current = ctx.value.label;
+        debug_assert!(current < g.k);
+
+        // (ii) Count neighbour weight per label using worker-local scratch;
+        // O(deg) clear via the touched list.
+        let w = &mut *ctx.worker;
+        debug_assert!(w.touched.is_empty());
+        let mut degw: u64 = 0;
+        for ev in ctx.edges.values.iter() {
+            degw += ev.weight as u64;
+            let l = ev.neighbor_label;
+            if l != NO_LABEL {
+                if w.counts[l as usize] == 0 {
+                    w.touched.push(l);
+                }
+                w.counts[l as usize] += ev.weight as u64;
+            }
+        }
+        ctx.value.degree = degw;
+
+        // Resolve the least-loaded label before borrowing the load slice
+        // (any label with zero adjacent weight scores -π(l), so only the
+        // min-load label can win among the non-adjacent ones).
+        let min_label = if self.cfg.balance_penalty { w.min_load_label() } else { current };
+        let loads: &[i64] =
+            if self.cfg.async_worker_loads { &w.local_loads } else { &g.loads };
+        let current_score = self.label_score(
+            w.counts[current as usize],
+            degw,
+            loads[current as usize],
+            g.capacities[current as usize],
+        );
+
+        // (iii) Best label among the touched ones plus the globally
+        // least-loaded one (or all k labels in the paper-faithful
+        // exhaustive mode — provably the same result).
+        let mut best_score = current_score;
+        let mut best: Label = current;
+        // Random but order-independent tie-breaking: among equally-scored
+        // labels the one with the smallest per-(vertex, iteration, label)
+        // hash priority wins, so the exhaustive and optimised candidate
+        // scans agree despite enumerating candidates in different orders.
+        let tie_seed = self.logical_rng(ctx.vertex, g, 1).next_u64();
+        let priority =
+            |l: Label| spinner_graph::rng::mix3(tie_seed, l as u64, 0xBEA7);
+        let mut best_priority = u64::MAX;
+        let exhaustive = self.cfg.exhaustive_candidate_scan;
+        let candidates = (0..g.k)
+            .filter(|_| exhaustive)
+            .chain(w.touched.iter().copied().filter(|_| !exhaustive))
+            .chain(
+                (!exhaustive && min_label != current && w.counts[min_label as usize] == 0)
+                    .then_some(min_label),
+            );
+        for l in candidates {
+            if l == current {
+                continue;
+            }
+            let s = self.label_score(
+                w.counts[l as usize],
+                degw,
+                loads[l as usize],
+                g.capacities[l as usize],
+            );
+            // Break ties randomly but prefer the current label (§III-A):
+            // `current` started as the incumbent best and an equal score
+            // never displaces it; among other tied labels the hash priority
+            // decides.
+            if s > best_score {
+                best_score = s;
+                best = l;
+                best_priority = priority(l);
+            } else if s == best_score && best != current {
+                let p = priority(l);
+                if p < best_priority {
+                    best = l;
+                    best_priority = p;
+                }
+            }
+        }
+
+        // (iv) Aggregate this vertex's contribution to score(G) and φ.
+        ctx.agg.add_f64(AGG_SCORE, current_score);
+        ctx.agg.add_i64(AGG_LOCAL_WEIGHT, w.counts[current as usize] as i64);
+
+        // Clear scratch for the next vertex on this worker.
+        for &l in &w.touched {
+            w.counts[l as usize] = 0;
+        }
+        w.touched.clear();
+
+        // (v) Candidacy: flag and update the async worker view.
+        if best != current {
+            let load = self.load_of(degw);
+            ctx.value.candidate = best;
+            ctx.agg.add_vec_i64(AGG_CANDIDATES, best as usize, load as i64);
+            w.apply_candidacy(current, best, load);
+        } else {
+            ctx.value.candidate = NO_LABEL;
+        }
+    }
+
+    fn compute_migrations(&self, ctx: &mut VertexContext<'_, Self>) {
+        let candidate = ctx.value.candidate;
+        if candidate == NO_LABEL {
+            // Under the affected-only restart strategy, settled bystanders
+            // go to sleep until a neighbour's migration wakes them.
+            if self.cfg.restart_scope == RestartScope::AffectedOnly && !ctx.value.affected {
+                ctx.vote_to_halt();
+            }
+            return;
+        }
+        ctx.value.candidate = NO_LABEL;
+        let p = ctx.global.migration_prob[candidate as usize];
+        let mut rng = self.logical_rng(ctx.vertex, ctx.global, 2);
+        if rng.next_f64() >= p {
+            return; // Deferred; retries next iteration (stays awake).
+        }
+        let old = ctx.value.label;
+        let load = self.load_of(ctx.value.degree) as i64;
+        ctx.value.label = candidate;
+        ctx.value.affected = true; // A mover keeps optimising.
+        ctx.agg.add_vec_i64(AGG_LOADS, old as usize, -load);
+        ctx.agg.add_vec_i64(AGG_LOADS, candidate as usize, load);
+        ctx.agg.add_i64(AGG_MIGRATIONS, 1);
+        let announce: MigrationMsg = (ctx.vertex, candidate);
+        for &t in ctx.edges.targets {
+            ctx.mail.send(t, announce);
+        }
+    }
+
+    fn master_scores(&self, ctx: &mut MasterContext<'_, GlobalState>) {
+        let k = ctx.global.k as usize;
+        let loads = ctx.read(AGG_LOADS).as_vec_i64().to_vec();
+        let m = ctx.read(AGG_CANDIDATES).as_vec_i64().to_vec();
+        let score = ctx.read(AGG_SCORE).as_f64();
+        let local_weight = ctx.read(AGG_LOCAL_WEIGHT).as_i64();
+
+        // Migration probabilities p(l) = r(l)/m(l), clamped to [0, 1]
+        // (Eq. 14). r(l) ≤ 0 means the partition is at/over capacity: no
+        // migrations into it this iteration.
+        for l in 0..k {
+            let r = ctx.global.capacities[l] - loads[l] as f64;
+            ctx.global.migration_prob[l] = if !self.cfg.probabilistic_migration {
+                1.0
+            } else if m[l] <= 0 || r <= 0.0 {
+                0.0
+            } else {
+                (r / m[l] as f64).min(1.0)
+            };
+        }
+
+        // Iteration metrics (pushed to history after the migration step).
+        let total = ctx.global.total_weight;
+        let phi = if total > 0 { local_weight as f64 / total as f64 } else { 1.0 };
+        let rho = rho_of(&loads, &ctx.global.capacities, self.cfg.c);
+        ctx.global.pending = Some((phi, rho, score));
+
+        // Halting heuristic: per-vertex-normalised improvement < ε for w
+        // consecutive iterations (§III-C).
+        let n = ctx.active.max(1) as f64;
+        let improvement = (score - ctx.global.best_score) / n;
+        if score > ctx.global.best_score {
+            ctx.global.best_score = score;
+        }
+        if improvement < self.cfg.epsilon {
+            ctx.global.no_improvement += 1;
+        } else {
+            ctx.global.no_improvement = 0;
+        }
+        let steady = ctx.global.no_improvement > self.cfg.window;
+        if (steady && !self.cfg.ignore_halting)
+            || ctx.global.iteration >= self.cfg.max_iterations
+        {
+            ctx.global.halted_steady = steady;
+            self.push_history(ctx.global, 0);
+            ctx.halt();
+        } else {
+            ctx.global.phase = Phase::ComputeMigrations;
+        }
+    }
+
+    fn push_history(&self, g: &mut GlobalState, migrations: u64) {
+        if let Some((phi, rho, score)) = g.pending.take() {
+            g.history.push(IterationStats {
+                iteration: g.iteration,
+                phi,
+                rho,
+                score,
+                migrations,
+            });
+        }
+    }
+}
+
+/// Maximum normalized load: each partition's load relative to its ideal
+/// share `C_l / c` (reduces to `max b / (total/k)` in the homogeneous case).
+fn rho_of(loads: &[i64], capacities: &[f64], c: f64) -> f64 {
+    loads
+        .iter()
+        .zip(capacities)
+        .map(|(&b, &cap)| if cap > 0.0 { b as f64 * c / cap } else { 1.0 })
+        .fold(1.0, f64::max)
+}
+
+impl Program for SpinnerProgram {
+    type V = VertexState;
+    type E = EdgeState;
+    type M = MigrationMsg;
+    type G = GlobalState;
+    type WorkerState = WorkerState;
+
+    fn init_global(&self) -> GlobalState {
+        GlobalState::new(self.start_phase, self.cfg.k)
+    }
+
+    fn init_worker(&self, global: &GlobalState, _worker: WorkerId) -> WorkerState {
+        WorkerState::new(&global.loads, &global.capacities)
+    }
+
+    fn aggregators(&self) -> Vec<AggregatorSpec> {
+        let k = self.cfg.k as usize;
+        vec![
+            AggregatorSpec::persistent("loads", AggOp::VecSumI64, k),
+            AggregatorSpec::regular("candidates", AggOp::VecSumI64, k),
+            AggregatorSpec::regular("score", AggOp::SumF64, 0),
+            AggregatorSpec::regular("local-weight", AggOp::SumI64, 0),
+            AggregatorSpec::regular("migrations", AggOp::SumI64, 0),
+        ]
+    }
+
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[MigrationMsg]) {
+        match ctx.global.phase {
+            Phase::NeighborPropagation => {
+                // Send our id along the (directed) out-edges.
+                let me = ctx.vertex;
+                for &t in ctx.edges.targets {
+                    ctx.mail.send(t, (me, NO_LABEL));
+                }
+            }
+            Phase::NeighborDiscovery => {
+                // For each in-neighbour: reciprocal edge -> weight 2,
+                // otherwise create the reverse edge with weight 1 (Eq. 3).
+                for &(sender, _) in messages {
+                    match ctx.edges.index_of(sender) {
+                        Some(i) => ctx.edges.values[i].weight = 2,
+                        None => ctx
+                            .add_edge(sender, EdgeState { weight: 1, neighbor_label: NO_LABEL }),
+                    }
+                }
+            }
+            Phase::Initialize => {
+                // Weighted degree over the (now undirected) adjacency;
+                // aggregate the initial load and announce the label.
+                let degw: u64 = ctx.edges.values.iter().map(|e| e.weight as u64).sum();
+                ctx.value.degree = degw;
+                let label = ctx.value.label;
+                debug_assert!(label < ctx.global.k);
+                ctx.agg.add_vec_i64(AGG_LOADS, label as usize, self.load_of(degw) as i64);
+                let announce: MigrationMsg = (ctx.vertex, label);
+                for &t in ctx.edges.targets {
+                    ctx.mail.send(t, announce);
+                }
+            }
+            Phase::ComputeScores => self.compute_scores(ctx, messages),
+            Phase::ComputeMigrations => self.compute_migrations(ctx),
+        }
+    }
+
+    fn master(&self, ctx: &mut MasterContext<'_, GlobalState>) {
+        match ctx.global.phase {
+            Phase::NeighborPropagation => ctx.global.phase = Phase::NeighborDiscovery,
+            Phase::NeighborDiscovery => ctx.global.phase = Phase::Initialize,
+            Phase::Initialize => {
+                let loads = ctx.read(AGG_LOADS).as_vec_i64().to_vec();
+                let total: i64 = loads.iter().sum();
+                ctx.global.total_weight = total as u64;
+                // Capacities: homogeneous C = c*total/k, or proportional to
+                // the configured heterogeneous weights.
+                ctx.global.capacities = match &self.cfg.capacity_weights {
+                    Some(weights) => {
+                        let sum: f64 = weights.iter().sum();
+                        weights
+                            .iter()
+                            .map(|w| self.cfg.c * total as f64 * w / sum)
+                            .collect()
+                    }
+                    None => {
+                        vec![self.cfg.c * total as f64 / self.cfg.k as f64; self.cfg.k as usize]
+                    }
+                };
+                ctx.global.loads = loads;
+                ctx.global.phase = Phase::ComputeScores;
+            }
+            Phase::ComputeScores => self.master_scores(ctx),
+            Phase::ComputeMigrations => {
+                let migrations = ctx.read(AGG_MIGRATIONS).as_i64() as u64;
+                ctx.global.loads = ctx.read(AGG_LOADS).as_vec_i64().to_vec();
+                self.push_history(ctx.global, migrations);
+                ctx.global.iteration += 1;
+                ctx.global.phase = Phase::ComputeScores;
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Vertex, edge, message, global, and worker state of the Spinner program.
+
+use spinner_graph::VertexId;
+
+/// A partition label (`0..k`).
+pub type Label = u32;
+
+/// Sentinel for "no label": unlabeled edges before the first propagation and
+/// absent migration candidates.
+pub const NO_LABEL: Label = Label::MAX;
+
+/// Per-vertex state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexState {
+    /// Current partition label α(v).
+    pub label: Label,
+    /// Weighted degree deg_w(v) (Eq. 3 weights). Computed during the
+    /// Initialize superstep. Under the `Edges` objective this is also the
+    /// vertex's load contribution; under `Vertices` the load is 1.
+    pub degree: u64,
+    /// The label this vertex is a candidate to migrate to (set in
+    /// ComputeScores, consumed in ComputeMigrations), or [`NO_LABEL`].
+    pub candidate: Label,
+    /// Whether this vertex participates in migration restarts under
+    /// [`crate::config::RestartScope::AffectedOnly`]; always `true` for the
+    /// paper's full-restart strategy.
+    pub affected: bool,
+}
+
+/// Per-edge state: the Eq. 3 weight and the cached label of the neighbour at
+/// the other endpoint ("each vertex stores the label of a neighbor in the
+/// value of the edge that connects them", §IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeState {
+    /// w(u, v) ∈ {1, 2}.
+    pub weight: u8,
+    /// Last label announced by the neighbour, or [`NO_LABEL`].
+    pub neighbor_label: Label,
+}
+
+/// Message: `(sender, sender's new label)`. The sender id locates the edge
+/// whose cached label must be updated. During NeighborPropagation the label
+/// field is [`NO_LABEL`] (only the sender id matters).
+pub type MigrationMsg = (VertexId, Label);
+
+/// The phases of Fig. 2, advanced by master compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Conversion 1/2: send the vertex id along out-edges.
+    NeighborPropagation,
+    /// Conversion 2/2: create/upgrade reverse edges (Eq. 3 weights).
+    NeighborDiscovery,
+    /// Aggregate initial loads and announce initial labels.
+    Initialize,
+    /// LPA iteration step 1: find each vertex's best label.
+    ComputeScores,
+    /// LPA iteration step 2: probabilistic migrations (Eq. 14).
+    ComputeMigrations,
+}
+
+/// Master-owned global state, broadcast to vertices each superstep.
+#[derive(Debug, Clone)]
+pub struct GlobalState {
+    /// Current phase.
+    pub phase: Phase,
+    /// Number of partitions.
+    pub k: u32,
+    /// Per-partition capacities C_l (Eq. 5: `c·|E|/k` for homogeneous
+    /// systems; proportional to the configured weights otherwise), set after
+    /// Initialize.
+    pub capacities: Vec<f64>,
+    /// Total edge weight Σ_l b(l) (= 2·|directed edges|).
+    pub total_weight: u64,
+    /// Current partition loads b(l) (from the persistent aggregator).
+    pub loads: Vec<i64>,
+    /// Migration probabilities p(l) = r(l)/m(l) for the next
+    /// ComputeMigrations superstep (Eq. 14).
+    pub migration_prob: Vec<f64>,
+    /// LPA iteration counter (one iteration = scores + migrations).
+    pub iteration: u32,
+    /// Per-iteration φ/ρ/score history (the curves of Fig. 4).
+    pub history: Vec<crate::driver::IterationStats>,
+    /// Metrics of the latest ComputeScores superstep, pending the matching
+    /// ComputeMigrations superstep before being pushed to `history`.
+    pub pending: Option<(f64, f64, f64)>,
+    /// Best score seen so far (halting heuristic).
+    pub best_score: f64,
+    /// Consecutive iterations with < ε normalised improvement.
+    pub no_improvement: u32,
+    /// Set when the ε/w steady-state condition triggered the halt.
+    pub halted_steady: bool,
+}
+
+impl GlobalState {
+    /// Initial state for a run starting at `phase` with `k` partitions.
+    pub fn new(phase: Phase, k: u32) -> Self {
+        Self {
+            phase,
+            k,
+            capacities: vec![0.0; k as usize],
+            total_weight: 0,
+            loads: vec![0; k as usize],
+            migration_prob: vec![0.0; k as usize],
+            iteration: 0,
+            history: Vec::new(),
+            pending: None,
+            best_score: f64::NEG_INFINITY,
+            no_improvement: 0,
+            halted_steady: false,
+        }
+    }
+}
+
+/// Worker-local scratch: the asynchronous load view of §IV-A4 plus reusable
+/// per-vertex scoring buffers.
+#[derive(Debug)]
+pub struct WorkerState {
+    /// Worker-local view of partition loads, updated as vertices on this
+    /// worker become migration candidates within the superstep.
+    pub local_loads: Vec<i64>,
+    /// Per-partition capacities C_l (for penalty-minimum tracking).
+    pub capacities: Vec<f64>,
+    /// Scratch: per-label neighbour weight accumulator (k entries, cleared
+    /// via `touched` so per-vertex cost stays O(deg)).
+    pub counts: Vec<u64>,
+    /// Scratch: labels touched by the current vertex.
+    pub touched: Vec<Label>,
+    /// Cached index of the minimum-penalty label.
+    min_label: Label,
+    min_dirty: bool,
+}
+
+impl WorkerState {
+    /// Builds worker state from the current global loads and capacities.
+    pub fn new(loads: &[i64], capacities: &[f64]) -> Self {
+        Self {
+            local_loads: loads.to_vec(),
+            capacities: capacities.to_vec(),
+            counts: vec![0; loads.len()],
+            touched: Vec::with_capacity(64),
+            min_label: 0,
+            min_dirty: true,
+        }
+    }
+
+    /// Penalty π(l) = b(l)/C_l under the worker-local view.
+    #[inline]
+    fn penalty(&self, l: usize) -> f64 {
+        let cap = self.capacities[l];
+        if cap > 0.0 {
+            self.local_loads[l] as f64 / cap
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Records a candidacy: the async view moves `load` from `old` to `new`
+    /// so later vertices on this worker see it (§IV-A4).
+    pub fn apply_candidacy(&mut self, old: Label, new: Label, load: u64) {
+        self.local_loads[new as usize] += load as i64;
+        self.local_loads[old as usize] -= load as i64;
+        if new == self.min_label {
+            self.min_dirty = true;
+        } else if !self.min_dirty
+            && self.penalty(old as usize) < self.penalty(self.min_label as usize)
+        {
+            self.min_label = old;
+        }
+    }
+
+    /// The label with the smallest worker-local penalty π(l). Any label not
+    /// adjacent to a vertex scores `-π(l)`, so only the minimum-penalty one
+    /// can beat the adjacent candidates — evaluating it makes the candidate
+    /// scan exact without an O(k) pass per vertex.
+    pub fn min_load_label(&mut self) -> Label {
+        if self.min_dirty {
+            let mut best = 0usize;
+            for l in 1..self.local_loads.len() {
+                if self.penalty(l) < self.penalty(best) {
+                    best = l;
+                }
+            }
+            self.min_label = best as Label;
+            self.min_dirty = false;
+        }
+        self.min_label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAPS: [f64; 3] = [10.0, 10.0, 10.0];
+
+    #[test]
+    fn worker_state_tracks_minimum() {
+        let mut w = WorkerState::new(&[10, 5, 8], &CAPS);
+        assert_eq!(w.min_load_label(), 1);
+        // Simulate candidacy 0 -> 1 with load 6.
+        w.apply_candidacy(0, 1, 6);
+        // loads now [4, 11, 8]
+        assert_eq!(w.min_load_label(), 0);
+        w.apply_candidacy(0, 2, 10);
+        // loads now [-6, 11, 18]
+        assert_eq!(w.min_load_label(), 0);
+    }
+
+    #[test]
+    fn min_recomputed_when_minimum_gains_load() {
+        let mut w = WorkerState::new(&[1, 2, 3], &CAPS);
+        assert_eq!(w.min_load_label(), 0);
+        w.apply_candidacy(2, 0, 5); // loads [6, 2, -2]
+        assert_eq!(w.min_load_label(), 2);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_bias_the_minimum() {
+        // Equal loads but partition 2 has double capacity => its penalty is
+        // the smallest.
+        let mut w = WorkerState::new(&[6, 6, 6], &[10.0, 10.0, 20.0]);
+        assert_eq!(w.min_load_label(), 2);
+    }
+
+    #[test]
+    fn global_state_initialises_cleanly() {
+        let g = GlobalState::new(Phase::Initialize, 4);
+        assert_eq!(g.loads, vec![0; 4]);
+        assert_eq!(g.iteration, 0);
+        assert!(!g.halted_steady);
+    }
+}

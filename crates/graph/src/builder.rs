@@ -1,0 +1,136 @@
+//! Incremental construction of [`DirectedGraph`]s from edge lists.
+
+use crate::directed::DirectedGraph;
+use crate::ids::{edge_key, unpack_edge_key, VertexId};
+
+/// Accumulates directed edges and produces a deduplicated, sorted CSR graph.
+///
+/// Self-loops are dropped and duplicate edges are merged, matching the data
+/// model assumed by the paper (simple directed graphs). The builder accepts
+/// edges in any order and at any rate; construction cost is `O(E log E)`.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: VertexId,
+    /// Edges packed as `src << 32 | dst` for cache-friendly sorting.
+    edges: Vec<u64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: VertexId) -> Self {
+        Self { num_vertices, edges: Vec::new() }
+    }
+
+    /// Pre-allocates capacity for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// The number of vertices this builder was configured with.
+    pub fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    /// Grows the vertex count (never shrinks).
+    pub fn grow_vertices(&mut self, num_vertices: VertexId) {
+        self.num_vertices = self.num_vertices.max(num_vertices);
+    }
+
+    /// Adds one directed edge. Out-of-range endpoints grow the vertex count;
+    /// self-loops are silently dropped.
+    #[inline]
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        if src != dst {
+            self.num_vertices = self.num_vertices.max(src.max(dst) + 1);
+            self.edges.push(edge_key(src, dst));
+        }
+        self
+    }
+
+    /// Adds many edges (builder-style).
+    pub fn add_edges(mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        for (s, d) in edges {
+            self.add_edge(s, d);
+        }
+        self
+    }
+
+    /// Adds many edges through a mutable reference.
+    pub fn extend_edges(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) {
+        for (s, d) in edges {
+            self.add_edge(s, d);
+        }
+    }
+
+    /// Number of edges currently buffered (before deduplication).
+    pub fn buffered_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into a [`DirectedGraph`].
+    pub fn build(mut self) -> DirectedGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.num_vertices as usize;
+        let mut offsets = vec![0u64; n + 1];
+        for &key in &self.edges {
+            let (src, _) = unpack_edge_key(key);
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<VertexId> =
+            self.edges.iter().map(|&key| unpack_edge_key(key).1).collect();
+        DirectedGraph::from_csr(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let g = GraphBuilder::new(3)
+            .add_edges([(0, 1), (0, 1), (1, 1), (2, 0), (0, 2)])
+            .build();
+        assert_eq!(g.num_edges(), 3); // (0,1) deduped, (1,1) dropped
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_degree(1), 0);
+    }
+
+    #[test]
+    fn vertex_count_grows_to_fit_edges() {
+        let g = GraphBuilder::new(1).add_edges([(0, 7)]).build();
+        assert_eq!(g.num_vertices(), 8);
+    }
+
+    #[test]
+    fn unsorted_input_produces_sorted_adjacency() {
+        let g = GraphBuilder::new(4)
+            .add_edges([(1, 3), (1, 0), (1, 2)])
+            .build();
+        assert_eq!(g.out_neighbors(1), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn extend_and_mutable_add() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.extend_edges([(1, 0)]);
+        assert_eq!(b.buffered_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn grow_vertices_never_shrinks() {
+        let mut b = GraphBuilder::new(10);
+        b.grow_vertices(5);
+        assert_eq!(b.num_vertices(), 10);
+        b.grow_vertices(20);
+        assert_eq!(b.num_vertices(), 20);
+    }
+}

@@ -1,0 +1,137 @@
+//! Directed graph in compressed sparse row (CSR) form.
+
+use crate::ids::VertexId;
+
+/// An immutable directed graph stored in CSR form.
+///
+/// Vertices are densely numbered `0..num_vertices()`. Out-neighbour lists are
+/// sorted and deduplicated; self-loops are removed at construction. This is
+/// the input representation for the Spinner pipeline: the paper's data model
+/// (Pregel/Giraph) is a distributed directed graph where every vertex knows
+/// its outgoing edges only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectedGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<u64>,
+    /// Concatenated out-neighbour lists, sorted within each vertex.
+    targets: Vec<VertexId>,
+}
+
+impl DirectedGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// Callers must guarantee: `offsets.len() == n + 1`, `offsets[0] == 0`,
+    /// offsets are non-decreasing, `offsets[n] == targets.len()`, each
+    /// adjacency run is sorted/deduplicated, and all targets are `< n`.
+    /// [`crate::builder::GraphBuilder`] produces such arrays; this
+    /// constructor checks the invariants in debug builds.
+    pub(crate) fn from_csr(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let g = Self { offsets, targets };
+        debug_assert!((0..g.num_vertices()).all(|v| {
+            g.out_neighbors(v).windows(2).all(|w| w[0] < w[1])
+                && g.out_neighbors(v).iter().all(|&t| (t as usize) < g.num_vertices() as usize)
+        }));
+        g
+    }
+
+    /// The number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> VertexId {
+        (self.offsets.len() - 1) as VertexId
+    }
+
+    /// The number of directed edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// The sorted out-neighbour list of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Whether the directed edge `(u, v)` exists (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all directed edges `(src, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices())
+            .flat_map(move |v| self.out_neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Borrow of the raw CSR arrays `(offsets, targets)`.
+    pub fn as_csr(&self) -> (&[u64], &[VertexId]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Heap memory used by the CSR arrays, in bytes (for reporting).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u64>()
+            + self.targets.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn basic_accessors() {
+        let g = GraphBuilder::new(4)
+            .add_edges([(0, 1), (0, 2), (1, 2), (3, 0)])
+            .build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_iterator_covers_all_edges() {
+        let g = GraphBuilder::new(3).add_edges([(0, 1), (1, 2), (2, 0)]).build();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_neighborhoods() {
+        let g = GraphBuilder::new(5).add_edges([(0, 4)]).build();
+        for v in 1..4 {
+            assert_eq!(g.out_degree(v), 0);
+            assert!(g.out_neighbors(v).is_empty());
+        }
+    }
+}

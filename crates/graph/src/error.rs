@@ -1,0 +1,82 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph construction, mutation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced an index at or beyond the vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// An input file line could not be parsed as an edge.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A structurally invalid request (e.g. zero partitions).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex id {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 5 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::InvalidArgument("k must be > 0".into());
+        assert!(e.to_string().contains("k must be > 0"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,93 @@
+//! Barabási-Albert preferential-attachment generator.
+
+use crate::builder::GraphBuilder;
+use crate::directed::DirectedGraph;
+use crate::ids::VertexId;
+use crate::rng::SplitMix64;
+
+/// Generates a Barabási-Albert graph: each new vertex attaches `m_attach`
+/// edges to existing vertices chosen proportionally to their current degree.
+///
+/// Emitted as a directed graph with edges pointing from the newer vertex to
+/// the chosen target (convert with
+/// [`crate::conversion::from_undirected_edges`] to treat it as undirected).
+/// Produces the heavy-tailed degree distribution of large social graphs.
+pub fn barabasi_albert(n: VertexId, m_attach: u32, seed: u64) -> DirectedGraph {
+    assert!(n as u64 > m_attach as u64, "need n > m_attach");
+    assert!(m_attach >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut b =
+        GraphBuilder::new(n).with_edge_capacity(n as usize * m_attach as usize);
+
+    // Repeated-endpoints array: sampling a uniform element of `endpoints`
+    // realises degree-proportional selection in O(1).
+    let mut endpoints: Vec<VertexId> =
+        Vec::with_capacity(2 * n as usize * m_attach as usize);
+
+    // Seed clique over the first m_attach + 1 vertices.
+    let seed_size = m_attach + 1;
+    for u in 0..seed_size {
+        for v in (u + 1)..seed_size {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for v in seed_size..n {
+        let mut chosen = [0 as VertexId; 64];
+        let mut count = 0usize;
+        // Draw m distinct targets (retry on duplicates; m is small).
+        while count < m_attach as usize {
+            let t = endpoints[rng.next_bounded(endpoints.len() as u64) as usize];
+            if !chosen[..count].contains(&t) {
+                chosen[count] = t;
+                count += 1;
+            }
+        }
+        for &t in &chosen[..count] {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::from_undirected_edges;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let n = 5000;
+        let m = 4;
+        let g = barabasi_albert(n, m, 1);
+        let seed_edges = (m * (m + 1) / 2) as u64;
+        let attach_edges = (n - m - 1) as u64 * m as u64;
+        assert_eq!(g.num_edges(), seed_edges + attach_edges);
+    }
+
+    #[test]
+    fn old_vertices_become_hubs() {
+        let g = from_undirected_edges(&barabasi_albert(20_000, 3, 2));
+        let early_max = (0..100).map(|v| g.degree(v)).max().unwrap();
+        let late_max = (19_900..20_000).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            early_max > 5 * late_max,
+            "early max {early_max} vs late max {late_max}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(1000, 2, 5), barabasi_albert(1000, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > m_attach")]
+    fn rejects_degenerate_sizes() {
+        barabasi_albert(3, 3, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Erdős-Rényi G(n, m) generator.
+
+use crate::builder::GraphBuilder;
+use crate::directed::DirectedGraph;
+use crate::ids::VertexId;
+use crate::rng::SplitMix64;
+
+/// Generates a directed Erdős-Rényi graph with `n` vertices and (about)
+/// `m` edges. Duplicate draws and self-loops are discarded, so the realised
+/// edge count can be slightly below `m` for dense requests.
+pub fn erdos_renyi(n: VertexId, m: u64, seed: u64) -> DirectedGraph {
+    assert!(n > 1, "need at least two vertices");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(m as usize);
+    for _ in 0..m {
+        let u = rng.next_bounded(n as u64) as VertexId;
+        let v = rng.next_bounded(n as u64) as VertexId;
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_about_m_edges() {
+        let g = erdos_renyi(10_000, 50_000, 1);
+        // Collision probability is tiny at this density.
+        assert!(g.num_edges() > 49_000);
+        assert!(g.num_edges() <= 50_000);
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(1000, 20_000, 2);
+        let max = (0..1000).map(|v| g.out_degree(v)).max().unwrap();
+        // Mean out-degree 20; Poisson tail makes 60 astronomically unlikely.
+        assert!(max < 60, "max out degree {max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(500, 2000, 3), erdos_renyi(500, 2000, 3));
+    }
+}

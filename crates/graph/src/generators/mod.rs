@@ -1,0 +1,26 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on proprietary or very large graphs (Tuenti, Twitter,
+//! Yahoo! web). These generators produce scaled-down graphs with the same
+//! *structural* properties that drive Spinner's behaviour: community
+//! locality (SBM), hub-dominated degree skew (R-MAT, Barabási-Albert),
+//! small-world topology (Watts-Strogatz, used by the paper's own scalability
+//! experiments §V-B), and hierarchical host locality (web-like model).
+//!
+//! All generators are deterministic given their seed.
+
+mod barabasi_albert;
+mod erdos_renyi;
+mod power_law;
+mod rmat;
+mod sbm;
+mod watts_strogatz;
+mod weblike;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::erdos_renyi;
+pub use power_law::{power_law_degrees, PowerLawConfig};
+pub use rmat::{rmat, RmatConfig};
+pub use sbm::{planted_partition, SbmConfig};
+pub use watts_strogatz::watts_strogatz;
+pub use weblike::{weblike, WeblikeConfig};

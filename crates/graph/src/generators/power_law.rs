@@ -1,0 +1,68 @@
+//! Power-law degree sequence sampling.
+
+use crate::rng::SplitMix64;
+
+/// Configuration for a truncated discrete power-law distribution
+/// `P(d) ∝ d^-alpha` on `[min_degree, max_degree]`.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Exponent `alpha` (> 1). Social networks typically fall in 2.0–2.5.
+    pub alpha: f64,
+    /// Smallest degree (≥ 1).
+    pub min_degree: u32,
+    /// Largest degree (inclusive cap; models finite-size cutoffs).
+    pub max_degree: u32,
+}
+
+impl PowerLawConfig {
+    /// A typical social-network configuration.
+    pub fn social(max_degree: u32) -> Self {
+        Self { alpha: 2.3, min_degree: 1, max_degree }
+    }
+
+    /// Samples one degree by inverse-transform sampling of the continuous
+    /// Pareto distribution, then truncates to the configured range.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        debug_assert!(self.alpha > 1.0);
+        let u = rng.next_f64();
+        // Inverse CDF of the Pareto with x_min = min_degree.
+        let x = self.min_degree as f64 * (1.0 - u).powf(-1.0 / (self.alpha - 1.0));
+        (x as u32).clamp(self.min_degree, self.max_degree)
+    }
+}
+
+/// Samples a degree per vertex from the configured power law.
+pub fn power_law_degrees(n: usize, cfg: PowerLawConfig, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| cfg.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_respect_bounds() {
+        let cfg = PowerLawConfig { alpha: 2.2, min_degree: 3, max_degree: 500 };
+        let degs = power_law_degrees(20_000, cfg, 1);
+        assert!(degs.iter().all(|&d| (3..=500).contains(&d)));
+    }
+
+    #[test]
+    fn distribution_is_heavy_tailed() {
+        let cfg = PowerLawConfig { alpha: 2.0, min_degree: 1, max_degree: 100_000 };
+        let degs = power_law_degrees(100_000, cfg, 7);
+        let max = *degs.iter().max().unwrap();
+        let mean = degs.iter().map(|&d| d as f64).sum::<f64>() / degs.len() as f64;
+        // Hubs should tower over the mean — the property that makes Twitter
+        // hard to balance with random partitioning (paper §V-A, Fig. 4a).
+        assert!(max as f64 > 50.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = PowerLawConfig::social(1000);
+        assert_eq!(power_law_degrees(100, cfg, 5), power_law_degrees(100, cfg, 5));
+        assert_ne!(power_law_degrees(100, cfg, 5), power_law_degrees(100, cfg, 6));
+    }
+}

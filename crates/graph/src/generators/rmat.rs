@@ -1,0 +1,103 @@
+//! R-MAT (recursive matrix) generator.
+//!
+//! R-MAT with skewed quadrant probabilities reproduces the hub-dominated
+//! structure of the Twitter follower graph: a few vertices collect an
+//! enormous share of edges, which is exactly what makes random partitioning
+//! unbalanced in the paper's Fig. 4a (initial ρ ≈ 1.67).
+
+use crate::builder::GraphBuilder;
+use crate::directed::DirectedGraph;
+use crate::ids::VertexId;
+use crate::rng::SplitMix64;
+
+/// R-MAT parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Requested edges per vertex (duplicates are merged afterwards).
+    pub edge_factor: u32,
+    /// Quadrant probabilities; must sum to 1. Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500-style skewed configuration (Twitter-like hubs).
+    pub fn graph500(scale: u32, edge_factor: u32, seed: u64) -> Self {
+        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed }
+    }
+}
+
+/// Generates a directed R-MAT graph.
+pub fn rmat(cfg: RmatConfig) -> DirectedGraph {
+    let n: u64 = 1 << cfg.scale;
+    let m = n * cfg.edge_factor as u64;
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut builder = GraphBuilder::new(n as VertexId).with_edge_capacity(m as usize);
+    let ab = cfg.a + cfg.b;
+    let abc = cfg.a + cfg.b + cfg.c;
+    assert!(abc < 1.0 + 1e-9, "quadrant probabilities exceed 1");
+    for _ in 0..m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for bit in (0..cfg.scale).rev() {
+            let r = rng.next_f64();
+            if r < cfg.a {
+                // top-left: no bits set
+            } else if r < ab {
+                v |= 1 << bit;
+            } else if r < abc {
+                u |= 1 << bit;
+            } else {
+                u |= 1 << bit;
+                v |= 1 << bit;
+            }
+        }
+        builder.add_edge(u as VertexId, v as VertexId);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_skewed_in_degrees() {
+        let g = rmat(RmatConfig::graph500(12, 8, 1)); // 4096 vertices
+        let mut in_deg = vec![0u32; g.num_vertices() as usize];
+        for (_, v) in g.edges() {
+            in_deg[v as usize] += 1;
+        }
+        let max = *in_deg.iter().max().unwrap();
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max as f64 > 10.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(RmatConfig::graph500(8, 4, 2));
+        assert_eq!(g.num_vertices(), 256);
+    }
+
+    #[test]
+    fn uniform_quadrants_reduce_to_er_like_degrees() {
+        let cfg = RmatConfig { scale: 10, edge_factor: 8, a: 0.25, b: 0.25, c: 0.25, seed: 3 };
+        let g = rmat(cfg);
+        let max = (0..g.num_vertices()).map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max < 40, "uniform R-MAT should not have strong hubs, max {max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(RmatConfig::graph500(8, 4, 7));
+        let b = rmat(RmatConfig::graph500(8, 4, 7));
+        assert_eq!(a, b);
+    }
+}

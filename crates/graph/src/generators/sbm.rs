@@ -1,0 +1,158 @@
+//! Planted-partition / stochastic-block-model generator.
+//!
+//! Social networks (LiveJournal, Tuenti, Google+) have strong community
+//! structure; that structure is what lets label propagation achieve high
+//! edge locality. This generator plants `communities` contiguous blocks and
+//! gives every vertex a number of intra- and inter-community edges, with an
+//! optional power-law multiplier to add degree skew.
+
+use crate::builder::GraphBuilder;
+use crate::directed::DirectedGraph;
+use crate::generators::power_law::PowerLawConfig;
+use crate::ids::VertexId;
+use crate::rng::SplitMix64;
+
+/// Configuration for [`planted_partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct SbmConfig {
+    /// Total number of vertices.
+    pub n: VertexId,
+    /// Number of planted communities (contiguous id ranges).
+    pub communities: u32,
+    /// Average number of intra-community out-edges per vertex.
+    pub internal_degree: f64,
+    /// Average number of inter-community out-edges per vertex.
+    pub external_degree: f64,
+    /// Optional power-law multiplier for per-vertex degree skew.
+    pub skew: Option<PowerLawConfig>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// Generates a directed planted-partition graph.
+///
+/// Community `i` owns the contiguous vertex range
+/// `[i * n / communities, (i + 1) * n / communities)`; that ground truth is
+/// used by tests to check that label propagation recovers locality.
+pub fn planted_partition(cfg: SbmConfig) -> DirectedGraph {
+    assert!(cfg.communities >= 1);
+    assert!(cfg.n >= cfg.communities, "need at least one vertex per community");
+    let n = cfg.n as u64;
+    let c = cfg.communities as u64;
+    let mut rng = SplitMix64::new(cfg.seed);
+    let expected = (cfg.n as f64 * (cfg.internal_degree + cfg.external_degree)) as usize;
+    let mut b = GraphBuilder::new(cfg.n).with_edge_capacity(expected);
+
+    let community_of = |v: u64| -> u64 { v * c / n };
+    let range_of = |comm: u64| -> (u64, u64) {
+        let lo = comm * n / c;
+        let hi = (comm + 1) * n / c;
+        (lo, hi)
+    };
+
+    for v in 0..n {
+        let comm = community_of(v);
+        let (lo, hi) = range_of(comm);
+        let size = hi - lo;
+        let mult = match cfg.skew {
+            Some(pl) => {
+                // Normalise so the configured averages are preserved:
+                // E[pareto] = alpha-1/(alpha-2) * min for alpha > 2.
+                let mean = if pl.alpha > 2.0 {
+                    pl.min_degree as f64 * (pl.alpha - 1.0) / (pl.alpha - 2.0)
+                } else {
+                    pl.min_degree as f64 * 3.0
+                };
+                pl.sample(&mut rng) as f64 / mean
+            }
+            None => 1.0,
+        };
+        let d_int = sample_count(cfg.internal_degree * mult, &mut rng);
+        let d_ext = sample_count(cfg.external_degree * mult, &mut rng);
+        if size > 1 {
+            for _ in 0..d_int {
+                let mut t = lo + rng.next_bounded(size);
+                if t == v {
+                    t = lo + (t - lo + 1) % size;
+                }
+                b.add_edge(v as VertexId, t as VertexId);
+            }
+        }
+        if n > size {
+            for _ in 0..d_ext {
+                // Uniform vertex outside the community.
+                let mut t = rng.next_bounded(n - size);
+                if t >= lo {
+                    t += size;
+                }
+                b.add_edge(v as VertexId, t as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Turns a fractional expected count into an integer draw (floor plus a
+/// Bernoulli for the remainder), preserving the mean.
+fn sample_count(expected: f64, rng: &mut SplitMix64) -> u64 {
+    let base = expected.floor();
+    let frac = expected - base;
+    base as u64 + u64::from(rng.next_bool(frac))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: VertexId, communities: u32) -> SbmConfig {
+        SbmConfig {
+            n,
+            communities,
+            internal_degree: 8.0,
+            external_degree: 2.0,
+            skew: None,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn most_edges_stay_inside_communities() {
+        let c = cfg(10_000, 20);
+        let g = planted_partition(c);
+        let n = g.num_vertices() as u64;
+        let internal = g
+            .edges()
+            .filter(|&(u, v)| u as u64 * 20 / n == v as u64 * 20 / n)
+            .count() as f64;
+        let frac = internal / g.num_edges() as f64;
+        // 8 internal vs 2 external expected: internal fraction ≈ 0.8.
+        assert!((0.75..0.85).contains(&frac), "internal fraction {frac}");
+    }
+
+    #[test]
+    fn mean_degree_matches_config() {
+        let g = planted_partition(cfg(20_000, 10));
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((9.0..11.0).contains(&mean), "mean out-degree {mean}");
+    }
+
+    #[test]
+    fn skew_creates_hubs() {
+        let mut c = cfg(20_000, 10);
+        c.skew = Some(PowerLawConfig { alpha: 2.1, min_degree: 1, max_degree: 2_000 });
+        let g = planted_partition(c);
+        let max = (0..g.num_vertices()).map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max > 200, "expected hubs, max out-degree {max}");
+    }
+
+    #[test]
+    fn single_community_is_fine() {
+        let g = planted_partition(cfg(100, 1));
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(planted_partition(cfg(1000, 4)), planted_partition(cfg(1000, 4)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Watts-Strogatz small-world generator (paper §V-B).
+//!
+//! The paper's scalability experiments "connect the vertices following a ring
+//! lattice topology, and re-wire 30% of the edges randomly as by the function
+//! of the beta (0.3) parameter of the Watts-Strogatz model", with a fixed
+//! number of outgoing edges per vertex (40).
+
+use crate::builder::GraphBuilder;
+use crate::directed::DirectedGraph;
+use crate::ids::VertexId;
+use crate::rng::SplitMix64;
+
+/// Generates a directed Watts-Strogatz graph.
+///
+/// Every vertex gets `out_degree` outgoing edges to its clockwise ring
+/// successors; each edge is rewired to a uniformly random target with
+/// probability `beta`.
+pub fn watts_strogatz(n: VertexId, out_degree: u32, beta: f64, seed: u64) -> DirectedGraph {
+    assert!(n as u64 > out_degree as u64, "need n > out_degree for a ring lattice");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n as usize * out_degree as usize);
+    for v in 0..n {
+        for j in 1..=out_degree {
+            let target = if rng.next_bool(beta) {
+                // Rewire: uniform target, avoiding the trivial self-loop.
+                let mut t = rng.next_bounded(n as u64) as VertexId;
+                if t == v {
+                    t = (t + 1) % n;
+                }
+                t
+            } else {
+                (v + j) % n
+            };
+            b.add_edge(v, target);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rewiring_gives_exact_ring_lattice() {
+        let g = watts_strogatz(10, 3, 0.0, 1);
+        assert_eq!(g.num_edges(), 30);
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.out_neighbors(9), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn full_rewiring_destroys_lattice_structure() {
+        let g = watts_strogatz(1000, 4, 1.0, 2);
+        // With all edges rewired, the fraction of lattice edges should be tiny.
+        let lattice_edges = g
+            .edges()
+            .filter(|&(u, v)| (1..=4).contains(&((v + 1000 - u) % 1000)))
+            .count();
+        assert!(lattice_edges < 100, "still {lattice_edges} lattice edges");
+    }
+
+    #[test]
+    fn edge_count_close_to_nominal() {
+        // Duplicates from rewiring can merge edges; the loss must stay small.
+        let g = watts_strogatz(5000, 10, 0.3, 3);
+        assert!(g.num_edges() as f64 > 0.99 * 50_000.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(100, 4, 0.3, 9), watts_strogatz(100, 4, 0.3, 9));
+    }
+}

@@ -1,0 +1,148 @@
+//! Hierarchical web-like graph generator.
+//!
+//! Web graphs (the paper's 1.4B-vertex Yahoo! dataset) have much stronger
+//! locality than social graphs: most hyperlinks stay within a host, and
+//! host-level popularity is heavy-tailed. Spinner reaches φ ≈ 0.73 on
+//! Yahoo! at k=115 (Fig. 4b) precisely because of that structure. This model
+//! plants power-law-sized "hosts" (contiguous id ranges), keeps a large
+//! fraction of edges intra-host, and routes the rest preferentially towards
+//! large hosts.
+
+use crate::builder::GraphBuilder;
+use crate::directed::DirectedGraph;
+use crate::ids::VertexId;
+use crate::rng::SplitMix64;
+
+/// Configuration for [`weblike`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeblikeConfig {
+    /// Total number of vertices (pages).
+    pub n: VertexId,
+    /// Number of hosts. Host sizes follow a Zipf-like distribution.
+    pub hosts: u32,
+    /// Average out-degree per page.
+    pub avg_degree: f64,
+    /// Fraction of edges that stay within the source page's host.
+    pub intra_host_fraction: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// Generates a directed hierarchical web-like graph.
+pub fn weblike(cfg: WeblikeConfig) -> DirectedGraph {
+    assert!(cfg.hosts >= 1);
+    assert!(cfg.n >= cfg.hosts);
+    assert!((0.0..=1.0).contains(&cfg.intra_host_fraction));
+    let mut rng = SplitMix64::new(cfg.seed);
+
+    // Zipf-ish host sizes: weight(i) ∝ 1 / (i + 1), then scaled to sum to n.
+    let h = cfg.hosts as usize;
+    let raw: Vec<f64> = (0..h).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    let mut sizes: Vec<u64> = raw
+        .iter()
+        .map(|w| ((w / total) * cfg.n as f64).floor().max(1.0) as u64)
+        .collect();
+    // Distribute the rounding remainder over the largest hosts.
+    let mut assigned: u64 = sizes.iter().sum();
+    let mut i = 0;
+    while assigned < cfg.n as u64 {
+        sizes[i % h] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    while assigned > cfg.n as u64 {
+        let j = sizes.iter().position(|&s| s > 1).expect("n >= hosts");
+        sizes[j] -= 1;
+        assigned -= 1;
+    }
+    // Host boundaries (contiguous ranges) and cumulative sizes for
+    // size-proportional host sampling.
+    let mut starts = vec![0u64; h + 1];
+    for (i, &s) in sizes.iter().enumerate() {
+        starts[i + 1] = starts[i] + s;
+    }
+
+    let expected = (cfg.n as f64 * cfg.avg_degree) as usize;
+    let mut b = GraphBuilder::new(cfg.n).with_edge_capacity(expected);
+
+    for host in 0..h {
+        let (lo, hi) = (starts[host], starts[host + 1]);
+        let size = hi - lo;
+        for v in lo..hi {
+            let d = sample_count(cfg.avg_degree, &mut rng);
+            for _ in 0..d {
+                let target = if rng.next_bool(cfg.intra_host_fraction) && size > 1 {
+                    let mut t = lo + rng.next_bounded(size);
+                    if t == v {
+                        t = lo + (t - lo + 1) % size;
+                    }
+                    t
+                } else {
+                    // Inter-host: size-proportional host choice realised by
+                    // sampling a uniform vertex id (a vertex in a big host is
+                    // proportionally more likely), like links to popular sites.
+                    let mut t = rng.next_bounded(cfg.n as u64);
+                    if t == v {
+                        t = (t + 1) % cfg.n as u64;
+                    }
+                    t
+                };
+                b.add_edge(v as VertexId, target as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+fn sample_count(expected: f64, rng: &mut SplitMix64) -> u64 {
+    let base = expected.floor();
+    let frac = expected - base;
+    base as u64 + u64::from(rng.next_bool(frac))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WeblikeConfig {
+        WeblikeConfig {
+            n: 20_000,
+            hosts: 200,
+            avg_degree: 6.0,
+            intra_host_fraction: 0.8,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn host_sizes_are_heavy_tailed() {
+        // Reconstruct sizes by regenerating boundaries through edge locality:
+        // instead, check degree of locality directly: most edges short-range.
+        let g = weblike(cfg());
+        let near = g
+            .edges()
+            .filter(|&(u, v)| (u as i64 - v as i64).unsigned_abs() < 2_000)
+            .count() as f64;
+        let frac = near / g.num_edges() as f64;
+        assert!(frac > 0.6, "near fraction {frac}");
+    }
+
+    #[test]
+    fn mean_degree_matches() {
+        let g = weblike(cfg());
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((5.0..6.5).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn all_vertices_assigned() {
+        let g = weblike(WeblikeConfig { n: 997, hosts: 13, ..cfg() });
+        assert_eq!(g.num_vertices(), 997);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(weblike(cfg()), weblike(cfg()));
+    }
+}

@@ -1,0 +1,193 @@
+//! Dynamic-graph support: deltas and realistic new-edge sampling.
+//!
+//! §V-C of the paper takes a Tuenti snapshot, adds "a varying number of edges
+//! that correspond to actual new friendships", and measures how cheaply
+//! Spinner adapts the previous partitioning. We cannot replay Tuenti's
+//! friendship log, so [`sample_new_edges`] generates new friendships with the
+//! canonical social-network mechanism: most new edges close open triangles
+//! (friend-of-friend), the rest connect random pairs.
+
+use crate::builder::GraphBuilder;
+use crate::directed::DirectedGraph;
+use crate::ids::VertexId;
+use crate::rng::SplitMix64;
+
+/// A batch of changes to apply to a directed graph.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    /// Directed edges to add.
+    pub added_edges: Vec<(VertexId, VertexId)>,
+    /// Directed edges to remove (ignored if absent).
+    pub removed_edges: Vec<(VertexId, VertexId)>,
+    /// Number of brand-new vertices appended after the current id range.
+    pub new_vertices: VertexId,
+}
+
+impl GraphDelta {
+    /// A delta that only adds edges.
+    pub fn additions(edges: Vec<(VertexId, VertexId)>) -> Self {
+        Self { added_edges: edges, ..Self::default() }
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added_edges.is_empty() && self.removed_edges.is_empty() && self.new_vertices == 0
+    }
+}
+
+/// Applies a delta, producing the updated graph.
+///
+/// Cost is a full rebuild (`O(E log E)`); the paper's incremental story is
+/// about the *partitioning*, not the graph storage, so a rebuild is fine.
+pub fn apply_delta(g: &DirectedGraph, delta: &GraphDelta) -> DirectedGraph {
+    let n = g.num_vertices() + delta.new_vertices;
+    let mut removed: Vec<u64> = delta
+        .removed_edges
+        .iter()
+        .map(|&(u, v)| crate::ids::edge_key(u, v))
+        .collect();
+    removed.sort_unstable();
+    let mut b = GraphBuilder::new(n)
+        .with_edge_capacity(g.num_edges() as usize + delta.added_edges.len());
+    for (u, v) in g.edges() {
+        if removed.binary_search(&crate::ids::edge_key(u, v)).is_err() {
+            b.add_edge(u, v);
+        }
+    }
+    for &(u, v) in &delta.added_edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Samples `count` plausible new friendship edges not present in `g`.
+///
+/// With probability `triadic_fraction` an edge closes an open triangle
+/// (a random two-hop path from a random endpoint); otherwise it joins a
+/// uniformly random pair. All sampled edges are distinct and absent from `g`.
+pub fn sample_new_edges(
+    g: &DirectedGraph,
+    count: usize,
+    triadic_fraction: f64,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices() as u64;
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = SplitMix64::new(seed);
+    let mut out: Vec<(VertexId, VertexId)> = Vec::with_capacity(count);
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::with_capacity(count * 2);
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(100).max(10_000);
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let candidate = if rng.next_bool(triadic_fraction) {
+            triadic_candidate(g, &mut rng)
+        } else {
+            let u = rng.next_bounded(n) as VertexId;
+            let v = rng.next_bounded(n) as VertexId;
+            Some((u, v))
+        };
+        let Some((u, v)) = candidate else { continue };
+        if u == v || g.has_edge(u, v) {
+            continue;
+        }
+        let key = crate::ids::edge_key(u, v);
+        if seen.insert(key) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+/// One friend-of-friend candidate: follow two random out-hops from a random
+/// start vertex.
+fn triadic_candidate(g: &DirectedGraph, rng: &mut SplitMix64) -> Option<(VertexId, VertexId)> {
+    let n = g.num_vertices() as u64;
+    let u = rng.next_bounded(n) as VertexId;
+    let nu = g.out_neighbors(u);
+    if nu.is_empty() {
+        return None;
+    }
+    let w = nu[rng.next_bounded(nu.len() as u64) as usize];
+    let nw = g.out_neighbors(w);
+    if nw.is_empty() {
+        return None;
+    }
+    let v = nw[rng.next_bounded(nw.len() as u64) as usize];
+    Some((u, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{planted_partition, SbmConfig};
+
+    fn graph() -> DirectedGraph {
+        planted_partition(SbmConfig {
+            n: 2000,
+            communities: 8,
+            internal_degree: 6.0,
+            external_degree: 1.0,
+            skew: None,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn apply_delta_adds_and_removes() {
+        let g = GraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build();
+        let d = GraphDelta {
+            added_edges: vec![(2, 0)],
+            removed_edges: vec![(0, 1)],
+            new_vertices: 1,
+        };
+        let g2 = apply_delta(&g, &d);
+        assert_eq!(g2.num_vertices(), 4);
+        assert!(g2.has_edge(2, 0));
+        assert!(!g2.has_edge(0, 1));
+        assert!(g2.has_edge(1, 2));
+    }
+
+    #[test]
+    fn sampled_edges_are_new_and_distinct() {
+        let g = graph();
+        let edges = sample_new_edges(&g, 500, 0.8, 9);
+        assert_eq!(edges.len(), 500);
+        let mut keys: Vec<_> = edges.iter().map(|&(u, v)| crate::ids::edge_key(u, v)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 500);
+        for (u, v) in edges {
+            assert!(!g.has_edge(u, v));
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn triadic_edges_tend_to_stay_in_communities() {
+        let g = graph();
+        let n = g.num_vertices() as u64;
+        let triadic = sample_new_edges(&g, 400, 1.0, 5);
+        let random = sample_new_edges(&g, 400, 0.0, 5);
+        let in_comm = |edges: &[(VertexId, VertexId)]| {
+            edges
+                .iter()
+                .filter(|&&(u, v)| u as u64 * 8 / n == v as u64 * 8 / n)
+                .count() as f64
+                / edges.len() as f64
+        };
+        assert!(
+            in_comm(&triadic) > in_comm(&random) + 0.2,
+            "triadic {} vs random {}",
+            in_comm(&triadic),
+            in_comm(&random)
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = graph();
+        let g2 = apply_delta(&g, &GraphDelta::default());
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Descriptive statistics used to sanity-check generated graphs.
+
+use crate::directed::DirectedGraph;
+use crate::rng::SplitMix64;
+use crate::undirected::UndirectedGraph;
+
+/// Summary statistics for a directed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of directed edges.
+    pub num_edges: u64,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: u32,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+    /// Ratio max_degree / mean_degree; large values indicate hubs.
+    pub skew: f64,
+}
+
+/// Computes degree statistics in one pass.
+pub fn degree_stats(g: &DirectedGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut in_deg = vec![0u32; n as usize];
+    let mut max_out = 0u32;
+    for v in 0..n {
+        max_out = max_out.max(g.out_degree(v));
+        for &t in g.out_neighbors(v) {
+            in_deg[t as usize] += 1;
+        }
+    }
+    let max_in = in_deg.iter().copied().max().unwrap_or(0);
+    let mean = if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 };
+    DegreeStats {
+        num_vertices: n as u64,
+        num_edges: g.num_edges(),
+        mean_out_degree: mean,
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        skew: if mean > 0.0 { max_in.max(max_out) as f64 / mean } else { 0.0 },
+    }
+}
+
+/// Estimates the global clustering coefficient of an undirected graph by
+/// sampling `samples` wedges (paths u–v–w) and testing closure.
+pub fn sample_clustering_coefficient(
+    g: &UndirectedGraph,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let n = g.num_vertices() as u64;
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut wedges = 0usize;
+    let mut closed = 0usize;
+    let mut attempts = 0usize;
+    while wedges < samples && attempts < samples * 20 {
+        attempts += 1;
+        let v = rng.next_bounded(n) as u32;
+        let (ns, _) = g.neighbors(v);
+        if ns.len() < 2 {
+            continue;
+        }
+        let i = rng.next_bounded(ns.len() as u64) as usize;
+        let mut j = rng.next_bounded(ns.len() as u64) as usize;
+        if i == j {
+            j = (j + 1) % ns.len();
+        }
+        wedges += 1;
+        if g.edge_weight(ns[i], ns[j]).is_some() {
+            closed += 1;
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::conversion::to_weighted_undirected;
+    use crate::generators::{erdos_renyi, planted_partition, SbmConfig};
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = GraphBuilder::new(4).add_edges([(0, 1), (0, 2), (0, 3), (1, 0)]).build();
+        let s = degree_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.mean_out_degree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_higher_in_community_graph_than_random() {
+        let sbm = to_weighted_undirected(&planted_partition(SbmConfig {
+            n: 3000,
+            communities: 30,
+            internal_degree: 10.0,
+            external_degree: 1.0,
+            skew: None,
+            seed: 1,
+        }));
+        let er = to_weighted_undirected(&erdos_renyi(3000, 33_000, 1));
+        let c_sbm = sample_clustering_coefficient(&sbm, 5_000, 2);
+        let c_er = sample_clustering_coefficient(&er, 5_000, 2);
+        assert!(c_sbm > 2.0 * c_er, "sbm {c_sbm} vs er {c_er}");
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build();
+        let s = degree_stats(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the graph substrate: CSR invariants, the Eq. 3
+//! conversion, deltas, and I/O round-trips.
+
+use proptest::prelude::*;
+use spinner_graph::conversion::{to_naive_undirected, to_weighted_undirected};
+use spinner_graph::mutation::{apply_delta, sample_new_edges};
+use spinner_graph::{GraphBuilder, GraphDelta, VertexId};
+
+/// Arbitrary edge list over up to `n` vertices.
+fn edge_list(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The builder produces sorted, deduplicated, loop-free CSR whatever the
+    /// input order.
+    #[test]
+    fn builder_invariants(edges in edge_list(40, 300)) {
+        let g = GraphBuilder::new(40).add_edges(edges.iter().copied()).build();
+        let mut expected: Vec<(u32, u32)> =
+            edges.into_iter().filter(|(a, b)| a != b).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(g.num_edges() as usize, expected.len());
+        let got: Vec<(u32, u32)> = g.edges().collect();
+        prop_assert_eq!(got, expected);
+        for v in g.vertices() {
+            let ns = g.out_neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Eq. 3 conversion: symmetric adjacency; weight 2 exactly on reciprocal
+    /// pairs; total weight = 2 |directed edges|.
+    #[test]
+    fn conversion_matches_reference(edges in edge_list(30, 200)) {
+        let g = GraphBuilder::new(30).add_edges(edges.iter().copied()).build();
+        let u = to_weighted_undirected(&g);
+        prop_assert_eq!(u.total_weight(), 2 * g.num_edges());
+        for (a, b, w) in u.edges_once() {
+            let fwd = g.has_edge(a, b);
+            let rev = g.has_edge(b, a);
+            prop_assert!(fwd || rev);
+            let expect = if fwd && rev { 2 } else { 1 };
+            prop_assert_eq!(w, expect, "edge {}-{}", a, b);
+            // Symmetry.
+            prop_assert_eq!(u.edge_weight(b, a), Some(w));
+        }
+        // Every directed edge appears as an undirected one.
+        for (a, b) in g.edges() {
+            prop_assert!(u.edge_weight(a, b).is_some());
+        }
+        // Naive conversion has the same structure with unit weights.
+        let naive = to_naive_undirected(&g);
+        prop_assert_eq!(naive.num_edges(), u.num_edges());
+        prop_assert!(naive.edges_once().all(|(_, _, w)| w == 1));
+    }
+
+    /// Weighted degrees sum to the total weight, and neighbor lookups agree
+    /// with edges_once.
+    #[test]
+    fn weighted_degree_consistency(edges in edge_list(25, 150)) {
+        let g = GraphBuilder::new(25).add_edges(edges.iter().copied()).build();
+        let u = to_weighted_undirected(&g);
+        let sum: u64 = u.vertices().map(|v| u.weighted_degree(v)).sum();
+        prop_assert_eq!(sum, u.total_weight());
+        let via_edges: u64 = u.edges_once().map(|(_, _, w)| 2 * w as u64).sum();
+        prop_assert_eq!(via_edges, u.total_weight());
+    }
+
+    /// apply_delta: added edges present, removed edges absent, untouched
+    /// edges preserved.
+    #[test]
+    fn delta_application(
+        base in edge_list(20, 100),
+        added in edge_list(20, 30),
+        removed_idx in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let g = GraphBuilder::new(20).add_edges(base.iter().copied()).build();
+        let existing: Vec<(u32, u32)> = g.edges().collect();
+        let removed: Vec<(u32, u32)> = if existing.is_empty() {
+            vec![]
+        } else {
+            removed_idx.iter().map(|i| *i.get(&existing)).collect()
+        };
+        let delta = GraphDelta {
+            added_edges: added.clone(),
+            removed_edges: removed.clone(),
+            new_vertices: 2,
+        };
+        let g2 = apply_delta(&g, &delta);
+        prop_assert_eq!(g2.num_vertices(), g.num_vertices() + 2);
+        for &(a, b) in &removed {
+            // Removed unless re-added.
+            if !added.contains(&(a, b)) {
+                prop_assert!(!g2.has_edge(a, b));
+            }
+        }
+        for &(a, b) in &added {
+            if a != b && !removed.contains(&(a, b)) {
+                prop_assert!(g2.has_edge(a, b));
+            }
+        }
+        for (a, b) in g.edges() {
+            if !removed.contains(&(a, b)) {
+                prop_assert!(g2.has_edge(a, b), "lost edge {}->{}", a, b);
+            }
+        }
+    }
+
+    /// Edge-list I/O round-trips.
+    #[test]
+    fn io_roundtrip(edges in edge_list(30, 200)) {
+        let g = GraphBuilder::new(0).add_edges(edges.iter().copied()).build();
+        let mut buf = Vec::new();
+        spinner_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = spinner_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// sample_new_edges yields distinct absent edges.
+    #[test]
+    fn new_edge_sampler(seed in 0u64..1000) {
+        let g = GraphBuilder::new(50)
+            .add_edges((0..49u32).map(|i| (i, i + 1)))
+            .build();
+        let edges = sample_new_edges(&g, 30, 0.5, seed);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in edges {
+            prop_assert!(a != b);
+            prop_assert!(!g.has_edge(a, b));
+            prop_assert!(seen.insert((a, b)));
+        }
+    }
+}

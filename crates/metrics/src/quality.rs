@@ -1,0 +1,169 @@
+//! Locality (φ), balance (ρ), and the global score of Eq. 10.
+
+use spinner_graph::UndirectedGraph;
+
+/// The label (partition id) type, shared with `spinner-core`.
+pub type Label = u32;
+
+/// Quality summary of one partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Ratio of local edges φ ∈ [0, 1].
+    pub phi: f64,
+    /// Maximum normalized load ρ ≥ 1 (for non-empty graphs).
+    pub rho: f64,
+    /// Global score(G) (Eq. 10) at capacity constant `c`.
+    pub score: f64,
+    /// Per-partition loads b(l) in edge-weight units.
+    pub loads: Vec<u64>,
+}
+
+/// Computes per-partition loads `b(l) = Σ_{v: α(v)=l} deg_w(v)` (Eq. 6).
+pub fn partition_loads(g: &UndirectedGraph, labels: &[Label], k: u32) -> Vec<u64> {
+    assert_eq!(labels.len(), g.num_vertices() as usize, "labels length mismatch");
+    let mut loads = vec![0u64; k as usize];
+    for v in g.vertices() {
+        let l = labels[v as usize];
+        assert!(l < k, "label {l} out of range for k={k}");
+        loads[l as usize] += g.weighted_degree(v);
+    }
+    loads
+}
+
+/// Ratio of local edges φ (Eq. 16), weighted by the Eq. 3 edge weights so it
+/// counts the fraction of *messages* that stay local.
+pub fn phi(g: &UndirectedGraph, labels: &[Label]) -> f64 {
+    assert_eq!(labels.len(), g.num_vertices() as usize, "labels length mismatch");
+    if g.num_edges() == 0 {
+        return 1.0;
+    }
+    let mut local: u64 = 0;
+    let mut total: u64 = 0;
+    for (u, v, w) in g.edges_once() {
+        total += w as u64;
+        if labels[u as usize] == labels[v as usize] {
+            local += w as u64;
+        }
+    }
+    local as f64 / total as f64
+}
+
+/// Maximum normalized load ρ (Eq. 16): `max_l b(l) / (Σ b / k)`.
+pub fn rho(g: &UndirectedGraph, labels: &[Label], k: u32) -> f64 {
+    let loads = partition_loads(g, labels, k);
+    rho_from_loads(&loads)
+}
+
+/// ρ from precomputed loads.
+pub fn rho_from_loads(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / loads.len() as f64;
+    let max = *loads.iter().max().unwrap() as f64;
+    max / ideal
+}
+
+/// The global score of Eq. 10 with capacity constant `c`:
+/// `score(G) = Σ_v [ locality(v)/deg_w(v) − b(α(v)) / C ]`.
+pub fn score(g: &UndirectedGraph, labels: &[Label], k: u32, c: f64) -> f64 {
+    let loads = partition_loads(g, labels, k);
+    let capacity = c * g.total_weight() as f64 / k as f64;
+    let mut total = 0.0;
+    for v in g.vertices() {
+        let (ts, ws) = g.neighbors(v);
+        let mut local: u64 = 0;
+        let mut degw: u64 = 0;
+        for (&t, &w) in ts.iter().zip(ws) {
+            degw += w as u64;
+            if labels[t as usize] == labels[v as usize] {
+                local += w as u64;
+            }
+        }
+        let locality = if degw > 0 { local as f64 / degw as f64 } else { 0.0 };
+        let penalty = loads[labels[v as usize] as usize] as f64 / capacity;
+        total += locality - penalty;
+    }
+    total
+}
+
+/// Computes all quality metrics at once.
+pub fn quality(g: &UndirectedGraph, labels: &[Label], k: u32, c: f64) -> PartitionQuality {
+    let loads = partition_loads(g, labels, k);
+    PartitionQuality {
+        phi: phi(g, labels),
+        rho: rho_from_loads(&loads),
+        score: score(g, labels, k, c),
+        loads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::conversion::from_undirected_edges;
+    use spinner_graph::GraphBuilder;
+
+    /// Two triangles joined by one edge.
+    fn two_triangles() -> UndirectedGraph {
+        from_undirected_edges(
+            &GraphBuilder::new(6)
+                .add_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+                .build(),
+        )
+    }
+
+    #[test]
+    fn perfect_split_has_high_phi() {
+        let g = two_triangles();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        assert!((phi(&g, &labels) - 6.0 / 7.0).abs() < 1e-12);
+        let r = rho(&g, &labels, 2);
+        assert!((r - 1.0).abs() < 1e-12, "rho {r}");
+    }
+
+    #[test]
+    fn all_in_one_partition_is_unbalanced_but_local() {
+        let g = two_triangles();
+        let labels = vec![0; 6];
+        assert_eq!(phi(&g, &labels), 1.0);
+        assert!((rho(&g, &labels, 2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_labels_have_low_phi() {
+        let g = two_triangles();
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        assert!(phi(&g, &labels) < 0.5);
+    }
+
+    #[test]
+    fn score_prefers_better_partitionings() {
+        let g = two_triangles();
+        let good = score(&g, &[0, 0, 0, 1, 1, 1], 2, 1.05);
+        let bad = score(&g, &[0, 1, 0, 1, 0, 1], 2, 1.05);
+        assert!(good > bad, "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn loads_sum_to_total_weight() {
+        let g = two_triangles();
+        let loads = partition_loads(&g, &[0, 0, 1, 1, 0, 1], 2);
+        assert_eq!(loads.iter().sum::<u64>(), g.total_weight());
+    }
+
+    #[test]
+    fn empty_graph_defaults() {
+        let g = from_undirected_edges(&GraphBuilder::new(2).build());
+        assert_eq!(phi(&g, &[0, 1]), 1.0);
+        assert_eq!(rho(&g, &[0, 1], 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 3 out of range")]
+    fn out_of_range_label_panics() {
+        let g = two_triangles();
+        partition_loads(&g, &[0, 0, 0, 1, 1, 3], 2);
+    }
+}

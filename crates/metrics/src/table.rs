@@ -1,0 +1,105 @@
+//! Minimal text-table rendering for the experiment harness output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table with a title, header, and rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), ..Default::default() }
+    }
+
+    /// Sets the header row.
+    pub fn header<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<S: Into<String>>(&mut self, cols: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders to an aligned string.
+    pub fn render(&self) -> String {
+        let ncols =
+            self.rows.iter().map(|r| r.len()).chain([self.header.len()]).max().unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let write_row = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                let sep = if i + 1 == row.len() { "\n" } else { "  " };
+                let _ = write!(out, "{:<width$}{}", cell, sep, width = widths[i]);
+            }
+        };
+        if !self.header.is_empty() {
+            write_row(&self.header, &mut out);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with 2 decimal places (the paper's table precision).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo").header(["name", "phi"]);
+        t.row(["spinner", "0.85"]);
+        t.row(["metis-like", "0.88"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("spinner     0.85"));
+        assert!(s.contains("metis-like  0.88"));
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let t = Table::new("empty");
+        assert_eq!(t.render(), "== empty ==\n");
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f2(0.857), "0.86");
+        assert_eq!(f3(1.0471), "1.047");
+    }
+}

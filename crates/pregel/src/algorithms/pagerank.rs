@@ -1,0 +1,119 @@
+//! PageRank: the ranking workhorse of §V-F ("PR is commonly used at the core
+//! of ranking graph algorithms"). Fixed-iteration variant, as in the paper's
+//! Table IV experiment (20 iterations).
+
+use crate::engine::{Engine, EngineConfig, RunSummary};
+use crate::program::{MasterContext, Program};
+use crate::{Placement, VertexContext};
+use spinner_graph::DirectedGraph;
+
+/// PageRank over a directed graph with damping factor `damping`.
+pub struct PageRank {
+    /// Number of rank-update iterations.
+    pub iterations: u64,
+    /// Damping factor (0.85 in the standard formulation).
+    pub damping: f64,
+}
+
+impl Program for PageRank {
+    type V = f64;
+    type E = ();
+    type M = f64;
+    type G = ();
+    type WorkerState = ();
+
+    fn init_global(&self) {}
+    fn init_worker(&self, _g: &(), _w: u16) {}
+
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[f64]) {
+        let n = ctx.num_vertices as f64;
+        if ctx.superstep == 0 {
+            *ctx.value = 1.0 / n;
+        } else {
+            let sum: f64 = messages.iter().sum();
+            *ctx.value = (1.0 - self.damping) / n + self.damping * sum;
+        }
+        if ctx.superstep < self.iterations {
+            let share = *ctx.value / ctx.edges.len().max(1) as f64;
+            for &t in ctx.edges.targets {
+                ctx.mail.send(t, share);
+            }
+        }
+    }
+
+    fn master(&self, ctx: &mut MasterContext<'_, ()>) {
+        // Iterations 1..=self.iterations update ranks; halt afterwards.
+        if ctx.superstep >= self.iterations {
+            ctx.halt();
+        }
+    }
+
+    fn combine(&self, acc: &mut f64, msg: &f64) -> bool {
+        *acc += *msg;
+        true
+    }
+}
+
+/// Runs PageRank and returns `(ranks, run summary)`.
+pub fn run_pagerank(
+    graph: &DirectedGraph,
+    placement: &Placement,
+    config: EngineConfig,
+    iterations: u64,
+) -> (Vec<f64>, RunSummary) {
+    let program = PageRank { iterations, damping: 0.85 };
+    let mut engine =
+        Engine::from_directed(program, graph, placement, config, |_| 0.0, |_, _, _| ());
+    let summary = engine.run();
+    (engine.collect_values(), summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_graph::GraphBuilder;
+
+    /// A 3-cycle must converge to uniform ranks.
+    #[test]
+    fn uniform_on_cycle() {
+        let g = GraphBuilder::new(3).add_edges([(0, 1), (1, 2), (2, 0)]).build();
+        let p = Placement::hashed(3, 2, 1);
+        let (ranks, summary) = run_pagerank(&g, &p, EngineConfig::default(), 30);
+        assert_eq!(summary.supersteps, 31);
+        for &r in &ranks {
+            assert!((r - 1.0 / 3.0).abs() < 1e-9, "rank {r}");
+        }
+    }
+
+    /// A "sink hub" pointed at by everyone collects the most rank.
+    #[test]
+    fn hub_ranks_highest() {
+        let mut b = GraphBuilder::new(10);
+        for v in 1..10 {
+            b.add_edge(v, 0);
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        let p = Placement::hashed(10, 3, 1);
+        let (ranks, _) = run_pagerank(&g, &p, EngineConfig::default(), 25);
+        let hub = ranks[0];
+        for &r in &ranks[1..] {
+            assert!(hub > 2.0 * r, "hub {hub} vs {r}");
+        }
+        // Ranks must sum to ~1.
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    /// Results are identical across thread counts (determinism).
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = spinner_graph::generators::erdos_renyi(500, 3000, 3);
+        let p = Placement::hashed(500, 8, 1);
+        let cfg1 = EngineConfig { num_threads: 1, ..Default::default() };
+        let cfg8 = EngineConfig { num_threads: 8, ..Default::default() };
+        let (r1, _) = run_pagerank(&g, &p, cfg1, 10);
+        let (r8, _) = run_pagerank(&g, &p, cfg8, 10);
+        assert_eq!(r1, r8);
+    }
+}

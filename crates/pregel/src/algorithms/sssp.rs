@@ -1,0 +1,131 @@
+//! Single-source shortest paths via BFS (§V-F: "Shortest Paths, computed
+//! through BFS, is commonly used to study the connectivity of the vertices
+//! and centrality").
+
+use crate::engine::{Engine, EngineConfig, RunSummary};
+use crate::program::Program;
+use crate::{Placement, VertexContext};
+use spinner_graph::{DirectedGraph, VertexId};
+
+/// Distance value of unreached vertices.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// BFS shortest paths from a single source over unit-weight edges.
+pub struct Sssp {
+    /// The source vertex.
+    pub source: VertexId,
+}
+
+impl Program for Sssp {
+    type V = u64;
+    type E = ();
+    type M = u64;
+    type G = ();
+    type WorkerState = ();
+
+    fn init_global(&self) {}
+    fn init_worker(&self, _g: &(), _w: u16) {}
+
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[u64]) {
+        let proposed = if ctx.superstep == 0 {
+            if ctx.vertex == self.source {
+                Some(0)
+            } else {
+                None
+            }
+        } else {
+            messages.iter().copied().min().map(|d| d.min(*ctx.value))
+        };
+        if let Some(d) = proposed {
+            if d < *ctx.value {
+                *ctx.value = d;
+                for &t in ctx.edges.targets {
+                    ctx.mail.send(t, d + 1);
+                }
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, acc: &mut u64, msg: &u64) -> bool {
+        *acc = (*acc).min(*msg);
+        true
+    }
+}
+
+/// Runs BFS-SSSP and returns `(distances, run summary)`. Unreached vertices
+/// hold [`UNREACHED`].
+pub fn run_sssp(
+    graph: &DirectedGraph,
+    placement: &Placement,
+    config: EngineConfig,
+    source: VertexId,
+) -> (Vec<u64>, RunSummary) {
+    let mut engine = Engine::from_directed(
+        Sssp { source },
+        graph,
+        placement,
+        config,
+        |_| UNREACHED,
+        |_, _, _| (),
+    );
+    let summary = engine.run();
+    (engine.collect_values(), summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HaltReason;
+    use spinner_graph::GraphBuilder;
+
+    #[test]
+    fn distances_on_path_graph() {
+        let g = GraphBuilder::new(5).add_edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build();
+        let p = Placement::modulo(5, 2);
+        let (dist, summary) = run_sssp(&g, &p, EngineConfig::default(), 0);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(summary.halt, HaltReason::AllHalted);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let g = GraphBuilder::new(4).add_edges([(0, 1), (2, 3)]).build();
+        let p = Placement::modulo(4, 2);
+        let (dist, _) = run_sssp(&g, &p, EngineConfig::default(), 0);
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[2], UNREACHED);
+        assert_eq!(dist[3], UNREACHED);
+    }
+
+    #[test]
+    fn shortcut_edges_win() {
+        // 0->1->2->3 and a shortcut 0->3.
+        let g = GraphBuilder::new(4).add_edges([(0, 1), (1, 2), (2, 3), (0, 3)]).build();
+        let p = Placement::modulo(4, 3);
+        let (dist, _) = run_sssp(&g, &p, EngineConfig::default(), 0);
+        assert_eq!(dist[3], 1);
+    }
+
+    #[test]
+    fn matches_sequential_bfs_on_random_graph() {
+        let g = spinner_graph::generators::erdos_renyi(300, 1200, 5);
+        let p = Placement::hashed(300, 4, 2);
+        let (dist, _) = run_sssp(&g, &p, EngineConfig::default(), 7);
+        // Sequential BFS reference.
+        let mut expect = vec![UNREACHED; 300];
+        let mut queue = std::collections::VecDeque::new();
+        expect[7] = 0;
+        queue.push_back(7u32);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if expect[v as usize] == UNREACHED {
+                    expect[v as usize] = expect[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert_eq!(dist, expect);
+    }
+}

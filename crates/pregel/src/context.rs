@@ -1,0 +1,227 @@
+//! The per-vertex compute context.
+
+use crate::aggregate::AggValue;
+use crate::program::Program;
+use crate::types::WorkerId;
+use spinner_graph::rng::SplitMix64;
+use spinner_graph::VertexId;
+
+/// A buffered edge addition (applied at the superstep barrier).
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeAddition<E> {
+    pub local_src: u32,
+    pub target: VertexId,
+    pub value: E,
+}
+
+/// View over a vertex's adjacency: immutable targets, mutable edge values.
+///
+/// Targets are sorted, so [`Edges::index_of`] is a binary search — this is
+/// how Spinner updates the cached neighbour label when a migration message
+/// arrives.
+pub struct Edges<'a, E> {
+    /// Neighbour ids, sorted ascending.
+    pub targets: &'a [VertexId],
+    /// Edge values, parallel to `targets`.
+    pub values: &'a mut [E],
+}
+
+impl<'a, E> Edges<'a, E> {
+    /// Number of edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the vertex has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Position of `target` in the adjacency, if present.
+    #[inline]
+    pub fn index_of(&self, target: VertexId) -> Option<usize> {
+        self.targets.binary_search(&target).ok()
+    }
+
+    /// Iterates `(target, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &E)> {
+        self.targets.iter().copied().zip(self.values.iter())
+    }
+}
+
+/// Message-sending handle; routes to the destination worker's outbox and
+/// keeps the local/remote traffic counters the evaluation relies on.
+pub struct Mailer<'a, M> {
+    pub(crate) outboxes: &'a mut [Vec<(VertexId, M)>],
+    pub(crate) worker_of: &'a [WorkerId],
+    pub(crate) my_worker: WorkerId,
+    pub(crate) sent_local: &'a mut u64,
+    pub(crate) sent_remote: &'a mut u64,
+}
+
+impl<'a, M> Mailer<'a, M> {
+    /// Sends `msg` to `target`, delivered at the next superstep.
+    #[inline]
+    pub fn send(&mut self, target: VertexId, msg: M) {
+        let w = self.worker_of[target as usize];
+        if w == self.my_worker {
+            *self.sent_local += 1;
+        } else {
+            *self.sent_remote += 1;
+        }
+        self.outboxes[w as usize].push((target, msg));
+    }
+}
+
+impl<'a, M: Clone> Mailer<'a, M> {
+    /// Sends `msg` to every id in `targets`.
+    pub fn send_to_all(&mut self, targets: &[VertexId], msg: &M) {
+        for &t in targets {
+            self.send(t, msg.clone());
+        }
+    }
+}
+
+/// Aggregation handle: contribute to this superstep's partials and read the
+/// previous superstep's merged values.
+pub struct AggCtx<'a> {
+    pub(crate) partial: &'a mut [AggValue],
+    pub(crate) snapshot: &'a [AggValue],
+}
+
+impl<'a> AggCtx<'a> {
+    /// Adds to a `SumI64` aggregator.
+    #[inline]
+    pub fn add_i64(&mut self, id: usize, v: i64) {
+        match &mut self.partial[id] {
+            AggValue::I64(acc) => *acc += v,
+            other => panic!("aggregator {id} is not I64: {other:?}"),
+        }
+    }
+
+    /// Adds to a `SumF64` aggregator.
+    #[inline]
+    pub fn add_f64(&mut self, id: usize, v: f64) {
+        match &mut self.partial[id] {
+            AggValue::F64(acc) => *acc += v,
+            other => panic!("aggregator {id} is not F64: {other:?}"),
+        }
+    }
+
+    /// Adds to one element of a `VecSumI64` aggregator.
+    #[inline]
+    pub fn add_vec_i64(&mut self, id: usize, index: usize, v: i64) {
+        match &mut self.partial[id] {
+            AggValue::VecI64(acc) => acc[index] += v,
+            other => panic!("aggregator {id} is not VecI64: {other:?}"),
+        }
+    }
+
+    /// Adds to one element of a `VecSumF64` aggregator.
+    #[inline]
+    pub fn add_vec_f64(&mut self, id: usize, index: usize, v: f64) {
+        match &mut self.partial[id] {
+            AggValue::VecF64(acc) => acc[index] += v,
+            other => panic!("aggregator {id} is not VecF64: {other:?}"),
+        }
+    }
+
+    /// ORs into an `Or` aggregator.
+    #[inline]
+    pub fn or_bool(&mut self, id: usize, v: bool) {
+        match &mut self.partial[id] {
+            AggValue::Bool(acc) => *acc |= v,
+            other => panic!("aggregator {id} is not Bool: {other:?}"),
+        }
+    }
+
+    /// Merges a maximum into a `MaxF64` aggregator.
+    #[inline]
+    pub fn max_f64(&mut self, id: usize, v: f64) {
+        match &mut self.partial[id] {
+            AggValue::F64(acc) => *acc = acc.max(v),
+            other => panic!("aggregator {id} is not F64: {other:?}"),
+        }
+    }
+
+    /// Merges a maximum into a `MaxI64` aggregator.
+    #[inline]
+    pub fn max_i64(&mut self, id: usize, v: i64) {
+        match &mut self.partial[id] {
+            AggValue::I64(acc) => *acc = (*acc).max(v),
+            other => panic!("aggregator {id} is not I64: {other:?}"),
+        }
+    }
+
+    /// Reads the value aggregated during the *previous* superstep (possibly
+    /// overridden by master compute).
+    #[inline]
+    pub fn read(&self, id: usize) -> &AggValue {
+        &self.snapshot[id]
+    }
+}
+
+/// Everything a vertex can see and do during `compute`.
+///
+/// Fields are public so that disjoint borrows work naturally (e.g. iterating
+/// `edges` while sending through `mail` and updating `worker`).
+pub struct VertexContext<'a, P: Program> {
+    /// Current superstep (0-based).
+    pub superstep: u64,
+    /// This vertex's global id.
+    pub vertex: VertexId,
+    /// Total number of vertices in the graph.
+    pub num_vertices: u64,
+    /// The logical worker hosting this vertex.
+    pub worker_id: WorkerId,
+    /// Engine seed (combine with vertex/superstep for local randomness).
+    pub seed: u64,
+    /// Global broadcast state (master-owned).
+    pub global: &'a P::G,
+    /// This vertex's value.
+    pub value: &'a mut P::V,
+    /// This vertex's adjacency.
+    pub edges: Edges<'a, P::E>,
+    /// Worker-local shared state (Spinner's async load counters live here).
+    pub worker: &'a mut P::WorkerState,
+    /// Message sending.
+    pub mail: Mailer<'a, P::M>,
+    /// Aggregator access.
+    pub agg: AggCtx<'a>,
+    pub(crate) halted: &'a mut bool,
+    pub(crate) additions: &'a mut Vec<EdgeAddition<P::E>>,
+    pub(crate) local_idx: u32,
+}
+
+impl<'a, P: Program> VertexContext<'a, P> {
+    /// Vote to halt: the vertex is skipped in subsequent supersteps until a
+    /// message re-activates it.
+    #[inline]
+    pub fn vote_to_halt(&mut self) {
+        *self.halted = true;
+    }
+
+    /// A deterministic random stream for this `(seed, vertex, superstep)`.
+    /// Independent of scheduling and of other vertices' draws.
+    #[inline]
+    pub fn rng(&self) -> SplitMix64 {
+        spinner_graph::rng::vertex_stream(self.seed, self.vertex as u64, self.superstep)
+    }
+
+    /// Buffers an edge `self -> target` for addition at the superstep
+    /// barrier (Giraph mutation semantics). The adjacency stays sorted;
+    /// adding an edge that already exists creates no duplicate — the new
+    /// value overwrites the old one.
+    #[inline]
+    pub fn add_edge(&mut self, target: VertexId, value: P::E) {
+        self.additions.push(EdgeAddition { local_src: self.local_idx, target, value });
+    }
+
+    /// Degree (number of out-edges in the engine's adjacency).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.edges.len()
+    }
+}

@@ -1,0 +1,402 @@
+//! The BSP engine: graph loading, the superstep loop, and halting.
+
+use crate::aggregate::{AggValue, AggregatorSpec};
+use crate::metrics::{RunTotals, SuperstepMetrics};
+use crate::program::{MasterContext, Program};
+use crate::types::WorkerId;
+use crate::worker::Worker;
+use crate::Placement;
+use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of OS threads executing the logical workers. Defaults to the
+    /// machine's available parallelism, capped by the worker count.
+    pub num_threads: usize,
+    /// Hard cap on supersteps (safety net; programs normally halt earlier).
+    pub max_supersteps: u64,
+    /// Seed for all vertex-level randomness.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            num_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            max_supersteps: 10_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Every vertex voted to halt and no messages were in flight.
+    AllHalted,
+    /// The master compute requested the halt.
+    Master,
+    /// The configured superstep cap was reached.
+    MaxSupersteps,
+}
+
+/// Result of a run: superstep count, halt cause, and per-superstep metrics.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Why the run stopped.
+    pub halt: HaltReason,
+    /// Total wall time of the run in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-superstep metrics (per logical worker).
+    pub metrics: Vec<SuperstepMetrics>,
+}
+
+impl RunSummary {
+    /// Aggregate totals over all supersteps.
+    pub fn totals(&self) -> RunTotals {
+        RunTotals::from_supersteps(&self.metrics)
+    }
+}
+
+/// The Pregel engine. Owns the program, the partitioned graph state, and the
+/// aggregator machinery.
+pub struct Engine<P: Program> {
+    program: P,
+    workers: Vec<Worker<P>>,
+    /// Global vertex id -> logical worker.
+    worker_of: Vec<WorkerId>,
+    /// Global vertex id -> index within its worker.
+    local_idx: Vec<u32>,
+    config: EngineConfig,
+    specs: Vec<AggregatorSpec>,
+    /// Values visible to vertices/master; persistent entries accumulate.
+    snapshot: Vec<AggValue>,
+    global: P::G,
+    num_vertices: u64,
+}
+
+impl<P: Program> Engine<P> {
+    /// Builds an engine over a weighted undirected graph (each edge present
+    /// in both adjacency lists). `init_v` produces initial vertex values;
+    /// `init_e(src, dst, weight)` produces edge values.
+    pub fn from_undirected(
+        program: P,
+        graph: &UndirectedGraph,
+        placement: &Placement,
+        config: EngineConfig,
+        init_v: impl FnMut(VertexId) -> P::V,
+        init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+    ) -> Self {
+        assert_eq!(placement.num_vertices(), graph.num_vertices(), "placement size mismatch");
+        Self::build(
+            program,
+            graph.num_vertices(),
+            placement,
+            config,
+            |v| graph.neighbors(v).0,
+            |v, i| graph.neighbors(v).1[i],
+            init_v,
+            init_e,
+        )
+    }
+
+    /// Builds an engine over a directed graph (out-edges only), e.g. for
+    /// PageRank-style applications. Edge weight passed to `init_e` is 1.
+    pub fn from_directed(
+        program: P,
+        graph: &DirectedGraph,
+        placement: &Placement,
+        config: EngineConfig,
+        init_v: impl FnMut(VertexId) -> P::V,
+        init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+    ) -> Self {
+        assert_eq!(placement.num_vertices(), graph.num_vertices(), "placement size mismatch");
+        Self::build(
+            program,
+            graph.num_vertices(),
+            placement,
+            config,
+            |v| graph.out_neighbors(v),
+            |_, _| 1,
+            init_v,
+            init_e,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build<'g>(
+        program: P,
+        n: VertexId,
+        placement: &Placement,
+        config: EngineConfig,
+        neighbors: impl Fn(VertexId) -> &'g [VertexId],
+        weight_at: impl Fn(VertexId, usize) -> u8,
+        mut init_v: impl FnMut(VertexId) -> P::V,
+        mut init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+    ) -> Self {
+        let num_workers = placement.num_workers();
+        let mut workers: Vec<Worker<P>> =
+            (0..num_workers).map(|i| Worker::new(i as WorkerId, num_workers)).collect();
+        let worker_of: Vec<WorkerId> = placement.as_slice().to_vec();
+        let mut local_idx = vec![0u32; n as usize];
+
+        // First pass: assign vertices and values.
+        for v in 0..n {
+            let w = &mut workers[worker_of[v as usize] as usize];
+            local_idx[v as usize] = w.global_ids.len() as u32;
+            w.global_ids.push(v);
+            w.values.push(init_v(v));
+            w.halted.push(false);
+        }
+        // Second pass: adjacency.
+        for w in workers.iter_mut() {
+            let mut edge_count = 0usize;
+            for &gid in &w.global_ids {
+                edge_count += neighbors(gid).len();
+            }
+            w.offsets = Vec::with_capacity(w.global_ids.len() + 1);
+            w.offsets.push(0);
+            w.targets = Vec::with_capacity(edge_count);
+            w.edge_values = Vec::with_capacity(edge_count);
+            for &gid in &w.global_ids {
+                let ts = neighbors(gid);
+                for (i, &t) in ts.iter().enumerate() {
+                    w.targets.push(t);
+                    w.edge_values.push(init_e(gid, t, weight_at(gid, i)));
+                }
+                w.offsets.push(w.targets.len() as u64);
+            }
+            let n_local = w.global_ids.len();
+            w.inbox = (0..n_local).map(|_| Vec::new()).collect();
+            w.next_inbox = (0..n_local).map(|_| Vec::new()).collect();
+        }
+
+        let specs = program.aggregators();
+        let snapshot: Vec<AggValue> = specs.iter().map(|s| s.identity()).collect();
+        let global = program.init_global();
+        Self {
+            program,
+            workers,
+            worker_of,
+            local_idx,
+            config,
+            specs,
+            snapshot,
+            global,
+            num_vertices: n as u64,
+        }
+    }
+
+    /// The engine seed (vertex programs derive their streams from it).
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// Number of logical workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Read access to the global state.
+    pub fn global(&self) -> &P::G {
+        &self.global
+    }
+
+    /// Runs the program to completion.
+    pub fn run(&mut self) -> RunSummary {
+        let run_start = Instant::now();
+        let mut metrics: Vec<SuperstepMetrics> = Vec::new();
+        let mut halt = HaltReason::MaxSupersteps;
+        let num_workers = self.workers.len();
+        let threads = self.config.num_threads.clamp(1, num_workers.max(1));
+
+        for superstep in 0..self.config.max_supersteps {
+            let step_start = Instant::now();
+
+            // --- Compute phase (parallel over logical workers). ---
+            {
+                let program = &self.program;
+                let global = &self.global;
+                let snapshot = &self.snapshot;
+                let specs = &self.specs;
+                let worker_of = &self.worker_of;
+                let seed = self.config.seed;
+                let num_vertices = self.num_vertices;
+                run_parallel(&mut self.workers, threads, |w| {
+                    w.compute_phase(
+                        program, global, snapshot, specs, worker_of, superstep, seed,
+                        num_vertices,
+                    );
+                });
+            }
+
+            // --- Exchange: transpose outboxes into per-worker mailbags. ---
+            let mut mailbags: Vec<Vec<(WorkerId, Vec<(VertexId, P::M)>)>> =
+                (0..num_workers).map(|_| Vec::new()).collect();
+            for i in 0..num_workers {
+                for j in 0..num_workers {
+                    if !self.workers[i].outboxes[j].is_empty() {
+                        let batch = std::mem::take(&mut self.workers[i].outboxes[j]);
+                        mailbags[j].push((i as WorkerId, batch));
+                    }
+                }
+            }
+
+            // --- Delivery phase (parallel). ---
+            {
+                let program = &self.program;
+                let local_idx = &self.local_idx;
+                let mut bags = mailbags.into_iter();
+                // Pair each worker with its mailbag, preserving order.
+                let paired: Vec<(&mut Worker<P>, _)> =
+                    self.workers.iter_mut().map(|w| (w, bags.next().unwrap())).collect();
+                run_parallel_pairs(paired, threads, |(w, bag)| {
+                    w.deliver_phase(program, bag, local_idx);
+                    w.finish_superstep();
+                    w.apply_mutations();
+                });
+            }
+
+            // --- Merge aggregates (worker order => deterministic). ---
+            let mut merged: Vec<AggValue> = self
+                .specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if s.persistent {
+                        self.snapshot[i].clone()
+                    } else {
+                        s.identity()
+                    }
+                })
+                .collect();
+            for w in &self.workers {
+                for (i, spec) in self.specs.iter().enumerate() {
+                    spec.merge(&mut merged[i], &w.partial_aggs[i]);
+                }
+            }
+
+            // --- Metrics. ---
+            let per_worker = self.workers.iter().map(|w| w.metrics.clone()).collect::<Vec<_>>();
+            let halted: u64 = self.workers.iter().map(|w| w.halted_count()).sum();
+            let active_after = self.num_vertices - halted;
+            let sent: u64 =
+                per_worker.iter().map(|m| m.sent_local + m.sent_remote).sum();
+            metrics.push(SuperstepMetrics {
+                superstep,
+                per_worker,
+                wall_ns: step_start.elapsed().as_nanos() as u64,
+                active_after,
+            });
+
+            // --- Master compute. ---
+            let mut mctx = MasterContext {
+                superstep,
+                global: &mut self.global,
+                aggregates: &mut merged,
+                active: active_after,
+                messages_sent: sent,
+                halt: false,
+            };
+            self.program.master(&mut mctx);
+            let master_halt = mctx.halt;
+            self.snapshot = merged;
+
+            if master_halt {
+                halt = HaltReason::Master;
+                break;
+            }
+            if active_after == 0 && sent == 0 {
+                halt = HaltReason::AllHalted;
+                break;
+            }
+        }
+
+        RunSummary {
+            supersteps: metrics.len() as u64,
+            halt,
+            wall_ns: run_start.elapsed().as_nanos() as u64,
+            metrics,
+        }
+    }
+
+    /// Clones all vertex values into a dense global-id-indexed vector.
+    pub fn collect_values(&self) -> Vec<P::V> {
+        let mut out: Vec<Option<P::V>> = vec![None; self.num_vertices as usize];
+        for w in &self.workers {
+            for (i, &gid) in w.global_ids.iter().enumerate() {
+                out[gid as usize] = Some(w.values[i].clone());
+            }
+        }
+        out.into_iter().map(|v| v.expect("every vertex has a value")).collect()
+    }
+
+    /// The last aggregated value of aggregator `id`.
+    pub fn aggregate(&self, id: usize) -> &AggValue {
+        &self.snapshot[id]
+    }
+}
+
+/// Runs `f` on every worker using up to `threads` scoped threads, chunking
+/// workers contiguously. Scope join is the superstep barrier.
+fn run_parallel<P: Program>(
+    workers: &mut [Worker<P>],
+    threads: usize,
+    f: impl Fn(&mut Worker<P>) + Sync,
+) {
+    if threads <= 1 || workers.len() <= 1 {
+        for w in workers {
+            f(w);
+        }
+        return;
+    }
+    let chunk = workers.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for slice in workers.chunks_mut(chunk) {
+            s.spawn(|| {
+                for w in slice {
+                    f(w);
+                }
+            });
+        }
+    });
+}
+
+/// Like [`run_parallel`] but over pre-paired items.
+fn run_parallel_pairs<T: Send>(
+    mut items: Vec<T>,
+    threads: usize,
+    f: impl Fn(T) + Sync,
+) {
+    if threads <= 1 || items.len() <= 1 {
+        for it in items.drain(..) {
+            f(it);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        // Drain into per-thread chunks.
+        let mut iter = items.into_iter();
+        loop {
+            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            s.spawn(|| {
+                for it in batch {
+                    f(it);
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,56 @@
+//! A Pregel/Giraph-style BSP graph-processing engine.
+//!
+//! This crate is the substrate the Spinner paper builds on: the paper
+//! implements its partitioner as a Giraph program, so we implement the
+//! Giraph/Pregel primitives the algorithm needs, from scratch:
+//!
+//! - **Supersteps** with synchronous message delivery (messages sent in
+//!   superstep `s` are visible in superstep `s + 1`).
+//! - **Vertex programs** ([`Program::compute`]) with vote-to-halt semantics
+//!   and message-triggered reactivation.
+//! - **Aggregators** (commutative/associative global reductions, optionally
+//!   *persistent* across supersteps) mirroring Giraph's sharded aggregators.
+//! - **Master compute** ([`Program::master`]) running between supersteps,
+//!   able to read aggregators, update a broadcast global state, and halt.
+//! - **Worker-local state** ([`Program::WorkerState`]) shared by all vertices
+//!   hosted on the same logical worker within a superstep — the feature
+//!   Spinner uses for its asynchronous per-worker load counters (§IV-A4).
+//! - **Graph mutation** (edge additions applied at the superstep barrier),
+//!   used by Spinner's NeighborPropagation/NeighborDiscovery conversion.
+//!
+//! # Logical workers vs threads
+//!
+//! The engine hosts `L` *logical workers* (the unit Giraph calls a worker — a
+//! cluster machine) executed by up to `T` OS threads. All worker-scoped
+//! semantics (per-worker state, local vs remote message accounting,
+//! per-worker timings) bind to logical workers, so a 256-worker cluster can
+//! be emulated faithfully on a handful of cores; the [`sim`] module turns
+//! per-worker message/compute counts into simulated cluster superstep times
+//! through an explicit cost model.
+//!
+//! # Determinism
+//!
+//! Engine runs are bit-for-bit deterministic for a given seed and
+//! configuration, *independent of the thread count*: vertex programs draw
+//! randomness from per-`(seed, vertex, superstep)` streams and aggregator
+//! merges happen in worker order.
+
+pub mod aggregate;
+pub mod algorithms;
+pub mod context;
+pub mod engine;
+pub mod metrics;
+pub mod placement;
+pub mod program;
+pub mod sim;
+pub mod types;
+pub mod worker;
+
+pub use aggregate::{AggOp, AggValue, AggregatorSpec};
+pub use context::{AggCtx, Edges, Mailer, VertexContext};
+pub use engine::{Engine, EngineConfig, HaltReason, RunSummary};
+pub use metrics::{SuperstepMetrics, WorkerMetrics};
+pub use placement::Placement;
+pub use program::{MasterContext, Program};
+pub use sim::CostModel;
+pub use types::{Value, WorkerId};

@@ -1,0 +1,131 @@
+//! Per-superstep, per-worker execution metrics.
+//!
+//! These counters drive the cluster simulation ([`crate::sim`]) and the
+//! paper's cost/savings experiments (messages exchanged in Figs. 7–8, worker
+//! balance in Table IV).
+
+/// Counters for one logical worker within one superstep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Vertices whose compute function ran.
+    pub computed: u64,
+    /// Messages sent to vertices on the same worker.
+    pub sent_local: u64,
+    /// Messages sent to vertices on other workers (network traffic).
+    pub sent_remote: u64,
+    /// Messages received from the same worker.
+    pub recv_local: u64,
+    /// Messages received from other workers.
+    pub recv_remote: u64,
+    /// Wall-clock nanoseconds spent in the compute phase of this worker.
+    pub compute_ns: u64,
+}
+
+impl WorkerMetrics {
+    /// Total messages sent by this worker.
+    pub fn sent_total(&self) -> u64 {
+        self.sent_local + self.sent_remote
+    }
+
+    /// Total messages received by this worker.
+    pub fn recv_total(&self) -> u64 {
+        self.recv_local + self.recv_remote
+    }
+
+    /// Resets all counters to zero (reused across supersteps).
+    pub fn reset(&mut self) {
+        *self = WorkerMetrics::default();
+    }
+}
+
+/// Metrics for one superstep across all logical workers.
+#[derive(Debug, Clone)]
+pub struct SuperstepMetrics {
+    /// The superstep index.
+    pub superstep: u64,
+    /// Per-logical-worker counters.
+    pub per_worker: Vec<WorkerMetrics>,
+    /// Wall-clock nanoseconds of the whole superstep (compute + delivery +
+    /// barrier work), as executed on this machine.
+    pub wall_ns: u64,
+    /// Vertices still active (not halted) after the superstep.
+    pub active_after: u64,
+}
+
+impl SuperstepMetrics {
+    /// Total messages sent in this superstep.
+    pub fn sent_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.sent_total()).sum()
+    }
+
+    /// Total remote (cross-worker) messages in this superstep: the network
+    /// traffic a distributed deployment would see.
+    pub fn sent_remote(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.sent_remote).sum()
+    }
+
+    /// Total vertices computed.
+    pub fn computed_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.computed).sum()
+    }
+}
+
+/// Aggregates a whole run's metrics.
+#[derive(Debug, Clone, Default)]
+pub struct RunTotals {
+    /// Total messages sent across all supersteps.
+    pub messages: u64,
+    /// Total remote messages (network traffic proxy).
+    pub remote_messages: u64,
+    /// Total vertex computations.
+    pub computed: u64,
+    /// Total wall nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl RunTotals {
+    /// Sums the given superstep metrics.
+    pub fn from_supersteps(steps: &[SuperstepMetrics]) -> Self {
+        let mut t = RunTotals::default();
+        for s in steps {
+            t.messages += s.sent_total();
+            t.remote_messages += s.sent_remote();
+            t.computed += s.computed_total();
+            t.wall_ns += s.wall_ns;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wm(sl: u64, sr: u64) -> WorkerMetrics {
+        WorkerMetrics { computed: 1, sent_local: sl, sent_remote: sr, ..Default::default() }
+    }
+
+    #[test]
+    fn totals_roll_up() {
+        let s = SuperstepMetrics {
+            superstep: 0,
+            per_worker: vec![wm(2, 3), wm(0, 5)],
+            wall_ns: 100,
+            active_after: 4,
+        };
+        assert_eq!(s.sent_total(), 10);
+        assert_eq!(s.sent_remote(), 8);
+        assert_eq!(s.computed_total(), 2);
+        let t = RunTotals::from_supersteps(&[s.clone(), s]);
+        assert_eq!(t.messages, 20);
+        assert_eq!(t.remote_messages, 16);
+        assert_eq!(t.wall_ns, 200);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = wm(1, 2);
+        m.reset();
+        assert_eq!(m, WorkerMetrics::default());
+    }
+}

@@ -1,0 +1,146 @@
+//! Vertex-to-worker placement.
+//!
+//! Giraph assigns vertices to workers with hash partitioning by default;
+//! the whole point of Spinner is to replace that mapping with the computed
+//! labels (paper §V-F: "we plug a hash function that uses only the l_j field
+//! of the pair"). Placement here is an explicit map so both options (and a
+//! contiguous-range option for tests) are available.
+
+use crate::types::WorkerId;
+use spinner_graph::rng::mix3;
+use spinner_graph::VertexId;
+
+/// An explicit vertex → logical-worker assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    worker_of: Vec<WorkerId>,
+    num_workers: usize,
+}
+
+impl Placement {
+    /// Hash placement: `worker(v) = hash(v) mod L`. Mirrors Giraph's default
+    /// hash partitioning (a seeded mix avoids accidental alignment with
+    /// generator id ranges, like Java object hash codes do).
+    pub fn hashed(num_vertices: VertexId, num_workers: usize, seed: u64) -> Self {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
+        let worker_of = (0..num_vertices)
+            .map(|v| (mix3(seed, v as u64, 0x9A57) % num_workers as u64) as WorkerId)
+            .collect();
+        Self { worker_of, num_workers }
+    }
+
+    /// Modulo placement: `worker(v) = v mod L` (round-robin).
+    pub fn modulo(num_vertices: VertexId, num_workers: usize) -> Self {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
+        let worker_of =
+            (0..num_vertices).map(|v| (v as usize % num_workers) as WorkerId).collect();
+        Self { worker_of, num_workers }
+    }
+
+    /// Contiguous ranges: vertex ids split into `L` equal chunks. Useful in
+    /// tests because community-structured generators emit contiguous
+    /// communities.
+    pub fn contiguous(num_vertices: VertexId, num_workers: usize) -> Self {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
+        let n = num_vertices as u64;
+        let l = num_workers as u64;
+        let worker_of = (0..n).map(|v| ((v * l) / n.max(1)) as WorkerId).collect();
+        Self { worker_of, num_workers }
+    }
+
+    /// Placement defined by partition labels (Spinner's output): vertices
+    /// with the same label land on the same worker.
+    ///
+    /// `num_workers` may exceed the number of distinct labels; labels are
+    /// taken modulo `num_workers`.
+    pub fn from_labels(labels: &[u32], num_workers: usize) -> Self {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
+        let worker_of =
+            labels.iter().map(|&l| (l as usize % num_workers) as WorkerId).collect();
+        Self { worker_of, num_workers }
+    }
+
+    /// The number of logical workers.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The worker hosting vertex `v`.
+    #[inline]
+    pub fn worker_of(&self, v: VertexId) -> WorkerId {
+        self.worker_of[v as usize]
+    }
+
+    /// The full map as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[WorkerId] {
+        &self.worker_of
+    }
+
+    /// The number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> VertexId {
+        self.worker_of.len() as VertexId
+    }
+
+    /// Number of vertices per worker (for balance checks).
+    pub fn worker_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.num_workers];
+        for &w in &self.worker_of {
+            sizes[w as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashed_is_roughly_balanced() {
+        let p = Placement::hashed(100_000, 16, 42);
+        let sizes = p.worker_sizes();
+        let expect = 100_000 / 16;
+        for &s in &sizes {
+            assert!((s as i64 - expect as i64).unsigned_abs() < expect / 10);
+        }
+    }
+
+    #[test]
+    fn modulo_and_contiguous_cover_all_workers() {
+        for p in [Placement::modulo(100, 7), Placement::contiguous(100, 7)] {
+            let sizes = p.worker_sizes();
+            assert_eq!(sizes.len(), 7);
+            assert!(sizes.iter().all(|&s| s > 0));
+            assert_eq!(sizes.iter().sum::<u64>(), 100);
+        }
+    }
+
+    #[test]
+    fn contiguous_is_monotone() {
+        let p = Placement::contiguous(10, 3);
+        let ws: Vec<_> = (0..10).map(|v| p.worker_of(v)).collect();
+        let mut sorted = ws.clone();
+        sorted.sort_unstable();
+        assert_eq!(ws, sorted);
+    }
+
+    #[test]
+    fn from_labels_groups_by_label() {
+        let labels = vec![2, 0, 2, 1, 0];
+        let p = Placement::from_labels(&labels, 3);
+        assert_eq!(p.worker_of(0), p.worker_of(2));
+        assert_eq!(p.worker_of(1), p.worker_of(4));
+        assert_ne!(p.worker_of(0), p.worker_of(3));
+    }
+
+    #[test]
+    fn labels_wrap_modulo_workers() {
+        let labels = vec![5, 1];
+        let p = Placement::from_labels(&labels, 4);
+        assert_eq!(p.worker_of(0), 1);
+        assert_eq!(p.worker_of(1), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! The vertex-program and master-compute traits.
+
+use crate::aggregate::{AggValue, AggregatorSpec};
+use crate::context::VertexContext;
+use crate::types::{Value, WorkerId};
+
+/// A Pregel program: associated data types plus the per-vertex compute
+/// function and the per-superstep master compute.
+///
+/// The program object itself is immutable during a run (shared by all
+/// threads); mutable algorithm state lives in the vertex values (`V`), the
+/// broadcast global state (`G`, mutated only by the master), and the
+/// per-worker state (`W`, rebuilt each superstep).
+pub trait Program: Send + Sync + Sized + 'static {
+    /// Vertex value.
+    type V: Value;
+    /// Edge value.
+    type E: Value;
+    /// Message payload.
+    type M: Value;
+    /// Global state broadcast to every vertex, mutated by [`Program::master`]
+    /// between supersteps (Giraph: master compute + broadcast aggregators).
+    type G: Value;
+    /// Worker-local scratch state shared by all vertices on one logical
+    /// worker within a superstep (Giraph: `WorkerContext`).
+    type WorkerState: Send;
+
+    /// Builds the initial global state (before superstep 0).
+    fn init_global(&self) -> Self::G;
+
+    /// Builds the worker-local state at the start of each superstep.
+    fn init_worker(&self, global: &Self::G, worker: WorkerId) -> Self::WorkerState;
+
+    /// The aggregators this program uses, addressed by index in
+    /// [`VertexContext`] and [`MasterContext`].
+    fn aggregators(&self) -> Vec<AggregatorSpec> {
+        Vec::new()
+    }
+
+    /// The per-vertex compute function, invoked for every active vertex each
+    /// superstep with the messages sent to it in the previous superstep.
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[Self::M]);
+
+    /// Master compute, invoked once after every superstep. Reads this
+    /// superstep's aggregates, may mutate the global state for the next
+    /// superstep, and may halt the computation.
+    fn master(&self, _ctx: &mut MasterContext<'_, Self::G>) {}
+
+    /// Optional message combiner: fold `msg` into `acc` (both addressed to
+    /// the same vertex) and return `true`, or return `false` to keep
+    /// messages separate. Must be commutative and associative.
+    fn combine(&self, _acc: &mut Self::M, _msg: &Self::M) -> bool {
+        false
+    }
+}
+
+/// Master-compute context: aggregate access, global state, and halt control.
+pub struct MasterContext<'a, G> {
+    /// The superstep that just finished.
+    pub superstep: u64,
+    /// The global state, broadcast to vertices next superstep.
+    pub global: &'a mut G,
+    /// Aggregated values of the superstep that just finished. Entries may be
+    /// overwritten to "set" an aggregator for the next superstep (Giraph's
+    /// `setAggregatedValue`).
+    pub aggregates: &'a mut [AggValue],
+    /// Vertices still active after this superstep.
+    pub active: u64,
+    /// Messages sent during this superstep.
+    pub messages_sent: u64,
+    pub(crate) halt: bool,
+}
+
+impl<'a, G> MasterContext<'a, G> {
+    /// Reads an aggregate by registration index.
+    pub fn read(&self, id: usize) -> &AggValue {
+        &self.aggregates[id]
+    }
+
+    /// Stops the computation after this superstep.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+}

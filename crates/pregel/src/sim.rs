@@ -1,0 +1,175 @@
+//! Cluster cost model: turns per-logical-worker counters into simulated
+//! superstep times for a distributed deployment.
+//!
+//! The paper's application experiments (Table IV, Fig. 9) run on Hadoop
+//! clusters where a synchronous superstep lasts as long as its slowest
+//! worker ("with hash partitioning the workers are idling on average for 31%
+//! of the superstep"). We reproduce that with an explicit linear cost model:
+//! a worker's superstep time is a weighted sum of the vertices it computes
+//! and the messages it sends/receives, with remote (cross-worker) messages
+//! costing much more than local ones — the locality effect Spinner exploits.
+
+use crate::metrics::SuperstepMetrics;
+
+/// Linear per-worker cost model, in nanoseconds per unit.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Cost per vertex computed.
+    pub per_vertex_ns: f64,
+    /// Cost per message delivered within the same worker.
+    pub per_local_msg_ns: f64,
+    /// Cost per message crossing workers (serialisation + network + deser).
+    pub per_remote_msg_ns: f64,
+    /// Fixed barrier/synchronisation overhead per superstep.
+    pub barrier_ns: f64,
+}
+
+impl Default for CostModel {
+    /// Defaults calibrated to commodity-cluster magnitudes: remote messages
+    /// are ~20x local ones, and barriers cost a few milliseconds. Only the
+    /// *ratios* matter for the reproduced shapes.
+    fn default() -> Self {
+        Self {
+            per_vertex_ns: 150.0,
+            per_local_msg_ns: 25.0,
+            per_remote_msg_ns: 500.0,
+            barrier_ns: 5e6,
+        }
+    }
+}
+
+/// Simulated timings for one superstep.
+#[derive(Debug, Clone)]
+pub struct SimSuperstep {
+    /// Simulated seconds per worker.
+    pub worker_seconds: Vec<f64>,
+    /// The superstep's simulated duration: barrier + slowest worker.
+    pub duration: f64,
+    /// Mean worker time (excluding barrier).
+    pub mean_worker: f64,
+    /// Fastest worker time.
+    pub min_worker: f64,
+    /// Slowest worker time.
+    pub max_worker: f64,
+}
+
+impl CostModel {
+    /// Simulates one superstep from its per-worker metrics.
+    pub fn simulate_superstep(&self, m: &SuperstepMetrics) -> SimSuperstep {
+        let worker_seconds: Vec<f64> = m
+            .per_worker
+            .iter()
+            .map(|w| {
+                (w.computed as f64 * self.per_vertex_ns
+                    + (w.sent_local + w.recv_local) as f64 * self.per_local_msg_ns
+                    + (w.sent_remote + w.recv_remote) as f64 * self.per_remote_msg_ns)
+                    * 1e-9
+            })
+            .collect();
+        let max_worker = worker_seconds.iter().copied().fold(0.0, f64::max);
+        let min_worker = worker_seconds.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean_worker =
+            worker_seconds.iter().sum::<f64>() / worker_seconds.len().max(1) as f64;
+        SimSuperstep {
+            duration: self.barrier_ns * 1e-9 + max_worker,
+            worker_seconds,
+            mean_worker,
+            min_worker: if min_worker.is_finite() { min_worker } else { 0.0 },
+            max_worker,
+        }
+    }
+
+    /// Simulates a whole run; returns per-superstep simulations.
+    pub fn simulate_run(&self, metrics: &[SuperstepMetrics]) -> Vec<SimSuperstep> {
+        metrics.iter().map(|m| self.simulate_superstep(m)).collect()
+    }
+
+    /// Total simulated runtime in seconds.
+    pub fn total_seconds(&self, metrics: &[SuperstepMetrics]) -> f64 {
+        self.simulate_run(metrics).iter().map(|s| s.duration).sum()
+    }
+}
+
+/// Mean/max/min ± stddev summary over supersteps (the format of Table IV).
+#[derive(Debug, Clone)]
+pub struct SuperstepTimeSummary {
+    /// Mean over supersteps of the mean worker time.
+    pub mean: f64,
+    /// Stddev of the above.
+    pub mean_sd: f64,
+    /// Mean over supersteps of the slowest worker time.
+    pub max: f64,
+    /// Stddev of the above.
+    pub max_sd: f64,
+    /// Mean over supersteps of the fastest worker time.
+    pub min: f64,
+    /// Stddev of the above.
+    pub min_sd: f64,
+}
+
+/// Builds the Table IV style summary from simulated supersteps.
+pub fn summarize(sims: &[SimSuperstep]) -> SuperstepTimeSummary {
+    fn mean_sd(xs: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+        let n = xs.clone().count().max(1) as f64;
+        let mean = xs.clone().sum::<f64>() / n;
+        let var = xs.map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+    let (mean, mean_sd_v) = mean_sd(sims.iter().map(|s| s.mean_worker));
+    let (max, max_sd) = mean_sd(sims.iter().map(|s| s.max_worker));
+    let (min, min_sd) = mean_sd(sims.iter().map(|s| s.min_worker));
+    SuperstepTimeSummary { mean, mean_sd: mean_sd_v, max, max_sd, min, min_sd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::WorkerMetrics;
+
+    fn step(workers: Vec<WorkerMetrics>) -> SuperstepMetrics {
+        SuperstepMetrics { superstep: 0, per_worker: workers, wall_ns: 0, active_after: 0 }
+    }
+
+    #[test]
+    fn slowest_worker_dominates() {
+        let m = step(vec![
+            WorkerMetrics { computed: 1_000, ..Default::default() },
+            WorkerMetrics { computed: 100_000, ..Default::default() },
+        ]);
+        let sim = CostModel::default().simulate_superstep(&m);
+        assert!(sim.max_worker > 50.0 * sim.min_worker);
+        assert!(sim.duration >= sim.max_worker);
+    }
+
+    #[test]
+    fn remote_messages_cost_more() {
+        let local = step(vec![WorkerMetrics {
+            sent_local: 10_000,
+            recv_local: 10_000,
+            ..Default::default()
+        }]);
+        let remote = step(vec![WorkerMetrics {
+            sent_remote: 10_000,
+            recv_remote: 10_000,
+            ..Default::default()
+        }]);
+        let cm = CostModel::default();
+        assert!(
+            cm.simulate_superstep(&remote).max_worker
+                > 5.0 * cm.simulate_superstep(&local).max_worker
+        );
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let cm = CostModel::default();
+        let sims = cm.simulate_run(&[
+            step(vec![WorkerMetrics { computed: 1000, ..Default::default() }]),
+            step(vec![WorkerMetrics { computed: 3000, ..Default::default() }]),
+        ]);
+        let s = summarize(&sims);
+        assert!(s.mean > 0.0);
+        assert!(s.max >= s.mean);
+        assert!(s.mean_sd > 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared type bounds and identifiers.
+
+/// Identifier of a logical worker (a "machine" in Giraph terms).
+pub type WorkerId = u16;
+
+/// Bound for all user data carried by the engine (vertex values, edge
+/// values, messages, global state). Auto-implemented.
+pub trait Value: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Value for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_value<T: Value>() {}
+
+    #[test]
+    fn common_types_are_values() {
+        assert_value::<u64>();
+        assert_value::<f64>();
+        assert_value::<(u32, u32)>();
+        assert_value::<Vec<i64>>();
+        assert_value::<()>();
+    }
+}

@@ -1,0 +1,252 @@
+//! A logical worker: hosts a subset of vertices and executes the compute and
+//! delivery phases of each superstep.
+
+use crate::aggregate::{AggValue, AggregatorSpec};
+use crate::context::{AggCtx, EdgeAddition, Edges, Mailer, VertexContext};
+use crate::metrics::WorkerMetrics;
+use crate::program::Program;
+use crate::types::WorkerId;
+use spinner_graph::VertexId;
+use std::time::Instant;
+
+/// One logical worker's vertex store, mailboxes, and per-superstep scratch.
+pub struct Worker<P: Program> {
+    pub(crate) id: WorkerId,
+    /// Local index -> global vertex id.
+    pub(crate) global_ids: Vec<VertexId>,
+    pub(crate) values: Vec<P::V>,
+    pub(crate) halted: Vec<bool>,
+    /// Local CSR: `offsets[i]..offsets[i+1]` indexes `targets`/`edge_values`.
+    pub(crate) offsets: Vec<u64>,
+    pub(crate) targets: Vec<VertexId>,
+    pub(crate) edge_values: Vec<P::E>,
+    /// Inbox for the current superstep (filled during the previous delivery).
+    pub(crate) inbox: Vec<Vec<P::M>>,
+    /// Inbox being filled for the next superstep.
+    pub(crate) next_inbox: Vec<Vec<P::M>>,
+    /// Outboxes indexed by destination worker; drained by the engine.
+    pub(crate) outboxes: Vec<Vec<(VertexId, P::M)>>,
+    /// Buffered edge additions, applied at the barrier.
+    pub(crate) additions: Vec<EdgeAddition<P::E>>,
+    /// This superstep's aggregator partials.
+    pub(crate) partial_aggs: Vec<AggValue>,
+    pub(crate) metrics: WorkerMetrics,
+}
+
+impl<P: Program> Worker<P> {
+    pub(crate) fn new(id: WorkerId, num_workers: usize) -> Self {
+        Self {
+            id,
+            global_ids: Vec::new(),
+            values: Vec::new(),
+            halted: Vec::new(),
+            offsets: vec![0],
+            targets: Vec::new(),
+            edge_values: Vec::new(),
+            inbox: Vec::new(),
+            next_inbox: Vec::new(),
+            outboxes: (0..num_workers).map(|_| Vec::new()).collect(),
+            additions: Vec::new(),
+            partial_aggs: Vec::new(),
+            metrics: WorkerMetrics::default(),
+        }
+    }
+
+    /// Number of vertices hosted here.
+    pub fn num_local_vertices(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Number of halted vertices.
+    pub(crate) fn halted_count(&self) -> u64 {
+        self.halted.iter().filter(|&&h| h).count() as u64
+    }
+
+    /// Executes the compute phase of one superstep over all local vertices.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn compute_phase(
+        &mut self,
+        program: &P,
+        global: &P::G,
+        snapshot: &[AggValue],
+        specs: &[AggregatorSpec],
+        worker_of: &[WorkerId],
+        superstep: u64,
+        seed: u64,
+        num_vertices: u64,
+    ) {
+        let start = Instant::now();
+        self.metrics.reset();
+        self.partial_aggs = specs.iter().map(|s| s.identity()).collect();
+        let mut worker_state = program.init_worker(global, self.id);
+
+        let n_local = self.global_ids.len();
+        for i in 0..n_local {
+            if self.halted[i] && self.inbox[i].is_empty() {
+                continue;
+            }
+            self.metrics.computed += 1;
+            self.halted[i] = false;
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            // Split borrows: every field of the context aliases a distinct
+            // part of `self`.
+            let mut ctx = VertexContext::<P> {
+                superstep,
+                vertex: self.global_ids[i],
+                num_vertices,
+                worker_id: self.id,
+                seed,
+                global,
+                value: &mut self.values[i],
+                edges: Edges {
+                    targets: &self.targets[lo..hi],
+                    values: &mut self.edge_values[lo..hi],
+                },
+                worker: &mut worker_state,
+                mail: Mailer {
+                    outboxes: &mut self.outboxes,
+                    worker_of,
+                    my_worker: self.id,
+                    sent_local: &mut self.metrics.sent_local,
+                    sent_remote: &mut self.metrics.sent_remote,
+                },
+                agg: AggCtx { partial: &mut self.partial_aggs, snapshot },
+                halted: &mut self.halted[i],
+                additions: &mut self.additions,
+                local_idx: i as u32,
+            };
+            // Temporarily take the inbox to avoid aliasing it from the ctx.
+            let msgs = std::mem::take(&mut self.inbox[i]);
+            program.compute(&mut ctx, &msgs);
+            // Reuse the allocation next superstep.
+            let mut msgs = msgs;
+            msgs.clear();
+            self.inbox[i] = msgs;
+        }
+        self.metrics.compute_ns = start.elapsed().as_nanos() as u64;
+    }
+
+    /// Delivery phase: drains messages addressed to this worker into
+    /// `next_inbox`, applying the program's combiner.
+    pub(crate) fn deliver_phase(
+        &mut self,
+        program: &P,
+        incoming: Vec<(WorkerId, Vec<(VertexId, P::M)>)>,
+        local_idx: &[u32],
+    ) {
+        for (src_worker, batch) in incoming {
+            let local = src_worker == self.id;
+            for (target, msg) in batch {
+                if local {
+                    self.metrics.recv_local += 1;
+                } else {
+                    self.metrics.recv_remote += 1;
+                }
+                let slot = &mut self.next_inbox[local_idx[target as usize] as usize];
+                if let Some(acc) = slot.last_mut() {
+                    if program.combine(acc, &msg) {
+                        continue;
+                    }
+                }
+                slot.push(msg);
+            }
+        }
+    }
+
+    /// Barrier work: swap inboxes and wake vertices that received messages.
+    pub(crate) fn finish_superstep(&mut self) {
+        std::mem::swap(&mut self.inbox, &mut self.next_inbox);
+        for (i, msgs) in self.inbox.iter().enumerate() {
+            if !msgs.is_empty() {
+                self.halted[i] = false;
+            }
+        }
+    }
+
+    /// Applies buffered edge additions, keeping each adjacency run sorted and
+    /// duplicate-free (a re-added edge overwrites the existing value).
+    pub(crate) fn apply_mutations(&mut self) {
+        if self.additions.is_empty() {
+            return;
+        }
+        let mut additions = std::mem::take(&mut self.additions);
+        additions.sort_by_key(|a| (a.local_src, a.target));
+
+        let n_local = self.global_ids.len();
+        let mut new_offsets = Vec::with_capacity(n_local + 1);
+        let mut new_targets = Vec::with_capacity(self.targets.len() + additions.len());
+        let mut new_values: Vec<P::E> = Vec::with_capacity(new_targets.capacity());
+        new_offsets.push(0u64);
+
+        let mut add_iter = additions.into_iter().peekable();
+        // Drain the old parallel arrays through owned iterators so values
+        // move without cloning.
+        let old_targets = std::mem::take(&mut self.targets);
+        let old_values = std::mem::take(&mut self.edge_values);
+        let mut old_iter = old_targets.into_iter().zip(old_values).peekable();
+
+        for i in 0..n_local {
+            let hi = self.offsets[i + 1];
+            let mut consumed = self.offsets[i];
+            let run_start = new_targets.len();
+            // Merge the sorted old run with the sorted additions for vertex i.
+            loop {
+                let next_add = match add_iter.peek() {
+                    Some(a) if a.local_src == i as u32 => Some(a.target),
+                    _ => None,
+                };
+                let next_old =
+                    if consumed < hi { old_iter.peek().map(|(t, _)| *t) } else { None };
+                match (next_old, next_add) {
+                    (None, None) => break,
+                    (Some(t), None) => {
+                        let (_, v) = old_iter.next().unwrap();
+                        consumed += 1;
+                        new_targets.push(t);
+                        new_values.push(v);
+                    }
+                    (None, Some(t)) => {
+                        let a = add_iter.next().unwrap();
+                        // Skip duplicate additions of the same target
+                        // (within this vertex's run only).
+                        if new_targets.len() > run_start && new_targets.last() == Some(&t) {
+                            *new_values.last_mut().unwrap() = a.value;
+                        } else {
+                            new_targets.push(t);
+                            new_values.push(a.value);
+                        }
+                    }
+                    (Some(to), Some(ta)) => {
+                        if to < ta {
+                            let (_, v) = old_iter.next().unwrap();
+                            consumed += 1;
+                            new_targets.push(to);
+                            new_values.push(v);
+                        } else if to == ta {
+                            // Overwrite: addition replaces the existing edge.
+                            let _ = old_iter.next().unwrap();
+                            consumed += 1;
+                            let a = add_iter.next().unwrap();
+                            new_targets.push(to);
+                            new_values.push(a.value);
+                        } else {
+                            let a = add_iter.next().unwrap();
+                            if new_targets.len() > run_start && new_targets.last() == Some(&ta)
+                            {
+                                *new_values.last_mut().unwrap() = a.value;
+                            } else {
+                                new_targets.push(ta);
+                                new_values.push(a.value);
+                            }
+                        }
+                    }
+                }
+            }
+            new_offsets.push(new_targets.len() as u64);
+        }
+        self.offsets = new_offsets;
+        self.targets = new_targets;
+        self.edge_values = new_values;
+    }
+}

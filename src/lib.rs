@@ -1,0 +1,9 @@
+//! Umbrella crate for the Spinner reproduction suite: re-exports the
+//! workspace crates so examples and integration tests can use one import
+//! root. See `spinner_core` for the partitioner itself.
+
+pub use spinner_baselines as baselines;
+pub use spinner_core as core;
+pub use spinner_graph as graph;
+pub use spinner_metrics as metrics;
+pub use spinner_pregel as pregel;

@@ -1,0 +1,137 @@
+//! Integration tests for incremental (§III-D) and elastic (§III-E)
+//! repartitioning — the paper's Figs. 7 and 8 at test scale.
+
+use spinner_core::{adapt, elastic, partition, SpinnerConfig};
+use spinner_graph::conversion::from_undirected_edges;
+use spinner_graph::generators::{planted_partition, SbmConfig};
+use spinner_graph::mutation::{apply_delta, sample_new_edges};
+use spinner_graph::GraphDelta;
+use spinner_metrics::partitioning_difference;
+
+fn base_graph() -> spinner_graph::DirectedGraph {
+    planted_partition(SbmConfig {
+        n: 4000,
+        communities: 8,
+        internal_degree: 10.0,
+        external_degree: 2.0,
+        skew: None,
+        seed: 5,
+    })
+}
+
+fn cfg(k: u32) -> SpinnerConfig {
+    let mut cfg = SpinnerConfig::new(k).with_seed(42);
+    cfg.num_workers = 8;
+    cfg
+}
+
+/// Fig. 7 shape: adapting to a small change saves messages relative to a
+/// from-scratch repartitioning and moves far fewer vertices.
+#[test]
+fn incremental_adaptation_saves_work_and_movement() {
+    let edges = base_graph();
+    let g = from_undirected_edges(&edges);
+    let k = 8;
+    let initial = partition(&g, &cfg(k));
+
+    let new_edges = sample_new_edges(&edges, 400, 0.8, 17); // ~1% new edges
+    let changed = apply_delta(&edges, &GraphDelta::additions(new_edges));
+    let g2 = from_undirected_edges(&changed);
+
+    let adapted = adapt(&g2, &initial.labels, &cfg(k));
+    let scratch = partition(&g2, &cfg(k).with_seed(777));
+
+    // Savings in iterations and messages.
+    assert!(
+        adapted.iterations * 2 <= scratch.iterations + 1,
+        "adapted {} vs scratch {} iterations",
+        adapted.iterations,
+        scratch.iterations
+    );
+    assert!(
+        (adapted.totals.messages as f64) < 0.7 * scratch.totals.messages as f64,
+        "messages {} vs {}",
+        adapted.totals.messages,
+        scratch.totals.messages
+    );
+    // Stability: few vertices move vs nearly all from scratch.
+    let moved_adapt = partitioning_difference(&initial.labels, &adapted.labels);
+    let moved_scratch = partitioning_difference(&initial.labels, &scratch.labels);
+    assert!(moved_adapt < 0.3, "moved {moved_adapt}");
+    assert!(moved_scratch > 0.6, "scratch moved {moved_scratch}");
+    // Quality comparable to scratch.
+    assert!(adapted.quality.phi > scratch.quality.phi - 0.1);
+    assert!(adapted.quality.rho < 1.2);
+}
+
+/// New vertices join the least-loaded partitions and get labels.
+#[test]
+fn adapt_handles_new_vertices() {
+    let edges = base_graph();
+    let g = from_undirected_edges(&edges);
+    let k = 8;
+    let initial = partition(&g, &cfg(k));
+
+    // 100 new vertices, each friending 3 random existing ones.
+    let n0 = edges.num_vertices();
+    let mut new_edges = Vec::new();
+    let mut rng = spinner_graph::rng::SplitMix64::new(31);
+    for i in 0..100u32 {
+        for _ in 0..3 {
+            new_edges.push((n0 + i, rng.next_bounded(n0 as u64) as u32));
+        }
+    }
+    let changed = apply_delta(
+        &edges,
+        &GraphDelta { added_edges: new_edges, removed_edges: vec![], new_vertices: 100 },
+    );
+    let g2 = from_undirected_edges(&changed);
+    let adapted = adapt(&g2, &initial.labels, &cfg(k));
+    assert_eq!(adapted.labels.len(), (n0 + 100) as usize);
+    assert!(adapted.labels.iter().all(|&l| l < k));
+    assert!(adapted.quality.rho < 1.2, "rho {}", adapted.quality.rho);
+}
+
+/// Fig. 8 shape: elastic growth moves roughly n/(k+n) of the vertices (plus
+/// settle-in migrations), far less than scratch.
+#[test]
+fn elastic_growth_moves_expected_fraction() {
+    let g = from_undirected_edges(&base_graph());
+    let old_k = 8;
+    let initial = partition(&g, &cfg(old_k));
+
+    for n_new in [1u32, 4] {
+        let new_k = old_k + n_new;
+        let grown = elastic(&g, &initial.labels, old_k, &cfg(new_k));
+        let moved = partitioning_difference(&initial.labels, &grown.labels);
+        let eq11 = n_new as f64 / new_k as f64;
+        assert!(
+            moved < eq11 + 0.35,
+            "+{n_new}: moved {moved} vs Eq.11 baseline {eq11}"
+        );
+        assert!(grown.quality.loads.iter().all(|&l| l > 0), "+{n_new}: empty partition");
+        let scratch = partition(&g, &cfg(new_k).with_seed(99));
+        let moved_scratch = partitioning_difference(&initial.labels, &scratch.labels);
+        assert!(moved < moved_scratch, "+{n_new}: {moved} vs scratch {moved_scratch}");
+    }
+}
+
+/// Shrinking removes the high labels and redistributes their vertices.
+#[test]
+fn elastic_shrink_redistributes() {
+    let g = from_undirected_edges(&base_graph());
+    let initial = partition(&g, &cfg(8));
+    let shrunk = elastic(&g, &initial.labels, 8, &cfg(5));
+    assert!(shrunk.labels.iter().all(|&l| l < 5));
+    assert!(shrunk.quality.rho < 1.25, "rho {}", shrunk.quality.rho);
+    // Vertices that stayed in surviving partitions mostly keep their label.
+    let kept = initial
+        .labels
+        .iter()
+        .zip(&shrunk.labels)
+        .filter(|&(&a, &b)| a < 5 && a == b)
+        .count() as f64;
+    let survivors =
+        initial.labels.iter().filter(|&&a| a < 5).count() as f64;
+    assert!(kept / survivors > 0.5, "kept fraction {}", kept / survivors);
+}

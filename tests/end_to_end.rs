@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full pipeline from generator through
+//! conversion, partitioning, and application execution on the Pregel engine.
+
+use spinner_core::{partition, partition_directed, SpinnerConfig};
+use spinner_graph::conversion::{from_undirected_edges, to_weighted_undirected};
+use spinner_graph::{Dataset, Scale};
+use spinner_pregel::algorithms::{run_pagerank, run_wcc};
+use spinner_pregel::sim::CostModel;
+use spinner_pregel::{EngineConfig, Placement};
+
+fn cfg(k: u32) -> SpinnerConfig {
+    let mut cfg = SpinnerConfig::new(k).with_seed(42);
+    cfg.num_workers = 8;
+    cfg.max_iterations = 80;
+    cfg
+}
+
+/// Every dataset analogue partitions with better locality than hash and
+/// bounded unbalance.
+#[test]
+fn all_datasets_beat_hash_partitioning() {
+    for d in Dataset::ALL {
+        let g = d.build_undirected(Scale::Tiny);
+        let k = 8;
+        let r = partition(&g, &cfg(k));
+        let hash = spinner_baselines::hash_partition(g.num_vertices(), k, 7);
+        let phi_hash = spinner_metrics::phi(&g, &hash);
+        assert!(
+            r.quality.phi > 1.5 * phi_hash,
+            "{}: spinner {} vs hash {}",
+            d.short_name(),
+            r.quality.phi,
+            phi_hash
+        );
+        assert!(
+            r.quality.rho < 1.6,
+            "{}: rho {}",
+            d.short_name(),
+            r.quality.rho
+        );
+        // Labels are a valid k-way assignment.
+        assert_eq!(r.labels.len(), g.num_vertices() as usize);
+        assert!(r.labels.iter().all(|&l| l < k));
+        // Loads reported by the result must sum to the total weight.
+        assert_eq!(r.quality.loads.iter().sum::<u64>(), g.total_weight());
+    }
+}
+
+/// Spinner placement reduces simulated cluster time and network traffic for
+/// a real application run.
+#[test]
+fn spinner_placement_speeds_up_pagerank() {
+    let d = Dataset::LiveJournal.build_directed(Scale::Tiny);
+    let g = to_weighted_undirected(&d);
+    let k = 8u32;
+    let r = partition(&g, &cfg(k));
+
+    let engine = EngineConfig { num_threads: 4, max_supersteps: 1000, seed: 3 };
+    let hash = Placement::hashed(d.num_vertices(), k as usize, 5);
+    let spin = Placement::from_labels(&r.labels, k as usize);
+    let (ranks_hash, m_hash) = run_pagerank(&d, &hash, engine.clone(), 10);
+    let (ranks_spin, m_spin) = run_pagerank(&d, &spin, engine, 10);
+
+    // Placement must not change the numerical result.
+    for (a, b) in ranks_hash.iter().zip(&ranks_spin) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+    let remote_hash: u64 = m_hash.metrics.iter().map(|m| m.sent_remote()).sum();
+    let remote_spin: u64 = m_spin.metrics.iter().map(|m| m.sent_remote()).sum();
+    assert!(
+        (remote_spin as f64) < 0.7 * remote_hash as f64,
+        "remote traffic {remote_spin} vs {remote_hash}"
+    );
+    let cost = CostModel::default();
+    let t_hash = cost.total_seconds(&m_hash.metrics);
+    let t_spin = cost.total_seconds(&m_spin.metrics);
+    assert!(t_spin < t_hash, "simulated {t_spin} vs {t_hash}");
+}
+
+/// WCC on a disconnected planted graph finds exactly the planted components,
+/// regardless of the placement used.
+#[test]
+fn wcc_is_placement_independent() {
+    // Two disconnected SBM halves.
+    let mut builder = spinner_graph::GraphBuilder::new(200);
+    for base in [0u32, 100] {
+        for i in 0..99 {
+            builder.add_edge(base + i, base + i + 1);
+        }
+    }
+    let g = from_undirected_edges(&builder.build());
+    let engine = EngineConfig { num_threads: 2, max_supersteps: 1000, seed: 1 };
+    let (a, _) = run_wcc(&g, &Placement::hashed(200, 4, 1), engine.clone());
+    let (b, _) = run_wcc(&g, &Placement::contiguous(200, 4), engine);
+    assert_eq!(a, b);
+    assert!(a[..100].iter().all(|&c| c == 0));
+    assert!(a[100..].iter().all(|&c| c == 100));
+}
+
+/// The faithful in-engine conversion path (NeighborPropagation /
+/// NeighborDiscovery supersteps) agrees with the offline conversion on every
+/// directed dataset analogue.
+#[test]
+fn in_engine_conversion_matches_offline_on_datasets() {
+    for d in [Dataset::LiveJournal, Dataset::Yahoo] {
+        let directed = d.build_directed(Scale::Tiny);
+        let mut c = cfg(4);
+        c.max_iterations = 10;
+        c.ignore_halting = true;
+        let offline = partition_directed(&directed, &c);
+        c.in_engine_conversion = true;
+        let in_engine = partition_directed(&directed, &c);
+        assert_eq!(
+            offline.labels,
+            in_engine.labels,
+            "{} conversion mismatch",
+            d.short_name()
+        );
+    }
+}
+
+/// Determinism across thread counts holds for the full pipeline.
+#[test]
+fn pipeline_is_thread_deterministic() {
+    let g = Dataset::GooglePlus.build_undirected(Scale::Tiny);
+    let mut c1 = cfg(8);
+    c1.num_threads = 1;
+    let mut c2 = cfg(8);
+    c2.num_threads = 16;
+    let a = partition(&g, &c1);
+    let b = partition(&g, &c2);
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.iterations, b.iterations);
+    for (ha, hb) in a.history.iter().zip(&b.history) {
+        assert_eq!(ha, hb);
+    }
+}
