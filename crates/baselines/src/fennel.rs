@@ -41,7 +41,7 @@ pub fn fennel_partition(g: &UndirectedGraph, cfg: &FennelConfig) -> Vec<Label> {
     assert!(cfg.k >= 1);
     let k = cfg.k as usize;
     let m = g.total_weight() as f64 / 2.0; // undirected weighted edge count
-    // α = m · k^(γ−1) / n^γ (Fennel §3, with the interpolation objective).
+                                           // α = m · k^(γ−1) / n^γ (Fennel §3, with the interpolation objective).
     let alpha = m * (k as f64).powf(cfg.gamma - 1.0) / (n as f64).powf(cfg.gamma);
     let capacity = (cfg.nu * n as f64 / k as f64).max(1.0);
     let order = stream_order(n, cfg.order, cfg.seed);
@@ -136,7 +136,7 @@ mod tests {
         let loose = FennelConfig { gamma: 1.1, ..FennelConfig::new(8) };
         let tight = FennelConfig { gamma: 3.0, ..FennelConfig::new(8) };
         let spread = |labels: &[Label]| {
-            let mut sizes = vec![0i64; 8];
+            let mut sizes = [0i64; 8];
             for &l in labels {
                 sizes[l as usize] += 1;
             }

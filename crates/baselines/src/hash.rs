@@ -9,9 +9,7 @@ use spinner_graph::VertexId;
 /// Assigns `label(v) = hash(v) mod k`, mirroring Giraph's default placement.
 pub fn hash_partition(num_vertices: VertexId, k: u32, seed: u64) -> Vec<Label> {
     assert!(k >= 1);
-    (0..num_vertices)
-        .map(|v| (mix3(seed, v as u64, 0x4A54) % k as u64) as Label)
-        .collect()
+    (0..num_vertices).map(|v| (mix3(seed, v as u64, 0x4A54) % k as u64) as Label).collect()
 }
 
 #[cfg(test)]

@@ -89,7 +89,8 @@ mod tests {
 
     #[test]
     fn total_vertex_weight_is_preserved() {
-        let edges: Vec<(u32, u32)> = (0..50).flat_map(|i| [(i, (i + 1) % 50), (i, (i + 7) % 50)]).collect();
+        let edges: Vec<(u32, u32)> =
+            (0..50).flat_map(|i| [(i, (i + 1) % 50), (i, (i + 7) % 50)]).collect();
         let g = work_graph(50, &edges);
         let before = g.total_weight();
         let (coarse, _) = coarsen_once(&g, 3);

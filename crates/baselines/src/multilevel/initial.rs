@@ -38,15 +38,17 @@ pub fn initial_partition(g: &WorkGraph, cfg: &MultilevelConfig) -> Vec<Label> {
         while seed_cursor < n && labels[order[seed_cursor] as usize] != UNASSIGNED {
             seed_cursor += 1;
         }
-        let Some(&seed) = order.get(seed_cursor) else { break };
+        let Some(&seed) = order.get(seed_cursor) else {
+            break;
+        };
 
         let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::new();
         let assign = |v: u32,
-                          labels: &mut Vec<Label>,
-                          loads: &mut Vec<u64>,
-                          heap: &mut BinaryHeap<(u64, u32)>,
-                          gain: &mut Vec<u64>,
-                          touched: &mut Vec<u32>| {
+                      labels: &mut Vec<Label>,
+                      loads: &mut Vec<u64>,
+                      heap: &mut BinaryHeap<(u64, u32)>,
+                      gain: &mut Vec<u64>,
+                      touched: &mut Vec<u32>| {
             labels[v as usize] = part as Label;
             loads[part] += g.vwgt[v as usize];
             for &(t, w) in &g.adj[v as usize] {
@@ -63,7 +65,9 @@ pub fn initial_partition(g: &WorkGraph, cfg: &MultilevelConfig) -> Vec<Label> {
 
         while (loads[part] as f64) < share {
             // Pop until a live entry (lazy deletion).
-            let Some((gval, v)) = heap.pop() else { break };
+            let Some((gval, v)) = heap.pop() else {
+                break;
+            };
             if labels[v as usize] != UNASSIGNED || gain[v as usize] != gval {
                 continue;
             }

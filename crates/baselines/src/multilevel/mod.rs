@@ -49,7 +49,14 @@ pub struct MultilevelConfig {
 impl MultilevelConfig {
     /// METIS-flavoured defaults, balancing on edges.
     pub fn new(k: u32) -> Self {
-        Self { k, balance: 1.03, coarsen_to: 30, refine_passes: 8, seed: 1, vertex_balance: false }
+        Self {
+            k,
+            balance: 1.03,
+            coarsen_to: 30,
+            refine_passes: 8,
+            seed: 1,
+            vertex_balance: false,
+        }
     }
 }
 

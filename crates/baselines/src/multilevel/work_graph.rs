@@ -30,12 +30,7 @@ impl WorkGraph {
         let mut vwgt = Vec::with_capacity(n);
         for v in g.vertices() {
             let (ts, ws) = g.neighbors(v);
-            adj.push(
-                ts.iter()
-                    .zip(ws)
-                    .map(|(&t, &w)| (t, w as u64))
-                    .collect::<Vec<_>>(),
-            );
+            adj.push(ts.iter().zip(ws).map(|(&t, &w)| (t, w as u64)).collect::<Vec<_>>());
             vwgt.push(weight(v));
         }
         Self { vwgt, adj }
@@ -139,9 +134,8 @@ mod tests {
 
     #[test]
     fn unit_weights_mode() {
-        let g = from_undirected_edges(
-            &GraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build(),
-        );
+        let g =
+            from_undirected_edges(&GraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build());
         let wg = WorkGraph::from_undirected_unit_weights(&g);
         assert_eq!(wg.vwgt, vec![1, 1, 1]);
     }

@@ -167,10 +167,7 @@ mod tests {
             sizes[l as usize] += 1;
         }
         let ideal = 4000.0 / 8.0;
-        assert!(
-            sizes.iter().all(|&s| (s as f64) < 1.25 * ideal),
-            "sizes {sizes:?}"
-        );
+        assert!(sizes.iter().all(|&s| (s as f64) < 1.25 * ideal), "sizes {sizes:?}");
     }
 
     #[test]

@@ -35,9 +35,7 @@ fn bench_generators(c: &mut Criterion) {
     group.sample_size(10);
     let d = rmat(RmatConfig::graph500(17, 8, 2));
     group.throughput(Throughput::Elements(d.num_edges()));
-    group.bench_function("eq3_weighted_undirected", |b| {
-        b.iter(|| to_weighted_undirected(&d))
-    });
+    group.bench_function("eq3_weighted_undirected", |b| b.iter(|| to_weighted_undirected(&d)));
     group.finish();
 }
 

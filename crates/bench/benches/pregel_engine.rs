@@ -32,9 +32,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| run_pagerank(&g, &placement, engine_cfg(8), 5))
     });
     group.throughput(Throughput::Elements(edges));
-    group.bench_function("bfs_sssp", |b| {
-        b.iter(|| run_sssp(&g, &placement, engine_cfg(8), 0))
-    });
+    group.bench_function("bfs_sssp", |b| b.iter(|| run_sssp(&g, &placement, engine_cfg(8), 0)));
     group.finish();
 }
 

@@ -12,7 +12,9 @@
 use spinner_bench::{f2, f3, load_dataset, pct1, scale_from_env, spinner_cfg, Table};
 use spinner_core::config::RestartScope;
 use spinner_core::{adapt_with_delta, partition};
-use spinner_graph::conversion::{from_undirected_edges, to_naive_undirected, to_weighted_undirected};
+use spinner_graph::conversion::{
+    from_undirected_edges, to_naive_undirected, to_weighted_undirected,
+};
 use spinner_graph::mutation::{apply_delta, sample_new_edges};
 use spinner_graph::{Dataset, GraphDelta};
 
@@ -28,7 +30,12 @@ fn main() {
         let mut cfg = spinner_cfg(k, 42);
         cfg.async_worker_loads = on;
         let r = partition(&g, &cfg);
-        t1.row([name.to_string(), r.iterations.to_string(), f2(r.quality.phi), f3(r.quality.rho)]);
+        t1.row([
+            name.to_string(),
+            r.iterations.to_string(),
+            f2(r.quality.phi),
+            f3(r.quality.rho),
+        ]);
     }
     println!("{t1}");
     println!("(paper §IV-A4: the async view speeds up convergence)\n");

@@ -19,17 +19,17 @@ fn main() {
     let scale = scale_from_env();
     let ks = [2u32, 4, 8, 16, 32, 64, 128, 256, 512];
 
-    let mut phi_table = Table::new("Figure 3a: phi vs number of partitions")
-        .header(std::iter::once("k".to_string()).chain(
-            Dataset::FIG3.iter().map(|d| d.short_name().to_string()),
-        ));
+    let mut phi_table = Table::new("Figure 3a: phi vs number of partitions").header(
+        std::iter::once("k".to_string())
+            .chain(Dataset::FIG3.iter().map(|d| d.short_name().to_string())),
+    );
     let mut imp_table = Table::new("Figure 3b: phi improvement over hash partitioning (x)")
-        .header(std::iter::once("k".to_string()).chain(
-            Dataset::FIG3.iter().map(|d| d.short_name().to_string()),
-        ));
+        .header(
+            std::iter::once("k".to_string())
+                .chain(Dataset::FIG3.iter().map(|d| d.short_name().to_string())),
+        );
 
-    let graphs: Vec<_> =
-        Dataset::FIG3.iter().map(|&d| (d, load_dataset(d, scale))).collect();
+    let graphs: Vec<_> = Dataset::FIG3.iter().map(|&d| (d, load_dataset(d, scale))).collect();
 
     let mut rho_sums = vec![0.0f64; graphs.len()];
     let mut phi_rows: Vec<Vec<f64>> = Vec::new();
@@ -50,13 +50,11 @@ fn main() {
     }
 
     for (row, &k) in phi_rows.iter().zip(&ks) {
-        phi_table
-            .row(std::iter::once(k.to_string()).chain(row.iter().map(|&p| f2(p))));
+        phi_table.row(std::iter::once(k.to_string()).chain(row.iter().map(|&p| f2(p))));
     }
     for (row, &k) in imp_rows.iter().zip(&ks) {
-        imp_table.row(
-            std::iter::once(k.to_string()).chain(row.iter().map(|&i| format!("{i:.1}x"))),
-        );
+        imp_table
+            .row(std::iter::once(k.to_string()).chain(row.iter().map(|&i| format!("{i:.1}x"))));
     }
     println!("{phi_table}");
     println!("{imp_table}");

@@ -45,10 +45,7 @@ fn main() {
     cfg.ignore_halting = true;
     cfg.max_iterations = 115;
     let r = partition(&tw, &cfg);
-    print_history(
-        &format!("Figure 4a: Twitter analogue, k={k} (115 iterations)"),
-        &r,
-    );
+    print_history(&format!("Figure 4a: Twitter analogue, k={k} (115 iterations)"), &r);
     let initial_rho = r.history.first().map(|h| h.rho).unwrap_or(f64::NAN);
     println!(
         "initial rho under random partitioning: {} (paper: 1.67); final rho {} (paper: 1.05)",
@@ -59,10 +56,7 @@ fn main() {
     let mut halt_cfg = spinner_cfg(k, 42);
     halt_cfg.max_iterations = 115;
     let halted = partition(&tw, &halt_cfg);
-    println!(
-        "halting heuristic stops at iteration {} (paper: 41)\n",
-        halted.iterations
-    );
+    println!("halting heuristic stops at iteration {} (paper: 41)\n", halted.iterations);
 
     // (b) Yahoo!, k=115, halting on.
     let y = load_dataset(Dataset::Yahoo, scale);

@@ -14,21 +14,15 @@ fn main() {
     let g = load_dataset(Dataset::LiveJournal, scale_from_env());
     let cs = [1.02f64, 1.05, 1.10, 1.20];
     let ks = [8u32, 16, 32, 64];
-    let runs: u64 = std::env::var("SPINNER_RUNS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let runs: u64 =
+        std::env::var("SPINNER_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
 
     let mut rho_table = Table::new(format!(
         "Figure 5a: rho vs c on LiveJournal analogue ({runs} runs; mean [min..max])"
     ))
-    .header(
-        std::iter::once("c".to_string()).chain(ks.iter().map(|k| format!("k={k}"))),
-    );
+    .header(std::iter::once("c".to_string()).chain(ks.iter().map(|k| format!("k={k}"))));
     let mut iter_table = Table::new("Figure 5b: iterations to converge vs c (mean)")
-        .header(
-            std::iter::once("c".to_string()).chain(ks.iter().map(|k| format!("k={k}"))),
-        );
+        .header(std::iter::once("c".to_string()).chain(ks.iter().map(|k| format!("k={k}"))));
 
     for &c in &cs {
         let mut rho_cells = vec![format!("{c:.2}")];
@@ -57,5 +51,7 @@ fn main() {
     println!("(paper: mean rho tracks the rho = c line from below)");
     println!();
     println!("{iter_table}");
-    println!("(paper: larger c => fewer iterations, e.g. ~100 at c=1.02 down to ~25 at c=1.20)");
+    println!(
+        "(paper: larger c => fewer iterations, e.g. ~100 at c=1.02 down to ~25 at c=1.20)"
+    );
 }

@@ -33,9 +33,7 @@ fn main() {
     let (sizes, fixed_n): (&[u32], u32) = match scale {
         Scale::Tiny => (&[1 << 12, 1 << 13, 1 << 14], 1 << 13),
         Scale::Small => (&[1 << 14, 1 << 15, 1 << 16, 1 << 17], 1 << 16),
-        Scale::Full => {
-            (&[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20], 1 << 18)
-        }
+        Scale::Full => (&[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20], 1 << 18),
     };
 
     // (a) Runtime vs graph size (k = 64, like the paper).
@@ -91,10 +89,8 @@ fn main() {
     // (c) Runtime vs number of partitions, in both candidate-scan modes:
     // the exhaustive O(k)-per-vertex scan the paper describes, and our
     // optimised scan whose cost is O(deg) amortised.
-    let mut tc = Table::new(format!(
-        "Figure 6c: first-iteration runtime vs k (n={fixed_n})"
-    ))
-    .header(["k", "paper O(k) scan (s)", "optimized scan (s)"]);
+    let mut tc = Table::new(format!("Figure 6c: first-iteration runtime vs k (n={fixed_n})"))
+        .header(["k", "paper O(k) scan (s)", "optimized scan (s)"]);
     for k in [2u32, 8, 32, 128, 512] {
         let mut exhaustive_cfg = spinner_cfg(k, 42);
         exhaustive_cfg.exhaustive_candidate_scan = true;

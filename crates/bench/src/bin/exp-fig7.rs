@@ -23,11 +23,7 @@ fn main() {
     // mutate the edge list and re-derive the undirected view).
     let base_directed = Dataset::Tuenti.build_directed(scale);
     let base = from_undirected_edges(&base_directed);
-    eprintln!(
-        "tuenti analogue: |V|={} |E|={}",
-        base.num_vertices(),
-        base.num_edges()
-    );
+    eprintln!("tuenti analogue: |V|={} |E|={}", base.num_vertices(), base.num_edges());
 
     let cfg = spinner_cfg(k, 42);
     eprintln!("initial partitioning...");
@@ -51,15 +47,13 @@ fn main() {
     for pct in [0.1f64, 0.5, 1.0, 2.5, 5.0, 10.0, 20.0, 30.0] {
         let count = (base_directed.num_edges() as f64 * pct / 100.0) as usize;
         let new_edges = sample_new_edges(&base_directed, count, 0.8, 99);
-        let changed =
-            apply_delta(&base_directed, &GraphDelta::additions(new_edges));
+        let changed = apply_delta(&base_directed, &GraphDelta::additions(new_edges));
         let g2 = from_undirected_edges(&changed);
 
         let adapted = adapt(&g2, &initial.labels, &cfg);
         let scratch = partition(&g2, &cfg.clone().with_seed(4242));
 
-        let time_saved =
-            savings_pct(scratch.wall_ns as f64, adapted.wall_ns as f64);
+        let time_saved = savings_pct(scratch.wall_ns as f64, adapted.wall_ns as f64);
         let msg_saved =
             savings_pct(scratch.totals.messages as f64, adapted.totals.messages as f64);
         let moved_adapt = partitioning_difference(&initial.labels, &adapted.labels);

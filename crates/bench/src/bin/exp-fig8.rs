@@ -7,7 +7,9 @@
 //! re-partitioning and moves <17% of vertices (vs ~96% from scratch);
 //! savings shrink as more partitions are added.
 
-use spinner_bench::{f2, f3, load_dataset, pct1, savings_pct, scale_from_env, spinner_cfg, Table};
+use spinner_bench::{
+    f2, f3, load_dataset, pct1, savings_pct, scale_from_env, spinner_cfg, Table,
+};
 use spinner_core::{elastic, partition};
 use spinner_graph::Dataset;
 use spinner_metrics::partitioning_difference;
@@ -19,21 +21,19 @@ fn main() {
 
     eprintln!("initial partitioning at k={old_k}...");
     let initial = partition(&g, &spinner_cfg(old_k, 42));
-    eprintln!(
-        "initial: phi={:.3} rho={:.3}",
-        initial.quality.phi, initial.quality.rho
-    );
+    eprintln!("initial: phi={:.3} rho={:.3}", initial.quality.phi, initial.quality.rho);
 
-    let mut t = Table::new("Figure 8: adapting to new partitions (Tuenti analogue, 32 -> 32+n)")
-        .header([
-            "new partitions",
-            "time saved",
-            "msgs saved",
-            "moved elastic",
-            "moved scratch",
-            "phi",
-            "rho",
-        ]);
+    let mut t =
+        Table::new("Figure 8: adapting to new partitions (Tuenti analogue, 32 -> 32+n)")
+            .header([
+                "new partitions",
+                "time saved",
+                "msgs saved",
+                "moved elastic",
+                "moved scratch",
+                "phi",
+                "rho",
+            ]);
 
     for n in 1..=8u32 {
         let k = old_k + n;

@@ -63,12 +63,8 @@ fn main() {
             directed.num_edges()
         );
 
-
         let spinner = spinner_core::partition(&undirected, &spinner_cfg(k, 42));
-        eprintln!(
-            "  spinner phi={:.3} rho={:.3}",
-            spinner.quality.phi, spinner.quality.rho
-        );
+        eprintln!("  spinner phi={:.3} rho={:.3}", spinner.quality.phi, spinner.quality.rho);
         let n = directed.num_vertices();
         let hash_placement = Placement::hashed(n, k as usize, 7);
         let spinner_placement = Placement::from_labels(&spinner.labels, k as usize);
@@ -76,18 +72,9 @@ fn main() {
         let base = run_apps(&directed, &undirected, &hash_placement);
         let opt = run_apps(&directed, &undirected, &spinner_placement);
 
-        let imps: Vec<String> = base
-            .iter()
-            .zip(&opt)
-            .map(|(&b, &o)| pct1(improvement_pct(b, o)))
-            .collect();
-        eprintln!(
-            "  {}: SP {} PR {} CC {}",
-            d.short_name(),
-            imps[0],
-            imps[1],
-            imps[2]
-        );
+        let imps: Vec<String> =
+            base.iter().zip(&opt).map(|(&b, &o)| pct1(improvement_pct(b, o))).collect();
+        eprintln!("  {}: SP {} PR {} CC {}", d.short_name(), imps[0], imps[1], imps[2]);
         t.row([
             d.short_name().to_string(),
             k.to_string(),

@@ -30,18 +30,12 @@ fn main() {
         for &k in &ks {
             eprintln!("running {name} k={k}...");
             let labels = match name {
-                "wang" => baselines::wang_partition(
-                    &g,
-                    &baselines::WangConfig::new(k),
-                ),
+                "wang" => baselines::wang_partition(&g, &baselines::WangConfig::new(k)),
                 "ldg" => baselines::ldg_partition(&g, &baselines::LdgConfig::new(k)),
-                "fennel" => {
-                    baselines::fennel_partition(&g, &baselines::FennelConfig::new(k))
+                "fennel" => baselines::fennel_partition(&g, &baselines::FennelConfig::new(k)),
+                "metis-like" => {
+                    baselines::multilevel_partition(&g, &baselines::MultilevelConfig::new(k))
                 }
-                "metis-like" => baselines::multilevel_partition(
-                    &g,
-                    &baselines::MultilevelConfig::new(k),
-                ),
                 "spinner" => run_spinner(&g, &spinner_cfg(k, 42)).labels,
                 _ => unreachable!(),
             };
@@ -52,13 +46,11 @@ fn main() {
         results.push((name, row));
     }
 
-    let mut t = Table::new(
-        "Table I: phi/rho on the Twitter analogue, measured (paper)",
-    )
-    .header(
-        std::iter::once("approach".to_string())
-            .chain(ks.iter().flat_map(|k| [format!("phi k={k}"), format!("rho k={k}")])),
-    );
+    let mut t = Table::new("Table I: phi/rho on the Twitter analogue, measured (paper)")
+        .header(
+            std::iter::once("approach".to_string())
+                .chain(ks.iter().flat_map(|k| [format!("phi k={k}"), format!("rho k={k}")])),
+        );
     for ((name, row), (_, paper)) in results.iter().zip(&PAPER) {
         let mut cells = vec![name.to_string()];
         for (i, &(phi, rho)) in row.iter().enumerate() {
@@ -70,17 +62,12 @@ fn main() {
     println!("{t}");
 
     // Shape assertions the paper makes in prose.
-    let phi_of = |name: &str| {
-        &results.iter().find(|(n, _)| *n == name).unwrap().1
-    };
+    let phi_of = |name: &str| &results.iter().find(|(n, _)| *n == name).unwrap().1;
     let spinner = phi_of("spinner");
     let metis = phi_of("metis-like");
     let wang = phi_of("wang");
-    let within = spinner
-        .iter()
-        .zip(metis)
-        .filter(|((sp, _), (mp, _))| sp >= &(mp - 0.15))
-        .count();
+    let within =
+        spinner.iter().zip(metis).filter(|((sp, _), (mp, _))| sp >= &(mp - 0.15)).count();
     println!("spinner within 0.15 of metis-like phi in {within}/5 settings");
     let wang_rho_worst = wang.iter().map(|&(_, r)| r).fold(0.0, f64::max);
     let spinner_rho_worst = spinner.iter().map(|&(_, r)| r).fold(0.0, f64::max);

@@ -19,11 +19,7 @@ fn main() {
     let workers = 256usize;
     let directed = Dataset::Twitter.build_directed(scale);
     let undirected = to_weighted_undirected(&directed);
-    eprintln!(
-        "twitter analogue: |V|={} |E|={}",
-        directed.num_vertices(),
-        directed.num_edges()
-    );
+    eprintln!("twitter analogue: |V|={} |E|={}", directed.num_vertices(), directed.num_edges());
 
     let engine_cfg = EngineConfig {
         num_threads: spinner_bench::threads_from_env(),
@@ -34,10 +30,7 @@ fn main() {
 
     eprintln!("partitioning with spinner (k=256)...");
     let spinner = spinner_core::partition(&undirected, &spinner_cfg(workers as u32, 42));
-    eprintln!(
-        "  phi={:.3} rho={:.3}",
-        spinner.quality.phi, spinner.quality.rho
-    );
+    eprintln!("  phi={:.3} rho={:.3}", spinner.quality.phi, spinner.quality.rho);
 
     let cost = CostModel::default();
     let mut rows = Vec::new();
@@ -67,6 +60,8 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("(paper: Random 5.8±2.3 / 8.4±2.1 / 3.4±1.9; Spinner 4.7±1.5 / 5.8±1.3 / 3.1±1.1;");
+    println!(
+        "(paper: Random 5.8±2.3 / 8.4±2.1 / 3.4±1.9; Spinner 4.7±1.5 / 5.8±1.3 / 3.1±1.1;"
+    );
     println!(" idling 31% under hash vs 19% under Spinner)");
 }

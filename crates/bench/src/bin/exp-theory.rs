@@ -50,10 +50,9 @@ fn monte_carlo(
 }
 
 fn main() {
-    let mut t = Table::new(
-        "Proposition 3: empirical violation rate vs printed and rigorous bounds",
-    )
-    .header(["|M|", "deg range", "eps", "empirical", "paper bound", "rigorous bound"]);
+    let mut t =
+        Table::new("Proposition 3: empirical violation rate vs printed and rigorous bounds")
+            .header(["|M|", "deg range", "eps", "empirical", "paper bound", "rigorous bound"]);
     let mut printed_bound_violations = 0u32;
     for (m, d, dd, eps) in [
         (200u64, 1u64, 500u64, 0.2f64),

@@ -1,9 +1,25 @@
 //! Runs every experiment binary in sequence (the full paper reproduction).
 //!
-//! `SPINNER_SCALE=tiny cargo run --release --bin run-all` for a smoke pass;
-//! default scale regenerates the EXPERIMENTS.md numbers.
+//! ```text
+//! run-all [--smoke] [--json <path>]
+//! ```
+//!
+//! - `--smoke`: run the tiny-scale smoke suite (forces `SPINNER_SCALE=tiny`
+//!   for every child), finishing in seconds. CI runs this on each PR and
+//!   uploads the JSON report as a workflow artifact.
+//! - `--json <path>`: write a machine-readable report of the run (see
+//!   `spinner_bench::report`). Defaults to `bench-out/BENCH_SMOKE.json` in
+//!   smoke mode; omitted otherwise unless requested.
+//!
+//! `SPINNER_SCALE=tiny cargo run --release --bin run-all` remains the
+//! manual equivalent; the default (full) scale regenerates the
+//! EXPERIMENTS.md numbers.
 
-use std::process::Command;
+use spinner_bench::report::{render_report, ExperimentOutcome};
+use spinner_bench::scale_from_env;
+use spinner_graph::Scale;
+use std::process::{Command, ExitCode};
+use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "exp-table1",
@@ -19,23 +35,98 @@ const EXPERIMENTS: &[&str] = &[
     "exp-theory",
 ];
 
-fn main() {
-    let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("exe dir");
-    let mut failed = Vec::new();
-    for name in EXPERIMENTS {
-        println!("\n################ {name} ################\n");
-        let status = Command::new(dir.join(name))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-        if !status.success() {
-            eprintln!("{name} FAILED with {status}");
-            failed.push(*name);
+struct Args {
+    smoke: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, json: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--json" => match it.next() {
+                Some(path) => args.json = Some(path),
+                None => {
+                    eprintln!("missing value for --json");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: run-all [--smoke] [--json <path>]");
+                std::process::exit(2);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
         }
     }
+    if args.smoke && args.json.is_none() {
+        args.json = Some("bench-out/BENCH_SMOKE.json".to_string());
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // Children read SPINNER_SCALE themselves; in smoke mode force tiny so a
+    // stray environment setting cannot turn CI into a multi-hour run. The
+    // reported scale goes through the same mapping the children use, so an
+    // unrecognised SPINNER_SCALE value is recorded as the "full" it falls
+    // back to, not as the raw string.
+    let scale = if args.smoke {
+        "tiny"
+    } else {
+        match scale_from_env() {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    };
+
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir");
+    let mut outcomes = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################\n");
+        let mut cmd = Command::new(dir.join(name));
+        if args.smoke {
+            cmd.env("SPINNER_SCALE", "tiny");
+        }
+        let start = Instant::now();
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        let seconds = start.elapsed().as_secs_f64();
+        if !status.success() {
+            eprintln!("{name} FAILED with {status}");
+        }
+        outcomes.push(ExperimentOutcome {
+            name: name.to_string(),
+            ok: status.success(),
+            seconds,
+        });
+    }
+
+    if let Some(path) = &args.json {
+        let suite = if args.smoke { "smoke" } else { "full" };
+        let report = render_report(suite, scale, &outcomes);
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create report directory");
+            }
+        }
+        std::fs::write(path, report).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote report to {path}");
+    }
+
+    let failed: Vec<&str> =
+        outcomes.iter().filter(|o| !o.ok).map(|o| o.name.as_str()).collect();
     if failed.is_empty() {
         println!("\nall {} experiments completed", EXPERIMENTS.len());
+        ExitCode::SUCCESS
     } else {
-        panic!("failed experiments: {failed:?}");
+        eprintln!("\nfailed experiments: {failed:?}");
+        ExitCode::FAILURE
     }
 }

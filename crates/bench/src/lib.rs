@@ -12,6 +12,8 @@
 use spinner_core::{PartitionResult, SpinnerConfig};
 use spinner_graph::{Dataset, Scale, UndirectedGraph};
 
+pub mod report;
+
 pub use spinner_metrics::Table;
 
 /// Reads the dataset scale from `SPINNER_SCALE`.
@@ -28,9 +30,7 @@ pub fn threads_from_env() -> usize {
     std::env::var("SPINNER_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
 }
 
 /// The paper's default Spinner configuration for the experiments

@@ -1,0 +1,110 @@
+//! Machine-readable experiment reports: the `BENCH_*.json` files CI uploads
+//! as artifacts so the experiment trajectory is tracked across commits.
+//!
+//! Rendering is hand-rolled (the workspace has no JSON dependency); the
+//! format is a flat object that any consumer can parse:
+//!
+//! ```json
+//! {
+//!   "suite": "smoke",
+//!   "scale": "tiny",
+//!   "total": 11,
+//!   "failed": 0,
+//!   "experiments": [
+//!     {"name": "exp-table1", "ok": true, "seconds": 1.234}
+//!   ]
+//! }
+//! ```
+
+/// The result of one experiment binary run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutcome {
+    /// Binary name (e.g. `exp-table1`).
+    pub name: String,
+    /// Whether the process exited successfully.
+    pub ok: bool,
+    /// Wall-clock runtime in seconds.
+    pub seconds: f64,
+}
+
+/// Renders a suite report as a JSON document (trailing newline included).
+pub fn render_report(suite: &str, scale: &str, outcomes: &[ExperimentOutcome]) -> String {
+    let failed = outcomes.iter().filter(|o| !o.ok).count();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"suite\": {},\n", json_string(suite)));
+    out.push_str(&format!("  \"scale\": {},\n", json_string(scale)));
+    out.push_str(&format!("  \"total\": {},\n", outcomes.len()));
+    out.push_str(&format!("  \"failed\": {failed},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 == outcomes.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"ok\": {}, \"seconds\": {:.3}}}{sep}\n",
+            json_string(&o.name),
+            o.ok,
+            o.seconds
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Quotes and escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, ok: bool, seconds: f64) -> ExperimentOutcome {
+        ExperimentOutcome { name: name.into(), ok, seconds }
+    }
+
+    #[test]
+    fn report_lists_every_experiment_and_counts_failures() {
+        let r = render_report(
+            "smoke",
+            "tiny",
+            &[outcome("exp-table1", true, 1.5), outcome("exp-fig3", false, 0.25)],
+        );
+        assert!(r.contains("\"suite\": \"smoke\""));
+        assert!(r.contains("\"scale\": \"tiny\""));
+        assert!(r.contains("\"total\": 2"));
+        assert!(r.contains("\"failed\": 1"));
+        assert!(r.contains("{\"name\": \"exp-table1\", \"ok\": true, \"seconds\": 1.500}"));
+        assert!(r.contains("{\"name\": \"exp-fig3\", \"ok\": false, \"seconds\": 0.250}"));
+        // Exactly one element separator for two entries.
+        assert_eq!(r.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let r = render_report("smoke", "full", &[]);
+        assert!(r.contains("\"total\": 0"));
+        assert!(r.contains("\"experiments\": [\n  ]"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -5,8 +5,8 @@ use crate::config::SpinnerConfig;
 use crate::program::SpinnerProgram;
 use crate::state::{EdgeState, Label, Phase, VertexState, NO_LABEL};
 use spinner_graph::conversion::to_weighted_undirected;
-use spinner_graph::GraphDelta;
 use spinner_graph::rng::{vertex_stream, SplitMix64};
+use spinner_graph::GraphDelta;
 use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
 use spinner_metrics::PartitionQuality;
 use spinner_pregel::engine::{Engine, EngineConfig};
@@ -151,7 +151,9 @@ pub fn elastic(
 
 /// Random initial labels (scratch initialisation).
 pub fn random_labels(n: VertexId, k: u32, seed: u64) -> Vec<Label> {
-    (0..n).map(|v| vertex_stream(seed, v as u64, 0x1417).next_bounded(k as u64) as Label).collect()
+    (0..n)
+        .map(|v| vertex_stream(seed, v as u64, 0x1417).next_bounded(k as u64) as Label)
+        .collect()
 }
 
 /// Incremental initialisation (§III-D): keep old labels; send each new
@@ -229,8 +231,7 @@ fn run_from_labels_scoped(
     affected: Vec<bool>,
 ) -> PartitionResult {
     let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::Initialize };
-    let placement =
-        Placement::hashed(graph.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
+    let placement = Placement::hashed(graph.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
     let mut engine = Engine::from_undirected(
         program,
         graph,
@@ -255,10 +256,8 @@ fn run_in_engine_conversion(
     cfg: &SpinnerConfig,
     labels: Vec<Label>,
 ) -> PartitionResult {
-    let program =
-        SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::NeighborPropagation };
-    let placement =
-        Placement::hashed(graph.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
+    let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::NeighborPropagation };
+    let placement = Placement::hashed(graph.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
     let mut engine = Engine::from_directed(
         program,
         graph,
@@ -288,8 +287,7 @@ fn finish(
     // adjacency is authoritative for loads (covers in-engine conversion),
     // but φ/ρ recomputation needs the undirected graph; reconstruct loads
     // from the persistent aggregator instead to stay engine-agnostic.
-    let loads: Vec<u64> =
-        global.loads.iter().map(|&l| l.max(0) as u64).collect();
+    let loads: Vec<u64> = global.loads.iter().map(|&l| l.max(0) as u64).collect();
     let total: u64 = loads.iter().sum();
     let last = global.history.last();
     // rho relative to each partition's ideal share (C_l / c), which is
@@ -312,12 +310,7 @@ fn finish(
         Some(g) => spinner_metrics::phi(g, &labels),
         None => last.map_or(1.0, |h| h.phi),
     };
-    let quality = PartitionQuality {
-        phi,
-        rho,
-        score: last.map_or(0.0, |h| h.score),
-        loads,
-    };
+    let quality = PartitionQuality { phi, rho, score: last.map_or(0.0, |h| h.score), loads };
     PartitionResult {
         labels,
         k: cfg.k,
@@ -570,7 +563,7 @@ mod extension_tests {
         let mut cfg = small_cfg(8);
         cfg.objective = BalanceObjective::Vertices;
         let r = partition(&g, &cfg);
-        let mut counts = vec![0u64; 8];
+        let mut counts = [0u64; 8];
         for &l in &r.labels {
             counts[l as usize] += 1;
         }

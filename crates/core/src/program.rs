@@ -36,7 +36,12 @@ impl SpinnerProgram {
     /// Deterministic per-vertex randomness, keyed by *logical* step rather
     /// than raw superstep so that runs with and without the two conversion
     /// supersteps make identical draws.
-    fn logical_rng(&self, vertex: u32, global: &GlobalState, salt: u64) -> spinner_graph::rng::SplitMix64 {
+    fn logical_rng(
+        &self,
+        vertex: u32,
+        global: &GlobalState,
+        salt: u64,
+    ) -> spinner_graph::rng::SplitMix64 {
         let step = (global.iteration as u64) << 3 | salt;
         vertex_stream(self.cfg.seed, vertex as u64, step)
     }
@@ -61,11 +66,8 @@ impl SpinnerProgram {
         load: i64,
         capacity: f64,
     ) -> f64 {
-        let locality = if total_weight > 0 {
-            neighbor_weight as f64 / total_weight as f64
-        } else {
-            0.0
-        };
+        let locality =
+            if total_weight > 0 { neighbor_weight as f64 / total_weight as f64 } else { 0.0 };
         if self.cfg.balance_penalty {
             locality - load as f64 / capacity
         } else {
@@ -106,8 +108,7 @@ impl SpinnerProgram {
         // (any label with zero adjacent weight scores -π(l), so only the
         // min-load label can win among the non-adjacent ones).
         let min_label = if self.cfg.balance_penalty { w.min_load_label() } else { current };
-        let loads: &[i64] =
-            if self.cfg.async_worker_loads { &w.local_loads } else { &g.loads };
+        let loads: &[i64] = if self.cfg.async_worker_loads { &w.local_loads } else { &g.loads };
         let current_score = self.label_score(
             w.counts[current as usize],
             degw,
@@ -125,8 +126,7 @@ impl SpinnerProgram {
         // hash priority wins, so the exhaustive and optimised candidate
         // scans agree despite enumerating candidates in different orders.
         let tie_seed = self.logical_rng(ctx.vertex, g, 1).next_u64();
-        let priority =
-            |l: Label| spinner_graph::rng::mix3(tie_seed, l as u64, 0xBEA7);
+        let priority = |l: Label| spinner_graph::rng::mix3(tie_seed, l as u64, 0xBEA7);
         let mut best_priority = u64::MAX;
         let exhaustive = self.cfg.exhaustive_candidate_scan;
         let candidates = (0..g.k)
@@ -328,8 +328,10 @@ impl Program for SpinnerProgram {
                 for &(sender, _) in messages {
                     match ctx.edges.index_of(sender) {
                         Some(i) => ctx.edges.values[i].weight = 2,
-                        None => ctx
-                            .add_edge(sender, EdgeState { weight: 1, neighbor_label: NO_LABEL }),
+                        None => ctx.add_edge(
+                            sender,
+                            EdgeState { weight: 1, neighbor_label: NO_LABEL },
+                        ),
                     }
                 }
             }
@@ -364,10 +366,7 @@ impl Program for SpinnerProgram {
                 ctx.global.capacities = match &self.cfg.capacity_weights {
                     Some(weights) => {
                         let sum: f64 = weights.iter().sum();
-                        weights
-                            .iter()
-                            .map(|w| self.cfg.c * total as f64 * w / sum)
-                            .collect()
+                        weights.iter().map(|w| self.cfg.c * total as f64 * w / sum).collect()
                     }
                     None => {
                         vec![self.cfg.c * total as f64 / self.cfg.k as f64; self.cfg.k as usize]

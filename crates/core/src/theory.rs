@@ -74,13 +74,16 @@ impl LoadVectorModel {
 /// A random row-stochastic matrix with full support: every partition keeps
 /// `self_weight` of its value and mixes in random positive shares of every
 /// other. Makes the partition-graph sequence B-connected with B = 1.
-pub fn uniform_gossip_matrix(k: usize, self_weight: f64, rng: &mut SplitMix64) -> Vec<Vec<f64>> {
+pub fn uniform_gossip_matrix(
+    k: usize,
+    self_weight: f64,
+    rng: &mut SplitMix64,
+) -> Vec<Vec<f64>> {
     assert!((0.0..1.0).contains(&self_weight));
     let mut m = vec![vec![0.0; k]; k];
     for i in 0..k {
-        let mut weights: Vec<f64> = (0..k)
-            .map(|j| if j == i { 0.0 } else { 0.1 + rng.next_f64() })
-            .collect();
+        let mut weights: Vec<f64> =
+            (0..k).map(|j| if j == i { 0.0 } else { 0.1 + rng.next_f64() }).collect();
         let total: f64 = weights.iter().sum();
         for w in &mut weights {
             *w = (*w / total) * (1.0 - self_weight);
@@ -155,7 +158,11 @@ pub fn capacity_violation_bound(
 /// The rigorous Hoeffding bound for the same event: each candidate `v`
 /// contributes `X_v ∈ [0, deg_v]`, so
 /// `Pr[X − E[X] ≥ ε·r] ≤ exp(−2(ε·r)² / Σ_v deg_v²)`.
-pub fn capacity_violation_bound_rigorous(degrees: &[u64], eps: f64, remaining_capacity: f64) -> f64 {
+pub fn capacity_violation_bound_rigorous(
+    degrees: &[u64],
+    eps: f64,
+    remaining_capacity: f64,
+) -> f64 {
     if degrees.is_empty() {
         return 0.0;
     }
@@ -190,7 +197,11 @@ mod tests {
             model.step(&m);
             history.push(model.distance_to_even());
         }
-        assert!(history.last().unwrap() / initial < 1e-6, "ratio {}", history.last().unwrap() / initial);
+        assert!(
+            history.last().unwrap() / initial < 1e-6,
+            "ratio {}",
+            history.last().unwrap() / initial
+        );
         // Geometric envelope q·μ^t (Prop. 1's exponential form).
         let mu: f64 = 0.9;
         for (t, &d) in history.iter().enumerate() {
@@ -271,8 +282,8 @@ mod tests {
     #[test]
     fn metropolis_matrix_is_doubly_stochastic() {
         let m = metropolis_matrix(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
-        for i in 0..4 {
-            let row: f64 = m[i].iter().sum();
+        for (i, row_values) in m.iter().enumerate() {
+            let row: f64 = row_values.iter().sum();
             let col: f64 = (0..4).map(|j| m[j][i]).sum();
             assert!((row - 1.0).abs() < 1e-12);
             assert!((col - 1.0).abs() < 1e-12);

@@ -93,9 +93,8 @@ mod tests {
 
     #[test]
     fn dedup_and_self_loop_removal() {
-        let g = GraphBuilder::new(3)
-            .add_edges([(0, 1), (0, 1), (1, 1), (2, 0), (0, 2)])
-            .build();
+        let g =
+            GraphBuilder::new(3).add_edges([(0, 1), (0, 1), (1, 1), (2, 0), (0, 2)]).build();
         assert_eq!(g.num_edges(), 3); // (0,1) deduped, (1,1) dropped
         assert_eq!(g.out_neighbors(0), &[1, 2]);
         assert_eq!(g.out_degree(1), 0);
@@ -109,9 +108,7 @@ mod tests {
 
     #[test]
     fn unsorted_input_produces_sorted_adjacency() {
-        let g = GraphBuilder::new(4)
-            .add_edges([(1, 3), (1, 0), (1, 2)])
-            .build();
+        let g = GraphBuilder::new(4).add_edges([(1, 3), (1, 0), (1, 2)]).build();
         assert_eq!(g.out_neighbors(1), &[0, 2, 3]);
     }
 

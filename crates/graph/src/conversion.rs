@@ -77,11 +77,7 @@ pub fn to_weighted_undirected(g: &DirectedGraph) -> UndirectedGraph {
 pub fn to_naive_undirected(g: &DirectedGraph) -> UndirectedGraph {
     let weighted = to_weighted_undirected(g);
     let (offsets, targets, weights) = weighted.as_csr();
-    UndirectedGraph::from_csr(
-        offsets.to_vec(),
-        targets.to_vec(),
-        vec![1; weights.len()],
-    )
+    UndirectedGraph::from_csr(offsets.to_vec(), targets.to_vec(), vec![1; weights.len()])
 }
 
 /// Interprets an already-undirected edge list (each edge listed once in an
@@ -101,9 +97,8 @@ mod tests {
     #[test]
     fn figure_1_conversion() {
         // Vertices 0,1,2 in partitions; edges: 0->1, 1->0, 1->2, 2->1, 0->2.
-        let d = GraphBuilder::new(3)
-            .add_edges([(0, 1), (1, 0), (1, 2), (2, 1), (0, 2)])
-            .build();
+        let d =
+            GraphBuilder::new(3).add_edges([(0, 1), (1, 0), (1, 2), (2, 1), (0, 2)]).build();
         let u = to_weighted_undirected(&d);
         assert_eq!(u.edge_weight(0, 1), Some(2));
         assert_eq!(u.edge_weight(1, 2), Some(2));

@@ -87,10 +87,7 @@ impl Dataset {
 
     /// Whether the source dataset is directed (Table II).
     pub fn directed(self) -> bool {
-        match self {
-            Dataset::Tuenti | Dataset::Friendster => false,
-            _ => true,
-        }
+        !matches!(self, Dataset::Tuenti | Dataset::Friendster)
     }
 
     /// Builds the directed synthetic analogue at the requested scale.

@@ -99,9 +99,7 @@ mod tests {
 
     #[test]
     fn basic_accessors() {
-        let g = GraphBuilder::new(4)
-            .add_edges([(0, 1), (0, 2), (1, 2), (3, 0)])
-            .build();
+        let g = GraphBuilder::new(4).add_edges([(0, 1), (0, 2), (1, 2), (3, 0)]).build();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 4);
         assert_eq!(g.out_degree(0), 2);

@@ -28,10 +28,12 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
-                f,
-                "vertex id {vertex} out of range for graph with {num_vertices} vertices"
-            ),
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(
+                    f,
+                    "vertex id {vertex} out of range for graph with {num_vertices} vertices"
+                )
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
@@ -76,7 +78,7 @@ mod tests {
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error;
-        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = GraphError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

@@ -16,13 +16,11 @@ pub fn barabasi_albert(n: VertexId, m_attach: u32, seed: u64) -> DirectedGraph {
     assert!(n as u64 > m_attach as u64, "need n > m_attach");
     assert!(m_attach >= 1);
     let mut rng = SplitMix64::new(seed);
-    let mut b =
-        GraphBuilder::new(n).with_edge_capacity(n as usize * m_attach as usize);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n as usize * m_attach as usize);
 
     // Repeated-endpoints array: sampling a uniform element of `endpoints`
     // realises degree-proportional selection in O(1).
-    let mut endpoints: Vec<VertexId> =
-        Vec::with_capacity(2 * n as usize * m_attach as usize);
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n as usize * m_attach as usize);
 
     // Seed clique over the first m_attach + 1 vertices.
     let seed_size = m_attach + 1;
@@ -74,10 +72,7 @@ mod tests {
         let g = from_undirected_edges(&barabasi_albert(20_000, 3, 2));
         let early_max = (0..100).map(|v| g.degree(v)).max().unwrap();
         let late_max = (19_900..20_000).map(|v| g.degree(v)).max().unwrap();
-        assert!(
-            early_max > 5 * late_max,
-            "early max {early_max} vs late max {late_max}"
-        );
+        assert!(early_max > 5 * late_max, "early max {early_max} vs late max {late_max}");
     }
 
     #[test]

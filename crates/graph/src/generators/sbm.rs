@@ -120,10 +120,8 @@ mod tests {
         let c = cfg(10_000, 20);
         let g = planted_partition(c);
         let n = g.num_vertices() as u64;
-        let internal = g
-            .edges()
-            .filter(|&(u, v)| u as u64 * 20 / n == v as u64 * 20 / n)
-            .count() as f64;
+        let internal =
+            g.edges().filter(|&(u, v)| u as u64 * 20 / n == v as u64 * 20 / n).count() as f64;
         let frac = internal / g.num_edges() as f64;
         // 8 internal vs 2 external expected: internal fraction ≈ 0.8.
         assert!((0.75..0.85).contains(&frac), "internal fraction {frac}");

@@ -53,10 +53,8 @@ mod tests {
     fn full_rewiring_destroys_lattice_structure() {
         let g = watts_strogatz(1000, 4, 1.0, 2);
         // With all edges rewired, the fraction of lattice edges should be tiny.
-        let lattice_edges = g
-            .edges()
-            .filter(|&(u, v)| (1..=4).contains(&((v + 1000 - u) % 1000)))
-            .count();
+        let lattice_edges =
+            g.edges().filter(|&(u, v)| (1..=4).contains(&((v + 1000 - u) % 1000))).count();
         assert!(lattice_edges < 100, "still {lattice_edges} lattice edges");
     }
 

@@ -39,10 +39,8 @@ pub fn weblike(cfg: WeblikeConfig) -> DirectedGraph {
     let h = cfg.hosts as usize;
     let raw: Vec<f64> = (0..h).map(|i| 1.0 / (i as f64 + 1.0)).collect();
     let total: f64 = raw.iter().sum();
-    let mut sizes: Vec<u64> = raw
-        .iter()
-        .map(|w| ((w / total) * cfg.n as f64).floor().max(1.0) as u64)
-        .collect();
+    let mut sizes: Vec<u64> =
+        raw.iter().map(|w| ((w / total) * cfg.n as f64).floor().max(1.0) as u64).collect();
     // Distribute the rounding remainder over the largest hosts.
     let mut assigned: u64 = sizes.iter().sum();
     let mut i = 0;
@@ -120,10 +118,9 @@ mod tests {
         // Reconstruct sizes by regenerating boundaries through edge locality:
         // instead, check degree of locality directly: most edges short-range.
         let g = weblike(cfg());
-        let near = g
-            .edges()
-            .filter(|&(u, v)| (u as i64 - v as i64).unsigned_abs() < 2_000)
-            .count() as f64;
+        let near =
+            g.edges().filter(|&(u, v)| (u as i64 - v as i64).unsigned_abs() < 2_000).count()
+                as f64;
         let frac = near / g.num_edges() as f64;
         assert!(frac > 0.6, "near fraction {frac}");
     }

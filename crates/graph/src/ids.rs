@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn edge_keys_sort_by_source_then_target() {
-        let mut keys = vec![edge_key(2, 1), edge_key(1, 9), edge_key(1, 2)];
+        let mut keys = [edge_key(2, 1), edge_key(1, 9), edge_key(1, 2)];
         keys.sort_unstable();
         assert_eq!(
             keys.iter().map(|&k| unpack_edge_key(k)).collect::<Vec<_>>(),

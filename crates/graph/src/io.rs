@@ -37,20 +37,21 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<DirectedGraph, GraphError> {
 }
 
 fn parse_vertex(tok: Option<&str>, line: usize) -> Result<VertexId, GraphError> {
-    let tok = tok.ok_or_else(|| GraphError::Parse {
-        line,
-        message: "expected two vertex ids".into(),
-    })?;
-    tok.parse::<VertexId>().map_err(|e| GraphError::Parse {
-        line,
-        message: format!("bad vertex id {tok:?}: {e}"),
-    })
+    let tok = tok
+        .ok_or_else(|| GraphError::Parse { line, message: "expected two vertex ids".into() })?;
+    tok.parse::<VertexId>()
+        .map_err(|e| GraphError::Parse { line, message: format!("bad vertex id {tok:?}: {e}") })
 }
 
 /// Writes a directed graph as an edge list.
 pub fn write_edge_list<W: Write>(g: &DirectedGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# directed edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# directed edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

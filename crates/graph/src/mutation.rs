@@ -41,11 +41,8 @@ impl GraphDelta {
 /// about the *partitioning*, not the graph storage, so a rebuild is fine.
 pub fn apply_delta(g: &DirectedGraph, delta: &GraphDelta) -> DirectedGraph {
     let n = g.num_vertices() + delta.new_vertices;
-    let mut removed: Vec<u64> = delta
-        .removed_edges
-        .iter()
-        .map(|&(u, v)| crate::ids::edge_key(u, v))
-        .collect();
+    let mut removed: Vec<u64> =
+        delta.removed_edges.iter().map(|&(u, v)| crate::ids::edge_key(u, v)).collect();
     removed.sort_unstable();
     let mut b = GraphBuilder::new(n)
         .with_edge_capacity(g.num_edges() as usize + delta.added_edges.len());
@@ -75,7 +72,8 @@ pub fn sample_new_edges(
     assert!(n >= 2, "need at least two vertices");
     let mut rng = SplitMix64::new(seed);
     let mut out: Vec<(VertexId, VertexId)> = Vec::with_capacity(count);
-    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::with_capacity(count * 2);
+    let mut seen: std::collections::HashSet<u64> =
+        std::collections::HashSet::with_capacity(count * 2);
     let mut attempts = 0usize;
     let max_attempts = count.saturating_mul(100).max(10_000);
     while out.len() < count && attempts < max_attempts {
@@ -87,7 +85,9 @@ pub fn sample_new_edges(
             let v = rng.next_bounded(n) as VertexId;
             Some((u, v))
         };
-        let Some((u, v)) = candidate else { continue };
+        let Some((u, v)) = candidate else {
+            continue;
+        };
         if u == v || g.has_edge(u, v) {
             continue;
         }
@@ -170,10 +170,7 @@ mod tests {
         let triadic = sample_new_edges(&g, 400, 1.0, 5);
         let random = sample_new_edges(&g, 400, 0.0, 5);
         let in_comm = |edges: &[(VertexId, VertexId)]| {
-            edges
-                .iter()
-                .filter(|&&(u, v)| u as u64 * 8 / n == v as u64 * 8 / n)
-                .count() as f64
+            edges.iter().filter(|&&(u, v)| u as u64 * 8 / n == v as u64 * 8 / n).count() as f64
                 / edges.len() as f64
         };
         assert!(

@@ -46,11 +46,7 @@ pub fn degree_stats(g: &DirectedGraph) -> DegreeStats {
 
 /// Estimates the global clustering coefficient of an undirected graph by
 /// sampling `samples` wedges (paths u–v–w) and testing closure.
-pub fn sample_clustering_coefficient(
-    g: &UndirectedGraph,
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn sample_clustering_coefficient(g: &UndirectedGraph, samples: usize, seed: u64) -> f64 {
     let n = g.num_vertices() as u64;
     if n == 0 {
         return 0.0;

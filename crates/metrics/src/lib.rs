@@ -16,5 +16,7 @@ pub mod quality;
 pub mod table;
 
 pub use difference::partitioning_difference;
-pub use quality::{partition_loads, phi, quality, rho, rho_from_loads, score, PartitionQuality};
+pub use quality::{
+    partition_loads, phi, quality, rho, rho_from_loads, score, PartitionQuality,
+};
 pub use table::Table;

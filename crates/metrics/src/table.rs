@@ -100,6 +100,6 @@ mod tests {
     #[test]
     fn float_helpers() {
         assert_eq!(f2(0.857), "0.86");
-        assert_eq!(f3(1.0471), "1.047");
+        assert_eq!(f3(1.0461), "1.046");
     }
 }

@@ -1,7 +1,7 @@
 //! In-degree counting: the engine's simplest end-to-end exercise (one
 //! message per edge, one aggregation), used by tests and benchmarks.
 
-use crate::aggregate::{AggOp, AggregatorSpec, AggValue};
+use crate::aggregate::{AggOp, AggValue, AggregatorSpec};
 use crate::engine::{Engine, EngineConfig, RunSummary};
 use crate::program::{MasterContext, Program};
 use crate::{Placement, VertexContext};
@@ -84,8 +84,7 @@ mod tests {
         let (_, edges, summary) = run_degree_count(&g, &p, EngineConfig::default());
         assert_eq!(summary.metrics[0].sent_total(), edges);
         // Local + remote received must equal sent.
-        let recv: u64 =
-            summary.metrics[0].per_worker.iter().map(|w| w.recv_total()).sum();
+        let recv: u64 = summary.metrics[0].per_worker.iter().map(|w| w.recv_total()).sum();
         // Received counts are recorded during the delivery phase of the same
         // superstep in which they were sent.
         assert_eq!(recv, edges);

@@ -64,9 +64,7 @@ mod tests {
     use spinner_graph::GraphBuilder;
 
     fn undirected(n: u32, edges: &[(u32, u32)]) -> UndirectedGraph {
-        from_undirected_edges(
-            &GraphBuilder::new(n).add_edges(edges.iter().copied()).build(),
-        )
+        from_undirected_edges(&GraphBuilder::new(n).add_edges(edges.iter().copied()).build())
     }
 
     #[test]

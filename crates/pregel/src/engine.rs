@@ -3,7 +3,7 @@
 use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::metrics::{RunTotals, SuperstepMetrics};
 use crate::program::{MasterContext, Program};
-use crate::types::WorkerId;
+use crate::types::{Mailbag, WorkerId};
 use crate::worker::Worker;
 use crate::Placement;
 use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
@@ -233,20 +233,26 @@ impl<P: Program> Engine<P> {
                 let num_vertices = self.num_vertices;
                 run_parallel(&mut self.workers, threads, |w| {
                     w.compute_phase(
-                        program, global, snapshot, specs, worker_of, superstep, seed,
+                        program,
+                        global,
+                        snapshot,
+                        specs,
+                        worker_of,
+                        superstep,
+                        seed,
                         num_vertices,
                     );
                 });
             }
 
             // --- Exchange: transpose outboxes into per-worker mailbags. ---
-            let mut mailbags: Vec<Vec<(WorkerId, Vec<(VertexId, P::M)>)>> =
+            let mut mailbags: Vec<Mailbag<P::M>> =
                 (0..num_workers).map(|_| Vec::new()).collect();
             for i in 0..num_workers {
-                for j in 0..num_workers {
+                for (j, bag) in mailbags.iter_mut().enumerate() {
                     if !self.workers[i].outboxes[j].is_empty() {
                         let batch = std::mem::take(&mut self.workers[i].outboxes[j]);
-                        mailbags[j].push((i as WorkerId, batch));
+                        bag.push((i as WorkerId, batch));
                     }
                 }
             }
@@ -271,13 +277,15 @@ impl<P: Program> Engine<P> {
                 .specs
                 .iter()
                 .enumerate()
-                .map(|(i, s)| {
-                    if s.persistent {
-                        self.snapshot[i].clone()
-                    } else {
-                        s.identity()
-                    }
-                })
+                .map(
+                    |(i, s)| {
+                        if s.persistent {
+                            self.snapshot[i].clone()
+                        } else {
+                            s.identity()
+                        }
+                    },
+                )
                 .collect();
             for w in &self.workers {
                 for (i, spec) in self.specs.iter().enumerate() {
@@ -289,8 +297,7 @@ impl<P: Program> Engine<P> {
             let per_worker = self.workers.iter().map(|w| w.metrics.clone()).collect::<Vec<_>>();
             let halted: u64 = self.workers.iter().map(|w| w.halted_count()).sum();
             let active_after = self.num_vertices - halted;
-            let sent: u64 =
-                per_worker.iter().map(|m| m.sent_local + m.sent_remote).sum();
+            let sent: u64 = per_worker.iter().map(|m| m.sent_local + m.sent_remote).sum();
             metrics.push(SuperstepMetrics {
                 superstep,
                 per_worker,
@@ -372,11 +379,7 @@ fn run_parallel<P: Program>(
 }
 
 /// Like [`run_parallel`] but over pre-paired items.
-fn run_parallel_pairs<T: Send>(
-    mut items: Vec<T>,
-    threads: usize,
-    f: impl Fn(T) + Sync,
-) {
+fn run_parallel_pairs<T: Send>(mut items: Vec<T>, threads: usize, f: impl Fn(T) + Sync) {
     if threads <= 1 || items.len() <= 1 {
         for it in items.drain(..) {
             f(it);

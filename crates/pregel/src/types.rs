@@ -3,6 +3,11 @@
 /// Identifier of a logical worker (a "machine" in Giraph terms).
 pub type WorkerId = u16;
 
+/// Messages bound for one worker, grouped as `(sender, addressed batch)`
+/// pairs; the engine transposes per-worker outboxes into one of these per
+/// destination before the delivery phase.
+pub type Mailbag<M> = Vec<(WorkerId, Vec<(spinner_graph::VertexId, M)>)>;
+
 /// Bound for all user data carried by the engine (vertex values, edge
 /// values, messages, global state). Auto-implemented.
 pub trait Value: Clone + Send + Sync + 'static {}

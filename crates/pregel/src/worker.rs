@@ -132,7 +132,7 @@ impl<P: Program> Worker<P> {
     pub(crate) fn deliver_phase(
         &mut self,
         program: &P,
-        incoming: Vec<(WorkerId, Vec<(VertexId, P::M)>)>,
+        incoming: crate::types::Mailbag<P::M>,
         local_idx: &[u32],
     ) {
         for (src_worker, batch) in incoming {

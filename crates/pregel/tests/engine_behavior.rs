@@ -237,18 +237,10 @@ impl Program for Relay {
 
 #[test]
 fn halted_vertices_wake_on_messages_and_engine_stops_when_quiet() {
-    let g = GraphBuilder::new(5)
-        .add_edges((0..5u32).map(|i| (i, (i + 1) % 5)))
-        .build();
+    let g = GraphBuilder::new(5).add_edges((0..5u32).map(|i| (i, (i + 1) % 5))).build();
     let placement = Placement::modulo(5, 2);
-    let mut engine = Engine::from_directed(
-        Relay { hops: 3 },
-        &g,
-        &placement,
-        config(),
-        |_| 0,
-        |_, _, _| (),
-    );
+    let mut engine =
+        Engine::from_directed(Relay { hops: 3 }, &g, &placement, config(), |_| 0, |_, _, _| ());
     let summary = engine.run();
     assert_eq!(summary.halt, HaltReason::AllHalted);
     let values = engine.collect_values();

@@ -40,11 +40,7 @@ fn main() {
     // PageRank: 10 iterations, compare simulated cluster time.
     let (ranks, pr_hash) = run_pagerank(&directed, &hash_placement, engine.clone(), 10);
     let (_, pr_spin) = run_pagerank(&directed, &spinner_placement, engine.clone(), 10);
-    let top = ranks
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let top = ranks.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
     println!("\nPageRank: top vertex {} with rank {:.2e}", top.0, top.1);
     report("PageRank x10", &cost, &pr_hash.metrics, &pr_spin.metrics);
 

@@ -105,10 +105,7 @@ fn elastic_growth_moves_expected_fraction() {
         let grown = elastic(&g, &initial.labels, old_k, &cfg(new_k));
         let moved = partitioning_difference(&initial.labels, &grown.labels);
         let eq11 = n_new as f64 / new_k as f64;
-        assert!(
-            moved < eq11 + 0.35,
-            "+{n_new}: moved {moved} vs Eq.11 baseline {eq11}"
-        );
+        assert!(moved < eq11 + 0.35, "+{n_new}: moved {moved} vs Eq.11 baseline {eq11}");
         assert!(grown.quality.loads.iter().all(|&l| l > 0), "+{n_new}: empty partition");
         let scratch = partition(&g, &cfg(new_k).with_seed(99));
         let moved_scratch = partitioning_difference(&initial.labels, &scratch.labels);
@@ -125,13 +122,9 @@ fn elastic_shrink_redistributes() {
     assert!(shrunk.labels.iter().all(|&l| l < 5));
     assert!(shrunk.quality.rho < 1.25, "rho {}", shrunk.quality.rho);
     // Vertices that stayed in surviving partitions mostly keep their label.
-    let kept = initial
-        .labels
-        .iter()
-        .zip(&shrunk.labels)
-        .filter(|&(&a, &b)| a < 5 && a == b)
-        .count() as f64;
-    let survivors =
-        initial.labels.iter().filter(|&&a| a < 5).count() as f64;
+    let kept =
+        initial.labels.iter().zip(&shrunk.labels).filter(|&(&a, &b)| a < 5 && a == b).count()
+            as f64;
+    let survivors = initial.labels.iter().filter(|&&a| a < 5).count() as f64;
     assert!(kept / survivors > 0.5, "kept fraction {}", kept / survivors);
 }

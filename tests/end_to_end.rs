@@ -32,12 +32,7 @@ fn all_datasets_beat_hash_partitioning() {
             r.quality.phi,
             phi_hash
         );
-        assert!(
-            r.quality.rho < 1.6,
-            "{}: rho {}",
-            d.short_name(),
-            r.quality.rho
-        );
+        assert!(r.quality.rho < 1.6, "{}: rho {}", d.short_name(), r.quality.rho);
         // Labels are a valid k-way assignment.
         assert_eq!(r.labels.len(), g.num_vertices() as usize);
         assert!(r.labels.iter().all(|&l| l < k));
@@ -110,12 +105,7 @@ fn in_engine_conversion_matches_offline_on_datasets() {
         let offline = partition_directed(&directed, &c);
         c.in_engine_conversion = true;
         let in_engine = partition_directed(&directed, &c);
-        assert_eq!(
-            offline.labels,
-            in_engine.labels,
-            "{} conversion mismatch",
-            d.short_name()
-        );
+        assert_eq!(offline.labels, in_engine.labels, "{} conversion mismatch", d.short_name());
     }
 }
 

@@ -1,0 +1,40 @@
+//! The umbrella crate's re-exports (`spinner::core`, `spinner::graph`,
+//! `spinner::pregel`, `spinner::metrics`, `spinner::baselines`) must
+//! resolve and interoperate: types produced through one re-export are
+//! accepted by functions reached through another.
+
+use spinner::{baselines, core, graph, metrics, pregel};
+
+#[test]
+fn reexports_resolve_and_interoperate() {
+    let directed = graph::generators::erdos_renyi(500, 2_000, 7);
+    let g = graph::conversion::to_weighted_undirected(&directed);
+
+    let k = 4u32;
+    let r = core::partition(&g, &core::SpinnerConfig::new(k).with_seed(1));
+    assert_eq!(r.labels.len(), g.num_vertices() as usize);
+    assert!(r.labels.iter().all(|&l| l < k));
+
+    let phi = metrics::phi(&g, &r.labels);
+    assert!((0.0..=1.0).contains(&phi));
+    assert_eq!(
+        metrics::partition_loads(&g, &r.labels, k).iter().sum::<u64>(),
+        g.total_weight()
+    );
+
+    let hash = baselines::hash_partition(g.num_vertices(), k, 7);
+    assert_eq!(hash.len(), r.labels.len());
+
+    let placement = pregel::Placement::from_labels(&r.labels, k as usize);
+    assert_eq!(placement.num_workers(), k as usize);
+}
+
+#[test]
+fn umbrella_paths_name_the_same_types_as_the_crates() {
+    // A config built via the umbrella path is exactly the underlying
+    // crate's type, not a wrapper.
+    let cfg: spinner_core::SpinnerConfig = spinner::core::SpinnerConfig::new(3);
+    assert_eq!(cfg.k, 3);
+    let label: spinner_core::Label = spinner::core::NO_LABEL;
+    assert_eq!(label, spinner_core::NO_LABEL);
+}

@@ -1,0 +1,175 @@
+//! In-tree stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the subset of the proptest 1.x API the workspace's tests
+//! use: the `proptest!` macro (with `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, integer-range and
+//! tuple strategies, `prop::collection::vec`, `prop::sample::Index`, and
+//! `any::<T>()`. Cases are generated from a deterministic per-test seed so
+//! failures reproduce exactly; there is no shrinking — a failure reports
+//! the case number and the generated inputs instead. See
+//! `vendor/README.md` for the full list of differences.
+
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The strategy for an [`Arbitrary`] type's canonical value distribution.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Types with a canonical strategy, usable with [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// Returns the canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The conventional glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection`,
+    /// `prop::sample`, ...), as the real prelude provides.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{}` == `{}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{}` == `{}`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{}` != `{}` (both `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]`-style function (the `#[test]` attribute is
+/// written by the caller, as with the real macro) that runs the body over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands the individual test functions for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(test_path, case as u64);
+                let mut inputs = ::std::string::String::new();
+                $(
+                    let value =
+                        $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    {
+                        use ::std::fmt::Write as _;
+                        let _ = ::std::write!(
+                            inputs,
+                            "{} = {:?}; ",
+                            stringify!($pat),
+                            &value
+                        );
+                    }
+                    let $pat = value;
+                )+
+                let outcome: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    ::std::panic!(
+                        "proptest failed for {} at case {}/{}\ninputs: {}\n{}",
+                        test_path,
+                        case,
+                        config.cases,
+                        inputs,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

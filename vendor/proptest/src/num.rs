@@ -1,0 +1,117 @@
+//! Range strategies for the primitive integer types, plus `Arbitrary`
+//! implementations for them.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use crate::Arbitrary;
+use std::ops::{Range, RangeInclusive};
+
+/// Full-range strategy for an integer type (what `any::<iN/uN>()` uses).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! int_strategies {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy {start}..={end}");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    // Span 0 means the full u64 domain (u64::MIN..=u64::MAX).
+                    if span == 0 {
+                        rng.next_u64() as $t
+                    } else {
+                        (start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+            }
+
+            impl Strategy for AnyInt<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyInt<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyInt(std::marker::PhantomData)
+                }
+            }
+        )+
+    };
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy yielding both booleans (what `any::<bool>()` uses).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyBool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("num", 0);
+        for _ in 0..500 {
+            let v = (10u32..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i32..5).sample(&mut rng);
+            assert!((-5..5).contains(&w));
+            let x = (3u64..=3).sample(&mut rng);
+            assert_eq!(x, 3);
+        }
+    }
+
+    #[test]
+    fn any_int_covers_domain() {
+        let mut rng = TestRng::deterministic("num", 1);
+        let mut seen_large = false;
+        for _ in 0..100 {
+            if any::<u64>().sample(&mut rng) > u64::MAX / 2 {
+                seen_large = true;
+            }
+        }
+        assert!(seen_large);
+    }
+}

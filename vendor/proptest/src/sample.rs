@@ -1,0 +1,64 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::num::AnyInt;
+use crate::strategy::Strategy;
+use crate::Arbitrary;
+
+/// An abstract index into a slice of then-unknown length, as in proptest:
+/// generated independently of any collection, then projected onto one with
+/// [`Index::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects the abstract index onto `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice` is empty.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "Index::get on empty slice");
+        &slice[self.index(slice.len())]
+    }
+
+    /// The concrete index for a collection of `len` elements.
+    pub fn index(&self, len: usize) -> usize {
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+
+    fn arbitrary() -> Self::Strategy {
+        IndexStrategy(AnyInt::default())
+    }
+}
+
+/// Strategy behind `any::<Index>()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStrategy(AnyInt<usize>);
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn sample(&self, rng: &mut crate::test_runner::TestRng) -> Index {
+        Index(self.0.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = TestRng::deterministic("sample", 0);
+        let data = [10, 20, 30];
+        for _ in 0..100 {
+            let idx = any::<Index>().sample(&mut rng);
+            assert!(data.contains(idx.get(&data)));
+        }
+    }
+}
