@@ -1,0 +1,160 @@
+//! Compares a smoke-suite report against the committed baseline and fails
+//! on wall-clock regressions — the perf gate CI runs after the smoke suite.
+//!
+//! ```text
+//! bench-compare --baseline <path> --current <path>
+//!               [--max-regression <factor>] [--min-delta <seconds>]
+//!               [--summary <path>]
+//! ```
+//!
+//! An experiment regresses when `current > factor * baseline` (default 2x)
+//! AND `current - baseline > min-delta` (default 0.5 s — sub-second smoke
+//! runs double on runner noise alone). A markdown delta table goes to
+//! stdout and, with `--summary`, is appended to the given file (pass
+//! `$GITHUB_STEP_SUMMARY` in CI). Exit code 1 on any regression or failed
+//! experiment, 2 on usage/IO errors.
+
+use spinner_bench::report::{parse_report, ExperimentOutcome};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    current: String,
+    max_regression: f64,
+    min_delta: f64,
+    summary: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: String::new(),
+        current: String::new(),
+        max_regression: 2.0,
+        min_delta: 0.5,
+        summary: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => args.baseline = value(&mut it, "--baseline"),
+            "--current" => args.current = value(&mut it, "--current"),
+            "--max-regression" => {
+                args.max_regression = value(&mut it, "--max-regression")
+                    .parse()
+                    .expect("numeric --max-regression")
+            }
+            "--min-delta" => {
+                args.min_delta =
+                    value(&mut it, "--min-delta").parse().expect("numeric --min-delta")
+            }
+            "--summary" => args.summary = Some(value(&mut it, "--summary")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.baseline.is_empty() || args.current.is_empty() {
+        eprintln!(
+            "usage: bench-compare --baseline <path> --current <path> \
+             [--max-regression <factor>] [--min-delta <seconds>] [--summary <path>]"
+        );
+        std::process::exit(2);
+    }
+    args
+}
+
+fn load(path: &str) -> Vec<ExperimentOutcome> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_report(&text).unwrap_or_else(|| {
+        eprintln!("{path} is not a bench report");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+
+    let mut table = String::new();
+    table.push_str("## Smoke-suite wall-clock vs baseline\n\n");
+    table.push_str(&format!(
+        "Regression gate: fail when current > {:.1}x baseline and the difference \
+         exceeds {:.1} s.\n\n",
+        args.max_regression, args.min_delta
+    ));
+    table.push_str("| experiment | baseline (s) | current (s) | delta | status |\n");
+    table.push_str("|---|---:|---:|---:|---|\n");
+
+    let mut failures = 0usize;
+    for cur in &current {
+        let Some(base) = baseline.iter().find(|b| b.name == cur.name) else {
+            table.push_str(&format!(
+                "| {} | — | {:.3} | — | new (no baseline) |\n",
+                cur.name, cur.seconds
+            ));
+            continue;
+        };
+        let delta_pct = if base.seconds > 0.0 {
+            100.0 * (cur.seconds - base.seconds) / base.seconds
+        } else {
+            0.0
+        };
+        let status = if !cur.ok {
+            failures += 1;
+            "FAILED"
+        } else if cur.seconds > args.max_regression * base.seconds
+            && cur.seconds - base.seconds > args.min_delta
+        {
+            failures += 1;
+            "REGRESSION"
+        } else if delta_pct <= -10.0 {
+            "faster"
+        } else {
+            "ok"
+        };
+        table.push_str(&format!(
+            "| {} | {:.3} | {:.3} | {:+.1}% | {} |\n",
+            cur.name, base.seconds, cur.seconds, delta_pct, status
+        ));
+    }
+    for base in &baseline {
+        if !current.iter().any(|c| c.name == base.name) {
+            failures += 1;
+            table.push_str(&format!(
+                "| {} | {:.3} | — | — | MISSING |\n",
+                base.name, base.seconds
+            ));
+        }
+    }
+
+    println!("{table}");
+    if let Some(path) = &args.summary {
+        let mut file =
+            std::fs::OpenOptions::new().create(true).append(true).open(path).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot open summary {path}: {e}");
+                    std::process::exit(2);
+                },
+            );
+        writeln!(file, "{table}").expect("write summary");
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) regressed, failed, or went missing");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -49,6 +49,69 @@ pub fn render_report(suite: &str, scale: &str, outcomes: &[ExperimentOutcome]) -
     out
 }
 
+/// Parses a report produced by [`render_report`] back into its outcomes.
+///
+/// Hand-rolled like the renderer (no JSON dependency): scans for the
+/// `{"name": ..., "ok": ..., "seconds": ...}` experiment objects. Returns
+/// `None` when the document does not look like a report.
+pub fn parse_report(json: &str) -> Option<Vec<ExperimentOutcome>> {
+    let experiments = json.split("\"experiments\"").nth(1)?;
+    let mut outcomes = Vec::new();
+    for obj in experiments.split('{').skip(1) {
+        let name = field(obj, "\"name\"")?;
+        let name = name.trim().strip_prefix('"')?;
+        let name = &name[..closing_quote(name)?];
+        let ok = field(obj, "\"ok\"")?.trim().starts_with("true");
+        let seconds: f64 = {
+            let raw = field(obj, "\"seconds\"")?;
+            let end = raw.find(['}', ',', '\n']).unwrap_or(raw.len());
+            raw[..end].trim().parse().ok()?
+        };
+        outcomes.push(ExperimentOutcome { name: unescape(name), ok, seconds });
+    }
+    Some(outcomes)
+}
+
+/// Byte index of the string literal's terminating quote (the first `"` not
+/// preceded by an odd number of backslashes).
+fn closing_quote(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\\' => escaped = !escaped,
+            b'"' if !escaped => return Some(i),
+            _ => escaped = false,
+        }
+    }
+    None
+}
+
+/// The text following `key:` within `obj`, if present.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    obj.split(key).nth(1)?.split_once(':').map(|(_, rest)| rest)
+}
+
+/// Reverses the escapes [`json_string`] emits (enough for experiment names).
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// Quotes and escapes a string as a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -106,5 +169,27 @@ mod tests {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_string("x\ny"), "\"x\\ny\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let outcomes = vec![outcome("exp-table1", true, 1.5), outcome("exp-fig3", false, 0.25)];
+        let parsed = parse_report(&render_report("smoke", "tiny", &outcomes)).unwrap();
+        assert_eq!(parsed, outcomes);
+    }
+
+    #[test]
+    fn parse_roundtrips_escaped_names() {
+        let outcomes = vec![outcome("odd \"name\" with \\ and\ttab", true, 0.1)];
+        let parsed = parse_report(&render_report("smoke", "tiny", &outcomes)).unwrap();
+        assert_eq!(parsed, outcomes);
+    }
+
+    #[test]
+    fn parse_rejects_non_reports() {
+        assert_eq!(parse_report(""), None);
+        assert_eq!(parse_report("{\"foo\": 1}"), None);
+        // A report with no experiments parses as empty.
+        assert_eq!(parse_report(&render_report("smoke", "tiny", &[])), Some(vec![]));
     }
 }

@@ -157,8 +157,15 @@ pub fn random_labels(n: VertexId, k: u32, seed: u64) -> Vec<Label> {
 }
 
 /// Incremental initialisation (§III-D): keep old labels; send each new
-/// vertex to the least-loaded partition at its arrival.
+/// vertex to the least-loaded partition at its arrival. The running minimum
+/// lives in a binary heap keyed `(load, label)` — only the chosen
+/// partition's load changes per appended vertex, so each step is one pop
+/// and one push and bulk adaptation of large deltas is O(new · log k)
+/// instead of O(new · k).
 fn incremental_labels(graph: &UndirectedGraph, previous: &[Label], k: u32) -> Vec<Label> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     let n = graph.num_vertices() as usize;
     let mut labels = Vec::with_capacity(n);
     let mut loads = vec![0i64; k as usize];
@@ -167,10 +174,14 @@ fn incremental_labels(graph: &UndirectedGraph, previous: &[Label], k: u32) -> Ve
         loads[l as usize] += graph.weighted_degree(v as VertexId) as i64;
         labels.push(l);
     }
+    // One entry per label, always current; `(load, label)` ordering matches
+    // the previous min-scan's tie-break (smallest load, then smallest label).
+    let mut heap: BinaryHeap<Reverse<(i64, Label)>> =
+        (0..k).map(|l| Reverse((loads[l as usize], l))).collect();
     for v in previous.len()..n {
-        let least = (0..k as usize).min_by_key(|&l| loads[l]).unwrap() as Label;
-        loads[least as usize] += graph.weighted_degree(v as VertexId) as i64;
+        let Reverse((load, least)) = heap.pop().expect("k >= 1 labels");
         labels.push(least);
+        heap.push(Reverse((load + graph.weighted_degree(v as VertexId) as i64, least)));
     }
     labels
 }
@@ -237,11 +248,11 @@ fn run_from_labels_scoped(
         graph,
         &placement,
         engine_config(cfg),
-        |v| VertexState {
-            label: labels[v as usize],
-            degree: 0,
-            candidate: NO_LABEL,
-            affected: affected.get(v as usize).copied().unwrap_or(true),
+        |v| {
+            VertexState::new(
+                labels[v as usize],
+                affected.get(v as usize).copied().unwrap_or(true),
+            )
         },
         |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
     );
@@ -263,12 +274,7 @@ fn run_in_engine_conversion(
         graph,
         &placement,
         engine_config(cfg),
-        |v| VertexState {
-            label: labels[v as usize],
-            degree: 0,
-            candidate: NO_LABEL,
-            affected: true,
-        },
+        |v| VertexState::new(labels[v as usize], true),
         |_, _, _| EdgeState { weight: 1, neighbor_label: NO_LABEL },
     );
     let summary = engine.run();
@@ -488,6 +494,29 @@ mod tests {
         let labels = incremental_labels(&g, &[0, 0], 2);
         assert_eq!(labels[2], 1);
         assert_eq!(labels[3], 1);
+    }
+
+    #[test]
+    fn incremental_labels_heap_matches_naive_min_scan() {
+        // The heap must reproduce the former O(k)-scan assignment exactly,
+        // including its (smallest load, then smallest label) tie-break.
+        let g = community_graph(1200, 5, 21);
+        let k = 7u32;
+        let previous: Vec<Label> = (0..500u32).map(|v| v % k).collect();
+        let fast = incremental_labels(&g, &previous, k);
+
+        let mut loads = vec![0i64; k as usize];
+        let mut naive: Vec<Label> = Vec::new();
+        for (v, &l) in previous.iter().enumerate() {
+            loads[l as usize] += g.weighted_degree(v as VertexId) as i64;
+            naive.push(l);
+        }
+        for v in previous.len()..g.num_vertices() as usize {
+            let least = (0..k as usize).min_by_key(|&l| loads[l]).unwrap() as Label;
+            loads[least as usize] += g.weighted_degree(v as VertexId) as i64;
+            naive.push(least);
+        }
+        assert_eq!(fast, naive);
     }
 
     #[test]

@@ -56,65 +56,89 @@ impl SpinnerProgram {
         }
     }
 
-    /// The score of assigning `label` to a vertex: normalised locality minus
-    /// the balance penalty (Eq. 8).
-    #[inline]
-    fn label_score(
-        &self,
-        neighbor_weight: u64,
-        total_weight: u64,
-        load: i64,
-        capacity: f64,
-    ) -> f64 {
-        let locality =
-            if total_weight > 0 { neighbor_weight as f64 / total_weight as f64 } else { 0.0 };
-        if self.cfg.balance_penalty {
-            locality - load as f64 / capacity
-        } else {
-            locality
-        }
-    }
-
     fn compute_scores(&self, ctx: &mut VertexContext<'_, Self>, messages: &[MigrationMsg]) {
-        // (i) Fold migration announcements into the cached edge labels.
-        for &(sender, label) in messages {
-            if let Some(i) = ctx.edges.index_of(sender) {
-                ctx.edges.values[i].neighbor_label = label;
+        let w = &mut *ctx.worker;
+        // (i) Fold migration announcements into the cached edge labels and
+        // the vertex's label histogram. Neighbour labels change only through
+        // these messages, so the histogram stays exact without a
+        // per-iteration O(deg) edge re-scan. Under heavy churn (many
+        // announcements against a wide histogram — the first iterations, or
+        // a freshly built histogram) per-message maintenance costs
+        // O(messages x entries); a dense rebuild through the k-sized
+        // scratch is O(deg + entries), so switch adaptively. Both paths
+        // produce the same histogram (entry order is irrelevant).
+        let hist_len = ctx.value.label_weights.len();
+        let heavy = !messages.is_empty()
+            && messages.len() * (hist_len + messages.len() / 2) > ctx.edges.len();
+        if heavy {
+            for &(sender, label) in messages {
+                debug_assert!(label != NO_LABEL);
+                if let Some(i) = ctx.edges.index_of(sender) {
+                    ctx.edges.values[i].neighbor_label = label;
+                }
+            }
+            let hist = &mut ctx.value.label_weights;
+            hist.clear();
+            for ev in ctx.edges.values.iter() {
+                let l = ev.neighbor_label;
+                if l != NO_LABEL {
+                    if w.counts[l as usize] == 0 {
+                        hist.push((l, 0));
+                    }
+                    w.counts[l as usize] += ev.weight as u64;
+                }
+            }
+            for (l, cnt) in hist.iter_mut() {
+                *cnt = w.counts[*l as usize] as u32;
+                w.counts[*l as usize] = 0;
+            }
+        } else {
+            for &(sender, label) in messages {
+                if let Some(i) = ctx.edges.index_of(sender) {
+                    let edge = &mut ctx.edges.values[i];
+                    let old = edge.neighbor_label;
+                    edge.neighbor_label = label;
+                    ctx.value.shift_label_weight(old, label, edge.weight as u32);
+                }
             }
         }
 
         let g = ctx.global;
         let current = ctx.value.label;
+        let degw = ctx.value.degree;
         debug_assert!(current < g.k);
-
-        // (ii) Count neighbour weight per label using worker-local scratch;
-        // O(deg) clear via the touched list.
-        let w = &mut *ctx.worker;
-        debug_assert!(w.touched.is_empty());
-        let mut degw: u64 = 0;
-        for ev in ctx.edges.values.iter() {
-            degw += ev.weight as u64;
-            let l = ev.neighbor_label;
-            if l != NO_LABEL {
-                if w.counts[l as usize] == 0 {
-                    w.touched.push(l);
-                }
-                w.counts[l as usize] += ev.weight as u64;
-            }
-        }
-        ctx.value.degree = degw;
+        #[cfg(debug_assertions)]
+        Self::assert_histogram_in_sync(ctx.edges.values, ctx.value, ctx.vertex);
 
         // Resolve the least-loaded label before borrowing the load slice
         // (any label with zero adjacent weight scores -π(l), so only the
         // min-load label can win among the non-adjacent ones).
+        let exhaustive = self.cfg.exhaustive_candidate_scan;
+        // The exhaustive scan borrows the dense scratch while the score
+        // closure below borrows the rest of the worker state.
+        let mut exhaustive_counts =
+            if exhaustive { std::mem::take(&mut w.counts) } else { Vec::new() };
         let min_label = if self.cfg.balance_penalty { w.min_load_label() } else { current };
         let loads: &[i64] = if self.cfg.async_worker_loads { &w.local_loads } else { &g.loads };
-        let current_score = self.label_score(
-            w.counts[current as usize],
-            degw,
-            loads[current as usize],
-            g.capacities[current as usize],
-        );
+        // Under the async view the worker's cached penalties equal
+        // `loads[l] as f64 / capacities[l]` bit-for-bit whenever C_l > 0,
+        // halving the divisions in the candidate scan.
+        let penalties: Option<&[f64]> =
+            if self.cfg.async_worker_loads { Some(w.penalties()) } else { None };
+        let score = |neighbor_weight: u64, l: usize| -> f64 {
+            let locality = if degw > 0 { neighbor_weight as f64 / degw as f64 } else { 0.0 };
+            if !self.cfg.balance_penalty {
+                return locality;
+            }
+            let cap = g.capacities[l];
+            let penalty = match penalties {
+                Some(p) if cap > 0.0 => p[l],
+                _ => loads[l] as f64 / cap,
+            };
+            locality - penalty
+        };
+        let count_current = ctx.value.label_weight(current) as u64;
+        let current_score = score(count_current, current as usize);
 
         // (iii) Best label among the touched ones plus the globally
         // least-loaded one (or all k labels in the paper-faithful
@@ -125,27 +149,44 @@ impl SpinnerProgram {
         // labels the one with the smallest per-(vertex, iteration, label)
         // hash priority wins, so the exhaustive and optimised candidate
         // scans agree despite enumerating candidates in different orders.
-        let tie_seed = self.logical_rng(ctx.vertex, g, 1).next_u64();
-        let priority = |l: Label| spinner_graph::rng::mix3(tie_seed, l as u64, 0xBEA7);
-        let mut best_priority = u64::MAX;
-        let exhaustive = self.cfg.exhaustive_candidate_scan;
-        let candidates = (0..g.k)
-            .filter(|_| exhaustive)
-            .chain(w.touched.iter().copied().filter(|_| !exhaustive))
-            .chain(
-                (!exhaustive && min_label != current && w.counts[min_label as usize] == 0)
-                    .then_some(min_label),
-            );
-        for l in candidates {
-            if l == current {
-                continue;
+        // The seed is derived lazily — ties are rare, and hashing one per
+        // vertex per superstep is measurable on the hot path.
+        let vertex = ctx.vertex;
+        let mut tie_seed: Option<u64> = None;
+        let priority = |l: Label, tie_seed: &mut Option<u64>| {
+            let seed =
+                *tie_seed.get_or_insert_with(|| self.logical_rng(vertex, g, 1).next_u64());
+            spinner_graph::rng::mix3(seed, l as u64, 0xBEA7)
+        };
+        // `None` = not yet hashed for the incumbent `best` (lazy, like the
+        // seed); `Some` once a tie forced the comparison.
+        let mut best_priority: Option<u64> = None;
+        let histogram = &ctx.value.label_weights;
+        // Sound fast-path prune: score(l) = cnt/degw - π(l) is bounded above
+        // by cnt * inv_up - π_min, where inv_up >= 1/degw even after
+        // rounding (two ulps of slack) and π_min = π(min_label) is the
+        // smallest cached penalty. A label whose bound is strictly below the
+        // incumbent best score can neither win nor tie, so skipping the
+        // exact score cannot change the selected label.
+        let prune = self.cfg.balance_penalty
+            && self.cfg.async_worker_loads
+            && degw > 0
+            && w.caps_positive();
+        let (inv_up, min_penalty) = if prune {
+            let inv = 1.0 / degw as f64;
+            let pen = penalties.expect("async penalties")[min_label as usize];
+            (f64::from_bits(inv.to_bits() + 2), pen)
+        } else {
+            (0.0, 0.0)
+        };
+        let mut consider = |l: Label, neighbor_weight: u64| {
+            if prune && neighbor_weight as f64 * inv_up - min_penalty < best_score {
+                return;
             }
-            let s = self.label_score(
-                w.counts[l as usize],
-                degw,
-                loads[l as usize],
-                g.capacities[l as usize],
-            );
+            if l == current {
+                return;
+            }
+            let s = score(neighbor_weight, l as usize);
             // Break ties randomly but prefer the current label (§III-A):
             // `current` started as the incumbent best and an equal score
             // never displaces it; among other tied labels the hash priority
@@ -153,25 +194,51 @@ impl SpinnerProgram {
             if s > best_score {
                 best_score = s;
                 best = l;
-                best_priority = priority(l);
+                best_priority = None;
             } else if s == best_score && best != current {
-                let p = priority(l);
-                if p < best_priority {
+                let incumbent = *best_priority.get_or_insert_with(|| {
+                    let b = best;
+                    priority(b, &mut tie_seed)
+                });
+                let p = priority(l, &mut tie_seed);
+                if p < incumbent {
                     best = l;
-                    best_priority = p;
+                    best_priority = Some(p);
                 }
             }
+        };
+        if exhaustive {
+            // Dense scratch keeps the paper-faithful mode O(k + len) per
+            // vertex; 0..k is not sorted by weight, so prune per label but
+            // never stop early.
+            for &(l, cnt) in histogram {
+                exhaustive_counts[l as usize] = cnt as u64;
+            }
+            for l in 0..g.k {
+                consider(l, exhaustive_counts[l as usize]);
+            }
+            for &(l, _) in histogram {
+                exhaustive_counts[l as usize] = 0;
+            }
+        } else {
+            let mut min_label_weight = None;
+            for &(l, cnt) in histogram {
+                if l == min_label {
+                    min_label_weight = Some(cnt);
+                }
+                consider(l, cnt as u64);
+            }
+            if min_label != current && min_label_weight.is_none() {
+                consider(min_label, 0);
+            }
+        }
+        if exhaustive {
+            w.counts = exhaustive_counts;
         }
 
         // (iv) Aggregate this vertex's contribution to score(G) and φ.
         ctx.agg.add_f64(AGG_SCORE, current_score);
-        ctx.agg.add_i64(AGG_LOCAL_WEIGHT, w.counts[current as usize] as i64);
-
-        // Clear scratch for the next vertex on this worker.
-        for &l in &w.touched {
-            w.counts[l as usize] = 0;
-        }
-        w.touched.clear();
+        ctx.agg.add_i64(AGG_LOCAL_WEIGHT, count_current as i64);
 
         // (v) Candidacy: flag and update the async worker view.
         if best != current {
@@ -182,6 +249,28 @@ impl SpinnerProgram {
         } else {
             ctx.value.candidate = NO_LABEL;
         }
+    }
+
+    /// Debug-only: recomputes the label histogram and cached degree from
+    /// the edge list and asserts they match the incremental state.
+    #[cfg(debug_assertions)]
+    fn assert_histogram_in_sync(edge_values: &[EdgeState], value: &VertexState, vertex: u32) {
+        let mut expect: Vec<(Label, u32)> = Vec::new();
+        let mut degw = 0u64;
+        for ev in edge_values.iter() {
+            degw += ev.weight as u64;
+            if ev.neighbor_label != NO_LABEL {
+                match expect.iter_mut().find(|(l, _)| *l == ev.neighbor_label) {
+                    Some(entry) => entry.1 += ev.weight as u32,
+                    None => expect.push((ev.neighbor_label, ev.weight as u32)),
+                }
+            }
+        }
+        expect.sort_unstable();
+        let mut cached = value.label_weights.clone();
+        cached.sort_unstable();
+        assert_eq!(expect, cached, "label histogram out of sync for vertex {vertex}");
+        assert_eq!(degw, value.degree, "cached degree out of sync for vertex {vertex}");
     }
 
     fn compute_migrations(&self, ctx: &mut VertexContext<'_, Self>) {
@@ -300,6 +389,15 @@ impl Program for SpinnerProgram {
 
     fn init_worker(&self, global: &GlobalState, _worker: WorkerId) -> WorkerState {
         WorkerState::new(&global.loads, &global.capacities)
+    }
+
+    fn reset_worker(
+        &self,
+        state: &mut WorkerState,
+        global: &GlobalState,
+        _worker: WorkerId,
+    ) -> bool {
+        state.reset(&global.loads, &global.capacities)
     }
 
     fn aggregators(&self) -> Vec<AggregatorSpec> {

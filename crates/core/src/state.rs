@@ -25,6 +25,71 @@ pub struct VertexState {
     /// [`crate::config::RestartScope::AffectedOnly`]; always `true` for the
     /// paper's full-restart strategy.
     pub affected: bool,
+    /// Histogram of adjacent labels: summed edge weight per distinct
+    /// neighbour label (entries are strictly positive; zeroed entries are
+    /// removed). Maintained incrementally by the ComputeScores message fold
+    /// — neighbour labels only change via migration announcements — so the
+    /// per-iteration candidate scan is O(distinct labels), not O(degree).
+    /// Entry order is arbitrary: candidate selection is order-independent
+    /// by construction (hash-priority tie-breaking).
+    pub label_weights: Vec<(Label, u32)>,
+}
+
+impl VertexState {
+    /// Fresh state with the given initial label (degree and the label
+    /// histogram fill in during the Initialize/ComputeScores supersteps).
+    pub fn new(label: Label, affected: bool) -> Self {
+        Self { label, degree: 0, candidate: NO_LABEL, affected, label_weights: Vec::new() }
+    }
+
+    /// Summed adjacent edge weight cached for `label` (0 when absent).
+    #[inline]
+    pub fn label_weight(&self, label: Label) -> u32 {
+        self.label_weights.iter().find(|&&(l, _)| l == label).map_or(0, |&(_, c)| c)
+    }
+
+    /// Applies a neighbour's label change `old -> new` over an edge of the
+    /// given weight, keeping the histogram's entries positive. Both entries
+    /// are located in a single pass.
+    #[inline]
+    pub fn shift_label_weight(&mut self, old: Label, new: Label, weight: u32) {
+        if old == new {
+            return;
+        }
+        // usize::MAX = still searching; usize::MAX - 1 = not needed.
+        const NONE: usize = usize::MAX;
+        let mut old_i = if old == NO_LABEL { NONE - 1 } else { NONE };
+        let mut new_i = if new == NO_LABEL { NONE - 1 } else { NONE };
+        for (i, &(l, _)) in self.label_weights.iter().enumerate() {
+            if l == new {
+                new_i = i;
+                if old_i != NONE {
+                    break;
+                }
+            } else if l == old {
+                old_i = i;
+                if new_i != NONE {
+                    break;
+                }
+            }
+        }
+        if new != NO_LABEL {
+            if new_i < NONE - 1 {
+                self.label_weights[new_i].1 += weight;
+            } else {
+                self.label_weights.push((new, weight));
+            }
+        }
+        if old != NO_LABEL {
+            debug_assert!(old_i < NONE - 1, "histogram entry for the previous neighbour label");
+            let entry = &mut self.label_weights[old_i].1;
+            debug_assert!(*entry >= weight);
+            *entry -= weight;
+            if *entry == 0 {
+                self.label_weights.swap_remove(old_i);
+            }
+        }
+    }
 }
 
 /// Per-edge state: the Eq. 3 weight and the cached label of the neighbour at
@@ -111,8 +176,7 @@ impl GlobalState {
     }
 }
 
-/// Worker-local scratch: the asynchronous load view of §IV-A4 plus reusable
-/// per-vertex scoring buffers.
+/// Worker-local scratch: the asynchronous load view of §IV-A4.
 #[derive(Debug)]
 pub struct WorkerState {
     /// Worker-local view of partition loads, updated as vertices on this
@@ -120,11 +184,16 @@ pub struct WorkerState {
     pub local_loads: Vec<i64>,
     /// Per-partition capacities C_l (for penalty-minimum tracking).
     pub capacities: Vec<f64>,
-    /// Scratch: per-label neighbour weight accumulator (k entries, cleared
-    /// via `touched` so per-vertex cost stays O(deg)).
+    /// Dense per-label scratch for the exhaustive candidate scan (k
+    /// entries, all zero between vertices; the per-vertex label histogram
+    /// serves the optimised scan instead).
     pub counts: Vec<u64>,
-    /// Scratch: labels touched by the current vertex.
-    pub touched: Vec<Label>,
+    /// Cached penalties π(l) = b(l)/C_l, kept in sync with `local_loads`
+    /// so the min scan and candidacy updates never re-divide.
+    penalties: Vec<f64>,
+    /// Whether every capacity is strictly positive (gates the candidate-
+    /// scan prune, whose bound is unsound across zero capacities).
+    caps_positive: bool,
     /// Cached index of the minimum-penalty label.
     min_label: Label,
     min_dirty: bool,
@@ -133,22 +202,62 @@ pub struct WorkerState {
 impl WorkerState {
     /// Builds worker state from the current global loads and capacities.
     pub fn new(loads: &[i64], capacities: &[f64]) -> Self {
-        Self {
+        let mut state = Self {
             local_loads: loads.to_vec(),
             capacities: capacities.to_vec(),
             counts: vec![0; loads.len()],
-            touched: Vec::with_capacity(64),
+            penalties: vec![0.0; loads.len()],
+            caps_positive: capacities.iter().all(|&c| c > 0.0),
             min_label: 0,
             min_dirty: true,
+        };
+        state.refresh_penalties();
+        state
+    }
+
+    /// Re-initialises in place from fresh loads/capacities, keeping every
+    /// buffer (the per-superstep reset on the engine's hot path). Returns
+    /// `false` when the shape changed and the caller must rebuild.
+    pub fn reset(&mut self, loads: &[i64], capacities: &[f64]) -> bool {
+        if self.local_loads.len() != loads.len() || self.capacities.len() != capacities.len() {
+            return false;
         }
+        self.local_loads.copy_from_slice(loads);
+        self.capacities.copy_from_slice(capacities);
+        self.counts.fill(0);
+        self.caps_positive = capacities.iter().all(|&c| c > 0.0);
+        self.refresh_penalties();
+        self.min_label = 0;
+        self.min_dirty = true;
+        true
+    }
+
+    /// True when every capacity is strictly positive.
+    #[inline]
+    pub fn caps_positive(&self) -> bool {
+        self.caps_positive
+    }
+
+    fn refresh_penalties(&mut self) {
+        for l in 0..self.local_loads.len() {
+            self.penalties[l] = Self::penalty_of(self.local_loads[l], self.capacities[l]);
+        }
+    }
+
+    /// The cached penalties π(l) = b(l)/C_l (entries with `C_l <= 0` hold
+    /// `f64::INFINITY`). Each entry is bit-identical to recomputing
+    /// `local_loads[l] as f64 / capacities[l]` whenever `C_l > 0`, so score
+    /// evaluation can read it instead of dividing.
+    #[inline]
+    pub fn penalties(&self) -> &[f64] {
+        &self.penalties
     }
 
     /// Penalty π(l) = b(l)/C_l under the worker-local view.
     #[inline]
-    fn penalty(&self, l: usize) -> f64 {
-        let cap = self.capacities[l];
+    fn penalty_of(load: i64, cap: f64) -> f64 {
         if cap > 0.0 {
-            self.local_loads[l] as f64 / cap
+            load as f64 / cap
         } else {
             f64::INFINITY
         }
@@ -159,10 +268,14 @@ impl WorkerState {
     pub fn apply_candidacy(&mut self, old: Label, new: Label, load: u64) {
         self.local_loads[new as usize] += load as i64;
         self.local_loads[old as usize] -= load as i64;
+        self.penalties[new as usize] =
+            Self::penalty_of(self.local_loads[new as usize], self.capacities[new as usize]);
+        self.penalties[old as usize] =
+            Self::penalty_of(self.local_loads[old as usize], self.capacities[old as usize]);
         if new == self.min_label {
             self.min_dirty = true;
         } else if !self.min_dirty
-            && self.penalty(old as usize) < self.penalty(self.min_label as usize)
+            && self.penalties[old as usize] < self.penalties[self.min_label as usize]
         {
             self.min_label = old;
         }
@@ -175,8 +288,8 @@ impl WorkerState {
     pub fn min_load_label(&mut self) -> Label {
         if self.min_dirty {
             let mut best = 0usize;
-            for l in 1..self.local_loads.len() {
-                if self.penalty(l) < self.penalty(best) {
+            for l in 1..self.penalties.len() {
+                if self.penalties[l] < self.penalties[best] {
                     best = l;
                 }
             }

@@ -68,6 +68,22 @@ impl AggregatorSpec {
         }
     }
 
+    /// Resets `acc` to the operator's identity in place, keeping any vector
+    /// allocation (the per-superstep partial reset on the engine's hot path).
+    /// Falls back to a fresh identity on type mismatch.
+    pub fn reset_to_identity(&self, acc: &mut AggValue) {
+        match (self.op, &mut *acc) {
+            (AggOp::SumI64, AggValue::I64(a)) => *a = 0,
+            (AggOp::SumF64, AggValue::F64(a)) => *a = 0.0,
+            (AggOp::VecSumI64, AggValue::VecI64(a)) if a.len() == self.vec_len => a.fill(0),
+            (AggOp::VecSumF64, AggValue::VecF64(a)) if a.len() == self.vec_len => a.fill(0.0),
+            (AggOp::MaxI64, AggValue::I64(a)) => *a = i64::MIN,
+            (AggOp::MaxF64, AggValue::F64(a)) => *a = f64::NEG_INFINITY,
+            (AggOp::Or, AggValue::Bool(a)) => *a = false,
+            _ => *acc = self.identity(),
+        }
+    }
+
     /// Merges `other` into `acc` according to the operator.
     pub fn merge(&self, acc: &mut AggValue, other: &AggValue) {
         match (self.op, acc, other) {

@@ -53,6 +53,12 @@ impl<'a, E> Edges<'a, E> {
 
 /// Message-sending handle; routes to the destination worker's outbox and
 /// keeps the local/remote traffic counters the evaluation relies on.
+///
+/// Outboxes are double-buffered against the engine's [`OutboxGrid`]: the
+/// buffer a send pushes into was drained (capacity intact) by the receiving
+/// worker two supersteps ago, so steady-state sends never allocate.
+///
+/// [`OutboxGrid`]: crate::types::OutboxGrid
 pub struct Mailer<'a, M> {
     pub(crate) outboxes: &'a mut [Vec<(VertexId, M)>],
     pub(crate) worker_of: &'a [WorkerId],

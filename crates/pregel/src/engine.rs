@@ -1,12 +1,35 @@
 //! The BSP engine: graph loading, the superstep loop, and halting.
+//!
+//! # Superstep anatomy
+//!
+//! Each superstep runs three phases over the logical workers:
+//!
+//! 1. **Compute** — every active vertex runs [`Program::compute`] against
+//!    its slice of the worker's flat inbox; sends accumulate in per-
+//!    destination outboxes. At the end of the phase each worker *publishes*
+//!    its outboxes into the shared [`OutboxGrid`] by buffer swap.
+//! 2. **Delivery** — each worker drains its own *column* of the grid
+//!    (disjoint cells, so the phase is embarrassingly parallel and the
+//!    engine thread is not a transposition bottleneck), rebuilds its flat
+//!    inbox, wakes messaged vertices, and applies buffered graph mutations.
+//! 3. **Epilogue** (engine thread) — aggregator merge in worker order,
+//!    metrics capture, master compute, halt decision.
+//!
+//! With more than one thread the phases execute on a persistent worker pool
+//! created once per [`Engine::run`]; a barrier-driven protocol replaces the
+//! per-superstep thread spawn/join of earlier versions. All message buffers
+//! are reused across supersteps, so the steady-state message path performs
+//! no heap allocation (see [`WorkerMetrics::fabric_reallocs`]).
 
 use crate::aggregate::{AggValue, AggregatorSpec};
-use crate::metrics::{RunTotals, SuperstepMetrics};
+use crate::metrics::{RunTotals, SuperstepMetrics, WorkerMetrics};
 use crate::program::{MasterContext, Program};
-use crate::types::{Mailbag, WorkerId};
+use crate::types::{OutboxGrid, WorkerId};
 use crate::worker::Worker;
 use crate::Placement;
 use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 use std::time::Instant;
 
 /// Engine configuration.
@@ -77,6 +100,25 @@ pub struct Engine<P: Program> {
     snapshot: Vec<AggValue>,
     global: P::G,
     num_vertices: u64,
+    /// The all-to-all exchange buffers (capacity persists across runs).
+    mail_grid: OutboxGrid<P::M>,
+}
+
+/// Master-owned state the worker threads read during the compute phase.
+/// The `RwLock` access windows never overlap — readers hold it only between
+/// the start and mid barriers, the engine thread writes only after the end
+/// barrier — so it never blocks in practice.
+struct MasterState<'a, G> {
+    snapshot: &'a mut Vec<AggValue>,
+    global: &'a mut G,
+}
+
+/// What a worker reports to the engine thread at the end of each superstep.
+#[derive(Default)]
+struct StepSlot {
+    metrics: WorkerMetrics,
+    partials: Vec<AggValue>,
+    halted: u64,
 }
 
 impl<P: Program> Engine<P> {
@@ -170,14 +212,14 @@ impl<P: Program> Engine<P> {
                 }
                 w.offsets.push(w.targets.len() as u64);
             }
-            let n_local = w.global_ids.len();
-            w.inbox = (0..n_local).map(|_| Vec::new()).collect();
-            w.next_inbox = (0..n_local).map(|_| Vec::new()).collect();
+            w.init_fabric();
         }
 
         let specs = program.aggregators();
         let snapshot: Vec<AggValue> = specs.iter().map(|s| s.identity()).collect();
         let global = program.init_global();
+        let mail_grid: OutboxGrid<P::M> =
+            (0..num_workers * num_workers).map(|_| Mutex::new(Vec::new())).collect();
         Self {
             program,
             workers,
@@ -188,6 +230,7 @@ impl<P: Program> Engine<P> {
             snapshot,
             global,
             num_vertices: n as u64,
+            mail_grid,
         }
     }
 
@@ -214,120 +257,14 @@ impl<P: Program> Engine<P> {
     /// Runs the program to completion.
     pub fn run(&mut self) -> RunSummary {
         let run_start = Instant::now();
-        let mut metrics: Vec<SuperstepMetrics> = Vec::new();
-        let mut halt = HaltReason::MaxSupersteps;
         let num_workers = self.workers.len();
         let threads = self.config.num_threads.clamp(1, num_workers.max(1));
-
-        for superstep in 0..self.config.max_supersteps {
-            let step_start = Instant::now();
-
-            // --- Compute phase (parallel over logical workers). ---
-            {
-                let program = &self.program;
-                let global = &self.global;
-                let snapshot = &self.snapshot;
-                let specs = &self.specs;
-                let worker_of = &self.worker_of;
-                let seed = self.config.seed;
-                let num_vertices = self.num_vertices;
-                run_parallel(&mut self.workers, threads, |w| {
-                    w.compute_phase(
-                        program,
-                        global,
-                        snapshot,
-                        specs,
-                        worker_of,
-                        superstep,
-                        seed,
-                        num_vertices,
-                    );
-                });
-            }
-
-            // --- Exchange: transpose outboxes into per-worker mailbags. ---
-            let mut mailbags: Vec<Mailbag<P::M>> =
-                (0..num_workers).map(|_| Vec::new()).collect();
-            for i in 0..num_workers {
-                for (j, bag) in mailbags.iter_mut().enumerate() {
-                    if !self.workers[i].outboxes[j].is_empty() {
-                        let batch = std::mem::take(&mut self.workers[i].outboxes[j]);
-                        bag.push((i as WorkerId, batch));
-                    }
-                }
-            }
-
-            // --- Delivery phase (parallel). ---
-            {
-                let program = &self.program;
-                let local_idx = &self.local_idx;
-                let mut bags = mailbags.into_iter();
-                // Pair each worker with its mailbag, preserving order.
-                let paired: Vec<(&mut Worker<P>, _)> =
-                    self.workers.iter_mut().map(|w| (w, bags.next().unwrap())).collect();
-                run_parallel_pairs(paired, threads, |(w, bag)| {
-                    w.deliver_phase(program, bag, local_idx);
-                    w.finish_superstep();
-                    w.apply_mutations();
-                });
-            }
-
-            // --- Merge aggregates (worker order => deterministic). ---
-            let mut merged: Vec<AggValue> = self
-                .specs
-                .iter()
-                .enumerate()
-                .map(
-                    |(i, s)| {
-                        if s.persistent {
-                            self.snapshot[i].clone()
-                        } else {
-                            s.identity()
-                        }
-                    },
-                )
-                .collect();
-            for w in &self.workers {
-                for (i, spec) in self.specs.iter().enumerate() {
-                    spec.merge(&mut merged[i], &w.partial_aggs[i]);
-                }
-            }
-
-            // --- Metrics. ---
-            let per_worker = self.workers.iter().map(|w| w.metrics.clone()).collect::<Vec<_>>();
-            let halted: u64 = self.workers.iter().map(|w| w.halted_count()).sum();
-            let active_after = self.num_vertices - halted;
-            let sent: u64 = per_worker.iter().map(|m| m.sent_local + m.sent_remote).sum();
-            metrics.push(SuperstepMetrics {
-                superstep,
-                per_worker,
-                wall_ns: step_start.elapsed().as_nanos() as u64,
-                active_after,
-            });
-
-            // --- Master compute. ---
-            let mut mctx = MasterContext {
-                superstep,
-                global: &mut self.global,
-                aggregates: &mut merged,
-                active: active_after,
-                messages_sent: sent,
-                halt: false,
-            };
-            self.program.master(&mut mctx);
-            let master_halt = mctx.halt;
-            self.snapshot = merged;
-
-            if master_halt {
-                halt = HaltReason::Master;
-                break;
-            }
-            if active_after == 0 && sent == 0 {
-                halt = HaltReason::AllHalted;
-                break;
-            }
-        }
-
+        let mut metrics: Vec<SuperstepMetrics> = Vec::new();
+        let halt = if threads <= 1 || num_workers <= 1 {
+            self.run_serial(&mut metrics)
+        } else {
+            self.run_pooled(threads, &mut metrics)
+        };
         RunSummary {
             supersteps: metrics.len() as u64,
             halt,
@@ -336,15 +273,189 @@ impl<P: Program> Engine<P> {
         }
     }
 
-    /// Clones all vertex values into a dense global-id-indexed vector.
-    pub fn collect_values(&self) -> Vec<P::V> {
-        let mut out: Vec<Option<P::V>> = vec![None; self.num_vertices as usize];
-        for w in &self.workers {
-            for (i, &gid) in w.global_ids.iter().enumerate() {
-                out[gid as usize] = Some(w.values[i].clone());
+    /// Single-threaded superstep loop: same phase code as the pool, executed
+    /// inline in worker order (bit-identical results by construction).
+    fn run_serial(&mut self, metrics: &mut Vec<SuperstepMetrics>) -> HaltReason {
+        let num_workers = self.workers.len();
+        for superstep in 0..self.config.max_supersteps {
+            let step_start = Instant::now();
+            for w in &mut self.workers {
+                w.compute_phase(
+                    &self.program,
+                    &self.global,
+                    &self.snapshot,
+                    &self.specs,
+                    &self.worker_of,
+                    superstep,
+                    self.config.seed,
+                    self.num_vertices,
+                );
+                w.publish_outboxes(&self.mail_grid, num_workers);
+            }
+            for w in &mut self.workers {
+                w.deliver_and_build(
+                    &self.program,
+                    &self.mail_grid,
+                    &self.local_idx,
+                    num_workers,
+                );
+                w.apply_mutations();
+            }
+
+            let per_worker: Vec<WorkerMetrics> =
+                self.workers.iter().map(|w| w.metrics.clone()).collect();
+            let halted: u64 = self.workers.iter().map(|w| w.halted_count()).sum();
+            let (step, reason) = superstep_epilogue(
+                &self.program,
+                &self.specs,
+                &mut self.snapshot,
+                &mut self.global,
+                superstep,
+                self.num_vertices,
+                step_start,
+                per_worker,
+                self.workers.iter().map(|w| w.partial_aggs.as_slice()),
+                halted,
+            );
+            metrics.push(step);
+            if let Some(reason) = reason {
+                return reason;
             }
         }
-        out.into_iter().map(|v| v.expect("every vertex has a value")).collect()
+        HaltReason::MaxSupersteps
+    }
+
+    /// Superstep loop on a persistent worker pool: `threads` scoped threads
+    /// own contiguous worker chunks for the whole run and advance through
+    /// the compute and delivery phases via a barrier protocol — no thread is
+    /// spawned or joined between supersteps.
+    fn run_pooled(
+        &mut self,
+        threads: usize,
+        metrics: &mut Vec<SuperstepMetrics>,
+    ) -> HaltReason {
+        let num_workers = self.workers.len();
+        let seed = self.config.seed;
+        let max_supersteps = self.config.max_supersteps;
+        let num_vertices = self.num_vertices;
+        // Split borrows: worker chunks move into the pool threads while the
+        // engine thread keeps the master-owned state.
+        let program = &self.program;
+        let specs = self.specs.as_slice();
+        let worker_of = self.worker_of.as_slice();
+        let local_idx = self.local_idx.as_slice();
+        let grid = &self.mail_grid;
+        let master =
+            RwLock::new(MasterState { snapshot: &mut self.snapshot, global: &mut self.global });
+        let slots: Vec<Mutex<StepSlot>> =
+            (0..num_workers).map(|_| Mutex::new(StepSlot::default())).collect();
+
+        let chunk = num_workers.div_ceil(threads);
+        let pool_size = num_workers.div_ceil(chunk);
+        // Phase barrier across the pool plus the engine thread; three waits
+        // per superstep (start -> compute, mid -> deliver, end -> epilogue).
+        let barrier = Barrier::new(pool_size + 1);
+        let stop = AtomicBool::new(false);
+
+        let mut halt = HaltReason::MaxSupersteps;
+        std::thread::scope(|s| {
+            for workers in self.workers.chunks_mut(chunk) {
+                let (barrier, stop, master, slots) = (&barrier, &stop, &master, &slots);
+                s.spawn(move || {
+                    let mut superstep = 0u64;
+                    loop {
+                        barrier.wait();
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        {
+                            let guard = master.read().expect("master state");
+                            let m = &*guard;
+                            for w in workers.iter_mut() {
+                                w.compute_phase(
+                                    program,
+                                    &*m.global,
+                                    m.snapshot,
+                                    specs,
+                                    worker_of,
+                                    superstep,
+                                    seed,
+                                    num_vertices,
+                                );
+                                w.publish_outboxes(grid, num_workers);
+                            }
+                        }
+                        barrier.wait();
+                        for w in workers.iter_mut() {
+                            w.deliver_and_build(program, grid, local_idx, num_workers);
+                            w.apply_mutations();
+                            let mut slot = slots[w.id as usize].lock().expect("step slot");
+                            slot.metrics.clone_from(&w.metrics);
+                            // Swap (not take): the stale vector handed back
+                            // is reset in place next superstep, so the
+                            // partials rotate without reallocating.
+                            std::mem::swap(&mut slot.partials, &mut w.partial_aggs);
+                            slot.halted = w.halted_count();
+                        }
+                        barrier.wait();
+                        superstep += 1;
+                    }
+                });
+            }
+
+            // Reused across supersteps: swapped against the slots so the
+            // partial vectors rotate worker -> slot -> here and back.
+            let mut partials: Vec<Vec<AggValue>> =
+                (0..num_workers).map(|_| Vec::new()).collect();
+            for superstep in 0..max_supersteps {
+                let step_start = Instant::now();
+                barrier.wait(); // pool computes and publishes
+                barrier.wait(); // pool delivers and reports
+                barrier.wait(); // reports ready
+                let mut per_worker = Vec::with_capacity(num_workers);
+                let mut halted = 0u64;
+                for (slot, buf) in slots.iter().zip(partials.iter_mut()) {
+                    let mut slot = slot.lock().expect("step slot");
+                    per_worker.push(slot.metrics.clone());
+                    std::mem::swap(&mut slot.partials, buf);
+                    halted += slot.halted;
+                }
+                let mut guard = master.write().expect("master state");
+                let m = &mut *guard;
+                let (step, reason) = superstep_epilogue(
+                    program,
+                    specs,
+                    m.snapshot,
+                    m.global,
+                    superstep,
+                    num_vertices,
+                    step_start,
+                    per_worker,
+                    partials.iter().map(|p| p.as_slice()),
+                    halted,
+                );
+                drop(guard);
+                metrics.push(step);
+                if let Some(reason) = reason {
+                    halt = reason;
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Release);
+            barrier.wait(); // release the pool to observe `stop` and exit
+        });
+        halt
+    }
+
+    /// Clones all vertex values into a dense global-id-indexed vector
+    /// (direct gather through the placement maps — no `Option` round-trip).
+    pub fn collect_values(&self) -> Vec<P::V> {
+        (0..self.num_vertices as usize)
+            .map(|v| {
+                let w = &self.workers[self.worker_of[v] as usize];
+                w.values[self.local_idx[v] as usize].clone()
+            })
+            .collect()
     }
 
     /// The last aggregated value of aggregator `id`.
@@ -353,53 +464,60 @@ impl<P: Program> Engine<P> {
     }
 }
 
-/// Runs `f` on every worker using up to `threads` scoped threads, chunking
-/// workers contiguously. Scope join is the superstep barrier.
-fn run_parallel<P: Program>(
-    workers: &mut [Worker<P>],
-    threads: usize,
-    f: impl Fn(&mut Worker<P>) + Sync,
-) {
-    if threads <= 1 || workers.len() <= 1 {
-        for w in workers {
-            f(w);
+/// Serial tail of a superstep: merge aggregator partials in worker order,
+/// capture metrics, run master compute, and decide whether to halt.
+#[allow(clippy::too_many_arguments)]
+fn superstep_epilogue<'a, P: Program>(
+    program: &P,
+    specs: &[AggregatorSpec],
+    snapshot: &mut Vec<AggValue>,
+    global: &mut P::G,
+    superstep: u64,
+    num_vertices: u64,
+    step_start: Instant,
+    per_worker: Vec<WorkerMetrics>,
+    partials: impl Iterator<Item = &'a [AggValue]>,
+    halted: u64,
+) -> (SuperstepMetrics, Option<HaltReason>) {
+    // Merge aggregates (worker order => deterministic).
+    let mut merged: Vec<AggValue> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| if s.persistent { snapshot[i].clone() } else { s.identity() })
+        .collect();
+    for worker_partials in partials {
+        for (i, spec) in specs.iter().enumerate() {
+            spec.merge(&mut merged[i], &worker_partials[i]);
         }
-        return;
     }
-    let chunk = workers.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for slice in workers.chunks_mut(chunk) {
-            s.spawn(|| {
-                for w in slice {
-                    f(w);
-                }
-            });
-        }
-    });
-}
 
-/// Like [`run_parallel`] but over pre-paired items.
-fn run_parallel_pairs<T: Send>(mut items: Vec<T>, threads: usize, f: impl Fn(T) + Sync) {
-    if threads <= 1 || items.len() <= 1 {
-        for it in items.drain(..) {
-            f(it);
-        }
-        return;
-    }
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        // Drain into per-thread chunks.
-        let mut iter = items.into_iter();
-        loop {
-            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
-            if batch.is_empty() {
-                break;
-            }
-            s.spawn(|| {
-                for it in batch {
-                    f(it);
-                }
-            });
-        }
-    });
+    let active_after = num_vertices - halted;
+    let sent: u64 = per_worker.iter().map(|m| m.sent_local + m.sent_remote).sum();
+    let step = SuperstepMetrics {
+        superstep,
+        per_worker,
+        wall_ns: step_start.elapsed().as_nanos() as u64,
+        active_after,
+    };
+
+    let mut mctx = MasterContext {
+        superstep,
+        global,
+        aggregates: &mut merged,
+        active: active_after,
+        messages_sent: sent,
+        halt: false,
+    };
+    program.master(&mut mctx);
+    let master_halt = mctx.halt;
+    *snapshot = merged;
+
+    let reason = if master_halt {
+        Some(HaltReason::Master)
+    } else if active_after == 0 && sent == 0 {
+        Some(HaltReason::AllHalted)
+    } else {
+        None
+    };
+    (step, reason)
 }

@@ -28,6 +28,20 @@
 //! per-worker message/compute counts into simulated cluster superstep times
 //! through an explicit cost model.
 //!
+//! # Message fabric
+//!
+//! Messages move through flat, capacity-reusing buffers rather than
+//! per-vertex queues: sends land in per-destination outboxes that are
+//! swapped into a shared all-to-all grid ([`types::OutboxGrid`]) at the end
+//! of the compute phase; each worker drains its own grid column during
+//! delivery and rebuilds a CSR-style inbox (`msg_offsets`/`msgs`) that the
+//! next compute phase reads as one slice per vertex. With more than one
+//! thread, a persistent pool created once per [`Engine::run`] drives the
+//! phases through a barrier protocol (no per-superstep thread spawns).
+//! Steady-state supersteps perform no heap allocation on the message path;
+//! [`WorkerMetrics::fabric_reallocs`] counts (and tests pin) any buffer
+//! growth.
+//!
 //! # Determinism
 //!
 //! Engine runs are bit-for-bit deterministic for a given seed and

@@ -19,6 +19,11 @@ pub struct WorkerMetrics {
     pub recv_remote: u64,
     /// Wall-clock nanoseconds spent in the compute phase of this worker.
     pub compute_ns: u64,
+    /// Delivery-phase buffer growth events: how many message-fabric buffers
+    /// (staging, chain links, flat inbox) grew during this superstep's
+    /// delivery. Zero in the steady state — the fabric reuses all capacity
+    /// across supersteps — so a nonzero tail is an allocation regression.
+    pub fabric_reallocs: u64,
 }
 
 impl WorkerMetrics {

@@ -31,6 +31,20 @@ pub trait Program: Send + Sync + Sized + 'static {
     /// Builds the worker-local state at the start of each superstep.
     fn init_worker(&self, global: &Self::G, worker: WorkerId) -> Self::WorkerState;
 
+    /// Re-initialises last superstep's worker state in place instead of
+    /// building a fresh one. Return `true` when `state` was fully reset;
+    /// returning `false` (the default) makes the engine fall back to
+    /// [`Program::init_worker`]. Implement this when the state owns heap
+    /// buffers worth keeping warm across supersteps.
+    fn reset_worker(
+        &self,
+        _state: &mut Self::WorkerState,
+        _global: &Self::G,
+        _worker: WorkerId,
+    ) -> bool {
+        false
+    }
+
     /// The aggregators this program uses, addressed by index in
     /// [`VertexContext`] and [`MasterContext`].
     fn aggregators(&self) -> Vec<AggregatorSpec> {

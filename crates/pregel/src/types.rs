@@ -3,10 +3,15 @@
 /// Identifier of a logical worker (a "machine" in Giraph terms).
 pub type WorkerId = u16;
 
-/// Messages bound for one worker, grouped as `(sender, addressed batch)`
-/// pairs; the engine transposes per-worker outboxes into one of these per
-/// destination before the delivery phase.
-pub type Mailbag<M> = Vec<(WorkerId, Vec<(spinner_graph::VertexId, M)>)>;
+/// The all-to-all message exchange: a dense `W × W` matrix of outbox
+/// buffers, indexed `src * W + dst`. Cell `(i, j)` is published (swapped in)
+/// by worker `i` at the end of its compute phase and drained by worker `j`
+/// during its delivery phase; the two phases are separated by the superstep
+/// barrier, so every lock is uncontended. Draining leaves the buffer empty
+/// but keeps its capacity, and the publish swap hands that capacity back to
+/// the sender — a double buffer per cell, so the steady state allocates
+/// nothing.
+pub type OutboxGrid<M> = Vec<std::sync::Mutex<Vec<(spinner_graph::VertexId, M)>>>;
 
 /// Bound for all user data carried by the engine (vertex values, edge
 /// values, messages, global state). Auto-implemented.

@@ -1,13 +1,24 @@
 //! A logical worker: hosts a subset of vertices and executes the compute and
 //! delivery phases of each superstep.
+//!
+//! Messages flow through a flat, reusable fabric instead of per-vertex
+//! `Vec`s: delivery drains the worker's column of the [`OutboxGrid`] into a
+//! staging buffer (chained per destination vertex), then a single gather
+//! pass rebuilds the CSR-style inbox `(msg_offsets, msgs)` that the compute
+//! phase reads as one slice per vertex. All buffers keep their capacity
+//! across supersteps, so the steady state performs no heap allocation on the
+//! message path.
 
 use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::context::{AggCtx, EdgeAddition, Edges, Mailer, VertexContext};
 use crate::metrics::WorkerMetrics;
 use crate::program::Program;
-use crate::types::WorkerId;
+use crate::types::{OutboxGrid, WorkerId};
 use spinner_graph::VertexId;
 use std::time::Instant;
+
+/// Sentinel for "no next message" in the staging chains.
+const NIL: u32 = u32::MAX;
 
 /// One logical worker's vertex store, mailboxes, and per-superstep scratch.
 pub struct Worker<P: Program> {
@@ -16,20 +27,41 @@ pub struct Worker<P: Program> {
     pub(crate) global_ids: Vec<VertexId>,
     pub(crate) values: Vec<P::V>,
     pub(crate) halted: Vec<bool>,
+    /// Maintained count of `true` entries in `halted` (updated on every
+    /// halt/wake transition so the engine never rescans the vector).
+    pub(crate) num_halted: u64,
     /// Local CSR: `offsets[i]..offsets[i+1]` indexes `targets`/`edge_values`.
     pub(crate) offsets: Vec<u64>,
     pub(crate) targets: Vec<VertexId>,
     pub(crate) edge_values: Vec<P::E>,
-    /// Inbox for the current superstep (filled during the previous delivery).
-    pub(crate) inbox: Vec<Vec<P::M>>,
-    /// Inbox being filled for the next superstep.
-    pub(crate) next_inbox: Vec<Vec<P::M>>,
-    /// Outboxes indexed by destination worker; drained by the engine.
+    /// Flat inbox: vertex `i` reads `msgs[msg_offsets[i]..msg_offsets[i+1]]`.
+    pub(crate) msg_offsets: Vec<u32>,
+    pub(crate) msgs: Vec<P::M>,
+    /// Delivery staging: messages in arrival order; the gather pass clones
+    /// them into `msgs` in vertex order (messages are `Clone` by the
+    /// [`crate::types::Value`] bound, and in practice plain-old-data).
+    staging: Vec<P::M>,
+    /// `staging_next[i]` chains message `i` to the next message addressed to
+    /// the same vertex (or [`NIL`]).
+    staging_next: Vec<u32>,
+    /// Per-vertex chain head/tail into `staging`, valid only when
+    /// `chain_epoch[v]` equals the current delivery epoch (stamping avoids
+    /// an O(vertices) reset every superstep).
+    chain_head: Vec<u32>,
+    chain_tail: Vec<u32>,
+    chain_epoch: Vec<u64>,
+    /// Current delivery epoch (bumped once per delivery phase).
+    epoch: u64,
+    /// Outboxes indexed by destination worker; published into the
+    /// [`OutboxGrid`] at the end of the compute phase.
     pub(crate) outboxes: Vec<Vec<(VertexId, P::M)>>,
     /// Buffered edge additions, applied at the barrier.
     pub(crate) additions: Vec<EdgeAddition<P::E>>,
     /// This superstep's aggregator partials.
     pub(crate) partial_aggs: Vec<AggValue>,
+    /// Last superstep's worker state, offered back to
+    /// [`Program::reset_worker`] so its buffers stay warm.
+    cached_worker_state: Option<P::WorkerState>,
     pub(crate) metrics: WorkerMetrics,
 }
 
@@ -40,16 +72,33 @@ impl<P: Program> Worker<P> {
             global_ids: Vec::new(),
             values: Vec::new(),
             halted: Vec::new(),
+            num_halted: 0,
             offsets: vec![0],
             targets: Vec::new(),
             edge_values: Vec::new(),
-            inbox: Vec::new(),
-            next_inbox: Vec::new(),
+            msg_offsets: vec![0],
+            msgs: Vec::new(),
+            staging: Vec::new(),
+            staging_next: Vec::new(),
+            chain_head: Vec::new(),
+            chain_tail: Vec::new(),
+            chain_epoch: Vec::new(),
+            epoch: 0,
             outboxes: (0..num_workers).map(|_| Vec::new()).collect(),
             additions: Vec::new(),
             partial_aggs: Vec::new(),
+            cached_worker_state: None,
             metrics: WorkerMetrics::default(),
         }
+    }
+
+    /// Sizes the per-vertex fabric state once the vertex set is known.
+    pub(crate) fn init_fabric(&mut self) {
+        let n_local = self.global_ids.len();
+        self.msg_offsets = vec![0; n_local + 1];
+        self.chain_head = vec![NIL; n_local];
+        self.chain_tail = vec![NIL; n_local];
+        self.chain_epoch = vec![0; n_local];
     }
 
     /// Number of vertices hosted here.
@@ -57,9 +106,9 @@ impl<P: Program> Worker<P> {
         self.global_ids.len()
     }
 
-    /// Number of halted vertices.
+    /// Number of halted vertices (maintained, O(1)).
     pub(crate) fn halted_count(&self) -> u64 {
-        self.halted.iter().filter(|&&h| h).count() as u64
+        self.num_halted
     }
 
     /// Executes the compute phase of one superstep over all local vertices.
@@ -77,20 +126,46 @@ impl<P: Program> Worker<P> {
     ) {
         let start = Instant::now();
         self.metrics.reset();
-        self.partial_aggs = specs.iter().map(|s| s.identity()).collect();
-        let mut worker_state = program.init_worker(global, self.id);
+        // Reset partials and worker state in place where possible — both are
+        // per-superstep, but their buffers need not be.
+        if self.partial_aggs.len() == specs.len() {
+            for (spec, acc) in specs.iter().zip(&mut self.partial_aggs) {
+                spec.reset_to_identity(acc);
+            }
+        } else {
+            self.partial_aggs = specs.iter().map(|s| s.identity()).collect();
+        }
+        let mut worker_state = match self.cached_worker_state.take() {
+            Some(mut state) => {
+                if !program.reset_worker(&mut state, global, self.id) {
+                    state = program.init_worker(global, self.id);
+                }
+                state
+            }
+            None => program.init_worker(global, self.id),
+        };
 
         let n_local = self.global_ids.len();
+        debug_assert_eq!(self.msg_offsets.len(), n_local + 1);
         for i in 0..n_local {
-            if self.halted[i] && self.inbox[i].is_empty() {
-                continue;
+            let m_lo = self.msg_offsets[i] as usize;
+            let m_hi = self.msg_offsets[i + 1] as usize;
+            if self.halted[i] {
+                if m_lo == m_hi {
+                    continue;
+                }
+                // Delivery wakes messaged vertices, so this is unreachable
+                // today; kept so the halted counter stays correct if the
+                // wake-up ever moves.
+                self.halted[i] = false;
+                self.num_halted -= 1;
             }
             self.metrics.computed += 1;
-            self.halted[i] = false;
             let lo = self.offsets[i] as usize;
             let hi = self.offsets[i + 1] as usize;
             // Split borrows: every field of the context aliases a distinct
-            // part of `self`.
+            // part of `self`; the inbox slice is read-only and disjoint from
+            // all of them.
             let mut ctx = VertexContext::<P> {
                 superstep,
                 vertex: self.global_ids[i],
@@ -116,52 +191,117 @@ impl<P: Program> Worker<P> {
                 additions: &mut self.additions,
                 local_idx: i as u32,
             };
-            // Temporarily take the inbox to avoid aliasing it from the ctx.
-            let msgs = std::mem::take(&mut self.inbox[i]);
-            program.compute(&mut ctx, &msgs);
-            // Reuse the allocation next superstep.
-            let mut msgs = msgs;
-            msgs.clear();
-            self.inbox[i] = msgs;
+            program.compute(&mut ctx, &self.msgs[m_lo..m_hi]);
+            if self.halted[i] {
+                self.num_halted += 1;
+            }
         }
+        self.cached_worker_state = Some(worker_state);
         self.metrics.compute_ns = start.elapsed().as_nanos() as u64;
     }
 
-    /// Delivery phase: drains messages addressed to this worker into
-    /// `next_inbox`, applying the program's combiner.
-    pub(crate) fn deliver_phase(
-        &mut self,
-        program: &P,
-        incoming: crate::types::Mailbag<P::M>,
-        local_idx: &[u32],
-    ) {
-        for (src_worker, batch) in incoming {
-            let local = src_worker == self.id;
-            for (target, msg) in batch {
-                if local {
-                    self.metrics.recv_local += 1;
-                } else {
-                    self.metrics.recv_remote += 1;
-                }
-                let slot = &mut self.next_inbox[local_idx[target as usize] as usize];
-                if let Some(acc) = slot.last_mut() {
-                    if program.combine(acc, &msg) {
-                        continue;
-                    }
-                }
-                slot.push(msg);
+    /// Publishes this worker's outboxes into the grid by swapping each
+    /// non-empty outbox with the (drained) cell buffer — the capacities
+    /// double-buffer between sender and grid, so neither side reallocates in
+    /// the steady state.
+    pub(crate) fn publish_outboxes(&mut self, grid: &OutboxGrid<P::M>, num_workers: usize) {
+        let row = self.id as usize * num_workers;
+        for (j, outbox) in self.outboxes.iter_mut().enumerate() {
+            if outbox.is_empty() {
+                continue;
             }
+            let cell = &mut *grid[row + j].lock().expect("grid lock");
+            debug_assert!(cell.is_empty(), "cell drained by last delivery");
+            std::mem::swap(outbox, cell);
         }
     }
 
-    /// Barrier work: swap inboxes and wake vertices that received messages.
-    pub(crate) fn finish_superstep(&mut self) {
-        std::mem::swap(&mut self.inbox, &mut self.next_inbox);
-        for (i, msgs) in self.inbox.iter().enumerate() {
-            if !msgs.is_empty() {
-                self.halted[i] = false;
+    /// Delivery phase: drains this worker's column of the grid into the
+    /// staging chains (applying the program's combiner), then gathers the
+    /// chains into the flat `(msg_offsets, msgs)` inbox and wakes messaged
+    /// vertices. Messages keep (source-worker, send-order) order per vertex.
+    pub(crate) fn deliver_and_build(
+        &mut self,
+        program: &P,
+        grid: &OutboxGrid<P::M>,
+        local_idx: &[u32],
+        num_workers: usize,
+    ) {
+        let caps =
+            (self.staging.capacity(), self.staging_next.capacity(), self.msgs.capacity());
+        self.epoch += 1;
+        let epoch = self.epoch;
+        debug_assert!(self.staging.is_empty() && self.staging_next.is_empty());
+
+        let me = self.id as usize;
+        for src in 0..num_workers {
+            let mut cell = grid[src * num_workers + me].lock().expect("grid lock");
+            if cell.is_empty() {
+                continue;
+            }
+            if src == me {
+                self.metrics.recv_local += cell.len() as u64;
+            } else {
+                self.metrics.recv_remote += cell.len() as u64;
+            }
+            for (target, msg) in cell.drain(..) {
+                let v = local_idx[target as usize] as usize;
+                if self.chain_epoch[v] == epoch {
+                    let tail = self.chain_tail[v] as usize;
+                    if program.combine(&mut self.staging[tail], &msg) {
+                        continue;
+                    }
+                    let idx = self.staging.len() as u32;
+                    self.staging.push(msg);
+                    self.staging_next.push(NIL);
+                    self.staging_next[tail] = idx;
+                    self.chain_tail[v] = idx;
+                } else {
+                    self.chain_epoch[v] = epoch;
+                    let idx = self.staging.len() as u32;
+                    self.staging.push(msg);
+                    self.staging_next.push(NIL);
+                    self.chain_head[v] = idx;
+                    self.chain_tail[v] = idx;
+                }
             }
         }
+        // u32 indices/offsets cap a worker at ~4.29e9 staged messages per
+        // superstep; fail loudly instead of wrapping (one check per phase).
+        assert!(self.staging.len() < NIL as usize, "per-superstep message overflow");
+
+        // Gather: walk each vertex's chain once, cloning messages into the
+        // flat inbox; `clear` keeps every capacity for the next superstep.
+        self.msgs.clear();
+        self.msg_offsets.clear();
+        self.msg_offsets.push(0);
+        let n_local = self.global_ids.len();
+        for v in 0..n_local {
+            if self.chain_epoch[v] == epoch {
+                let mut i = self.chain_head[v] as usize;
+                loop {
+                    self.msgs.push(self.staging[i].clone());
+                    let next = self.staging_next[i];
+                    if next == NIL {
+                        break;
+                    }
+                    i = next as usize;
+                }
+                if self.halted[v] {
+                    self.halted[v] = false;
+                    self.num_halted -= 1;
+                }
+            }
+            self.msg_offsets.push(self.msgs.len() as u32);
+        }
+        self.staging.clear();
+        self.staging_next.clear();
+
+        let caps_after =
+            (self.staging.capacity(), self.staging_next.capacity(), self.msgs.capacity());
+        self.metrics.fabric_reallocs += u64::from(caps_after.0 != caps.0)
+            + u64::from(caps_after.1 != caps.1)
+            + u64::from(caps_after.2 != caps.2);
     }
 
     /// Applies buffered edge additions, keeping each adjacency run sorted and

@@ -1,0 +1,197 @@
+//! Fabric determinism: the flat mailbox + persistent pool must produce
+//! bit-identical results across every `num_workers x num_threads`
+//! combination, with and without a message combiner, and must stop
+//! allocating on the message path once buffer capacities have warmed up.
+
+use spinner_graph::generators::{planted_partition, SbmConfig};
+use spinner_graph::{DirectedGraph, GraphBuilder};
+use spinner_pregel::engine::{Engine, EngineConfig, HaltReason};
+use spinner_pregel::program::Program;
+use spinner_pregel::{Placement, VertexContext};
+
+fn sbm() -> DirectedGraph {
+    planted_partition(SbmConfig {
+        n: 600,
+        communities: 5,
+        internal_degree: 7.0,
+        external_degree: 1.5,
+        skew: None,
+        seed: 42,
+    })
+}
+
+/// Min-label propagation (WCC-style): deterministic regardless of message
+/// order, so any fabric bug that reorders, drops, or duplicates messages
+/// shows up as a value or metrics difference.
+struct MinLabel {
+    /// Whether to fold messages through the combiner (exercises the
+    /// combine-into-chain-tail path) or deliver them individually
+    /// (exercises multi-message chains).
+    combine: bool,
+}
+
+impl Program for MinLabel {
+    type V = u32;
+    type E = ();
+    type M = u32;
+    type G = ();
+    type WorkerState = ();
+
+    fn init_global(&self) {}
+    fn init_worker(&self, _g: &(), _w: u16) {}
+
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[u32]) {
+        let mut best = *ctx.value;
+        if ctx.superstep == 0 {
+            best = ctx.vertex;
+        }
+        for &m in messages {
+            best = best.min(m);
+        }
+        if best != *ctx.value || ctx.superstep == 0 {
+            *ctx.value = best;
+            let msg = best;
+            for &t in ctx.edges.targets {
+                ctx.mail.send(t, msg);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, acc: &mut u32, msg: &u32) -> bool {
+        if self.combine {
+            *acc = (*acc).min(*msg);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Everything a run exposes that must be identical across the grid:
+/// final values plus the integer per-superstep history.
+#[derive(Debug, PartialEq, Eq)]
+struct Trace {
+    values: Vec<u32>,
+    history: Vec<(u64, u64, u64, u64, u64)>,
+    halt_supersteps: u64,
+}
+
+fn run(g: &DirectedGraph, workers: usize, threads: usize, combine: bool) -> Trace {
+    let placement = Placement::hashed(g.num_vertices(), workers, 9);
+    let cfg = EngineConfig { num_threads: threads, max_supersteps: 200, seed: 3 };
+    let mut engine = Engine::from_directed(
+        MinLabel { combine },
+        g,
+        &placement,
+        cfg,
+        |_| u32::MAX,
+        |_, _, _| (),
+    );
+    let summary = engine.run();
+    assert_eq!(summary.halt, HaltReason::AllHalted);
+    Trace {
+        values: engine.collect_values(),
+        history: summary
+            .metrics
+            .iter()
+            .map(|s| {
+                let recv: u64 = s.per_worker.iter().map(|w| w.recv_total()).sum();
+                (s.superstep, s.computed_total(), s.sent_total(), recv, s.active_after)
+            })
+            .collect(),
+        halt_supersteps: summary.supersteps,
+    }
+}
+
+#[test]
+fn identical_across_worker_and_thread_grid() {
+    let g = sbm();
+    for &combine in &[false, true] {
+        let reference = run(&g, 1, 1, combine);
+        // Values must match the offline WCC answer regardless of placement.
+        assert!(reference.values.iter().all(|&v| v != u32::MAX));
+        for &workers in &[1usize, 2, 4, 7] {
+            for &threads in &[1usize, 2, 4, 7] {
+                let trace = run(&g, workers, threads, combine);
+                assert_eq!(
+                    trace.values, reference.values,
+                    "values diverged at workers={workers} threads={threads} combine={combine}"
+                );
+                assert_eq!(
+                    trace.history, reference.history,
+                    "history diverged at workers={workers} threads={threads} combine={combine}"
+                );
+                assert_eq!(trace.halt_supersteps, reference.halt_supersteps);
+            }
+        }
+    }
+}
+
+#[test]
+fn combiner_reduces_delivered_messages_but_not_results() {
+    let g = sbm();
+    let plain = run(&g, 4, 2, false);
+    let combined = run(&g, 4, 2, true);
+    assert_eq!(plain.values, combined.values);
+    // Same sends, fewer (combined) deliveries overall.
+    let sent: u64 = plain.history.iter().map(|h| h.2).sum();
+    let sent_c: u64 = combined.history.iter().map(|h| h.2).sum();
+    let recv: u64 = plain.history.iter().map(|h| h.3).sum();
+    assert_eq!(sent, sent_c);
+    assert_eq!(recv, sent, "every sent message is counted on receipt");
+}
+
+/// Constant-volume chatter: every vertex messages all neighbours every
+/// superstep until the master halts.
+struct Chatter;
+
+impl Program for Chatter {
+    type V = u64;
+    type E = ();
+    type M = u64;
+    type G = ();
+    type WorkerState = ();
+    fn init_global(&self) {}
+    fn init_worker(&self, _g: &(), _w: u16) {}
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[u64]) {
+        *ctx.value += messages.iter().sum::<u64>();
+        let msg = ctx.vertex as u64;
+        for &t in ctx.edges.targets {
+            ctx.mail.send(t, msg);
+        }
+    }
+    fn master(&self, ctx: &mut spinner_pregel::program::MasterContext<'_, ()>) {
+        if ctx.superstep >= 12 {
+            ctx.halt();
+        }
+    }
+}
+
+#[test]
+fn steady_state_inbox_path_does_not_allocate() {
+    let g = GraphBuilder::new(64)
+        .add_edges((0..64u32).flat_map(|v| {
+            // Ring plus two chords: constant per-superstep message volume.
+            [(v, (v + 1) % 64), (v, (v + 7) % 64), (v, (v + 19) % 64)]
+        }))
+        .build();
+    for &(workers, threads) in &[(1usize, 1usize), (4, 2), (7, 4)] {
+        let placement = Placement::hashed(g.num_vertices(), workers, 5);
+        let cfg = EngineConfig { num_threads: threads, max_supersteps: 100, seed: 1 };
+        let mut engine =
+            Engine::from_directed(Chatter, &g, &placement, cfg, |_| 0, |_, _, _| ());
+        let summary = engine.run();
+        assert_eq!(summary.halt, HaltReason::Master);
+        // Buffers may grow during the first supersteps; after that the
+        // fabric must reuse capacity — zero growth events.
+        for step in summary.metrics.iter().filter(|s| s.superstep >= 3) {
+            let growth: u64 = step.per_worker.iter().map(|w| w.fabric_reallocs).sum();
+            assert_eq!(
+                growth, 0,
+                "fabric buffers grew in steady state at superstep {} (workers={workers}, threads={threads})",
+                step.superstep
+            );
+        }
+    }
+}
