@@ -4,15 +4,25 @@
 //! ```text
 //! bench-compare --baseline <path> --current <path>
 //!               [--max-regression <factor>] [--min-delta <seconds>]
-//!               [--summary <path>]
+//!               [--max-quality-regression <fraction>] [--summary <path>]
 //! ```
 //!
-//! An experiment regresses when `current > factor * baseline` (default 2x)
-//! AND `current - baseline > min-delta` (default 0.5 s — sub-second smoke
-//! runs double on runner noise alone). A markdown delta table goes to
-//! stdout and, with `--summary`, is appended to the given file (pass
-//! `$GITHUB_STEP_SUMMARY` in CI). Exit code 1 on any regression or failed
-//! experiment, 2 on usage/IO errors.
+//! Two gates run over the reports:
+//!
+//! - **Wall-clock**: an experiment regresses when `current > factor *
+//!   baseline` (default 2x) AND `current - baseline > min-delta` (default
+//!   0.5 s — sub-second smoke runs double on runner noise alone).
+//! - **Quality**: the `metrics` an experiment reported (φ/ρ/migration
+//!   trajectories, see `spinner_bench::emit_metric`) are seeded and exactly
+//!   reproducible, so they get a much tighter gate: a higher-is-better
+//!   metric (`phi*`) regresses when it drops more than the quality fraction
+//!   (default 5%) below baseline; a lower-is-better one (`rho*`,
+//!   `*migration*`, `*moved*`) when it rises more than that above. Other
+//!   metric names are reported but never gate.
+//!
+//! A markdown delta table goes to stdout and, with `--summary`, is appended
+//! to the given file (pass `$GITHUB_STEP_SUMMARY` in CI). Exit code 1 on
+//! any regression or failed experiment, 2 on usage/IO errors.
 
 use spinner_bench::report::{parse_report, ExperimentOutcome};
 use std::io::Write;
@@ -23,6 +33,7 @@ struct Args {
     current: String,
     max_regression: f64,
     min_delta: f64,
+    max_quality_regression: f64,
     summary: Option<String>,
 }
 
@@ -32,6 +43,7 @@ fn parse_args() -> Args {
         current: String::new(),
         max_regression: 2.0,
         min_delta: 0.5,
+        max_quality_regression: 0.05,
         summary: None,
     };
     let mut it = std::env::args().skip(1);
@@ -54,6 +66,11 @@ fn parse_args() -> Args {
                 args.min_delta =
                     value(&mut it, "--min-delta").parse().expect("numeric --min-delta")
             }
+            "--max-quality-regression" => {
+                args.max_quality_regression = value(&mut it, "--max-quality-regression")
+                    .parse()
+                    .expect("numeric --max-quality-regression")
+            }
             "--summary" => args.summary = Some(value(&mut it, "--summary")),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -64,7 +81,8 @@ fn parse_args() -> Args {
     if args.baseline.is_empty() || args.current.is_empty() {
         eprintln!(
             "usage: bench-compare --baseline <path> --current <path> \
-             [--max-regression <factor>] [--min-delta <seconds>] [--summary <path>]"
+             [--max-regression <factor>] [--min-delta <seconds>] \
+             [--max-quality-regression <fraction>] [--summary <path>]"
         );
         std::process::exit(2);
     }
@@ -80,6 +98,102 @@ fn load(path: &str) -> Vec<ExperimentOutcome> {
         eprintln!("{path} is not a bench report");
         std::process::exit(2);
     })
+}
+
+/// Which way a quality metric is allowed to move, inferred from its name.
+enum Direction {
+    /// `phi*`: locality — dropping below baseline is a regression.
+    HigherBetter,
+    /// `rho*`, `*migration*`, `*moved*`: balance/movement cost — rising
+    /// above baseline is a regression.
+    LowerBetter,
+    /// Anything else: reported for the record, never gated.
+    Informational,
+}
+
+fn direction(name: &str) -> Direction {
+    if name.starts_with("phi") {
+        Direction::HigherBetter
+    } else if name.starts_with("rho") || name.contains("migration") || name.contains("moved") {
+        Direction::LowerBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// Appends the quality-metric delta table (omitted when neither report
+/// carries metrics) and returns the number of quality failures.
+fn quality_table(
+    baseline: &[ExperimentOutcome],
+    current: &[ExperimentOutcome],
+    tolerance: f64,
+    table: &mut String,
+) -> usize {
+    if baseline.iter().all(|o| o.metrics.is_empty())
+        && current.iter().all(|o| o.metrics.is_empty())
+    {
+        return 0;
+    }
+    table.push_str("\n## Quality metrics (phi / rho / migration) vs baseline\n\n");
+    table.push_str(&format!(
+        "Regression gate: phi must not drop, and rho / migration fractions must \
+         not rise, by more than {:.0}% of baseline. Metrics are seeded and \
+         thread-count-invariant, so any drift is a real behaviour change.\n\n",
+        100.0 * tolerance
+    ));
+    table.push_str("| experiment | metric | baseline | current | delta | status |\n");
+    table.push_str("|---|---|---:|---:|---:|---|\n");
+
+    let mut failures = 0usize;
+    for cur in current {
+        let base = baseline.iter().find(|b| b.name == cur.name);
+        for (name, cur_value) in &cur.metrics {
+            let cur_value = *cur_value;
+            let Some(base_value) = base.and_then(|b| b.metric(name)) else {
+                table.push_str(&format!(
+                    "| {} | {} | — | {:.4} | — | new (no baseline) |\n",
+                    cur.name, name, cur_value
+                ));
+                continue;
+            };
+            let delta_pct = if base_value != 0.0 {
+                100.0 * (cur_value - base_value) / base_value
+            } else {
+                0.0
+            };
+            let regressed = match direction(name) {
+                Direction::HigherBetter => cur_value < base_value * (1.0 - tolerance),
+                Direction::LowerBetter => cur_value > base_value * (1.0 + tolerance),
+                Direction::Informational => false,
+            };
+            let status = if regressed {
+                failures += 1;
+                "REGRESSION"
+            } else if matches!(direction(name), Direction::Informational) {
+                "info"
+            } else {
+                "ok"
+            };
+            table.push_str(&format!(
+                "| {} | {} | {:.4} | {:.4} | {:+.2}% | {} |\n",
+                cur.name, name, base_value, cur_value, delta_pct, status
+            ));
+        }
+        // Metrics that disappeared from an experiment still present in the
+        // current report would otherwise silently shrink coverage.
+        if let Some(base) = base {
+            for (name, base_value) in &base.metrics {
+                if cur.metric(name).is_none() {
+                    failures += 1;
+                    table.push_str(&format!(
+                        "| {} | {} | {:.4} | — | — | MISSING |\n",
+                        cur.name, name, base_value
+                    ));
+                }
+            }
+        }
+    }
+    failures
 }
 
 fn main() -> ExitCode {
@@ -138,6 +252,8 @@ fn main() -> ExitCode {
             ));
         }
     }
+
+    failures += quality_table(&baseline, &current, args.max_quality_regression, &mut table);
 
     println!("{table}");
     if let Some(path) = &args.summary {

@@ -8,7 +8,9 @@
 //! grows with k, up to ~250x at k=512; ρ stays ≈ 1.05 everywhere.
 
 use spinner_baselines::hash_partition;
-use spinner_bench::{f2, f3, load_dataset, run_spinner, scale_from_env, spinner_cfg, Table};
+use spinner_bench::{
+    emit_metric, f2, f3, load_dataset, run_spinner, scale_from_env, spinner_cfg, Table,
+};
 use spinner_graph::Dataset;
 
 /// Paper Table III: average ρ per graph.
@@ -38,7 +40,12 @@ fn main() {
         let mut phis = Vec::new();
         let mut imps = Vec::new();
         for (i, (_, g)) in graphs.iter().enumerate() {
-            let r = run_spinner(g, &spinner_cfg(k, 42));
+            // Pin the logical-worker count: the §IV-A4 async load view makes
+            // results depend on it, and this experiment's phi/rho feed the
+            // machine-invariant quality gate.
+            let mut cfg = spinner_cfg(k, 42);
+            cfg.num_workers = 16;
+            let r = run_spinner(g, &cfg);
             rho_sums[i] += r.quality.rho;
             let hash = hash_partition(g.num_vertices(), k, 7);
             let phi_hash = spinner_metrics::phi(g, &hash).max(1e-9);
@@ -71,4 +78,10 @@ fn main() {
         rho_table.row([d.short_name().to_string(), f3(avg), f3(paper)]);
     }
     println!("{rho_table}");
+
+    // Quality-gate metrics (seeded, deterministic): mean phi across the
+    // graphs at k = 32 and mean rho over the whole grid.
+    let k32 = ks.iter().position(|&k| k == 32).expect("k grid contains 32");
+    emit_metric("phi_k32_mean", phi_rows[k32].iter().sum::<f64>() / phi_rows[k32].len() as f64);
+    emit_metric("rho_mean", rho_sums.iter().sum::<f64>() / (rho_sums.len() * ks.len()) as f64);
 }

@@ -1,0 +1,242 @@
+//! **Streaming dynamic-graph trajectory** — the continuous extension of
+//! Figs. 7–8: a [`StreamSession`] holds engine and partition state warm
+//! across a stream of delta windows (edge churn + vertex arrivals, with a
+//! mid-stream elastic grow and shrink), re-converging incrementally after
+//! each window; every window is also repartitioned from scratch as the
+//! baseline.
+//!
+//! Expected shape: per-window migration fraction stays far below the
+//! from-scratch baseline (the paper's 8–11% vs 95–98% at one-shot scale),
+//! ρ stays within the configured balance slack throughout, and the warm
+//! engine performs zero fabric reallocations from window 2 on. The binary
+//! **asserts** these acceptance criteria and exits non-zero on violation,
+//! so the CI smoke suite doubles as the streaming quality gate.
+//!
+//! Writes a per-window trajectory JSON (default
+//! `bench-out/STREAM_TRAJECTORY.json`, override with
+//! `SPINNER_STREAM_JSON`) and emits deterministic `METRIC` lines for the
+//! φ/ρ regression tracking in `bench-compare`.
+
+use spinner_bench::{emit_metric, f2, f3, pct1, scale_from_env, threads_from_env, Table};
+use spinner_core::{partition, SpinnerConfig, StreamEvent, StreamSession, WindowReport};
+use spinner_graph::{Dataset, DeltaStream, DeltaStreamConfig, Scale};
+use spinner_metrics::{partitioning_difference, Trajectory, WindowPoint};
+use std::process::ExitCode;
+
+/// Delta windows in the stream (the resize events ride on two of them).
+const DELTA_WINDOWS: u32 = 10;
+/// Balance slack over the capacity constant `c` tolerated across windows
+/// (tiny analogues are noisier than the paper's full graphs).
+const RHO_SLACK: f64 = 0.15;
+
+struct WindowRow {
+    report: WindowReport,
+    event: String,
+    migration_scratch: f64,
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let k = 16u32;
+    let base = Dataset::Tuenti.build_directed(scale);
+    eprintln!("tuenti analogue: |V|={} |E|={}", base.num_vertices(), base.num_edges());
+
+    let mut cfg = SpinnerConfig::new(k).with_seed(42);
+    cfg.num_threads = threads_from_env();
+    // Fixed logical-worker count: the §IV-A4 async load view makes results
+    // depend on it, so pinning it keeps every METRIC machine-independent.
+    cfg.num_workers = 16;
+
+    let stream_cfg = DeltaStreamConfig {
+        windows: DELTA_WINDOWS,
+        add_fraction: 0.010,
+        remove_fraction: 0.004,
+        vertex_fraction: 0.002,
+        attach_degree: 3,
+        triadic_fraction: 0.8,
+        hub_bias: 0.5,
+        seed: 99,
+    };
+    let mut deltas = DeltaStream::new(base.clone(), stream_cfg);
+
+    eprintln!("bootstrap partitioning (k={k})...");
+    let mut session = StreamSession::new(base, cfg.clone());
+    let bootstrap = session.last().clone();
+    eprintln!(
+        "bootstrap: phi={:.3} rho={:.3} iters={}",
+        bootstrap.phi, bootstrap.rho, bootstrap.iterations
+    );
+    let mut rows = vec![WindowRow {
+        report: bootstrap,
+        event: "bootstrap".to_string(),
+        migration_scratch: 1.0,
+    }];
+
+    // The stream: 10 delta windows with an elastic grow after the 4th and a
+    // shrink back after the 7th — graph and cluster changes interleaved.
+    let mut events: Vec<(String, StreamEvent)> = Vec::new();
+    for i in 1..=DELTA_WINDOWS {
+        events.push(("delta".to_string(), StreamEvent::Delta(deltas.next().expect("window"))));
+        if i == 4 {
+            events.push((format!("resize {k}->{}", k + 4), StreamEvent::Resize { k: k + 4 }));
+        }
+        if i == 7 {
+            events.push((format!("resize {}->{k}", k + 4), StreamEvent::Resize { k }));
+        }
+    }
+
+    for (event, stream_event) in events {
+        let previous = session.labels().to_vec();
+        let report = session.apply(stream_event).clone();
+        // From-scratch baseline on the same post-delta graph and k.
+        let scratch_cfg = session.config().clone().with_seed(4242 + report.window as u64);
+        let scratch = partition(session.undirected(), &scratch_cfg);
+        let shared = previous.len().min(scratch.labels.len());
+        let migration_scratch =
+            partitioning_difference(&previous[..shared], &scratch.labels[..shared]);
+        eprintln!(
+            "window {:>2} [{event}]: phi={:.3} rho={:.3} moved {:.1}% (scratch {:.1}%) \
+             iters={} reallocs={}",
+            report.window,
+            report.phi,
+            report.rho,
+            100.0 * report.migration_fraction,
+            100.0 * migration_scratch,
+            report.iterations,
+            report.fabric_reallocs
+        );
+        rows.push(WindowRow { report, event, migration_scratch });
+    }
+
+    let trajectory: Trajectory = rows
+        .iter()
+        .map(|r| WindowPoint {
+            window: r.report.window,
+            phi: r.report.phi,
+            rho: r.report.rho,
+            migration_fraction: r.report.migration_fraction,
+        })
+        .collect();
+
+    let mut t = Table::new(format!(
+        "Streaming trajectory: {DELTA_WINDOWS} delta windows + elastic grow/shrink \
+         (Tuenti analogue, k={k})"
+    ))
+    .header(["window", "event", "k", "phi", "rho", "moved", "moved scratch", "reallocs"]);
+    for r in &rows {
+        t.row([
+            r.report.window.to_string(),
+            r.event.clone(),
+            r.report.k.to_string(),
+            f2(r.report.phi),
+            f3(r.report.rho),
+            pct1(100.0 * r.report.migration_fraction),
+            pct1(100.0 * r.migration_scratch),
+            r.report.fabric_reallocs.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    write_json(&rows, &trajectory, scale, k);
+
+    emit_metric("phi_final", trajectory.last().expect("windows").phi);
+    emit_metric("phi_min", trajectory.min_phi());
+    emit_metric("rho_max", trajectory.max_rho());
+    emit_metric("migration_mean", trajectory.mean_migration_fraction());
+
+    // ---- acceptance criteria (self-gating: CI runs this in the smoke
+    // suite, so a violation fails the build) ----
+    let mut violations: Vec<String> = Vec::new();
+    for r in &rows[1..] {
+        if r.report.migration_fraction >= r.migration_scratch {
+            violations.push(format!(
+                "window {} [{}]: adaptive moved {:.3} >= scratch {:.3}",
+                r.report.window, r.event, r.report.migration_fraction, r.migration_scratch
+            ));
+        }
+        let rho_bound = cfg.c + RHO_SLACK;
+        if r.report.rho > rho_bound {
+            violations.push(format!(
+                "window {} [{}]: rho {:.3} exceeds balance slack {:.3}",
+                r.report.window, r.event, r.report.rho, rho_bound
+            ));
+        }
+    }
+    for r in rows.iter().filter(|r| r.report.window >= 2) {
+        if r.report.fabric_reallocs != 0 {
+            violations.push(format!(
+                "window {} [{}]: {} steady-state fabric reallocations (want 0)",
+                r.report.window, r.event, r.report.fabric_reallocs
+            ));
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "all {} windows within gates: migration below scratch, rho <= {:.2}, \
+             zero fabric reallocations from window 2",
+            rows.len(),
+            cfg.c + RHO_SLACK
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("ACCEPTANCE VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Writes the per-window trajectory report (hand-rolled JSON like the suite
+/// reports; no JSON dependency in the workspace).
+fn write_json(rows: &[WindowRow], trajectory: &Trajectory, scale: Scale, k0: u32) {
+    let path = std::env::var("SPINNER_STREAM_JSON")
+        .unwrap_or_else(|_| "bench-out/STREAM_TRAJECTORY.json".to_string());
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"exp-stream\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    out.push_str(&format!("  \"k0\": {k0},\n"));
+    out.push_str(&format!("  \"rho_max\": {:.6},\n", trajectory.max_rho()));
+    out.push_str(&format!("  \"phi_min\": {:.6},\n", trajectory.min_phi()));
+    out.push_str(&format!(
+        "  \"migration_mean\": {:.6},\n",
+        trajectory.mean_migration_fraction()
+    ));
+    out.push_str(&format!("  \"trajectory\": {},\n", trajectory.to_json()));
+    out.push_str("  \"windows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"window\": {}, \"event\": \"{}\", \"k\": {}, \"num_vertices\": {}, \
+             \"num_edges\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
+             \"migration_fraction\": {:.6}, \"migration_scratch\": {:.6}, \
+             \"iterations\": {}, \"supersteps\": {}, \"messages\": {}, \
+             \"fabric_reallocs\": {}}}{sep}\n",
+            r.report.window,
+            r.event,
+            r.report.k,
+            r.report.num_vertices,
+            r.report.num_edges,
+            r.report.phi,
+            r.report.rho,
+            r.report.migration_fraction,
+            r.migration_scratch,
+            r.report.iterations,
+            r.report.supersteps,
+            r.report.messages,
+            r.report.fabric_reallocs
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+    }
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote trajectory to {path}");
+}

@@ -18,7 +18,8 @@
 use spinner_bench::report::{render_report, ExperimentOutcome};
 use spinner_bench::scale_from_env;
 use spinner_graph::Scale;
-use std::process::{Command, ExitCode};
+use std::io::BufRead;
+use std::process::{Command, ExitCode, Stdio};
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
@@ -33,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-table4",
     "exp-ablation",
     "exp-theory",
+    "exp-stream",
 ];
 
 struct Args {
@@ -95,8 +97,35 @@ fn main() -> ExitCode {
         if args.smoke {
             cmd.env("SPINNER_SCALE", "tiny");
         }
+        // Pipe stdout through so `METRIC <name> <value>` lines (see
+        // `spinner_bench::emit_metric`) can be captured into the report
+        // while everything still reaches the console. Stderr stays
+        // inherited (progress logging).
+        cmd.stdout(Stdio::piped());
         let start = Instant::now();
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        let mut child = cmd.spawn().unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        let mut metrics: Vec<(String, f64)> = Vec::new();
+        let stdout = child.stdout.take().expect("piped child stdout");
+        for line in std::io::BufReader::new(stdout).lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    // Surface decode/read errors instead of silently
+                    // dropping whatever METRIC lines they may have carried.
+                    eprintln!("warning: unreadable stdout line from {name}: {e}");
+                    continue;
+                }
+            };
+            if let Some((metric_name, value)) = line
+                .strip_prefix("METRIC ")
+                .and_then(|rest| rest.split_once(' '))
+                .and_then(|(n, v)| v.trim().parse::<f64>().ok().map(|v| (n, v)))
+            {
+                metrics.push((metric_name.to_string(), value));
+            }
+            println!("{line}");
+        }
+        let status = child.wait().unwrap_or_else(|e| panic!("failed to wait on {name}: {e}"));
         let seconds = start.elapsed().as_secs_f64();
         if !status.success() {
             eprintln!("{name} FAILED with {status}");
@@ -105,6 +134,7 @@ fn main() -> ExitCode {
             name: name.to_string(),
             ok: status.success(),
             seconds,
+            metrics,
         });
     }
 

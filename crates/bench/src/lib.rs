@@ -70,6 +70,21 @@ pub fn load_dataset(d: Dataset, scale: Scale) -> UndirectedGraph {
     g
 }
 
+/// Emits a machine-readable quality metric on stdout (`METRIC <name>
+/// <value>`). `run-all` captures these lines into the JSON report's
+/// per-experiment `metrics` object, and `bench-compare` gates φ/ρ
+/// regressions on them — so only emit *deterministic* numbers (seeded runs,
+/// thread-count-invariant), never wall-clock.
+pub fn emit_metric(name: &str, value: f64) {
+    assert!(
+        !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+        "metric names are [A-Za-z0-9_-]+: {name:?}"
+    );
+    assert!(value.is_finite(), "metric {name} must be finite, got {value}");
+    println!("METRIC {name} {value:.6}");
+}
+
 /// Percentage savings of `new` relative to `base` (positive = cheaper).
 pub fn savings_pct(base: f64, new: f64) -> f64 {
     if base <= 0.0 {

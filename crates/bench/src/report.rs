@@ -11,10 +11,17 @@
 //!   "total": 11,
 //!   "failed": 0,
 //!   "experiments": [
-//!     {"name": "exp-table1", "ok": true, "seconds": 1.234}
+//!     {"name": "exp-table1", "ok": true, "seconds": 1.234},
+//!     {"name": "exp-stream", "ok": true, "seconds": 0.9,
+//!      "metrics": {"phi_final": 0.71, "rho_max": 1.08}}
 //!   ]
 //! }
 //! ```
+//!
+//! The optional `metrics` object carries the quality numbers an experiment
+//! reported through `METRIC <name> <value>` stdout lines (seeded and
+//! thread-count-invariant, so — unlike wall-clock — they diff exactly
+//! across runs; `bench-compare` gates φ/ρ regressions on them).
 
 /// The result of one experiment binary run.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +32,16 @@ pub struct ExperimentOutcome {
     pub ok: bool,
     /// Wall-clock runtime in seconds.
     pub seconds: f64,
+    /// Quality metrics the experiment reported (name, value), in emission
+    /// order. Empty for experiments that report none.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl ExperimentOutcome {
+    /// The reported value of metric `name`, if any.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
 }
 
 /// Renders a suite report as a JSON document (trailing newline included).
@@ -38,8 +55,15 @@ pub fn render_report(suite: &str, scale: &str, outcomes: &[ExperimentOutcome]) -
     out.push_str("  \"experiments\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         let sep = if i + 1 == outcomes.len() { "" } else { "," };
+        let metrics = if o.metrics.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> =
+                o.metrics.iter().map(|(n, v)| format!("{}: {v:.6}", json_string(n))).collect();
+            format!(", \"metrics\": {{{}}}", entries.join(", "))
+        };
         out.push_str(&format!(
-            "    {{\"name\": {}, \"ok\": {}, \"seconds\": {:.3}}}{sep}\n",
+            "    {{\"name\": {}, \"ok\": {}, \"seconds\": {:.3}{metrics}}}{sep}\n",
             json_string(&o.name),
             o.ok,
             o.seconds
@@ -57,9 +81,11 @@ pub fn render_report(suite: &str, scale: &str, outcomes: &[ExperimentOutcome]) -
 pub fn parse_report(json: &str) -> Option<Vec<ExperimentOutcome>> {
     let experiments = json.split("\"experiments\"").nth(1)?;
     let mut outcomes = Vec::new();
-    for obj in experiments.split('{').skip(1) {
-        let name = field(obj, "\"name\"")?;
-        let name = name.trim().strip_prefix('"')?;
+    // Split on the experiment-object opener rather than a bare `{` so the
+    // nested `"metrics"` objects don't produce phantom chunks.
+    for obj in experiments.split("{\"name\"").skip(1) {
+        let name = obj.split_once(':')?.1;
+        let name = name.trim_start().strip_prefix('"')?;
         let name = &name[..closing_quote(name)?];
         let ok = field(obj, "\"ok\"")?.trim().starts_with("true");
         let seconds: f64 = {
@@ -67,9 +93,37 @@ pub fn parse_report(json: &str) -> Option<Vec<ExperimentOutcome>> {
             let end = raw.find(['}', ',', '\n']).unwrap_or(raw.len());
             raw[..end].trim().parse().ok()?
         };
-        outcomes.push(ExperimentOutcome { name: unescape(name), ok, seconds });
+        outcomes.push(ExperimentOutcome {
+            name: unescape(name),
+            ok,
+            seconds,
+            metrics: parse_metrics(obj),
+        });
     }
     Some(outcomes)
+}
+
+/// The `(name, value)` entries of an experiment object's optional nested
+/// `"metrics": {...}` object (empty when absent or malformed). Metric names
+/// are simple identifiers by construction (`emit_metric` rejects everything
+/// else), so no unescaping is needed.
+fn parse_metrics(obj: &str) -> Vec<(String, f64)> {
+    let Some(body) = obj
+        .split("\"metrics\"")
+        .nth(1)
+        .and_then(|m| m.split_once('{'))
+        .and_then(|(_, rest)| rest.split_once('}'))
+        .map(|(body, _)| body)
+    else {
+        return Vec::new();
+    };
+    body.split(',')
+        .filter_map(|entry| {
+            let (key, value) = entry.split_once(':')?;
+            let name = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            Some((name.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
 }
 
 /// Byte index of the string literal's terminating quote (the first `"` not
@@ -136,7 +190,20 @@ mod tests {
     use super::*;
 
     fn outcome(name: &str, ok: bool, seconds: f64) -> ExperimentOutcome {
-        ExperimentOutcome { name: name.into(), ok, seconds }
+        ExperimentOutcome { name: name.into(), ok, seconds, metrics: Vec::new() }
+    }
+
+    fn outcome_with_metrics(
+        name: &str,
+        seconds: f64,
+        metrics: &[(&str, f64)],
+    ) -> ExperimentOutcome {
+        ExperimentOutcome {
+            name: name.into(),
+            ok: true,
+            seconds,
+            metrics: metrics.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+        }
     }
 
     #[test]
@@ -176,6 +243,28 @@ mod tests {
         let outcomes = vec![outcome("exp-table1", true, 1.5), outcome("exp-fig3", false, 0.25)];
         let parsed = parse_report(&render_report("smoke", "tiny", &outcomes)).unwrap();
         assert_eq!(parsed, outcomes);
+    }
+
+    #[test]
+    fn metrics_roundtrip_and_mix_with_plain_experiments() {
+        let outcomes = vec![
+            outcome("exp-table1", true, 1.5),
+            outcome_with_metrics(
+                "exp-stream",
+                0.9,
+                &[("phi_final", 0.714523), ("rho_max", 1.0812)],
+            ),
+            outcome("exp-fig9", false, 0.2),
+        ];
+        let rendered = render_report("smoke", "tiny", &outcomes);
+        assert!(
+            rendered.contains("\"metrics\": {\"phi_final\": 0.714523, \"rho_max\": 1.081200}")
+        );
+        let parsed = parse_report(&rendered).unwrap();
+        assert_eq!(parsed, outcomes);
+        assert_eq!(parsed[1].metric("rho_max"), Some(1.0812));
+        assert_eq!(parsed[1].metric("absent"), None);
+        assert!(parsed[0].metrics.is_empty());
     }
 
     #[test]

@@ -110,17 +110,26 @@ pub fn adapt_with_delta(
         "previous labelling covers more vertices than the graph has"
     );
     let labels = incremental_labels(graph, previous, cfg.k);
+    let affected = delta_affected(graph.num_vertices(), previous.len() as VertexId, delta);
+    run_from_labels_scoped(graph, cfg, labels, affected)
+}
+
+/// The affected-vertex flags a [`GraphDelta`] induces: endpoints of every
+/// added/removed edge plus all appended vertices. Shared by the one-shot
+/// [`adapt_with_delta`] path and the streaming session so the two stay
+/// bit-identical (the warm==cold guarantee is pinned by tests in
+/// [`crate::stream`]).
+pub(crate) fn delta_affected(n: VertexId, old_n: VertexId, delta: &GraphDelta) -> Vec<bool> {
     let touched: Vec<VertexId> = delta
         .added_edges
         .iter()
         .chain(&delta.removed_edges)
         .flat_map(|&(a, b)| [a, b])
         .collect();
-    let affected = affected_flags(graph.num_vertices(), previous.len() as VertexId, &touched);
-    run_from_labels_scoped(graph, cfg, labels, affected)
+    affected_flags(n, old_n, &touched)
 }
 
-fn affected_flags(n: VertexId, old_n: VertexId, touched: &[VertexId]) -> Vec<bool> {
+pub(crate) fn affected_flags(n: VertexId, old_n: VertexId, touched: &[VertexId]) -> Vec<bool> {
     let mut affected = vec![false; n as usize];
     for v in old_n..n {
         affected[v as usize] = true;
@@ -162,7 +171,11 @@ pub fn random_labels(n: VertexId, k: u32, seed: u64) -> Vec<Label> {
 /// partition's load changes per appended vertex, so each step is one pop
 /// and one push and bulk adaptation of large deltas is O(new · log k)
 /// instead of O(new · k).
-fn incremental_labels(graph: &UndirectedGraph, previous: &[Label], k: u32) -> Vec<Label> {
+pub(crate) fn incremental_labels(
+    graph: &UndirectedGraph,
+    previous: &[Label],
+    k: u32,
+) -> Vec<Label> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -187,7 +200,12 @@ fn incremental_labels(graph: &UndirectedGraph, previous: &[Label], k: u32) -> Ve
 }
 
 /// Elastic initialisation (§III-E / Eq. 11).
-fn elastic_labels(previous: &[Label], old_k: u32, new_k: u32, seed: u64) -> Vec<Label> {
+pub(crate) fn elastic_labels(
+    previous: &[Label],
+    old_k: u32,
+    new_k: u32,
+    seed: u64,
+) -> Vec<Label> {
     assert!(old_k >= 1 && new_k >= 1);
     previous
         .iter()
@@ -214,7 +232,7 @@ fn elastic_labels(previous: &[Label], old_k: u32, new_k: u32, seed: u64) -> Vec<
         .collect()
 }
 
-fn engine_config(cfg: &SpinnerConfig) -> EngineConfig {
+pub(crate) fn engine_config(cfg: &SpinnerConfig) -> EngineConfig {
     EngineConfig {
         num_threads: cfg.num_threads,
         // Two supersteps per iteration plus conversion/init slack.
@@ -285,6 +303,17 @@ fn finish(
     cfg: &SpinnerConfig,
     engine: Engine<SpinnerProgram>,
     summary: spinner_pregel::RunSummary,
+    graph: Option<&UndirectedGraph>,
+) -> PartitionResult {
+    result_from_engine(cfg, &engine, &summary, graph)
+}
+
+/// Extracts a [`PartitionResult`] from a finished engine without consuming
+/// it — the streaming session keeps the engine warm for the next window.
+pub(crate) fn result_from_engine(
+    cfg: &SpinnerConfig,
+    engine: &Engine<SpinnerProgram>,
+    summary: &spinner_pregel::RunSummary,
     graph: Option<&UndirectedGraph>,
 ) -> PartitionResult {
     let labels: Vec<Label> = engine.collect_values().into_iter().map(|v| v.label).collect();

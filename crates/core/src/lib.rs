@@ -47,6 +47,7 @@ pub mod config;
 pub mod driver;
 pub mod program;
 pub mod state;
+pub mod stream;
 pub mod theory;
 
 pub use config::SpinnerConfig;
@@ -55,3 +56,4 @@ pub use driver::{
     PartitionResult,
 };
 pub use state::{Label, NO_LABEL};
+pub use stream::{StreamEvent, StreamSession, WindowReport};

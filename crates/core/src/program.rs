@@ -240,12 +240,20 @@ impl SpinnerProgram {
         ctx.agg.add_f64(AGG_SCORE, current_score);
         ctx.agg.add_i64(AGG_LOCAL_WEIGHT, count_current as i64);
 
-        // (v) Candidacy: flag and update the async worker view.
+        // (v) Candidacy: flag and update the async worker view. With
+        // `async_worker_loads` disabled the worker-local view must stay the
+        // superstep-start global snapshot — updating it would leak intra-
+        // superstep information into the min-penalty scan, making the
+        // ablation arm depend on how vertices are spread over workers.
+        // Skipping the update keeps the async=off arm fully synchronous and
+        // its results invariant to the logical worker count.
         if best != current {
             let load = self.load_of(degw);
             ctx.value.candidate = best;
             ctx.agg.add_vec_i64(AGG_CANDIDATES, best as usize, load as i64);
-            w.apply_candidacy(current, best, load);
+            if self.cfg.async_worker_loads {
+                w.apply_candidacy(current, best, load);
+            }
         } else {
             ctx.value.candidate = NO_LABEL;
         }

@@ -1,0 +1,384 @@
+//! Streaming dynamic-graph driver: a session that keeps engine and
+//! partition state warm across an ordered sequence of graph and cluster
+//! changes, re-converging incrementally after each window.
+//!
+//! The one-shot entry points ([`crate::adapt`], [`crate::elastic`]) rebuild
+//! the whole Pregel engine per call. A [`StreamSession`] instead holds one
+//! engine for its lifetime and re-targets it at every window through the
+//! fabric-preserving warm reset, so a long stream of deltas performs no
+//! steady-state message-path allocation after the first window while
+//! producing **bit-identical results** to the cold-start driver functions.
+//!
+//! Windows are [`StreamEvent`]s: a [`GraphDelta`] (edge additions/removals,
+//! vertex arrivals — §III-D incremental repartitioning) or a partition-count
+//! change (§III-E elastic repartitioning). Both unify on the same warm-start
+//! path; only the label initialisation differs.
+
+use crate::config::{RestartScope, SpinnerConfig};
+use crate::driver::{
+    delta_affected, elastic_labels, engine_config, incremental_labels, random_labels,
+    result_from_engine,
+};
+use crate::program::SpinnerProgram;
+use crate::state::{EdgeState, Label, Phase, VertexState, NO_LABEL};
+use spinner_graph::conversion::from_undirected_edges;
+use spinner_graph::mutation::apply_delta;
+use spinner_graph::{DirectedGraph, GraphDelta, UndirectedGraph, VertexId};
+use spinner_pregel::engine::Engine;
+use spinner_pregel::Placement;
+
+/// One window of a dynamic-graph stream.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// The graph changed: apply the delta and adapt the previous
+    /// partitioning incrementally (§III-D).
+    Delta(GraphDelta),
+    /// The cluster changed: repartition elastically to `k` partitions
+    /// (§III-E, Eq. 11). The graph is untouched.
+    Resize {
+        /// The new partition count.
+        k: u32,
+    },
+}
+
+/// Per-window convergence, quality, and cost accounting — one point of a
+/// Fig. 7-style trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window index (0 is the bootstrap partitioning).
+    pub window: u32,
+    /// Partition count in effect for this window.
+    pub k: u32,
+    /// Vertices after the window's delta.
+    pub num_vertices: VertexId,
+    /// Undirected edges after the window's delta.
+    pub num_edges: u64,
+    /// Final ratio of local edges φ.
+    pub phi: f64,
+    /// Final maximum normalized load ρ.
+    pub rho: f64,
+    /// Fraction of the vertices that existed *before* the window whose label
+    /// changed while re-converging (1.0 for the bootstrap window).
+    pub migration_fraction: f64,
+    /// LPA iterations to re-converge.
+    pub iterations: u32,
+    /// Pregel supersteps executed.
+    pub supersteps: u64,
+    /// Messages exchanged while re-converging.
+    pub messages: u64,
+    /// Wall-clock nanoseconds of the window's run.
+    pub wall_ns: u64,
+    /// Message-fabric buffer growth events during the window (see
+    /// `WorkerMetrics::fabric_reallocs`); 0 from window 2 on when the warm
+    /// engine absorbs the stream.
+    pub fabric_reallocs: u64,
+}
+
+/// A warm streaming session over an evolving graph.
+///
+/// ```
+/// use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
+/// use spinner_graph::generators::{planted_partition, SbmConfig};
+/// use spinner_graph::GraphDelta;
+///
+/// let base = planted_partition(SbmConfig {
+///     n: 600, communities: 4, internal_degree: 6.0, external_degree: 1.0,
+///     skew: None, seed: 7,
+/// });
+/// let mut cfg = SpinnerConfig::new(4);
+/// cfg.num_workers = 4;
+/// let mut session = StreamSession::new(base, cfg);
+/// let report =
+///     session.apply(StreamEvent::Delta(GraphDelta::additions(vec![(0, 300)])));
+/// assert!(report.migration_fraction < 0.5);
+/// assert_eq!(session.windows().len(), 2); // bootstrap + one delta window
+/// ```
+pub struct StreamSession {
+    cfg: SpinnerConfig,
+    /// The evolving directed edge list (deltas apply here).
+    graph: DirectedGraph,
+    /// The current undirected view the partitioner runs on.
+    undirected: UndirectedGraph,
+    labels: Vec<Label>,
+    engine: Engine<SpinnerProgram>,
+    windows: Vec<WindowReport>,
+}
+
+impl StreamSession {
+    /// Bootstraps a session: partitions `graph` from scratch (window 0) and
+    /// keeps the engine warm for the stream. The directed edge list is
+    /// treated as undirected friendships (the Tuenti/§V-C setting).
+    pub fn new(graph: DirectedGraph, cfg: SpinnerConfig) -> Self {
+        let undirected = from_undirected_edges(&graph);
+        let labels = random_labels(undirected.num_vertices(), cfg.k, cfg.seed);
+        let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::Initialize };
+        let placement = Self::placement(&cfg, undirected.num_vertices());
+        let mut engine = Engine::from_undirected(
+            program,
+            &undirected,
+            &placement,
+            engine_config(&cfg),
+            |v| VertexState::new(labels[v as usize], true),
+            |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
+        );
+        let summary = engine.run();
+        let result = result_from_engine(&cfg, &engine, &summary, Some(&undirected));
+        let bootstrap = WindowReport {
+            window: 0,
+            k: cfg.k,
+            num_vertices: undirected.num_vertices(),
+            num_edges: undirected.num_edges(),
+            phi: result.quality.phi,
+            rho: result.quality.rho,
+            migration_fraction: 1.0,
+            iterations: result.iterations,
+            supersteps: result.supersteps,
+            messages: result.totals.messages,
+            wall_ns: result.wall_ns,
+            fabric_reallocs: fabric_reallocs(&summary),
+        };
+        Self { cfg, graph, undirected, labels: result.labels, engine, windows: vec![bootstrap] }
+    }
+
+    /// Applies the next stream window and re-converges, warm. Returns the
+    /// window's report (also appended to [`Self::windows`]).
+    ///
+    /// The result is bit-identical to what the cold-start driver would
+    /// produce for the same state: [`crate::adapt_with_delta`] for
+    /// [`StreamEvent::Delta`], [`crate::elastic`] for
+    /// [`StreamEvent::Resize`].
+    pub fn apply(&mut self, event: StreamEvent) -> &WindowReport {
+        let old_n = self.labels.len();
+        let labels = match &event {
+            StreamEvent::Delta(delta) => {
+                self.graph = apply_delta(&self.graph, delta);
+                self.undirected = from_undirected_edges(&self.graph);
+                incremental_labels(&self.undirected, &self.labels, self.cfg.k)
+            }
+            StreamEvent::Resize { k } => {
+                assert!(*k >= 1, "need at least one partition");
+                let labels = elastic_labels(&self.labels, self.cfg.k, *k, self.cfg.seed);
+                self.cfg.k = *k;
+                labels
+            }
+        };
+        // Which vertices restart migrations (only consulted under
+        // `RestartScope::AffectedOnly`; empty marks everyone affected).
+        let affected = match &event {
+            StreamEvent::Delta(delta)
+                if self.cfg.restart_scope == RestartScope::AffectedOnly =>
+            {
+                delta_affected(self.undirected.num_vertices(), old_n as VertexId, delta)
+            }
+            _ => Vec::new(),
+        };
+
+        let program = SpinnerProgram { cfg: self.cfg.clone(), start_phase: Phase::Initialize };
+        let placement = Self::placement(&self.cfg, self.undirected.num_vertices());
+        self.engine.warm_reset_undirected(
+            program,
+            &self.undirected,
+            &placement,
+            |v| {
+                VertexState::new(
+                    labels[v as usize],
+                    affected.get(v as usize).copied().unwrap_or(true),
+                )
+            },
+            |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
+        );
+        let summary = self.engine.run();
+        let result =
+            result_from_engine(&self.cfg, &self.engine, &summary, Some(&self.undirected));
+
+        let moved =
+            self.labels.iter().zip(&result.labels).filter(|&(&old, &new)| old != new).count();
+        let migration_fraction = if old_n > 0 { moved as f64 / old_n as f64 } else { 1.0 };
+        self.windows.push(WindowReport {
+            window: self.windows.len() as u32,
+            k: self.cfg.k,
+            num_vertices: self.undirected.num_vertices(),
+            num_edges: self.undirected.num_edges(),
+            phi: result.quality.phi,
+            rho: result.quality.rho,
+            migration_fraction,
+            iterations: result.iterations,
+            supersteps: result.supersteps,
+            messages: result.totals.messages,
+            wall_ns: result.wall_ns,
+            fabric_reallocs: fabric_reallocs(&summary),
+        });
+        self.labels = result.labels;
+        self.windows.last().expect("window just pushed")
+    }
+
+    /// Runs a whole stream of events, returning the final report.
+    pub fn run_stream(
+        &mut self,
+        events: impl IntoIterator<Item = StreamEvent>,
+    ) -> &WindowReport {
+        for event in events {
+            self.apply(event);
+        }
+        self.windows.last().expect("bootstrap window always present")
+    }
+
+    /// The current labelling.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The current partition count.
+    pub fn k(&self) -> u32 {
+        self.cfg.k
+    }
+
+    /// The session configuration (k tracks [`StreamEvent::Resize`] events).
+    pub fn config(&self) -> &SpinnerConfig {
+        &self.cfg
+    }
+
+    /// The evolving directed edge list.
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+
+    /// The current undirected view.
+    pub fn undirected(&self) -> &UndirectedGraph {
+        &self.undirected
+    }
+
+    /// All window reports so far (index 0 is the bootstrap).
+    pub fn windows(&self) -> &[WindowReport] {
+        &self.windows
+    }
+
+    /// The partition quality the last window converged to.
+    pub fn last(&self) -> &WindowReport {
+        self.windows.last().expect("bootstrap window always present")
+    }
+
+    fn placement(cfg: &SpinnerConfig, n: VertexId) -> Placement {
+        Placement::hashed(n, cfg.num_workers, cfg.seed ^ 0x70C)
+    }
+}
+
+/// Total message-fabric growth events across a run.
+fn fabric_reallocs(summary: &spinner_pregel::RunSummary) -> u64 {
+    summary.metrics.iter().flat_map(|s| s.per_worker.iter().map(|w| w.fabric_reallocs)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{adapt_with_delta, elastic, partition};
+    use spinner_graph::generators::{planted_partition, SbmConfig};
+    use spinner_graph::mutation::{sample_new_edges, sample_removed_edges};
+    use spinner_graph::{DeltaStream, DeltaStreamConfig};
+
+    fn base(n: u32, seed: u64) -> DirectedGraph {
+        planted_partition(SbmConfig {
+            n,
+            communities: 6,
+            internal_degree: 8.0,
+            external_degree: 1.5,
+            skew: None,
+            seed,
+        })
+    }
+
+    fn cfg(k: u32) -> SpinnerConfig {
+        let mut cfg = SpinnerConfig::new(k).with_seed(42);
+        cfg.num_workers = 4;
+        cfg.max_iterations = 60;
+        cfg
+    }
+
+    #[test]
+    fn warm_delta_window_matches_cold_adapt() {
+        let g0 = base(2000, 3);
+        let cfg = cfg(6);
+        let mut session = StreamSession::new(g0.clone(), cfg.clone());
+        let cold_initial = partition(&from_undirected_edges(&g0), &cfg);
+        assert_eq!(session.labels(), cold_initial.labels.as_slice());
+
+        let delta = GraphDelta {
+            added_edges: sample_new_edges(&g0, 120, 0.8, 9),
+            removed_edges: sample_removed_edges(&g0, 40, 11),
+            new_vertices: 0,
+        };
+        let g1 = apply_delta(&g0, &delta);
+        let cold =
+            adapt_with_delta(&from_undirected_edges(&g1), &cold_initial.labels, &delta, &cfg);
+        session.apply(StreamEvent::Delta(delta));
+        assert_eq!(session.labels(), cold.labels.as_slice(), "warm adapt diverged from cold");
+        let w = session.last();
+        assert_eq!(w.iterations, cold.iterations);
+        assert!((w.phi - cold.quality.phi).abs() < 1e-15);
+        assert!((w.rho - cold.quality.rho).abs() < 1e-15);
+    }
+
+    #[test]
+    fn warm_resize_window_matches_cold_elastic() {
+        let g0 = base(1500, 5);
+        let c6 = cfg(6);
+        let mut session = StreamSession::new(g0.clone(), c6.clone());
+        let initial = session.labels().to_vec();
+
+        let undirected = from_undirected_edges(&g0);
+        let grown = elastic(&undirected, &initial, 6, &cfg(8));
+        session.apply(StreamEvent::Resize { k: 8 });
+        assert_eq!(session.k(), 8);
+        assert_eq!(session.labels(), grown.labels.as_slice(), "warm elastic diverged");
+    }
+
+    #[test]
+    fn multi_window_stream_stays_warm_and_balanced() {
+        let g0 = base(2500, 7);
+        let cfg = cfg(6);
+        let mut session = StreamSession::new(g0.clone(), cfg.clone());
+        let stream = DeltaStream::new(
+            g0,
+            DeltaStreamConfig { windows: 5, seed: 17, ..DeltaStreamConfig::default() },
+        );
+        for delta in stream {
+            let report = session.apply(StreamEvent::Delta(delta));
+            assert!(report.migration_fraction < 0.5, "window moved too much");
+            assert!(report.rho < cfg.c + 0.25, "rho {}", report.rho);
+        }
+        assert_eq!(session.windows().len(), 6);
+        // Windows >= 2 run entirely inside warmed buffers.
+        for w in &session.windows()[2..] {
+            assert_eq!(w.fabric_reallocs, 0, "window {} grew the fabric", w.window);
+        }
+        // Labels cover the grown vertex set.
+        assert_eq!(session.labels().len(), session.undirected().num_vertices() as usize);
+        assert!(session.labels().iter().all(|&l| l < session.k()));
+    }
+
+    #[test]
+    fn interleaved_deltas_and_resizes_unify() {
+        let g0 = base(1200, 13);
+        let mut session = StreamSession::new(g0.clone(), cfg(4));
+        let mut stream = DeltaStream::new(
+            g0,
+            DeltaStreamConfig { windows: 4, seed: 23, ..DeltaStreamConfig::default() },
+        );
+        session.apply(StreamEvent::Delta(stream.next().expect("window")));
+        session.apply(StreamEvent::Resize { k: 6 }); // grow mid-stream
+        session.apply(StreamEvent::Delta(stream.next().expect("window")));
+        session.apply(StreamEvent::Resize { k: 3 }); // shrink mid-stream
+        session.apply(StreamEvent::Delta(stream.next().expect("window")));
+        assert_eq!(session.k(), 3);
+        assert!(session.labels().iter().all(|&l| l < 3));
+        let loads = {
+            let mut loads = vec![0u64; 3];
+            for &l in session.labels() {
+                loads[l as usize] += 1;
+            }
+            loads
+        };
+        assert!(loads.iter().all(|&l| l > 0), "empty partition after shrink: {loads:?}");
+        assert_eq!(session.windows().len(), 6);
+    }
+}

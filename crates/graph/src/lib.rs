@@ -27,6 +27,7 @@ pub mod io;
 pub mod mutation;
 pub mod rng;
 pub mod stats;
+pub mod stream;
 pub mod undirected;
 
 pub use builder::GraphBuilder;
@@ -35,4 +36,5 @@ pub use directed::DirectedGraph;
 pub use error::GraphError;
 pub use ids::{EdgeWeight, VertexId};
 pub use mutation::GraphDelta;
+pub use stream::{DeltaStream, DeltaStreamConfig};
 pub use undirected::UndirectedGraph;

@@ -33,6 +33,54 @@ impl GraphDelta {
     pub fn is_empty(&self) -> bool {
         self.added_edges.is_empty() && self.removed_edges.is_empty() && self.new_vertices == 0
     }
+
+    /// The delta that undoes this one relative to `base`: applying `self` to
+    /// `base` and then the inverse to the result yields `base` again.
+    ///
+    /// Normalisation happens against `base` because [`apply_delta`] is not
+    /// injective on deltas — removing an absent edge or re-adding a removed
+    /// one is a no-op, so a naive swap of the add/remove lists would not
+    /// round-trip. The inverse removes exactly the additions that were
+    /// genuinely new (`added \ E(base)`) and restores exactly the removals
+    /// that genuinely existed and were not re-added (`removed ∩ E(base) \
+    /// added`).
+    ///
+    /// Vertex additions are not invertible (ids are dense and stable, so a
+    /// graph never loses vertices); inverting a delta with `new_vertices > 0`
+    /// — or with added edges whose endpoints lie outside `base`'s id range,
+    /// which mint vertices implicitly through [`apply_delta`] — panics.
+    pub fn inverse(&self, base: &DirectedGraph) -> GraphDelta {
+        assert_eq!(self.new_vertices, 0, "vertex additions cannot be inverted");
+        let n = base.num_vertices();
+        assert!(
+            self.added_edges.iter().all(|&(u, v)| u < n && v < n),
+            "added edges outside the base id range mint vertices and cannot be inverted"
+        );
+        let mut undo_add: Vec<(VertexId, VertexId)> = self
+            .added_edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u != v && !base.has_edge(u, v))
+            .collect();
+        undo_add.sort_unstable();
+        undo_add.dedup();
+        // Removals of out-of-range (hence absent) edges are no-ops under
+        // apply_delta, so they contribute nothing to the inverse. The added
+        // set is indexed once so large churn deltas invert in linear time.
+        let added: std::collections::HashSet<u64> =
+            self.added_edges.iter().map(|&(u, v)| crate::ids::edge_key(u, v)).collect();
+        let mut undo_remove: Vec<(VertexId, VertexId)> = self
+            .removed_edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| {
+                u < n && base.has_edge(u, v) && !added.contains(&crate::ids::edge_key(u, v))
+            })
+            .collect();
+        undo_remove.sort_unstable();
+        undo_remove.dedup();
+        GraphDelta { added_edges: undo_remove, removed_edges: undo_add, new_vertices: 0 }
+    }
 }
 
 /// Applies a delta, producing the updated graph.
@@ -95,6 +143,40 @@ pub fn sample_new_edges(
         if seen.insert(key) {
             out.push((u, v));
         }
+    }
+    out
+}
+
+/// Samples up to `count` distinct existing edges to delete (friendships that
+/// end). Uniform over the edge set: an edge index is drawn and located in the
+/// CSR offsets by binary search, so each draw is O(log n) regardless of the
+/// degree distribution.
+pub fn sample_removed_edges(
+    g: &DirectedGraph,
+    count: usize,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let m = g.num_edges();
+    if m == 0 {
+        return Vec::new();
+    }
+    let (offsets, targets) = g.as_csr();
+    let mut rng = SplitMix64::new(seed ^ 0xDE1E7E);
+    let mut picked: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let want = count.min(m as usize);
+    let mut attempts = 0usize;
+    let max_attempts = want.saturating_mul(64).max(4_096);
+    while out.len() < want && attempts < max_attempts {
+        attempts += 1;
+        let e = rng.next_bounded(m);
+        if !picked.insert(e) {
+            continue;
+        }
+        // `partition_point` finds the first offset beyond e; its predecessor
+        // is the source vertex owning CSR slot e.
+        let src = offsets.partition_point(|&o| o <= e) - 1;
+        out.push((src as VertexId, targets[e as usize]));
     }
     out
 }
@@ -186,5 +268,89 @@ mod tests {
         let g = graph();
         let g2 = apply_delta(&g, &GraphDelta::default());
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn inverse_round_trips_edge_deltas() {
+        let g = graph();
+        let delta = GraphDelta {
+            added_edges: sample_new_edges(&g, 120, 0.7, 11),
+            removed_edges: sample_removed_edges(&g, 80, 13),
+            new_vertices: 0,
+        };
+        let g2 = apply_delta(&g, &delta);
+        let back = apply_delta(&g2, &delta.inverse(&g));
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn inverse_handles_noop_removals_and_readds() {
+        let g = GraphBuilder::new(4).add_edges([(0, 1), (1, 2), (2, 3)]).build();
+        // (3, 0) is absent => its removal is a no-op; (1, 2) is removed and
+        // re-added => survives; (0, 1) is a genuine removal.
+        let delta = GraphDelta {
+            added_edges: vec![(1, 2), (0, 2)],
+            removed_edges: vec![(3, 0), (1, 2), (0, 1)],
+            new_vertices: 0,
+        };
+        let g2 = apply_delta(&g, &delta);
+        assert!(g2.has_edge(1, 2) && g2.has_edge(0, 2) && !g2.has_edge(0, 1));
+        let inv = delta.inverse(&g);
+        assert_eq!(inv.removed_edges, vec![(0, 2)]);
+        assert_eq!(inv.added_edges, vec![(0, 1)]);
+        assert_eq!(apply_delta(&g2, &inv), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be inverted")]
+    fn inverse_rejects_vertex_additions() {
+        let g = graph();
+        let _ = GraphDelta { new_vertices: 1, ..GraphDelta::default() }.inverse(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "mint vertices")]
+    fn inverse_rejects_out_of_range_additions() {
+        let g = GraphBuilder::new(3).add_edges([(0, 1)]).build();
+        // apply_delta would silently grow the graph to 6 vertices here.
+        let _ = GraphDelta::additions(vec![(5, 0)]).inverse(&g);
+    }
+
+    #[test]
+    fn inverse_ignores_out_of_range_removals() {
+        let g = GraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build();
+        let delta = GraphDelta {
+            added_edges: vec![],
+            removed_edges: vec![(7, 0), (0, 9), (0, 1)],
+            new_vertices: 0,
+        };
+        let g2 = apply_delta(&g, &delta);
+        let inv = delta.inverse(&g);
+        assert_eq!(inv.added_edges, vec![(0, 1)]);
+        assert_eq!(apply_delta(&g2, &inv), g);
+    }
+
+    #[test]
+    fn removed_edge_sampler_yields_distinct_existing_edges() {
+        let g = graph();
+        let removed = sample_removed_edges(&g, 300, 7);
+        assert_eq!(removed.len(), 300);
+        let mut keys: Vec<_> =
+            removed.iter().map(|&(u, v)| crate::ids::edge_key(u, v)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 300, "duplicate removals sampled");
+        for (u, v) in removed {
+            assert!(g.has_edge(u, v), "sampled a non-edge {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn removed_edge_sampler_caps_at_edge_count() {
+        let g = GraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build();
+        let removed = sample_removed_edges(&g, 100, 1);
+        assert_eq!(removed.len(), 2);
+        let empty = GraphBuilder::new(2).build();
+        assert!(sample_removed_edges(&empty, 5, 1).is_empty());
     }
 }

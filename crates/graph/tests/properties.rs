@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use spinner_graph::conversion::{to_naive_undirected, to_weighted_undirected};
-use spinner_graph::mutation::{apply_delta, sample_new_edges};
-use spinner_graph::{GraphBuilder, GraphDelta, VertexId};
+use spinner_graph::mutation::{apply_delta, sample_new_edges, sample_removed_edges};
+use spinner_graph::{DeltaStream, DeltaStreamConfig, GraphBuilder, GraphDelta, VertexId};
 
 /// Arbitrary edge list over up to `n` vertices.
 fn edge_list(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(VertexId, VertexId)>> {
@@ -118,6 +118,102 @@ proptest! {
         spinner_graph::io::write_edge_list(&g, &mut buf).unwrap();
         let g2 = spinner_graph::io::read_edge_list(buf.as_slice()).unwrap();
         prop_assert_eq!(g, g2);
+    }
+
+    /// apply_delta ∘ inverse is the identity on edge-only deltas, whatever
+    /// junk the delta carries (absent removals, duplicate/self additions,
+    /// removed-then-re-added edges).
+    #[test]
+    fn delta_inverse_round_trips(
+        base in edge_list(25, 150),
+        added in edge_list(25, 40),
+        removed_idx in prop::collection::vec(any::<prop::sample::Index>(), 0..15),
+        bogus_removed in edge_list(25, 10),
+    ) {
+        let g = GraphBuilder::new(25).add_edges(base.iter().copied()).build();
+        let existing: Vec<(u32, u32)> = g.edges().collect();
+        let mut removed: Vec<(u32, u32)> = if existing.is_empty() {
+            vec![]
+        } else {
+            removed_idx.iter().map(|i| *i.get(&existing)).collect()
+        };
+        // Removals of absent edges must not break the round-trip either.
+        removed.extend(bogus_removed);
+        let delta = GraphDelta { added_edges: added, removed_edges: removed, new_vertices: 0 };
+        let g2 = apply_delta(&g, &delta);
+        let back = apply_delta(&g2, &delta.inverse(&g));
+        prop_assert_eq!(back, g);
+    }
+
+    /// Streamed deltas are clean — no self edges, no duplicate additions,
+    /// additions absent from and removals present in the pre-window graph —
+    /// and the evolving graph keeps its degree sums consistent under mixed
+    /// add/delete/arrival windows.
+    #[test]
+    fn stream_deltas_are_clean_and_degree_consistent(
+        seed in 0u64..500,
+        windows in 1u32..5,
+        hub_pct in 0u32..=100,
+    ) {
+        let hub_bias = hub_pct as f64 / 100.0;
+        let base = GraphBuilder::new(60)
+            .add_edges((0..59u32).map(|i| (i, i + 1)).chain((0..58u32).map(|i| (i, i + 2))))
+            .build();
+        let cfg = DeltaStreamConfig {
+            windows,
+            add_fraction: 0.06,
+            remove_fraction: 0.04,
+            vertex_fraction: 0.03,
+            attach_degree: 2,
+            triadic_fraction: 0.5,
+            hub_bias,
+            seed,
+        };
+        let mut replayed = base.clone();
+        let mut stream = DeltaStream::new(base, cfg);
+        for delta in &mut stream {
+            let n = replayed.num_vertices();
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in &delta.added_edges {
+                prop_assert!(u != v, "self edge {}->{}", u, v);
+                prop_assert!(seen.insert((u, v)), "duplicate addition {}->{}", u, v);
+                if u < n {
+                    prop_assert!(!replayed.has_edge(u, v), "re-added live edge {}->{}", u, v);
+                } else {
+                    // Arrival edges come from freshly minted vertices.
+                    prop_assert!(u < n + delta.new_vertices);
+                }
+            }
+            for &(u, v) in &delta.removed_edges {
+                prop_assert!(replayed.has_edge(u, v), "removed absent edge {}->{}", u, v);
+            }
+            replayed = apply_delta(&replayed, &delta);
+
+            // Degree sums stay consistent after every window.
+            let degree_sum: u64 =
+                replayed.vertices().map(|v| replayed.out_degree(v) as u64).sum();
+            prop_assert_eq!(degree_sum, replayed.num_edges());
+            let u = to_weighted_undirected(&replayed);
+            let weighted_sum: u64 = u.vertices().map(|v| u.weighted_degree(v)).sum();
+            prop_assert_eq!(weighted_sum, u.total_weight());
+            prop_assert_eq!(u.total_weight(), 2 * replayed.num_edges());
+        }
+        prop_assert_eq!(&replayed, stream.graph());
+    }
+
+    /// sample_removed_edges yields distinct live edges only.
+    #[test]
+    fn removed_edge_sampler(seed in 0u64..1000, count in 0usize..40) {
+        let g = GraphBuilder::new(50)
+            .add_edges((0..49u32).flat_map(|i| [(i, i + 1), (i + 1, i)]))
+            .build();
+        let removed = sample_removed_edges(&g, count, seed);
+        prop_assert_eq!(removed.len(), count.min(g.num_edges() as usize));
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in removed {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(seen.insert((u, v)));
+        }
     }
 
     /// sample_new_edges yields distinct absent edges.

@@ -1,0 +1,164 @@
+//! Per-window quality trajectories for streaming workloads.
+//!
+//! A dynamic-graph session produces one `(φ, ρ, migration fraction)` point
+//! per re-convergence window; [`Trajectory`] collects those points, exposes
+//! the aggregates the quality gates check (worst balance, locality floor,
+//! movement averages), and renders the series as JSON for the experiment
+//! reports.
+
+/// One window's quality observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// Window index (0 is the bootstrap partitioning).
+    pub window: u32,
+    /// Ratio of local edges φ at convergence.
+    pub phi: f64,
+    /// Maximum normalized load ρ at convergence.
+    pub rho: f64,
+    /// Fraction of pre-window vertices that changed partition.
+    pub migration_fraction: f64,
+}
+
+/// A φ/ρ/migration time series across stream windows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trajectory {
+    points: Vec<WindowPoint>,
+}
+
+impl Trajectory {
+    /// An empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a window's observation.
+    pub fn push(&mut self, point: WindowPoint) {
+        self.points.push(point);
+    }
+
+    /// The recorded points, in window order.
+    pub fn points(&self) -> &[WindowPoint] {
+        &self.points
+    }
+
+    /// Number of recorded windows.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no window has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded point.
+    pub fn last(&self) -> Option<&WindowPoint> {
+        self.points.last()
+    }
+
+    /// The worst (largest) ρ across all windows (1.0 when empty).
+    pub fn max_rho(&self) -> f64 {
+        self.points.iter().map(|p| p.rho).fold(1.0, f64::max)
+    }
+
+    /// The worst (smallest) φ across all windows (1.0 when empty).
+    pub fn min_phi(&self) -> f64 {
+        self.points.iter().map(|p| p.phi).fold(1.0, f64::min)
+    }
+
+    /// Mean migration fraction over the *post-bootstrap* windows — the
+    /// steady-state movement cost of staying adapted. 0.0 with fewer than
+    /// two windows.
+    pub fn mean_migration_fraction(&self) -> f64 {
+        let tail = &self.points[self.points.len().min(1)..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|p| p.migration_fraction).sum::<f64>() / tail.len() as f64
+    }
+
+    /// The largest post-bootstrap migration fraction (0.0 with fewer than
+    /// two windows).
+    pub fn max_migration_fraction(&self) -> f64 {
+        self.points[self.points.len().min(1)..]
+            .iter()
+            .map(|p| p.migration_fraction)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the series as a JSON array of per-window objects (the format
+    /// embedded in the streaming experiment report).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"window\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
+                 \"migration_fraction\": {:.6}}}{sep}\n",
+                p.window, p.phi, p.rho, p.migration_fraction
+            ));
+        }
+        out.push_str("  ]");
+        out
+    }
+}
+
+impl FromIterator<WindowPoint> for Trajectory {
+    fn from_iter<I: IntoIterator<Item = WindowPoint>>(iter: I) -> Self {
+        Self { points: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(window: u32, phi: f64, rho: f64, moved: f64) -> WindowPoint {
+        WindowPoint { window, phi, rho, migration_fraction: moved }
+    }
+
+    fn sample() -> Trajectory {
+        [point(0, 0.70, 1.04, 1.0), point(1, 0.72, 1.08, 0.10), point(2, 0.71, 1.05, 0.06)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn aggregates_skip_the_bootstrap_window() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!((t.max_rho() - 1.08).abs() < 1e-12);
+        assert!((t.min_phi() - 0.70).abs() < 1e-12);
+        // Bootstrap's migration_fraction = 1.0 must not poison the mean.
+        assert!((t.mean_migration_fraction() - 0.08).abs() < 1e-12);
+        assert!((t.max_migration_fraction() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trajectory_has_neutral_aggregates() {
+        let t = Trajectory::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_rho(), 1.0);
+        assert_eq!(t.min_phi(), 1.0);
+        assert_eq!(t.mean_migration_fraction(), 0.0);
+        assert_eq!(t.max_migration_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_window_has_no_steady_state_tail() {
+        let mut t = Trajectory::new();
+        t.push(point(0, 0.8, 1.02, 1.0));
+        assert_eq!(t.mean_migration_fraction(), 0.0);
+    }
+
+    #[test]
+    fn json_lists_every_window() {
+        let json = sample().to_json();
+        assert_eq!(json.matches("\"window\"").count(), 3);
+        assert!(json.contains("\"phi\": 0.700000"));
+        assert!(json.contains("\"migration_fraction\": 0.060000"));
+        assert!(json.starts_with("[\n") && json.ends_with(']'));
+        // Exactly two separators for three entries.
+        assert_eq!(json.matches("},\n").count(), 2);
+    }
+}

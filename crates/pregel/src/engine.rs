@@ -177,61 +177,134 @@ impl<P: Program> Engine<P> {
         config: EngineConfig,
         neighbors: impl Fn(VertexId) -> &'g [VertexId],
         weight_at: impl Fn(VertexId, usize) -> u8,
-        mut init_v: impl FnMut(VertexId) -> P::V,
-        mut init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+        init_v: impl FnMut(VertexId) -> P::V,
+        init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
     ) -> Self {
         let num_workers = placement.num_workers();
-        let mut workers: Vec<Worker<P>> =
+        let workers: Vec<Worker<P>> =
             (0..num_workers).map(|i| Worker::new(i as WorkerId, num_workers)).collect();
-        let worker_of: Vec<WorkerId> = placement.as_slice().to_vec();
-        let mut local_idx = vec![0u32; n as usize];
-
-        // First pass: assign vertices and values.
-        for v in 0..n {
-            let w = &mut workers[worker_of[v as usize] as usize];
-            local_idx[v as usize] = w.global_ids.len() as u32;
-            w.global_ids.push(v);
-            w.values.push(init_v(v));
-            w.halted.push(false);
-        }
-        // Second pass: adjacency.
-        for w in workers.iter_mut() {
-            let mut edge_count = 0usize;
-            for &gid in &w.global_ids {
-                edge_count += neighbors(gid).len();
-            }
-            w.offsets = Vec::with_capacity(w.global_ids.len() + 1);
-            w.offsets.push(0);
-            w.targets = Vec::with_capacity(edge_count);
-            w.edge_values = Vec::with_capacity(edge_count);
-            for &gid in &w.global_ids {
-                let ts = neighbors(gid);
-                for (i, &t) in ts.iter().enumerate() {
-                    w.targets.push(t);
-                    w.edge_values.push(init_e(gid, t, weight_at(gid, i)));
-                }
-                w.offsets.push(w.targets.len() as u64);
-            }
-            w.init_fabric();
-        }
-
         let specs = program.aggregators();
         let snapshot: Vec<AggValue> = specs.iter().map(|s| s.identity()).collect();
         let global = program.init_global();
         let mail_grid: OutboxGrid<P::M> =
             (0..num_workers * num_workers).map(|_| Mutex::new(Vec::new())).collect();
-        Self {
+        let mut engine = Self {
             program,
             workers,
-            worker_of,
-            local_idx,
+            worker_of: Vec::new(),
+            local_idx: Vec::new(),
             config,
             specs,
             snapshot,
             global,
-            num_vertices: n as u64,
+            num_vertices: 0,
             mail_grid,
+        };
+        engine.load_topology(n, placement, neighbors, weight_at, init_v, init_e);
+        engine
+    }
+
+    /// Re-targets a finished engine at a (possibly mutated) weighted
+    /// undirected graph for another run, **in place**: program/aggregator
+    /// state restarts fresh, but every message-fabric buffer — the outbox
+    /// grid, the delivery staging chains, the flat inboxes — and every
+    /// topology vector keeps its allocation. A session that re-converges
+    /// after a stream of graph deltas therefore performs no steady-state
+    /// fabric reallocations after its first window (pinned by
+    /// [`WorkerMetrics::fabric_reallocs`]).
+    ///
+    /// The worker count is fixed for the life of an engine (`placement` must
+    /// match); the vertex set may grow or shrink freely.
+    pub fn warm_reset_undirected(
+        &mut self,
+        program: P,
+        graph: &UndirectedGraph,
+        placement: &Placement,
+        init_v: impl FnMut(VertexId) -> P::V,
+        init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+    ) {
+        assert_eq!(placement.num_vertices(), graph.num_vertices(), "placement size mismatch");
+        self.program = program;
+        self.specs = self.program.aggregators();
+        self.snapshot = self.specs.iter().map(|s| s.identity()).collect();
+        self.global = self.program.init_global();
+        self.load_topology(
+            graph.num_vertices(),
+            placement,
+            |v| graph.neighbors(v).0,
+            |v, i| graph.neighbors(v).1[i],
+            init_v,
+            init_e,
+        );
+    }
+
+    /// (Re)loads vertices, values, and adjacency into the workers, reusing
+    /// every existing allocation. Shared by the cold [`Self::build`] path
+    /// and [`Self::warm_reset_undirected`].
+    fn load_topology<'g>(
+        &mut self,
+        n: VertexId,
+        placement: &Placement,
+        neighbors: impl Fn(VertexId) -> &'g [VertexId],
+        weight_at: impl Fn(VertexId, usize) -> u8,
+        mut init_v: impl FnMut(VertexId) -> P::V,
+        mut init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+    ) {
+        let num_workers = self.workers.len();
+        assert_eq!(
+            placement.num_workers(),
+            num_workers,
+            "the worker count is fixed for the life of an engine"
+        );
+        self.num_vertices = n as u64;
+        self.worker_of.clear();
+        self.worker_of.extend_from_slice(placement.as_slice());
+        self.local_idx.clear();
+        self.local_idx.resize(n as usize, 0);
+        for w in &mut self.workers {
+            w.clear_topology();
         }
+        // First pass: assign vertices and values.
+        for v in 0..n {
+            let w = &mut self.workers[self.worker_of[v as usize] as usize];
+            self.local_idx[v as usize] = w.global_ids.len() as u32;
+            w.global_ids.push(v);
+            w.values.push(init_v(v));
+            w.halted.push(false);
+        }
+        // Second pass: adjacency, counting per-worker inbound entries (the
+        // delivery-volume bound used to pre-reserve the message fabric).
+        let worker_of = &self.worker_of;
+        let mut inbound = vec![0usize; num_workers];
+        for w in &mut self.workers {
+            let mut edge_count = 0usize;
+            for &gid in &w.global_ids {
+                edge_count += neighbors(gid).len();
+            }
+            w.offsets.reserve(w.global_ids.len() + 1);
+            w.offsets.push(0);
+            w.targets.reserve(edge_count);
+            w.edge_values.reserve(edge_count);
+            for &gid in &w.global_ids {
+                let ts = neighbors(gid);
+                for (i, &t) in ts.iter().enumerate() {
+                    w.targets.push(t);
+                    w.edge_values.push(init_e(gid, t, weight_at(gid, i)));
+                    inbound[worker_of[t as usize] as usize] += 1;
+                }
+                w.offsets.push(w.targets.len() as u64);
+            }
+        }
+        for (w, inb) in self.workers.iter_mut().zip(inbound) {
+            w.reset_fabric();
+            w.reserve_inbound(inb);
+        }
+        // A finished run leaves every grid cell drained (delivery precedes
+        // the halt decision), so the grid carries only capacity forward.
+        debug_assert!(
+            self.mail_grid.iter().all(|c| c.lock().expect("grid lock").is_empty()),
+            "mail grid not drained before topology reload"
+        );
     }
 
     /// The engine seed (vertex programs derive their streams from it).

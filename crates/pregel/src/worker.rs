@@ -92,13 +92,51 @@ impl<P: Program> Worker<P> {
         }
     }
 
-    /// Sizes the per-vertex fabric state once the vertex set is known.
-    pub(crate) fn init_fabric(&mut self) {
+    /// Empties every topology-bearing vector (vertices, values, adjacency)
+    /// while keeping its allocation, ahead of a (re)load. Message-fabric
+    /// buffers are untouched — [`Self::reset_fabric`] handles those.
+    pub(crate) fn clear_topology(&mut self) {
+        self.global_ids.clear();
+        self.values.clear();
+        self.halted.clear();
+        self.num_halted = 0;
+        self.offsets.clear();
+        self.targets.clear();
+        self.edge_values.clear();
+        debug_assert!(self.additions.is_empty(), "additions drained at the last barrier");
+    }
+
+    /// (Re)sizes the per-vertex fabric state once the vertex set is known.
+    /// All buffers keep their capacity, so a warm engine re-targeted at a
+    /// mutated graph starts from the previous run's high-water marks. The
+    /// delivery epoch is *not* reset: it grows monotonically for the life of
+    /// the worker, so stale `chain_epoch` stamps can never alias a future
+    /// delivery.
+    pub(crate) fn reset_fabric(&mut self) {
         let n_local = self.global_ids.len();
-        self.msg_offsets = vec![0; n_local + 1];
-        self.chain_head = vec![NIL; n_local];
-        self.chain_tail = vec![NIL; n_local];
-        self.chain_epoch = vec![0; n_local];
+        self.msg_offsets.clear();
+        self.msg_offsets.resize(n_local + 1, 0);
+        self.chain_head.clear();
+        self.chain_head.resize(n_local, NIL);
+        self.chain_tail.clear();
+        self.chain_tail.resize(n_local, NIL);
+        self.chain_epoch.clear();
+        self.chain_epoch.resize(n_local, 0);
+        self.msgs.clear();
+        self.metrics.reset();
+        debug_assert!(self.staging.is_empty() && self.staging_next.is_empty());
+    }
+
+    /// Pre-reserves the delivery-side buffers for `inbound` messages — the
+    /// number of adjacency entries addressed to this worker, which bounds the
+    /// per-superstep delivery volume of every send-along-edges program. Done
+    /// at (re)load time so graph growth between warm runs never forces a
+    /// delivery-phase reallocation (see [`WorkerMetrics::fabric_reallocs`]).
+    pub(crate) fn reserve_inbound(&mut self, inbound: usize) {
+        debug_assert!(self.staging.is_empty() && self.msgs.is_empty());
+        self.staging.reserve(inbound);
+        self.staging_next.reserve(inbound);
+        self.msgs.reserve(inbound);
     }
 
     /// Number of vertices hosted here.

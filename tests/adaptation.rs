@@ -1,11 +1,11 @@
 //! Integration tests for incremental (§III-D) and elastic (§III-E)
 //! repartitioning — the paper's Figs. 7 and 8 at test scale.
 
-use spinner_core::{adapt, elastic, partition, SpinnerConfig};
+use spinner_core::{adapt, elastic, partition, SpinnerConfig, StreamEvent, StreamSession};
 use spinner_graph::conversion::from_undirected_edges;
 use spinner_graph::generators::{planted_partition, SbmConfig};
 use spinner_graph::mutation::{apply_delta, sample_new_edges};
-use spinner_graph::GraphDelta;
+use spinner_graph::{DeltaStream, DeltaStreamConfig, GraphDelta};
 use spinner_metrics::partitioning_difference;
 
 fn base_graph() -> spinner_graph::DirectedGraph {
@@ -111,6 +111,61 @@ fn elastic_growth_moves_expected_fraction() {
         let moved_scratch = partitioning_difference(&initial.labels, &scratch.labels);
         assert!(moved < moved_scratch, "+{n_new}: {moved} vs scratch {moved_scratch}");
     }
+}
+
+/// The elastic *shrink* path mid-stream: a warm session that loses
+/// partitions between delta windows must redistribute the evicted vertices,
+/// stay balanced, move far less than a from-scratch repartitioning, and keep
+/// its warm fabric through the shrink.
+#[test]
+fn stream_shrinks_partitions_mid_stream() {
+    let base = base_graph();
+    let mut session = StreamSession::new(base.clone(), cfg(8));
+    let mut deltas = DeltaStream::new(
+        base,
+        DeltaStreamConfig { windows: 3, seed: 31, ..DeltaStreamConfig::default() },
+    );
+
+    session.apply(StreamEvent::Delta(deltas.next().expect("window")));
+    let before_shrink = session.labels().to_vec();
+
+    // k: 8 -> 5 while the stream is live.
+    let report = session.apply(StreamEvent::Resize { k: 5 }).clone();
+    assert_eq!(report.k, 5);
+    assert_eq!(session.k(), 5);
+    assert!(session.labels().iter().all(|&l| l < 5));
+    let mut loads = [0u64; 5];
+    for &l in session.labels() {
+        loads[l as usize] += 1;
+    }
+    assert!(loads.iter().all(|&l| l > 0), "empty partition after shrink: {loads:?}");
+    assert!(report.rho < 1.25, "rho {}", report.rho);
+    // Vertices of surviving partitions mostly keep their label...
+    let kept =
+        before_shrink.iter().zip(session.labels()).filter(|&(&a, &b)| a < 5 && a == b).count()
+            as f64;
+    let survivors = before_shrink.iter().filter(|&&a| a < 5).count() as f64;
+    assert!(kept / survivors > 0.5, "kept fraction {}", kept / survivors);
+    // ...and the shrink moves far less than repartitioning from scratch.
+    let scratch = partition(&from_undirected_edges(session.graph()), &cfg(5).with_seed(777));
+    let moved_scratch = partitioning_difference(&before_shrink, &scratch.labels);
+    assert!(
+        report.migration_fraction < moved_scratch,
+        "shrink moved {} vs scratch {moved_scratch}",
+        report.migration_fraction
+    );
+
+    // The stream continues warm after the shrink: no fabric growth, valid
+    // labels over the grown vertex set.
+    let next = session.apply(StreamEvent::Delta(deltas.next().expect("window"))).clone();
+    assert_eq!(next.fabric_reallocs, 0, "fabric grew after mid-stream shrink");
+    assert_eq!(session.labels().len(), session.undirected().num_vertices() as usize);
+    assert!(session.labels().iter().all(|&l| l < 5));
+    assert!(
+        next.migration_fraction < 0.4,
+        "post-shrink window moved {}",
+        next.migration_fraction
+    );
 }
 
 /// Shrinking removes the high labels and redistributes their vertices.

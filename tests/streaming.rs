@@ -1,0 +1,106 @@
+//! Streaming-session determinism: the warm multi-window driver must produce
+//! bit-identical label histories across thread counts (always) and across
+//! logical-worker counts (when the §IV-A4 asynchronous load view — which is
+//! worker-topology-dependent by design — is disabled). This extends the
+//! engine-level `fabric_grid` guarantee to multi-window stateful runs
+//! through warm resets, elastic resizes, and graph deltas.
+
+use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
+use spinner_graph::generators::{planted_partition, SbmConfig};
+use spinner_graph::{DeltaStream, DeltaStreamConfig, DirectedGraph};
+
+fn base_graph() -> DirectedGraph {
+    planted_partition(SbmConfig {
+        n: 1500,
+        communities: 4,
+        internal_degree: 8.0,
+        external_degree: 1.5,
+        skew: None,
+        seed: 11,
+    })
+}
+
+/// Everything a session exposes that must match across the grid: final
+/// labels plus the per-window integer/quality history. Wall-clock is
+/// excluded; φ/ρ/migration fractions are compared bit-for-bit via raw bits.
+/// `(k, iterations, supersteps, messages, num_edges, num_vertices,
+/// phi_bits, rho_bits)` per window.
+type WindowDigest = (u32, u32, u64, u64, u64, u32, u64, u64);
+
+#[derive(Debug, PartialEq)]
+struct SessionTrace {
+    labels: Vec<u32>,
+    windows: Vec<WindowDigest>,
+}
+
+fn run_session(num_workers: usize, num_threads: usize, async_loads: bool) -> SessionTrace {
+    let base = base_graph();
+    let mut cfg = SpinnerConfig::new(4).with_seed(17);
+    cfg.num_workers = num_workers;
+    cfg.num_threads = num_threads;
+    cfg.max_iterations = 60;
+    cfg.async_worker_loads = async_loads;
+
+    let mut deltas = DeltaStream::new(
+        base.clone(),
+        DeltaStreamConfig {
+            windows: 4,
+            add_fraction: 0.02,
+            remove_fraction: 0.01,
+            vertex_fraction: 0.01,
+            seed: 23,
+            ..DeltaStreamConfig::default()
+        },
+    );
+    let mut session = StreamSession::new(base, cfg);
+    session.apply(StreamEvent::Delta(deltas.next().expect("window")));
+    session.apply(StreamEvent::Resize { k: 6 });
+    session.apply(StreamEvent::Delta(deltas.next().expect("window")));
+    session.apply(StreamEvent::Delta(deltas.next().expect("window")));
+    session.apply(StreamEvent::Resize { k: 3 });
+    session.apply(StreamEvent::Delta(deltas.next().expect("window")));
+
+    SessionTrace {
+        labels: session.labels().to_vec(),
+        windows: session
+            .windows()
+            .iter()
+            .map(|w| {
+                (
+                    w.k,
+                    w.iterations,
+                    w.supersteps,
+                    w.messages,
+                    w.num_edges,
+                    w.num_vertices,
+                    w.phi.to_bits(),
+                    w.rho.to_bits(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Thread counts never change results — the full (async-view) configuration
+/// included.
+#[test]
+fn stream_identical_across_thread_counts() {
+    let reference = run_session(8, 1, true);
+    assert_eq!(reference.windows.len(), 7, "bootstrap + six stream windows");
+    for threads in [2usize, 4, 8] {
+        let trace = run_session(8, threads, true);
+        assert_eq!(trace, reference, "diverged at num_threads={threads}");
+    }
+}
+
+/// With the asynchronous per-worker load view disabled, the computation is
+/// fully synchronous and the logical worker count is pure plumbing: any
+/// workers x threads combination yields the same stream history.
+#[test]
+fn stream_identical_across_worker_grid_when_synchronous() {
+    let reference = run_session(1, 1, false);
+    for &(workers, threads) in &[(2usize, 1usize), (3, 2), (4, 4), (7, 3), (8, 8)] {
+        let trace = run_session(workers, threads, false);
+        assert_eq!(trace, reference, "diverged at num_workers={workers} num_threads={threads}");
+    }
+}
