@@ -15,8 +15,9 @@
 //! - **Quality**: the `metrics` an experiment reported (φ/ρ/migration
 //!   trajectories, see `spinner_bench::emit_metric`) are seeded and exactly
 //!   reproducible, so they get a much tighter gate: a higher-is-better
-//!   metric (`phi*`) regresses when it drops more than the quality fraction
-//!   (default 5%) below baseline; a lower-is-better one (`rho*`,
+//!   metric (`phi*`, `local_share*` — the message-locality share of the
+//!   placement in effect) regresses when it drops more than the quality
+//!   fraction (default 5%) below baseline; a lower-is-better one (`rho*`,
 //!   `*migration*`, `*moved*`) when it rises more than that above. Other
 //!   metric names are reported but never gate.
 //!
@@ -102,7 +103,9 @@ fn load(path: &str) -> Vec<ExperimentOutcome> {
 
 /// Which way a quality metric is allowed to move, inferred from its name.
 enum Direction {
-    /// `phi*`: locality — dropping below baseline is a regression.
+    /// `phi*` (edge locality) and `local_share*` (worker-local message
+    /// share under the placement in effect) — dropping below baseline is a
+    /// regression.
     HigherBetter,
     /// `rho*`, `*migration*`, `*moved*`: balance/movement cost — rising
     /// above baseline is a regression.
@@ -112,7 +115,7 @@ enum Direction {
 }
 
 fn direction(name: &str) -> Direction {
-    if name.starts_with("phi") {
+    if name.starts_with("phi") || name.starts_with("local_share") {
         Direction::HigherBetter
     } else if name.starts_with("rho") || name.contains("migration") || name.contains("moved") {
         Direction::LowerBetter

@@ -115,6 +115,7 @@ fn main() -> ExitCode {
             phi: r.report.phi,
             rho: r.report.rho,
             migration_fraction: r.report.migration_fraction,
+            local_share: r.report.local_share(),
         })
         .collect();
 
@@ -143,6 +144,14 @@ fn main() -> ExitCode {
     emit_metric("phi_min", trajectory.min_phi());
     emit_metric("rho_max", trajectory.max_rho());
     emit_metric("migration_mean", trajectory.mean_migration_fraction());
+    // Locality accounting (already counted per window by the engine): the
+    // stream's total local/remote message split, for the report JSON.
+    // These run under the default hash placement — the label-placement
+    // counterpart (and its gate) lives in exp-locality.
+    let sent_local: u64 = rows.iter().map(|r| r.report.sent_local).sum();
+    let sent_remote: u64 = rows.iter().map(|r| r.report.sent_remote).sum();
+    emit_metric("sent_local", sent_local as f64);
+    emit_metric("sent_remote", sent_remote as f64);
 
     // ---- acceptance criteria (self-gating: CI runs this in the smoke
     // suite, so a violation fails the build) ----
@@ -215,6 +224,7 @@ fn write_json(rows: &[WindowRow], trajectory: &Trajectory, scale: Scale, k0: u32
              \"num_edges\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
              \"migration_fraction\": {:.6}, \"migration_scratch\": {:.6}, \
              \"iterations\": {}, \"supersteps\": {}, \"messages\": {}, \
+             \"sent_local\": {}, \"sent_remote\": {}, \"local_share\": {:.6}, \
              \"fabric_reallocs\": {}}}{sep}\n",
             r.report.window,
             r.event,
@@ -228,6 +238,9 @@ fn write_json(rows: &[WindowRow], trajectory: &Trajectory, scale: Scale, k0: u32
             r.report.iterations,
             r.report.supersteps,
             r.report.messages,
+            r.report.sent_local,
+            r.report.sent_remote,
+            r.report.local_share(),
             r.report.fabric_reallocs
         ));
     }

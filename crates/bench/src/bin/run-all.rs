@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-ablation",
     "exp-theory",
     "exp-stream",
+    "exp-locality",
 ];
 
 struct Args {

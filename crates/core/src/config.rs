@@ -77,6 +77,17 @@ pub struct SpinnerConfig {
     pub capacity_weights: Option<Vec<f64>>,
     /// Restart scope for incremental adaptation (§III-D).
     pub restart_scope: RestartScope,
+    /// Label-driven placement feedback for streaming sessions (§V-F: "we
+    /// plug a hash function that uses only the l_j field"). `Some(t)`:
+    /// whenever a window converges with a remote-message share above `t`,
+    /// the session migrates every vertex onto the worker owning its
+    /// computed label (balanced greedy packing,
+    /// `Placement::from_labels_balanced`) before the next window, so
+    /// subsequent re-convergences exchange mostly worker-local messages.
+    /// `None` (the default) keeps the initial hash placement for the whole
+    /// stream. Labels are unaffected either way; with
+    /// `async_worker_loads = false` they are bit-identical.
+    pub placement_feedback: Option<f64>,
     /// Evaluate all `k` labels per vertex, as the paper's implementation
     /// does ("the complexity of the heuristic executed by each vertex is
     /// proportional to the number of partitions k", §V-B). The default
@@ -109,6 +120,7 @@ impl SpinnerConfig {
             objective: BalanceObjective::default(),
             capacity_weights: None,
             restart_scope: RestartScope::default(),
+            placement_feedback: None,
             exhaustive_candidate_scan: false,
         }
     }
@@ -141,6 +153,19 @@ impl SpinnerConfig {
         self.num_workers = workers;
         self
     }
+
+    /// Builder-style placement-feedback override: re-place vertices by
+    /// computed label whenever a window's remote-message share exceeds
+    /// `threshold` (a fraction in `[0, 1)`; 0 re-places after every
+    /// window that sent any remote message).
+    pub fn with_placement_feedback(mut self, threshold: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&threshold),
+            "placement-feedback threshold is a share in [0, 1)"
+        );
+        self.placement_feedback = Some(threshold);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +192,18 @@ mod tests {
     #[should_panic(expected = "c must exceed 1")]
     fn c_below_one_rejected() {
         let _ = SpinnerConfig::new(2).with_c(0.9);
+    }
+
+    #[test]
+    fn placement_feedback_defaults_off() {
+        assert_eq!(SpinnerConfig::new(4).placement_feedback, None);
+        let cfg = SpinnerConfig::new(4).with_placement_feedback(0.5);
+        assert_eq!(cfg.placement_feedback, Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "share in [0, 1)")]
+    fn placement_feedback_rejects_full_share() {
+        let _ = SpinnerConfig::new(4).with_placement_feedback(1.0);
     }
 }

@@ -61,6 +61,27 @@ pub fn partition(graph: &UndirectedGraph, cfg: &SpinnerConfig) -> PartitionResul
     run_from_labels(graph, cfg, labels)
 }
 
+/// Like [`partition`], but hosting the computation on an explicit
+/// vertex → worker [`Placement`] instead of the default hash placement
+/// (`cfg.num_workers` is ignored in favour of the placement's worker
+/// count). With the asynchronous per-worker load view disabled
+/// (`cfg.async_worker_loads = false`) the result — labels, history, and
+/// iteration counts — is bit-identical across *any* placement; the async
+/// view is worker-topology-dependent by design (§IV-A4).
+pub fn partition_with_placement(
+    graph: &UndirectedGraph,
+    cfg: &SpinnerConfig,
+    placement: &Placement,
+) -> PartitionResult {
+    assert_eq!(
+        placement.num_vertices(),
+        graph.num_vertices(),
+        "placement must cover the graph's vertex set"
+    );
+    let labels = random_labels(graph.num_vertices(), cfg.k, cfg.seed);
+    run_placed(graph, cfg, labels, Vec::new(), placement)
+}
+
 /// Partitions a directed graph: converts it to the weighted undirected form
 /// of Eq. 3 first — offline by default, or with the in-engine
 /// NeighborPropagation/NeighborDiscovery supersteps when
@@ -259,12 +280,24 @@ fn run_from_labels_scoped(
     labels: Vec<Label>,
     affected: Vec<bool>,
 ) -> PartitionResult {
-    let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::Initialize };
     let placement = Placement::hashed(graph.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
+    run_placed(graph, cfg, labels, affected, &placement)
+}
+
+/// The common tail of every undirected run: build the engine on the given
+/// placement, run, extract.
+fn run_placed(
+    graph: &UndirectedGraph,
+    cfg: &SpinnerConfig,
+    labels: Vec<Label>,
+    affected: Vec<bool>,
+    placement: &Placement,
+) -> PartitionResult {
+    let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::Initialize };
     let mut engine = Engine::from_undirected(
         program,
         graph,
-        &placement,
+        placement,
         engine_config(cfg),
         |v| {
             VertexState::new(

@@ -52,8 +52,8 @@ pub mod theory;
 
 pub use config::SpinnerConfig;
 pub use driver::{
-    adapt, adapt_with_delta, elastic, partition, partition_directed, IterationStats,
-    PartitionResult,
+    adapt, adapt_with_delta, elastic, partition, partition_directed, partition_with_placement,
+    IterationStats, PartitionResult,
 };
 pub use state::{Label, NO_LABEL};
 pub use stream::{StreamEvent, StreamSession, WindowReport};

@@ -15,8 +15,27 @@ use spinner_pregel::{VertexContext, WorkerId};
 pub const AGG_LOADS: usize = 0;
 /// Aggregator: candidate load m(l) per label for Eq. 14 (VecSumI64).
 pub const AGG_CANDIDATES: usize = 1;
-/// Aggregator: global score Σ_v score''(v, α(v)) (SumF64, Eq. 10).
+/// Aggregator: global score Σ_v score''(v, α(v)) (Eq. 10), accumulated in
+/// fixed point (see [`SCORE_SCALE`]).
 pub const AGG_SCORE: usize = 2;
+
+/// Fixed-point scale for the global score aggregation. Per-vertex scores
+/// are rounded to `1/SCORE_SCALE` (2⁻²⁰ ≈ 10⁻⁶) and summed as integers, so
+/// the total — unlike an `f64` sum — is independent of summation order and
+/// therefore bit-identical across any vertex placement, worker count, or
+/// thread count. The quantisation sits three orders of magnitude below the
+/// ε = 10⁻³ per-vertex halting threshold. Overflow bound: |score''(v)| ≤
+/// 1 + k/c (the worst penalty is a partition holding all load, k/c), so
+/// the sum stays within `i64::MAX` while `n · (1 + k/c) < 2⁴³ ≈ 8.8·10¹²`
+/// — with the engine's u32 vertex ids (n < 2³²), safe for any `k/c` up to
+/// ~2000 even at the maximum vertex count.
+pub const SCORE_SCALE: f64 = (1u64 << 20) as f64;
+
+/// A per-vertex score contribution in fixed point.
+#[inline]
+fn score_fixed(score: f64) -> i64 {
+    (score * SCORE_SCALE).round() as i64
+}
 /// Aggregator: Σ_v (local incident weight) = 2·(local edge weight) (SumI64).
 pub const AGG_LOCAL_WEIGHT: usize = 3;
 /// Aggregator: number of migrations this superstep (SumI64).
@@ -237,7 +256,7 @@ impl SpinnerProgram {
         }
 
         // (iv) Aggregate this vertex's contribution to score(G) and φ.
-        ctx.agg.add_f64(AGG_SCORE, current_score);
+        ctx.agg.add_i64(AGG_SCORE, score_fixed(current_score));
         ctx.agg.add_i64(AGG_LOCAL_WEIGHT, count_current as i64);
 
         // (v) Candidacy: flag and update the async worker view. With
@@ -314,7 +333,7 @@ impl SpinnerProgram {
         let k = ctx.global.k as usize;
         let loads = ctx.read(AGG_LOADS).as_vec_i64().to_vec();
         let m = ctx.read(AGG_CANDIDATES).as_vec_i64().to_vec();
-        let score = ctx.read(AGG_SCORE).as_f64();
+        let score = ctx.read(AGG_SCORE).as_i64() as f64 / SCORE_SCALE;
         let local_weight = ctx.read(AGG_LOCAL_WEIGHT).as_i64();
 
         // Migration probabilities p(l) = r(l)/m(l), clamped to [0, 1]
@@ -413,7 +432,7 @@ impl Program for SpinnerProgram {
         vec![
             AggregatorSpec::persistent("loads", AggOp::VecSumI64, k),
             AggregatorSpec::regular("candidates", AggOp::VecSumI64, k),
-            AggregatorSpec::regular("score", AggOp::SumF64, 0),
+            AggregatorSpec::regular("score", AggOp::SumI64, 0),
             AggregatorSpec::regular("local-weight", AggOp::SumI64, 0),
             AggregatorSpec::regular("migrations", AggOp::SumI64, 0),
         ]

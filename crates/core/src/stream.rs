@@ -13,11 +13,20 @@
 //! vertex arrivals — §III-D incremental repartitioning) or a partition-count
 //! change (§III-E elastic repartitioning). Both unify on the same warm-start
 //! path; only the label initialisation differs.
+//!
+//! With [`SpinnerConfig::placement_feedback`] enabled the session also
+//! closes the paper's §V-F loop: when a window converges with a remote-
+//! message share above the threshold, the engine's vertex state migrates in
+//! place onto workers chosen by computed label (balanced greedy packing),
+//! so later windows run with label-aligned locality — most messages then
+//! take the fabric's lock-free local fast path instead of the cross-worker
+//! grid. Labels are unaffected; with `async_worker_loads = false` they are
+//! bit-identical to a feedback-free run.
 
 use crate::config::{RestartScope, SpinnerConfig};
 use crate::driver::{
     delta_affected, elastic_labels, engine_config, incremental_labels, random_labels,
-    result_from_engine,
+    result_from_engine, PartitionResult,
 };
 use crate::program::SpinnerProgram;
 use crate::state::{EdgeState, Label, Phase, VertexState, NO_LABEL};
@@ -25,7 +34,7 @@ use spinner_graph::conversion::from_undirected_edges;
 use spinner_graph::mutation::apply_delta;
 use spinner_graph::{DirectedGraph, GraphDelta, UndirectedGraph, VertexId};
 use spinner_pregel::engine::Engine;
-use spinner_pregel::Placement;
+use spinner_pregel::{Placement, WorkerId};
 
 /// One window of a dynamic-graph stream.
 #[derive(Debug, Clone)]
@@ -66,12 +75,34 @@ pub struct WindowReport {
     pub supersteps: u64,
     /// Messages exchanged while re-converging.
     pub messages: u64,
+    /// Messages that stayed on their worker (served by the fabric's
+    /// locality fast path).
+    pub sent_local: u64,
+    /// Messages that crossed workers — the network traffic a distributed
+    /// deployment would see for this window.
+    pub sent_remote: u64,
+    /// Vertices migrated onto a different worker by label-driven placement
+    /// feedback *after* this window converged (0 when feedback is disabled
+    /// or the remote share stayed under the threshold).
+    pub placement_moved: u64,
     /// Wall-clock nanoseconds of the window's run.
     pub wall_ns: u64,
     /// Message-fabric buffer growth events during the window (see
     /// `WorkerMetrics::fabric_reallocs`); 0 from window 2 on when the warm
     /// engine absorbs the stream.
     pub fabric_reallocs: u64,
+}
+
+impl WindowReport {
+    /// Share of this window's messages that stayed worker-local (1.0 for a
+    /// window that exchanged none).
+    pub fn local_share(&self) -> f64 {
+        if self.messages == 0 {
+            1.0
+        } else {
+            self.sent_local as f64 / self.messages as f64
+        }
+    }
 }
 
 /// A warm streaming session over an evolving graph.
@@ -102,17 +133,30 @@ pub struct StreamSession {
     labels: Vec<Label>,
     engine: Engine<SpinnerProgram>,
     windows: Vec<WindowReport>,
+    /// Label → worker map installed by the latest placement-feedback
+    /// migration (`None` until feedback first triggers: vertices then sit
+    /// on the bootstrap hash placement). Kept as the label-level map — not
+    /// a per-vertex [`Placement`] — so vertices appended by later deltas
+    /// are placed consistently with their initial label.
+    label_to_worker: Option<Vec<WorkerId>>,
 }
 
 impl StreamSession {
     /// Bootstraps a session: partitions `graph` from scratch (window 0) and
     /// keeps the engine warm for the stream. The directed edge list is
     /// treated as undirected friendships (the Tuenti/§V-C setting).
+    ///
+    /// With [`SpinnerConfig::placement_feedback`] set, every window —
+    /// including this bootstrap — is followed by the label-driven placement
+    /// check: if the window's remote-message share exceeded the threshold,
+    /// all vertex state migrates onto workers chosen by computed label
+    /// (paper §V-F) before the next window runs.
     pub fn new(graph: DirectedGraph, cfg: SpinnerConfig) -> Self {
         let undirected = from_undirected_edges(&graph);
         let labels = random_labels(undirected.num_vertices(), cfg.k, cfg.seed);
         let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::Initialize };
-        let placement = Self::placement(&cfg, undirected.num_vertices());
+        let placement =
+            Placement::hashed(undirected.num_vertices(), cfg.num_workers, cfg.seed ^ 0x70C);
         let mut engine = Engine::from_undirected(
             program,
             &undirected,
@@ -123,21 +167,34 @@ impl StreamSession {
         );
         let summary = engine.run();
         let result = result_from_engine(&cfg, &engine, &summary, Some(&undirected));
-        let bootstrap = WindowReport {
+        let mut session = Self {
+            cfg,
+            graph,
+            undirected,
+            labels: result.labels.clone(),
+            engine,
+            windows: Vec::new(),
+            label_to_worker: None,
+        };
+        let placement_moved = session.feedback_replace(&result);
+        session.windows.push(WindowReport {
             window: 0,
-            k: cfg.k,
-            num_vertices: undirected.num_vertices(),
-            num_edges: undirected.num_edges(),
+            k: session.cfg.k,
+            num_vertices: session.undirected.num_vertices(),
+            num_edges: session.undirected.num_edges(),
             phi: result.quality.phi,
             rho: result.quality.rho,
             migration_fraction: 1.0,
             iterations: result.iterations,
             supersteps: result.supersteps,
             messages: result.totals.messages,
+            sent_local: result.totals.local_messages(),
+            sent_remote: result.totals.remote_messages,
+            placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
-        };
-        Self { cfg, graph, undirected, labels: result.labels, engine, windows: vec![bootstrap] }
+        });
+        session
     }
 
     /// Applies the next stream window and re-converges, warm. Returns the
@@ -174,7 +231,7 @@ impl StreamSession {
         };
 
         let program = SpinnerProgram { cfg: self.cfg.clone(), start_phase: Phase::Initialize };
-        let placement = Self::placement(&self.cfg, self.undirected.num_vertices());
+        let placement = self.placement_for(&labels);
         self.engine.warm_reset_undirected(
             program,
             &self.undirected,
@@ -194,6 +251,8 @@ impl StreamSession {
         let moved =
             self.labels.iter().zip(&result.labels).filter(|&(&old, &new)| old != new).count();
         let migration_fraction = if old_n > 0 { moved as f64 / old_n as f64 } else { 1.0 };
+        self.labels = result.labels.clone();
+        let placement_moved = self.feedback_replace(&result);
         self.windows.push(WindowReport {
             window: self.windows.len() as u32,
             k: self.cfg.k,
@@ -205,11 +264,67 @@ impl StreamSession {
             iterations: result.iterations,
             supersteps: result.supersteps,
             messages: result.totals.messages,
+            sent_local: result.totals.local_messages(),
+            sent_remote: result.totals.remote_messages,
+            placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
         });
-        self.labels = result.labels;
         self.windows.last().expect("window just pushed")
+    }
+
+    /// The placement for a window starting from `labels`: hash placement
+    /// until feedback first triggers, the label-driven map afterwards
+    /// (labels beyond the map — partitions added by an elastic resize —
+    /// fall back to the modulo wrap until the next feedback migration).
+    fn placement_for(&self, labels: &[Label]) -> Placement {
+        match &self.label_to_worker {
+            Some(assignment) => {
+                Placement::from_label_assignment(labels, assignment, self.cfg.num_workers)
+            }
+            None => Placement::hashed(
+                labels.len() as VertexId,
+                self.cfg.num_workers,
+                self.cfg.seed ^ 0x70C,
+            ),
+        }
+    }
+
+    /// Label-driven placement feedback (§V-F): when the window that just
+    /// converged pushed more than the configured share of its messages
+    /// across workers, migrate every vertex onto the worker owning its
+    /// computed label — balanced greedy packing, so `k > num_workers` does
+    /// not pile large labels onto one worker — reusing the engine's
+    /// fabric-preserving migration. Returns the number of vertices that
+    /// changed worker (0 when feedback is off or locality was good enough).
+    ///
+    /// The migration runs eagerly through [`Engine::replace`] — one
+    /// O(V + E) topology pass, a small constant fraction of the window's
+    /// multi-superstep re-convergence — so the warm engine is genuinely
+    /// hosted on the placement the session reports from this point on,
+    /// rather than the session merely *planning* a placement for the next
+    /// warm reset. (A pure bookkeeping alternative — diffing the new
+    /// placement against the engine's worker map — would produce the same
+    /// `moved` count and the same next-window behaviour, since the warm
+    /// reset reloads topology anyway; re-hosting for real is what keeps
+    /// "the engine's layout" and "the session's placement" the same thing,
+    /// with the migration itself exercised and accounted, not simulated.)
+    /// When the threshold keeps firing on an unchanged placement,
+    /// `Engine::replace` detects `moved == 0` in O(V) and skips the
+    /// rebuild.
+    fn feedback_replace(&mut self, result: &PartitionResult) -> u64 {
+        let Some(threshold) = self.cfg.placement_feedback else { return 0 };
+        let remote_share = 1.0 - result.totals.local_share();
+        if remote_share <= threshold {
+            return 0;
+        }
+        let assignment =
+            Placement::balanced_label_assignment(&self.labels, self.cfg.num_workers);
+        let placement =
+            Placement::from_label_assignment(&self.labels, &assignment, self.cfg.num_workers);
+        let stats = self.engine.replace(&placement);
+        self.label_to_worker = Some(assignment);
+        stats.moved
     }
 
     /// Runs a whole stream of events, returning the final report.
@@ -258,8 +373,10 @@ impl StreamSession {
         self.windows.last().expect("bootstrap window always present")
     }
 
-    fn placement(cfg: &SpinnerConfig, n: VertexId) -> Placement {
-        Placement::hashed(n, cfg.num_workers, cfg.seed ^ 0x70C)
+    /// The label → worker map installed by the latest placement-feedback
+    /// migration, if feedback has triggered yet.
+    pub fn label_assignment(&self) -> Option<&[WorkerId]> {
+        self.label_to_worker.as_deref()
     }
 }
 
@@ -354,6 +471,44 @@ mod tests {
         // Labels cover the grown vertex set.
         assert_eq!(session.labels().len(), session.undirected().num_vertices() as usize);
         assert!(session.labels().iter().all(|&l| l < session.k()));
+    }
+
+    /// The §V-F feedback loop: with the synchronous load view, re-placing
+    /// vertices by computed label must leave every label bit-identical while
+    /// strictly raising the worker-local message share of later windows.
+    #[test]
+    fn placement_feedback_improves_locality_but_not_labels() {
+        let g0 = base(2000, 29);
+        let mut plain_cfg = cfg(6);
+        plain_cfg.async_worker_loads = false;
+        let feedback_cfg = plain_cfg.clone().with_placement_feedback(0.5);
+
+        let mut plain = StreamSession::new(g0.clone(), plain_cfg);
+        let mut fed = StreamSession::new(g0.clone(), feedback_cfg);
+        // Hash placement over 4 workers leaves ~3/4 of messages remote, so
+        // the bootstrap window must trigger the migration.
+        assert!(fed.last().placement_moved > 0, "feedback did not trigger");
+        assert!(fed.label_assignment().is_some());
+        assert_eq!(plain.labels(), fed.labels());
+
+        let stream = DeltaStream::new(
+            g0,
+            DeltaStreamConfig { windows: 3, seed: 31, ..DeltaStreamConfig::default() },
+        );
+        for delta in stream {
+            plain.apply(StreamEvent::Delta(delta.clone()));
+            fed.apply(StreamEvent::Delta(delta));
+            let (p, f) = (plain.last(), fed.last());
+            assert_eq!(plain.labels(), fed.labels(), "feedback changed the label space");
+            assert_eq!(p.messages, f.messages, "feedback changed message volume");
+            assert!(
+                f.local_share() > p.local_share(),
+                "window {}: label placement {:.3} <= hash {:.3}",
+                f.window,
+                f.local_share(),
+                p.local_share()
+            );
+        }
     }
 
     #[test]

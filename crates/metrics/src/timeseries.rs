@@ -17,6 +17,10 @@ pub struct WindowPoint {
     pub rho: f64,
     /// Fraction of pre-window vertices that changed partition.
     pub migration_fraction: f64,
+    /// Share of the window's messages that stayed worker-local — the
+    /// placement-locality series a label-driven placement is meant to push
+    /// towards φ (1.0 for a window that exchanged no messages).
+    pub local_share: f64,
 }
 
 /// A φ/ρ/migration time series across stream windows.
@@ -86,6 +90,30 @@ impl Trajectory {
             .fold(0.0, f64::max)
     }
 
+    /// The worst (smallest) worker-local message share over the
+    /// *post-bootstrap* windows (1.0 with fewer than two windows) — the
+    /// locality floor the placement gates check. The bootstrap window is
+    /// skipped for the same reason the migration aggregates skip it: it
+    /// runs on the initial placement by construction, before any
+    /// label-driven re-placement can take effect.
+    pub fn min_local_share(&self) -> f64 {
+        self.points[self.points.len().min(1)..]
+            .iter()
+            .map(|p| p.local_share)
+            .fold(1.0, f64::min)
+    }
+
+    /// Mean worker-local message share over the *post-bootstrap* windows —
+    /// the steady-state locality of the placement in effect during the
+    /// stream. 0.0 with fewer than two windows.
+    pub fn mean_local_share(&self) -> f64 {
+        let tail = &self.points[self.points.len().min(1)..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|p| p.local_share).sum::<f64>() / tail.len() as f64
+    }
+
     /// Renders the series as a JSON array of per-window objects (the format
     /// embedded in the streaming experiment report).
     pub fn to_json(&self) -> String {
@@ -94,8 +122,8 @@ impl Trajectory {
             let sep = if i + 1 == self.points.len() { "" } else { "," };
             out.push_str(&format!(
                 "    {{\"window\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
-                 \"migration_fraction\": {:.6}}}{sep}\n",
-                p.window, p.phi, p.rho, p.migration_fraction
+                 \"migration_fraction\": {:.6}, \"local_share\": {:.6}}}{sep}\n",
+                p.window, p.phi, p.rho, p.migration_fraction, p.local_share
             ));
         }
         out.push_str("  ]");
@@ -114,7 +142,7 @@ mod tests {
     use super::*;
 
     fn point(window: u32, phi: f64, rho: f64, moved: f64) -> WindowPoint {
-        WindowPoint { window, phi, rho, migration_fraction: moved }
+        WindowPoint { window, phi, rho, migration_fraction: moved, local_share: 0.25 }
     }
 
     fn sample() -> Trajectory {
@@ -142,6 +170,8 @@ mod tests {
         assert_eq!(t.min_phi(), 1.0);
         assert_eq!(t.mean_migration_fraction(), 0.0);
         assert_eq!(t.max_migration_fraction(), 0.0);
+        assert_eq!(t.min_local_share(), 1.0);
+        assert_eq!(t.mean_local_share(), 0.0);
     }
 
     #[test]
@@ -149,6 +179,20 @@ mod tests {
         let mut t = Trajectory::new();
         t.push(point(0, 0.8, 1.02, 1.0));
         assert_eq!(t.mean_migration_fraction(), 0.0);
+        assert_eq!(t.mean_local_share(), 0.0);
+    }
+
+    /// A label-driven re-placement mid-stream shows up as a locality jump:
+    /// both aggregates track the post-bootstrap windows only, so the
+    /// bootstrap's hash-placement share (0.12) poisons neither.
+    #[test]
+    fn local_share_series_tracks_placement_changes() {
+        let mut t = Trajectory::new();
+        t.push(WindowPoint { local_share: 0.12, ..point(0, 0.7, 1.04, 1.0) });
+        t.push(WindowPoint { local_share: 0.82, ..point(1, 0.72, 1.05, 0.1) });
+        t.push(WindowPoint { local_share: 0.86, ..point(2, 0.73, 1.05, 0.05) });
+        assert!((t.min_local_share() - 0.82).abs() < 1e-12);
+        assert!((t.mean_local_share() - 0.84).abs() < 1e-12);
     }
 
     #[test]
@@ -157,6 +201,7 @@ mod tests {
         assert_eq!(json.matches("\"window\"").count(), 3);
         assert!(json.contains("\"phi\": 0.700000"));
         assert!(json.contains("\"migration_fraction\": 0.060000"));
+        assert!(json.contains("\"local_share\": 0.250000"));
         assert!(json.starts_with("[\n") && json.ends_with(']'));
         // Exactly two separators for three entries.
         assert_eq!(json.matches("},\n").count(), 2);

@@ -85,6 +85,26 @@ impl RunSummary {
     }
 }
 
+/// What an [`Engine::replace`] migration did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaceStats {
+    /// Vertices whose hosting worker changed.
+    pub moved: u64,
+    /// Vertices covered by the new placement.
+    pub total: u64,
+}
+
+impl ReplaceStats {
+    /// Fraction of the vertices that migrated (0.0 for an empty graph).
+    pub fn moved_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.moved as f64 / self.total as f64
+        }
+    }
+}
+
 /// The Pregel engine. Owns the program, the partitioned graph state, and the
 /// aggregator machinery.
 pub struct Engine<P: Program> {
@@ -177,8 +197,8 @@ impl<P: Program> Engine<P> {
         config: EngineConfig,
         neighbors: impl Fn(VertexId) -> &'g [VertexId],
         weight_at: impl Fn(VertexId, usize) -> u8,
-        init_v: impl FnMut(VertexId) -> P::V,
-        init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+        mut init_v: impl FnMut(VertexId) -> P::V,
+        mut init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
     ) -> Self {
         let num_workers = placement.num_workers();
         let workers: Vec<Worker<P>> =
@@ -200,7 +220,13 @@ impl<P: Program> Engine<P> {
             num_vertices: 0,
             mail_grid,
         };
-        engine.load_topology(n, placement, neighbors, weight_at, init_v, init_e);
+        engine.load_topology(
+            n,
+            placement,
+            neighbors,
+            |v| (init_v(v), false),
+            |src, i, dst| init_e(src, dst, weight_at(src, i)),
+        );
         engine
     }
 
@@ -220,8 +246,8 @@ impl<P: Program> Engine<P> {
         program: P,
         graph: &UndirectedGraph,
         placement: &Placement,
-        init_v: impl FnMut(VertexId) -> P::V,
-        init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+        mut init_v: impl FnMut(VertexId) -> P::V,
+        mut init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
     ) {
         assert_eq!(placement.num_vertices(), graph.num_vertices(), "placement size mismatch");
         self.program = program;
@@ -232,23 +258,108 @@ impl<P: Program> Engine<P> {
             graph.num_vertices(),
             placement,
             |v| graph.neighbors(v).0,
-            |v, i| graph.neighbors(v).1[i],
-            init_v,
-            init_e,
+            |v| (init_v(v), false),
+            |src, i, dst| init_e(src, dst, graph.neighbors(src).1[i]),
         );
     }
 
+    /// Re-places the vertices of an idle engine onto the workers prescribed
+    /// by `placement`, **in place**: vertex values, halted flags, and the
+    /// per-worker adjacency migrate to their new owners, the `local_idx`
+    /// map is rebuilt, and every message-fabric buffer — outbox grid, local
+    /// fast-path queues, staging chains, flat inboxes — keeps its capacity
+    /// via the same machinery as [`Self::warm_reset_undirected`]. Program,
+    /// aggregator, and global state are untouched, so a converged Spinner
+    /// run can be re-hosted by its computed labels (paper §V-F) without
+    /// recomputing anything.
+    ///
+    /// Call this only between runs: any message still sitting in a flat
+    /// inbox (possible after a [`HaltReason::Master`] or
+    /// [`HaltReason::MaxSupersteps`] halt) is discarded.
+    ///
+    /// The worker count is fixed for the life of an engine; `placement`
+    /// must cover exactly the current vertex set.
+    pub fn replace(&mut self, placement: &Placement) -> ReplaceStats {
+        assert_eq!(
+            placement.num_vertices() as u64,
+            self.num_vertices,
+            "placement size mismatch"
+        );
+        let n = self.num_vertices as usize;
+        let moved =
+            (0..n).filter(|&v| placement.as_slice()[v] != self.worker_of[v]).count() as u64;
+        // Identical placement: nothing to migrate, skip the O(V + E)
+        // gather/rebuild entirely (callers re-checking a threshold against
+        // a stable placement hit this path every time).
+        if moved == 0 {
+            return ReplaceStats { moved: 0, total: self.num_vertices };
+        }
+
+        // Gather the distributed per-vertex state into global order, moving
+        // (not cloning) values and edge state out of the workers' stores.
+        let mut values: Vec<Option<P::V>> = (0..n).map(|_| None).collect();
+        let mut halted = vec![false; n];
+        let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        {
+            let mut counts = vec![0u64; n];
+            for w in &self.workers {
+                for (li, &gid) in w.global_ids.iter().enumerate() {
+                    counts[gid as usize] = w.offsets[li + 1] - w.offsets[li];
+                }
+            }
+            for v in 0..n {
+                offsets.push(offsets[v] + counts[v]);
+            }
+        }
+        let total_edges = offsets[n] as usize;
+        let mut targets = vec![0 as VertexId; total_edges];
+        let mut edge_values: Vec<Option<P::E>> = (0..total_edges).map(|_| None).collect();
+        for w in &mut self.workers {
+            for (li, value) in std::mem::take(&mut w.values).into_iter().enumerate() {
+                let gid = w.global_ids[li] as usize;
+                values[gid] = Some(value);
+                halted[gid] = w.halted[li];
+            }
+            let w_targets = std::mem::take(&mut w.targets);
+            let mut w_values = std::mem::take(&mut w.edge_values).into_iter();
+            for (li, &gid) in w.global_ids.iter().enumerate() {
+                let lo = w.offsets[li] as usize;
+                let len = w.offsets[li + 1] as usize - lo;
+                let dst = offsets[gid as usize] as usize;
+                targets[dst..dst + len].copy_from_slice(&w_targets[lo..lo + len]);
+                for slot in edge_values[dst..dst + len].iter_mut() {
+                    *slot = Some(w_values.next().expect("edge value for each target"));
+                }
+            }
+        }
+
+        self.load_topology(
+            n as VertexId,
+            placement,
+            |v| &targets[offsets[v as usize] as usize..offsets[v as usize + 1] as usize],
+            |v| (values[v as usize].take().expect("gathered value"), halted[v as usize]),
+            |src, i, _dst| {
+                edge_values[offsets[src as usize] as usize + i]
+                    .take()
+                    .expect("gathered edge value")
+            },
+        );
+        ReplaceStats { moved, total: self.num_vertices }
+    }
+
     /// (Re)loads vertices, values, and adjacency into the workers, reusing
-    /// every existing allocation. Shared by the cold [`Self::build`] path
-    /// and [`Self::warm_reset_undirected`].
+    /// every existing allocation. Shared by the cold [`Self::build`] path,
+    /// [`Self::warm_reset_undirected`], and [`Self::replace`]. `vertex_init`
+    /// yields each vertex's value and halted flag; `edge_init` yields the
+    /// value of the `i`-th edge of `src`.
     fn load_topology<'g>(
         &mut self,
         n: VertexId,
         placement: &Placement,
         neighbors: impl Fn(VertexId) -> &'g [VertexId],
-        weight_at: impl Fn(VertexId, usize) -> u8,
-        mut init_v: impl FnMut(VertexId) -> P::V,
-        mut init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+        mut vertex_init: impl FnMut(VertexId) -> (P::V, bool),
+        mut edge_init: impl FnMut(VertexId, usize, VertexId) -> P::E,
     ) {
         let num_workers = self.workers.len();
         assert_eq!(
@@ -264,19 +375,25 @@ impl<P: Program> Engine<P> {
         for w in &mut self.workers {
             w.clear_topology();
         }
-        // First pass: assign vertices and values.
+        // First pass: assign vertices, values, and halted flags.
         for v in 0..n {
             let w = &mut self.workers[self.worker_of[v as usize] as usize];
             self.local_idx[v as usize] = w.global_ids.len() as u32;
             w.global_ids.push(v);
-            w.values.push(init_v(v));
-            w.halted.push(false);
+            let (value, halted) = vertex_init(v);
+            w.values.push(value);
+            w.halted.push(halted);
+            w.num_halted += u64::from(halted);
         }
         // Second pass: adjacency, counting per-worker inbound entries (the
-        // delivery-volume bound used to pre-reserve the message fabric).
+        // delivery-volume bound used to pre-reserve the message fabric),
+        // split into worker-local ones (served by the fast-path queue) and
+        // the rest.
         let worker_of = &self.worker_of;
         let mut inbound = vec![0usize; num_workers];
+        let mut self_inbound = vec![0usize; num_workers];
         for w in &mut self.workers {
+            let me = w.id as usize;
             let mut edge_count = 0usize;
             for &gid in &w.global_ids {
                 edge_count += neighbors(gid).len();
@@ -289,15 +406,22 @@ impl<P: Program> Engine<P> {
                 let ts = neighbors(gid);
                 for (i, &t) in ts.iter().enumerate() {
                     w.targets.push(t);
-                    w.edge_values.push(init_e(gid, t, weight_at(gid, i)));
-                    inbound[worker_of[t as usize] as usize] += 1;
+                    w.edge_values.push(edge_init(gid, i, t));
+                    let dst = worker_of[t as usize] as usize;
+                    if dst == me {
+                        self_inbound[dst] += 1;
+                    } else {
+                        inbound[dst] += 1;
+                    }
                 }
                 w.offsets.push(w.targets.len() as u64);
             }
         }
-        for (w, inb) in self.workers.iter_mut().zip(inbound) {
+        for ((w, inb), self_inb) in self.workers.iter_mut().zip(inbound).zip(self_inbound) {
             w.reset_fabric();
-            w.reserve_inbound(inb);
+            // The staging chains and flat inbox see every message; the
+            // fast-path queue only the worker-local ones.
+            w.reserve_inbound(inb + self_inb, self_inb);
         }
         // A finished run leaves every grid cell drained (delivery precedes
         // the halt decision), so the grid carries only capacity forward.

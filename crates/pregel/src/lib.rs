@@ -62,7 +62,7 @@ pub mod worker;
 
 pub use aggregate::{AggOp, AggValue, AggregatorSpec};
 pub use context::{AggCtx, Edges, Mailer, VertexContext};
-pub use engine::{Engine, EngineConfig, HaltReason, RunSummary};
+pub use engine::{Engine, EngineConfig, HaltReason, ReplaceStats, RunSummary};
 pub use metrics::{SuperstepMetrics, WorkerMetrics};
 pub use placement::Placement;
 pub use program::{MasterContext, Program};

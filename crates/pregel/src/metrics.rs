@@ -69,6 +69,12 @@ impl SuperstepMetrics {
         self.per_worker.iter().map(|w| w.sent_remote).sum()
     }
 
+    /// Total worker-local messages in this superstep — the traffic served by
+    /// the fabric's locality fast path instead of the network.
+    pub fn sent_local(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.sent_local).sum()
+    }
+
     /// Total vertices computed.
     pub fn computed_total(&self) -> u64 {
         self.per_worker.iter().map(|w| w.computed).sum()
@@ -100,6 +106,23 @@ impl RunTotals {
         }
         t
     }
+
+    /// Total worker-local messages: `messages - remote_messages`.
+    pub fn local_messages(&self) -> u64 {
+        self.messages - self.remote_messages
+    }
+
+    /// Share of the run's messages that stayed worker-local (1.0 for a run
+    /// that exchanged no messages at all). This is the number a label-driven
+    /// placement is meant to push up — remote share `1 - local_share` is the
+    /// network-cost proxy.
+    pub fn local_share(&self) -> f64 {
+        if self.messages == 0 {
+            1.0
+        } else {
+            self.local_messages() as f64 / self.messages as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,11 +143,19 @@ mod tests {
         };
         assert_eq!(s.sent_total(), 10);
         assert_eq!(s.sent_remote(), 8);
+        assert_eq!(s.sent_local(), 2);
         assert_eq!(s.computed_total(), 2);
         let t = RunTotals::from_supersteps(&[s.clone(), s]);
         assert_eq!(t.messages, 20);
         assert_eq!(t.remote_messages, 16);
+        assert_eq!(t.local_messages(), 4);
+        assert!((t.local_share() - 0.2).abs() < 1e-12);
         assert_eq!(t.wall_ns, 200);
+    }
+
+    #[test]
+    fn empty_run_is_fully_local() {
+        assert_eq!(RunTotals::default().local_share(), 1.0);
     }
 
     #[test]

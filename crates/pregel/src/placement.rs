@@ -49,14 +49,86 @@ impl Placement {
     }
 
     /// Placement defined by partition labels (Spinner's output): vertices
-    /// with the same label land on the same worker.
+    /// with the same label land on the same worker, via the paper's §V-F
+    /// hash `worker(v) = l(v) mod L`.
     ///
     /// `num_workers` may exceed the number of distinct labels; labels are
     /// taken modulo `num_workers`.
+    ///
+    /// **Balance hazard**: when the label count `k` exceeds `num_workers`,
+    /// the modulo wrap can pile several large labels onto the same worker
+    /// (labels `w, w + L, w + 2L, …` all collide) while other workers host
+    /// only small ones — worker loads then bear no relation to the
+    /// partitioning's balance guarantee. Use [`Self::from_labels_balanced`]
+    /// whenever worker balance matters; this variant is kept for the
+    /// paper-faithful hash and for `k <= num_workers` setups, where the two
+    /// differ only in which worker a label lands on.
     pub fn from_labels(labels: &[u32], num_workers: usize) -> Self {
         assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
         let worker_of =
             labels.iter().map(|&l| (l as usize % num_workers) as WorkerId).collect();
+        Self { worker_of, num_workers }
+    }
+
+    /// Balance-aware label placement: labels are packed onto workers with a
+    /// greedy longest-processing-time heuristic (largest label first, onto
+    /// the currently least-loaded worker) instead of [`Self::from_labels`]'s
+    /// modulo wrap, so worker loads stay within the packing bound even when
+    /// `k > num_workers`. Vertices with the same label still land on the
+    /// same worker. Fully deterministic: equal vertex counts break ties on
+    /// the smaller label, equal worker loads on the smaller worker id.
+    pub fn from_labels_balanced(labels: &[u32], num_workers: usize) -> Self {
+        let assignment = Self::balanced_label_assignment(labels, num_workers);
+        Self::from_label_assignment(labels, &assignment, num_workers)
+    }
+
+    /// The greedy label → worker packing behind
+    /// [`Self::from_labels_balanced`], exposed so callers that must extend a
+    /// placement to new vertices later (e.g. a streaming session whose
+    /// deltas append vertices) can keep the map and reapply it with
+    /// [`Self::from_label_assignment`]. `assignment[l]` is the worker
+    /// hosting label `l`, for every label value occurring in `labels`.
+    pub fn balanced_label_assignment(labels: &[u32], num_workers: usize) -> Vec<WorkerId> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
+        let k = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut counts = vec![0u64; k];
+        for &l in labels {
+            counts[l as usize] += 1;
+        }
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&l| (Reverse(counts[l]), l));
+        let mut loads: BinaryHeap<Reverse<(u64, WorkerId)>> =
+            (0..num_workers).map(|w| Reverse((0u64, w as WorkerId))).collect();
+        let mut assignment = vec![0 as WorkerId; k];
+        for l in order {
+            let Reverse((load, w)) = loads.pop().expect("num_workers >= 1");
+            assignment[l] = w;
+            loads.push(Reverse((load + counts[l], w)));
+        }
+        assignment
+    }
+
+    /// Placement from an explicit label → worker `assignment` (as produced
+    /// by [`Self::balanced_label_assignment`]). Labels beyond the
+    /// assignment's range — e.g. partitions added by an elastic resize after
+    /// the assignment was computed — fall back to the modulo wrap.
+    pub fn from_label_assignment(
+        labels: &[u32],
+        assignment: &[WorkerId],
+        num_workers: usize,
+    ) -> Self {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
+        debug_assert!(assignment.iter().all(|&w| (w as usize) < num_workers));
+        let worker_of = labels
+            .iter()
+            .map(|&l| match assignment.get(l as usize) {
+                Some(&w) => w,
+                None => (l as usize % num_workers) as WorkerId,
+            })
+            .collect();
         Self { worker_of, num_workers }
     }
 
@@ -142,5 +214,60 @@ mod tests {
         let p = Placement::from_labels(&labels, 4);
         assert_eq!(p.worker_of(0), 1);
         assert_eq!(p.worker_of(1), 1);
+    }
+
+    /// The documented `from_labels` hazard: with k > L the modulo wrap can
+    /// stack the heaviest labels on one worker; the balanced packing keeps
+    /// the same-label-same-worker property while spreading the load.
+    #[test]
+    fn balanced_fixes_modulo_pileup() {
+        // Labels 0 and 2 are huge and collide modulo 2; labels 1 and 3 tiny.
+        let mut labels = Vec::new();
+        labels.extend(std::iter::repeat_n(0u32, 50));
+        labels.extend(std::iter::repeat_n(2u32, 50));
+        labels.extend(std::iter::repeat_n(1u32, 5));
+        labels.extend(std::iter::repeat_n(3u32, 5));
+        let wrapped = Placement::from_labels(&labels, 2);
+        let balanced = Placement::from_labels_balanced(&labels, 2);
+        assert_eq!(wrapped.worker_sizes(), vec![100, 10]);
+        assert_eq!(balanced.worker_sizes(), vec![55, 55]);
+        // Same label still means same worker.
+        for (v, &l) in labels.iter().enumerate() {
+            let first = labels.iter().position(|&x| x == l).unwrap();
+            assert_eq!(balanced.worker_of(v as u32), balanced.worker_of(first as u32));
+        }
+    }
+
+    #[test]
+    fn balanced_assignment_is_deterministic_and_total() {
+        let labels: Vec<u32> = (0..1000u32).map(|v| v % 7).collect();
+        let a = Placement::balanced_label_assignment(&labels, 3);
+        let b = Placement::balanced_label_assignment(&labels, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        assert!(a.iter().all(|&w| w < 3));
+        // With k <= L each label gets its own worker.
+        let few = Placement::balanced_label_assignment(&[0, 1, 2], 4);
+        let mut sorted = few.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "labels doubled up despite spare workers: {few:?}");
+    }
+
+    #[test]
+    fn assignment_fallback_covers_new_labels() {
+        // Assignment knows labels 0..2; label 5 (added later) wraps.
+        let assignment = vec![1 as WorkerId, 0];
+        let p = Placement::from_label_assignment(&[0, 1, 5], &assignment, 3);
+        assert_eq!(p.worker_of(0), 1);
+        assert_eq!(p.worker_of(1), 0);
+        assert_eq!(p.worker_of(2), 2);
+    }
+
+    #[test]
+    fn empty_labels_make_empty_placement() {
+        let p = Placement::from_labels_balanced(&[], 4);
+        assert_eq!(p.num_vertices(), 0);
+        assert_eq!(p.num_workers(), 4);
     }
 }

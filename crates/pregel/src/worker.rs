@@ -44,6 +44,12 @@ pub struct Worker<P: Program> {
     /// `staging_next[i]` chains message `i` to the next message addressed to
     /// the same vertex (or [`NIL`]).
     staging_next: Vec<u32>,
+    /// Locality fast path: messages this worker sent to its own vertices
+    /// during the compute phase. They bypass the [`OutboxGrid`] mutex cells
+    /// entirely and are folded into the staging chains by the next delivery
+    /// phase, at the position the grid's diagonal cell used to occupy (so
+    /// per-vertex message order — and therefore every result — is unchanged).
+    self_staging: Vec<(VertexId, P::M)>,
     /// Per-vertex chain head/tail into `staging`, valid only when
     /// `chain_epoch[v]` equals the current delivery epoch (stamping avoids
     /// an O(vertices) reset every superstep).
@@ -80,6 +86,7 @@ impl<P: Program> Worker<P> {
             msgs: Vec::new(),
             staging: Vec::new(),
             staging_next: Vec::new(),
+            self_staging: Vec::new(),
             chain_head: Vec::new(),
             chain_tail: Vec::new(),
             chain_epoch: Vec::new(),
@@ -124,19 +131,26 @@ impl<P: Program> Worker<P> {
         self.chain_epoch.resize(n_local, 0);
         self.msgs.clear();
         self.metrics.reset();
-        debug_assert!(self.staging.is_empty() && self.staging_next.is_empty());
+        debug_assert!(
+            self.staging.is_empty()
+                && self.staging_next.is_empty()
+                && self.self_staging.is_empty()
+        );
     }
 
     /// Pre-reserves the delivery-side buffers for `inbound` messages — the
     /// number of adjacency entries addressed to this worker, which bounds the
-    /// per-superstep delivery volume of every send-along-edges program. Done
-    /// at (re)load time so graph growth between warm runs never forces a
-    /// delivery-phase reallocation (see [`WorkerMetrics::fabric_reallocs`]).
-    pub(crate) fn reserve_inbound(&mut self, inbound: usize) {
+    /// per-superstep delivery volume of every send-along-edges program —
+    /// plus the worker-local send queue for the `self_inbound` of them that
+    /// originate on this worker (the locality fast path). Done at (re)load
+    /// time so graph growth between warm runs never forces a message-path
+    /// reallocation (see [`WorkerMetrics::fabric_reallocs`]).
+    pub(crate) fn reserve_inbound(&mut self, inbound: usize, self_inbound: usize) {
         debug_assert!(self.staging.is_empty() && self.msgs.is_empty());
         self.staging.reserve(inbound);
         self.staging_next.reserve(inbound);
         self.msgs.reserve(inbound);
+        self.self_staging.reserve(self_inbound);
     }
 
     /// Number of vertices hosted here.
@@ -164,6 +178,10 @@ impl<P: Program> Worker<P> {
     ) {
         let start = Instant::now();
         self.metrics.reset();
+        // Fast-path queue growth counts as fabric growth: it replaces the
+        // grid's diagonal cell, whose capacity reuse the steady-state
+        // zero-allocation guarantee used to cover.
+        let self_staging_cap = self.self_staging.capacity();
         // Reset partials and worker state in place where possible — both are
         // per-superstep, but their buffers need not be.
         if self.partial_aggs.len() == specs.len() {
@@ -219,6 +237,7 @@ impl<P: Program> Worker<P> {
                 worker: &mut worker_state,
                 mail: Mailer {
                     outboxes: &mut self.outboxes,
+                    local: &mut self.self_staging,
                     worker_of,
                     my_worker: self.id,
                     sent_local: &mut self.metrics.sent_local,
@@ -235,14 +254,22 @@ impl<P: Program> Worker<P> {
             }
         }
         self.cached_worker_state = Some(worker_state);
+        self.metrics.fabric_reallocs +=
+            u64::from(self.self_staging.capacity() != self_staging_cap);
         self.metrics.compute_ns = start.elapsed().as_nanos() as u64;
     }
 
     /// Publishes this worker's outboxes into the grid by swapping each
     /// non-empty outbox with the (drained) cell buffer — the capacities
     /// double-buffer between sender and grid, so neither side reallocates in
-    /// the steady state.
+    /// the steady state. Worker-local messages never pass through here: the
+    /// fast path keeps them in `self_staging`, so the grid's diagonal cells
+    /// stay empty for the life of the engine.
     pub(crate) fn publish_outboxes(&mut self, grid: &OutboxGrid<P::M>, num_workers: usize) {
+        debug_assert!(
+            self.outboxes[self.id as usize].is_empty(),
+            "local sends bypass the grid"
+        );
         let row = self.id as usize * num_workers;
         for (j, outbox) in self.outboxes.iter_mut().enumerate() {
             if outbox.is_empty() {
@@ -254,7 +281,32 @@ impl<P: Program> Worker<P> {
         }
     }
 
-    /// Delivery phase: drains this worker's column of the grid into the
+    /// Appends one delivered message to its vertex's staging chain (after
+    /// the program's combiner had a chance to fold it into the chain tail).
+    #[inline]
+    fn stage_message(&mut self, program: &P, v: usize, msg: P::M, epoch: u64) {
+        if self.chain_epoch[v] == epoch {
+            let tail = self.chain_tail[v] as usize;
+            if program.combine(&mut self.staging[tail], &msg) {
+                return;
+            }
+            let idx = self.staging.len() as u32;
+            self.staging.push(msg);
+            self.staging_next.push(NIL);
+            self.staging_next[tail] = idx;
+            self.chain_tail[v] = idx;
+        } else {
+            self.chain_epoch[v] = epoch;
+            let idx = self.staging.len() as u32;
+            self.staging.push(msg);
+            self.staging_next.push(NIL);
+            self.chain_head[v] = idx;
+            self.chain_tail[v] = idx;
+        }
+    }
+
+    /// Delivery phase: drains this worker's column of the grid — and the
+    /// fast-path local queue in place of the diagonal cell — into the
     /// staging chains (applying the program's combiner), then gathers the
     /// chains into the flat `(msg_offsets, msgs)` inbox and wakes messaged
     /// vertices. Messages keep (source-worker, send-order) order per vertex.
@@ -273,35 +325,32 @@ impl<P: Program> Worker<P> {
 
         let me = self.id as usize;
         for src in 0..num_workers {
+            if src == me {
+                // Locality fast path: this worker's own sends never entered
+                // the grid. Processing them here — where the diagonal cell
+                // was drained before — preserves the (source-worker,
+                // send-order) order per vertex exactly.
+                if self.self_staging.is_empty() {
+                    continue;
+                }
+                self.metrics.recv_local += self.self_staging.len() as u64;
+                let mut local = std::mem::take(&mut self.self_staging);
+                for (target, msg) in local.drain(..) {
+                    let v = local_idx[target as usize] as usize;
+                    self.stage_message(program, v, msg, epoch);
+                }
+                // Hand the drained buffer back so its capacity persists.
+                self.self_staging = local;
+                continue;
+            }
             let mut cell = grid[src * num_workers + me].lock().expect("grid lock");
             if cell.is_empty() {
                 continue;
             }
-            if src == me {
-                self.metrics.recv_local += cell.len() as u64;
-            } else {
-                self.metrics.recv_remote += cell.len() as u64;
-            }
+            self.metrics.recv_remote += cell.len() as u64;
             for (target, msg) in cell.drain(..) {
                 let v = local_idx[target as usize] as usize;
-                if self.chain_epoch[v] == epoch {
-                    let tail = self.chain_tail[v] as usize;
-                    if program.combine(&mut self.staging[tail], &msg) {
-                        continue;
-                    }
-                    let idx = self.staging.len() as u32;
-                    self.staging.push(msg);
-                    self.staging_next.push(NIL);
-                    self.staging_next[tail] = idx;
-                    self.chain_tail[v] = idx;
-                } else {
-                    self.chain_epoch[v] = epoch;
-                    let idx = self.staging.len() as u32;
-                    self.staging.push(msg);
-                    self.staging_next.push(NIL);
-                    self.chain_head[v] = idx;
-                    self.chain_tail[v] = idx;
-                }
+                self.stage_message(program, v, msg, epoch);
             }
         }
         // u32 indices/offsets cap a worker at ~4.29e9 staged messages per

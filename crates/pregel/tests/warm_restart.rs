@@ -156,6 +156,59 @@ fn fabric_stays_warm_across_many_windows() {
     }
 }
 
+/// `Engine::replace` re-hosts all per-vertex state on a new placement
+/// without touching results: values survive byte-for-byte, halted flags
+/// carry over (an immediately re-run engine halts without computing), and a
+/// subsequent run over the migrated layout matches a cold engine built on
+/// the new placement directly.
+#[test]
+fn replace_migrates_state_between_placements() {
+    let g = grown_graph(200, 40);
+    for &(workers, threads) in &[(4usize, 2usize), (7, 3)] {
+        let mut engine = engine_over(&g, workers, threads);
+        assert_eq!(engine.run().halt, HaltReason::AllHalted);
+        let values_before = engine.collect_values();
+
+        // Re-place by the computed component labels (Spinner's §V-F move).
+        let new_placement = Placement::from_labels_balanced(&values_before, workers);
+        let stats = engine.replace(&new_placement);
+        assert!(stats.moved > 0, "label placement should differ from hash");
+        assert_eq!(stats.total, g.num_vertices() as u64);
+        assert_eq!(engine.collect_values(), values_before, "values changed in transit");
+
+        // All vertices voted to halt before the migration; re-running the
+        // engine must observe that immediately (flags survived the move).
+        let idle = engine.run();
+        assert_eq!(idle.halt, HaltReason::AllHalted);
+        assert_eq!(idle.supersteps, 1);
+        assert_eq!(idle.metrics[0].computed_total(), 0);
+
+        // A fresh run over the migrated layout behaves exactly like a cold
+        // engine built on the new placement, and the preserved fabric
+        // capacities plus the reload-time reservation mean zero growth.
+        engine.warm_reset_undirected(MinLabel, &g, &new_placement, |_| u32::MAX, |_, _, w| w);
+        let warm_summary = engine.run();
+        let cfg = EngineConfig { num_threads: threads, max_supersteps: 300, seed: 3 };
+        let mut cold = Engine::from_undirected(
+            MinLabel,
+            &g,
+            &new_placement,
+            cfg,
+            |_| u32::MAX,
+            |_, _, w| w,
+        );
+        let cold_summary = cold.run();
+        assert_eq!(engine.collect_values(), cold.collect_values());
+        assert_eq!(trace(&warm_summary), trace(&cold_summary));
+        let growth: u64 = warm_summary
+            .metrics
+            .iter()
+            .flat_map(|s| s.per_worker.iter().map(|w| w.fabric_reallocs))
+            .sum();
+        assert_eq!(growth, 0, "fabric grew after replace at workers={workers}");
+    }
+}
+
 /// `DirectedGraph` import sanity: the warm API composes with the same
 /// conversion the streaming driver uses.
 #[test]
