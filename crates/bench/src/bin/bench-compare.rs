@@ -18,8 +18,9 @@
 //!   metric (`phi*`, `local_share*` — the message-locality share of the
 //!   placement in effect) regresses when it drops more than the quality
 //!   fraction (default 5%) below baseline; a lower-is-better one (`rho*`,
-//!   `*migration*`, `*moved*`) when it rises more than that above. Other
-//!   metric names are reported but never gate.
+//!   `*migration*`, `*moved*`, `remote_records*` — the physical record
+//!   traffic the broadcast fabric deduplicates) when it rises more than
+//!   that above. Other metric names are reported but never gate.
 //!
 //! A markdown delta table goes to stdout and, with `--summary`, is appended
 //! to the given file (pass `$GITHUB_STEP_SUMMARY` in CI). Exit code 1 on
@@ -107,8 +108,10 @@ enum Direction {
     /// share under the placement in effect) — dropping below baseline is a
     /// regression.
     HigherBetter,
-    /// `rho*`, `*migration*`, `*moved*`: balance/movement cost — rising
-    /// above baseline is a regression.
+    /// `rho*`, `*migration*`, `*moved*` (balance/movement cost) and
+    /// `remote_records*` (physical cross-worker fabric records — what the
+    /// broadcast lane deduplicates) — rising above baseline is a
+    /// regression.
     LowerBetter,
     /// Anything else: reported for the record, never gated.
     Informational,
@@ -117,7 +120,11 @@ enum Direction {
 fn direction(name: &str) -> Direction {
     if name.starts_with("phi") || name.starts_with("local_share") {
         Direction::HigherBetter
-    } else if name.starts_with("rho") || name.contains("migration") || name.contains("moved") {
+    } else if name.starts_with("rho")
+        || name.starts_with("remote_records")
+        || name.contains("migration")
+        || name.contains("moved")
+    {
         Direction::LowerBetter
     } else {
         Direction::Informational

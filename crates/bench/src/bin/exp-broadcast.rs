@@ -1,0 +1,198 @@
+//! **Broadcast message fabric** — sender-side dedup + receiver-side fan-out
+//! for Spinner's only message, the label announcement broadcast to all
+//! neighbours (§IV-A2): two identical streaming sessions run the same
+//! hub-skewed delta stream over the Tuenti analogue, one shipping
+//! announcements as per-edge unicasts (one grid record per crossing edge),
+//! the other through the deduplicating broadcast lane (one record per
+//! `(sender, destination worker)` pair, expanded by the receiver's fan-out
+//! index).
+//!
+//! Expected shape: logical traffic, labels, φ/ρ, and the whole iteration
+//! history are **bit-identical** — the lane only changes how bytes move —
+//! while the physical cross-worker records drop by the mean remote fan-out
+//! (on a dense hub-heavy graph over 8 workers, well past the 3x gate).
+//! Placement feedback fires at the bootstrap, so the stream also exercises
+//! the fan-out index across a mid-stream `Engine::replace` migration and
+//! every warm reset, with zero steady-state fabric reallocations. The
+//! binary **asserts** all of this and exits non-zero on violation, so the
+//! CI smoke suite doubles as the broadcast-lane quality gate.
+//!
+//! Emits deterministic `METRIC` lines: `remote_records_*` are gated
+//! lower-is-better by `bench-compare`, pinning the dedup against the
+//! committed baseline.
+
+use spinner_bench::{emit_metric, f2, scale_from_env, threads_from_env, Table};
+use spinner_core::{SpinnerConfig, StreamEvent, StreamSession, WindowReport};
+use spinner_graph::{Dataset, DeltaStream, DeltaStreamConfig, GraphDelta};
+use std::process::ExitCode;
+
+/// Delta windows in the stream (all hub-biased: new edges and arrivals
+/// attach preferentially to hubs, the regime the dedup targets).
+const DELTA_WINDOWS: u32 = 5;
+/// Re-place by computed label once a window's remote share crosses this;
+/// the bootstrap window on hash placement always does, so the broadcast
+/// index is exercised across an `Engine::replace` migration mid-stream.
+const FEEDBACK_THRESHOLD: f64 = 0.5;
+/// Logical workers hosting the computation.
+const WORKERS: usize = 8;
+/// The acceptance gate: the unicast arm must ship at least this many times
+/// more cross-worker records than the broadcast arm over the whole stream.
+const MIN_DEDUP: f64 = 3.0;
+
+/// The per-window digest that must be identical across the two arms
+/// (f64 fields compare by bits; none are NaN by construction).
+fn digest(w: &WindowReport) -> (f64, f64, f64, u32, u64, u64, u64, u64, u64) {
+    (
+        w.phi,
+        w.rho,
+        w.migration_fraction,
+        w.iterations,
+        w.supersteps,
+        w.messages,
+        w.sent_local,
+        w.sent_remote,
+        w.placement_moved,
+    )
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let k = 16u32;
+    let base = Dataset::Tuenti.build_directed(scale);
+    eprintln!("tuenti analogue: |V|={} |E|={}", base.num_vertices(), base.num_edges());
+
+    let mut cfg = SpinnerConfig::new(k).with_seed(42);
+    cfg.num_threads = threads_from_env();
+    cfg.num_workers = WORKERS;
+    cfg.placement_feedback = Some(FEEDBACK_THRESHOLD);
+    let unicast_cfg = cfg.clone().with_broadcast_fabric(false);
+
+    let deltas: Vec<GraphDelta> = DeltaStream::new(
+        base.clone(),
+        DeltaStreamConfig {
+            windows: DELTA_WINDOWS,
+            add_fraction: 0.012,
+            remove_fraction: 0.004,
+            vertex_fraction: 0.002,
+            attach_degree: 4,
+            triadic_fraction: 0.6,
+            hub_bias: 1.0,
+            seed: 99,
+        },
+    )
+    .collect();
+
+    eprintln!("bootstrap partitioning (unicast vs broadcast fabric)...");
+    let mut unicast = StreamSession::new(base.clone(), unicast_cfg);
+    let mut broadcast = StreamSession::new(base, cfg);
+    for delta in deltas {
+        unicast.apply(StreamEvent::Delta(delta.clone()));
+        let b = broadcast.apply(StreamEvent::Delta(delta));
+        eprintln!(
+            "window {:>2}: remote msgs {} -> records {} (dedup {:.2}x) phi={:.3} reallocs={}",
+            b.window,
+            b.sent_remote,
+            b.sent_remote_records,
+            b.remote_dedup(),
+            b.phi,
+            b.fabric_reallocs,
+        );
+    }
+
+    let mut t = Table::new(format!(
+        "Announcement traffic, per-edge unicast vs broadcast lane \
+         ({DELTA_WINDOWS} hub-biased delta windows, k={k}, L={WORKERS})"
+    ))
+    .header([
+        "window",
+        "phi",
+        "remote msgs",
+        "records (unicast)",
+        "records (broadcast)",
+        "dedup",
+        "replaced",
+    ]);
+    for (u, b) in unicast.windows().iter().zip(broadcast.windows()) {
+        t.row([
+            b.window.to_string(),
+            f2(b.phi),
+            b.sent_remote.to_string(),
+            u.sent_remote_records.to_string(),
+            b.sent_remote_records.to_string(),
+            format!("{:.2}x", b.remote_dedup()),
+            b.placement_moved.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    let records =
+        |s: &StreamSession| s.windows().iter().map(|w| w.sent_remote_records).sum::<u64>();
+    let (rec_unicast, rec_broadcast) = (records(&unicast), records(&broadcast));
+    let dedup = rec_unicast as f64 / rec_broadcast.max(1) as f64;
+    println!(
+        "stream totals: {rec_unicast} unicast records vs {rec_broadcast} broadcast records \
+         ({dedup:.2}x fewer; identical logical traffic and labels)"
+    );
+
+    emit_metric("remote_records_unicast", rec_unicast as f64);
+    emit_metric("remote_records_broadcast", rec_broadcast as f64);
+    emit_metric("dedup_factor", dedup);
+    emit_metric("phi_final", broadcast.windows().last().expect("bootstrap window").phi);
+
+    // ---- acceptance criteria (self-gating: CI runs this in the smoke
+    // suite, so a violation fails the build) ----
+    let mut violations: Vec<String> = Vec::new();
+    if unicast.labels() != broadcast.labels() {
+        violations.push("labels diverged between unicast and broadcast arms".to_string());
+    }
+    for (u, b) in unicast.windows().iter().zip(broadcast.windows()) {
+        if digest(u) != digest(b) {
+            violations.push(format!(
+                "window {}: logical trajectory diverged between the arms",
+                u.window
+            ));
+        }
+        // The unicast arm is the identity baseline: one record per message.
+        if u.sent_remote_records != u.sent_remote || u.sent_local_records != u.sent_local {
+            violations.push(format!(
+                "window {}: unicast arm deduplicated ({} records for {} messages)",
+                u.window, u.sent_remote_records, u.sent_remote
+            ));
+        }
+    }
+    if broadcast.windows()[0].placement_moved == 0 {
+        violations.push(
+            "placement feedback never fired: Engine::replace left unexercised".to_string(),
+        );
+    }
+    if dedup < MIN_DEDUP {
+        violations.push(format!(
+            "dedup {dedup:.2}x below the {MIN_DEDUP:.0}x gate \
+             ({rec_unicast} vs {rec_broadcast} records)"
+        ));
+    }
+    // Steady state across warm resets and the replace migration: the
+    // broadcast fabric (fan-out index included) must run entirely inside
+    // pre-reserved capacity.
+    for w in broadcast.windows().iter().filter(|w| w.window >= 2) {
+        if w.fabric_reallocs != 0 {
+            violations.push(format!(
+                "window {}: {} fabric reallocations in the broadcast arm (want 0)",
+                w.window, w.fabric_reallocs
+            ));
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "all gates passed: bit-identical labels/trajectory, {:.2}x record dedup \
+             (gate {MIN_DEDUP:.0}x), replace exercised, zero steady-state reallocs",
+            dedup
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("ACCEPTANCE VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,9 @@ fn engine_cfg() -> EngineConfig {
         num_threads: spinner_bench::threads_from_env(),
         max_supersteps: 100_000,
         seed: 5,
+        // PageRank/SSSP send per-edge payloads, never broadcast: skip the
+        // broadcast lane's load-time index build.
+        broadcast_fabric: false,
     }
 }
 

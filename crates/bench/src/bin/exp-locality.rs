@@ -15,9 +15,15 @@
 //! exits non-zero on violation, so the CI smoke suite doubles as the
 //! placement-feedback quality gate.
 //!
-//! Emits deterministic `METRIC` lines (`local_share_*`) that bench-compare
-//! gates as higher-is-better, catching locality regressions against the
-//! committed baseline.
+//! Locality is measured over **logical deliveries** (one count per
+//! destination vertex), not physical fabric records — so `local_share` is
+//! directly comparable whether the engine ships announcements as per-edge
+//! unicasts or through the deduplicating broadcast lane (the record-level
+//! comparison lives in `exp-broadcast`).
+//!
+//! Emits deterministic `METRIC` lines: `local_share_*` gated
+//! higher-is-better by bench-compare, `remote_records_label` (the wire
+//! records the label-placed arm actually shipped) gated lower-is-better.
 
 use spinner_bench::{emit_metric, f2, f3, pct1, scale_from_env, threads_from_env, Table};
 use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
@@ -152,6 +158,11 @@ fn main() -> ExitCode {
     // arms by construction, which min_local_share skips).
     emit_metric("local_share_label_min", label_points.min_local_share());
     emit_metric("phi_final", label_points.last().expect("windows").phi);
+    // Physical wire traffic of the label-placed arm (records, not logical
+    // deliveries): the number both the placement *and* the broadcast dedup
+    // push down, pinned lower-is-better against the baseline.
+    let record_total: u64 = label_arm.windows().iter().map(|w| w.sent_remote_records).sum();
+    emit_metric("remote_records_label", record_total as f64);
 
     // ---- acceptance criteria (self-gating: CI runs this in the smoke
     // suite, so a violation fails the build) ----

@@ -145,13 +145,19 @@ fn main() -> ExitCode {
     emit_metric("rho_max", trajectory.max_rho());
     emit_metric("migration_mean", trajectory.mean_migration_fraction());
     // Locality accounting (already counted per window by the engine): the
-    // stream's total local/remote message split, for the report JSON.
+    // stream's total local/remote split as *logical* deliveries — lane-
+    // independent, so these stay comparable whether the broadcast fabric
+    // is on or off — plus the physical cross-worker records the broadcast
+    // lane actually shipped (gated lower-is-better by bench-compare; the
+    // unicast/broadcast comparison itself lives in exp-broadcast).
     // These run under the default hash placement — the label-placement
     // counterpart (and its gate) lives in exp-locality.
     let sent_local: u64 = rows.iter().map(|r| r.report.sent_local).sum();
     let sent_remote: u64 = rows.iter().map(|r| r.report.sent_remote).sum();
+    let remote_records: u64 = rows.iter().map(|r| r.report.sent_remote_records).sum();
     emit_metric("sent_local", sent_local as f64);
     emit_metric("sent_remote", sent_remote as f64);
+    emit_metric("remote_records", remote_records as f64);
 
     // ---- acceptance criteria (self-gating: CI runs this in the smoke
     // suite, so a violation fails the build) ----
@@ -224,7 +230,8 @@ fn write_json(rows: &[WindowRow], trajectory: &Trajectory, scale: Scale, k0: u32
              \"num_edges\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
              \"migration_fraction\": {:.6}, \"migration_scratch\": {:.6}, \
              \"iterations\": {}, \"supersteps\": {}, \"messages\": {}, \
-             \"sent_local\": {}, \"sent_remote\": {}, \"local_share\": {:.6}, \
+             \"sent_local\": {}, \"sent_remote\": {}, \"remote_records\": {}, \
+             \"local_share\": {:.6}, \"remote_dedup\": {:.6}, \
              \"fabric_reallocs\": {}}}{sep}\n",
             r.report.window,
             r.event,
@@ -240,7 +247,9 @@ fn write_json(rows: &[WindowRow], trajectory: &Trajectory, scale: Scale, k0: u32
             r.report.messages,
             r.report.sent_local,
             r.report.sent_remote,
+            r.report.sent_remote_records,
             r.report.local_share(),
+            r.report.remote_dedup(),
             r.report.fabric_reallocs
         ));
     }

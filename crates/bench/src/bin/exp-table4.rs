@@ -25,6 +25,8 @@ fn main() {
         num_threads: spinner_bench::threads_from_env(),
         max_supersteps: 100,
         seed: 5,
+        // The workloads here never broadcast: skip the lane's index build.
+        broadcast_fabric: false,
     };
     let n = directed.num_vertices();
 

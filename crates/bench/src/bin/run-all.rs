@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-theory",
     "exp-stream",
     "exp-locality",
+    "exp-broadcast",
 ];
 
 struct Args {

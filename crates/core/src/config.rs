@@ -88,6 +88,15 @@ pub struct SpinnerConfig {
     /// stream. Labels are unaffected either way; with
     /// `async_worker_loads = false` they are bit-identical.
     pub placement_feedback: Option<f64>,
+    /// Ship label announcements through the engine's deduplicating
+    /// broadcast lane (one record per `(vertex, destination worker)` pair
+    /// instead of one per crossing edge; §IV-A2's broadcast is Spinner's
+    /// only message). Results — labels, history, φ/ρ, iteration counts —
+    /// are bit-identical either way; only the physical record traffic
+    /// (`sent_remote_records` vs the logical `sent_remote`) changes, so
+    /// `false` is the per-edge verification arm the `exp-broadcast`
+    /// experiment runs against. Default `true`.
+    pub broadcast_fabric: bool,
     /// Evaluate all `k` labels per vertex, as the paper's implementation
     /// does ("the complexity of the heuristic executed by each vertex is
     /// proportional to the number of partitions k", §V-B). The default
@@ -121,6 +130,7 @@ impl SpinnerConfig {
             capacity_weights: None,
             restart_scope: RestartScope::default(),
             placement_feedback: None,
+            broadcast_fabric: true,
             exhaustive_candidate_scan: false,
         }
     }
@@ -151,6 +161,13 @@ impl SpinnerConfig {
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers >= 1);
         self.num_workers = workers;
+        self
+    }
+
+    /// Builder-style broadcast-lane override (the per-edge unicast arm is
+    /// the verification baseline; see [`Self::broadcast_fabric`]).
+    pub fn with_broadcast_fabric(mut self, enabled: bool) -> Self {
+        self.broadcast_fabric = enabled;
         self
     }
 
@@ -192,6 +209,12 @@ mod tests {
     #[should_panic(expected = "c must exceed 1")]
     fn c_below_one_rejected() {
         let _ = SpinnerConfig::new(2).with_c(0.9);
+    }
+
+    #[test]
+    fn broadcast_fabric_defaults_on() {
+        assert!(SpinnerConfig::new(4).broadcast_fabric);
+        assert!(!SpinnerConfig::new(4).with_broadcast_fabric(false).broadcast_fabric);
     }
 
     #[test]

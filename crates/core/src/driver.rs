@@ -259,6 +259,7 @@ pub(crate) fn engine_config(cfg: &SpinnerConfig) -> EngineConfig {
         // Two supersteps per iteration plus conversion/init slack.
         max_supersteps: 2 * cfg.max_iterations as u64 + 8,
         seed: cfg.seed,
+        broadcast_fabric: cfg.broadcast_fabric,
     }
 }
 

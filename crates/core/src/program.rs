@@ -323,10 +323,12 @@ impl SpinnerProgram {
         ctx.agg.add_vec_i64(AGG_LOADS, old as usize, -load);
         ctx.agg.add_vec_i64(AGG_LOADS, candidate as usize, load);
         ctx.agg.add_i64(AGG_MIGRATIONS, 1);
+        // Announce to all neighbours through the deduplicating broadcast
+        // lane: one record per destination worker instead of one per edge
+        // (§IV-A2 — the payload is identical for every neighbour, so no
+        // per-edge send is needed).
         let announce: MigrationMsg = (ctx.vertex, candidate);
-        for &t in ctx.edges.targets {
-            ctx.mail.send(t, announce);
-        }
+        ctx.mail.broadcast(announce);
     }
 
     fn master_scores(&self, ctx: &mut MasterContext<'_, GlobalState>) {
@@ -441,11 +443,13 @@ impl Program for SpinnerProgram {
     fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[MigrationMsg]) {
         match ctx.global.phase {
             Phase::NeighborPropagation => {
-                // Send our id along the (directed) out-edges.
+                // Send our id along the (directed) out-edges — same payload
+                // everywhere, so the broadcast lane applies (its fan-out
+                // index is the adjacency transpose, valid for directed
+                // graphs too). The NeighborDiscovery mutations that follow
+                // close the lane for the rest of the conversion run.
                 let me = ctx.vertex;
-                for &t in ctx.edges.targets {
-                    ctx.mail.send(t, (me, NO_LABEL));
-                }
+                ctx.mail.broadcast((me, NO_LABEL));
             }
             Phase::NeighborDiscovery => {
                 // For each in-neighbour: reciprocal edge -> weight 2,
@@ -469,9 +473,7 @@ impl Program for SpinnerProgram {
                 debug_assert!(label < ctx.global.k);
                 ctx.agg.add_vec_i64(AGG_LOADS, label as usize, self.load_of(degw) as i64);
                 let announce: MigrationMsg = (ctx.vertex, label);
-                for &t in ctx.edges.targets {
-                    ctx.mail.send(t, announce);
-                }
+                ctx.mail.broadcast(announce);
             }
             Phase::ComputeScores => self.compute_scores(ctx, messages),
             Phase::ComputeMigrations => self.compute_migrations(ctx),

@@ -75,12 +75,21 @@ pub struct WindowReport {
     pub supersteps: u64,
     /// Messages exchanged while re-converging.
     pub messages: u64,
-    /// Messages that stayed on their worker (served by the fabric's
-    /// locality fast path).
+    /// Messages (logical deliveries) that stayed on their worker (served by
+    /// the fabric's locality fast path). Logical counts are
+    /// lane-independent, so [`Self::local_share`] is comparable across the
+    /// unicast and broadcast arms.
     pub sent_local: u64,
-    /// Messages that crossed workers — the network traffic a distributed
-    /// deployment would see for this window.
+    /// Messages (logical deliveries) that crossed workers.
     pub sent_remote: u64,
+    /// Physical records pushed into the worker-local fast-path queue (one
+    /// per broadcast; equals `sent_local` under the per-edge unicast arm).
+    pub sent_local_records: u64,
+    /// Physical records pushed across workers — the wire traffic a
+    /// distributed deployment would serialise for this window (one per
+    /// `(sender, destination worker)` pair under the broadcast lane; equals
+    /// `sent_remote` under unicast).
+    pub sent_remote_records: u64,
     /// Vertices migrated onto a different worker by label-driven placement
     /// feedback *after* this window converged (0 when feedback is disabled
     /// or the remote share stayed under the threshold).
@@ -101,6 +110,17 @@ impl WindowReport {
             1.0
         } else {
             self.sent_local as f64 / self.messages as f64
+        }
+    }
+
+    /// Remote dedup ratio of this window: logical cross-worker deliveries
+    /// per physical grid record (1.0 under unicast or with no remote
+    /// traffic) — the broadcast lane's compression factor.
+    pub fn remote_dedup(&self) -> f64 {
+        if self.sent_remote_records == 0 {
+            1.0
+        } else {
+            self.sent_remote as f64 / self.sent_remote_records as f64
         }
     }
 }
@@ -190,6 +210,8 @@ impl StreamSession {
             messages: result.totals.messages,
             sent_local: result.totals.local_messages(),
             sent_remote: result.totals.remote_messages,
+            sent_local_records: result.totals.local_records,
+            sent_remote_records: result.totals.remote_records,
             placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
@@ -266,6 +288,8 @@ impl StreamSession {
             messages: result.totals.messages,
             sent_local: result.totals.local_messages(),
             sent_remote: result.totals.remote_messages,
+            sent_local_records: result.totals.local_records,
+            sent_remote_records: result.totals.remote_records,
             placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),

@@ -34,6 +34,10 @@ impl Program for PageRank {
             *ctx.value = (1.0 - self.damping) / n + self.damping * sum;
         }
         if ctx.superstep < self.iterations {
+            // Identical share per out-neighbour — broadcast-eligible, but
+            // kept per-edge: uniform low-degree graphs have ~1 neighbour
+            // per destination worker, where the broadcast lane's expansion
+            // costs more than its record dedup saves.
             let share = *ctx.value / ctx.edges.len().max(1) as f64;
             for &t in ctx.edges.targets {
                 ctx.mail.send(t, share);

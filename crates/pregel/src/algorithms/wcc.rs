@@ -31,6 +31,12 @@ impl Program for Wcc {
             *ctx.value = best;
         }
         if changed {
+            // Same payload to every neighbour — broadcast-eligible, but
+            // deliberately per-edge: on the uniform low-degree graphs these
+            // example algorithms run on, per-worker fan-out is ~1 and the
+            // lane's expansion overhead outweighs its record dedup. Use
+            // `ctx.mail.broadcast` for announce patterns on fan-out-heavy
+            // graphs (see the Spinner program).
             let v = *ctx.value;
             for &t in ctx.edges.targets {
                 ctx.mail.send(t, v);

@@ -66,35 +66,133 @@ impl<'a, E> Edges<'a, E> {
 /// bit-identical while label-aligned placements turn most of the message
 /// volume into lock-free appends.
 ///
+/// **Broadcast lane**: [`Mailer::broadcast`] ships one *record* per
+/// destination worker (plus one fast-path record) instead of one per edge —
+/// the receiver expands it through its fan-out index — so the announce-to-
+/// all-neighbours pattern costs `O(workers)` records per vertex instead of
+/// `O(degree)`. Delivery expansion reproduces the per-edge send order
+/// exactly, so results stay bit-identical to the unicast path (pinned by
+/// the `fabric_grid` tests; the unicast arm stays available through
+/// [`EngineConfig::broadcast_fabric`]).
+///
 /// [`OutboxGrid`]: crate::types::OutboxGrid
+/// [`EngineConfig::broadcast_fabric`]: crate::engine::EngineConfig::broadcast_fabric
 pub struct Mailer<'a, M> {
     pub(crate) outboxes: &'a mut [Vec<(VertexId, M)>],
     /// The worker-local queue (fast path for `worker_of[target] == my_worker`).
     pub(crate) local: &'a mut Vec<(VertexId, M)>,
     pub(crate) worker_of: &'a [WorkerId],
     pub(crate) my_worker: WorkerId,
+    /// The sending vertex (tags its broadcast records).
+    pub(crate) sender: VertexId,
+    /// The sending vertex's full engine adjacency — the target set a
+    /// broadcast implies, and the slice `send_to_all` compares against to
+    /// recognise a full-adjacency send.
+    pub(crate) adjacency: &'a [VertexId],
+    /// Whether the broadcast lane may be used this superstep (config on,
+    /// ids taggable, and no graph mutation has stalled the fan-out index).
+    pub(crate) lane_open: bool,
+    /// The sender's broadcast plan, precomputed at load time: its
+    /// adjacency's distinct destination workers in first-occurrence order
+    /// (one fabric record each). Empty when the lane is closed.
+    pub(crate) bcast_plan: &'a [WorkerId],
+    /// Parallel to `bcast_plan`: [`BROADCAST_MULTI`] for a fanned-out
+    /// record, or the lone neighbour's id where a plain unicast record is
+    /// cheaper (see [`BROADCAST_MULTI`]).
+    ///
+    /// [`BROADCAST_MULTI`]: crate::types::BROADCAST_MULTI
+    pub(crate) bcast_single: &'a [VertexId],
+    /// Worker-local neighbours of the sender (the logical local deliveries
+    /// one broadcast implies), precomputed at load time.
+    pub(crate) bcast_local: u32,
+    /// Remote neighbours of the sender (logical remote deliveries).
+    pub(crate) bcast_remote: u32,
     pub(crate) sent_local: &'a mut u64,
     pub(crate) sent_remote: &'a mut u64,
+    pub(crate) sent_local_records: &'a mut u64,
+    pub(crate) sent_remote_records: &'a mut u64,
 }
 
 impl<'a, M> Mailer<'a, M> {
     /// Sends `msg` to `target`, delivered at the next superstep.
+    ///
+    /// This is the per-edge primitive — required whenever payloads differ
+    /// per neighbour (e.g. SSSP's per-edge distances). A send of the *same*
+    /// payload to every neighbour should go through [`Self::broadcast`]
+    /// instead, which collapses the cross-worker traffic to one record per
+    /// destination worker.
     #[inline]
     pub fn send(&mut self, target: VertexId, msg: M) {
         let w = self.worker_of[target as usize];
         if w == self.my_worker {
             *self.sent_local += 1;
+            *self.sent_local_records += 1;
             self.local.push((target, msg));
         } else {
             *self.sent_remote += 1;
+            *self.sent_remote_records += 1;
             self.outboxes[w as usize].push((target, msg));
         }
     }
 }
 
 impl<'a, M: Clone> Mailer<'a, M> {
-    /// Sends `msg` to every id in `targets`.
+    /// Sends `msg` to **every neighbour** of this vertex, deduplicated at
+    /// the worker level: one record lands in each destination worker's grid
+    /// cell (plus one in the local fast-path queue when any neighbour is
+    /// worker-local), and the receiving worker fans it out to the sender's
+    /// adjacent vertices through its fan-out index. Logical delivery — each
+    /// neighbour receives exactly one copy, in the position a per-edge send
+    /// loop would have produced — is unchanged, so results are bit-identical
+    /// to `for &t in ctx.edges.targets { ctx.mail.send(t, msg) }` while
+    /// remote traffic drops from `O(cut edges)` to `O(distinct (sender,
+    /// worker) pairs)`.
+    ///
+    /// Falls back to per-edge sends when the lane is closed: broadcast
+    /// disabled by [`EngineConfig::broadcast_fabric`], vertex ids beyond the
+    /// taggable 2³¹ range, or a graph mutation this run having outdated the
+    /// load-time fan-out index.
+    ///
+    /// [`EngineConfig::broadcast_fabric`]: crate::engine::EngineConfig::broadcast_fabric
+    pub fn broadcast(&mut self, msg: M) {
+        if !self.lane_open {
+            for &t in self.adjacency {
+                self.send(t, msg.clone());
+            }
+            return;
+        }
+        debug_assert_eq!(self.sender & crate::types::BROADCAST_TAG, 0);
+        let tagged = self.sender | crate::types::BROADCAST_TAG;
+        // The load-time plan already deduplicated the destination workers
+        // and counted the logical local/remote split, so a broadcast costs
+        // O(distinct destination workers) — no per-edge scan at all.
+        *self.sent_local += self.bcast_local as u64;
+        *self.sent_remote += self.bcast_remote as u64;
+        for (&w, &single) in self.bcast_plan.iter().zip(self.bcast_single) {
+            let id = if single == crate::types::BROADCAST_MULTI { tagged } else { single };
+            if w == self.my_worker {
+                *self.sent_local_records += 1;
+                self.local.push((id, msg.clone()));
+            } else {
+                *self.sent_remote_records += 1;
+                self.outboxes[w as usize].push((id, msg.clone()));
+            }
+        }
+    }
+
+    /// Sends `msg` to every id in `targets`. When `targets` is the vertex's
+    /// full adjacency slice (the common announce-to-neighbours pattern),
+    /// the send is routed through the deduplicating broadcast lane; any
+    /// other target list goes out as per-edge records, since the receiver
+    /// can only expand a broadcast to the sender's *complete* local
+    /// neighbour set.
     pub fn send_to_all(&mut self, targets: &[VertexId], msg: &M) {
+        if std::ptr::eq(targets.as_ptr(), self.adjacency.as_ptr())
+            && targets.len() == self.adjacency.len()
+        {
+            self.broadcast(msg.clone());
+            return;
+        }
         for &t in targets {
             self.send(t, msg.clone());
         }

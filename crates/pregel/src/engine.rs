@@ -24,7 +24,7 @@
 use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::metrics::{RunTotals, SuperstepMetrics, WorkerMetrics};
 use crate::program::{MasterContext, Program};
-use crate::types::{OutboxGrid, WorkerId};
+use crate::types::{OutboxGrid, WorkerId, BROADCAST_MULTI, BROADCAST_TAG};
 use crate::worker::Worker;
 use crate::Placement;
 use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
@@ -42,6 +42,16 @@ pub struct EngineConfig {
     pub max_supersteps: u64,
     /// Seed for all vertex-level randomness.
     pub seed: u64,
+    /// Enable the broadcast lane: [`crate::Mailer::broadcast`] (and
+    /// full-adjacency `send_to_all`) then ships one record per destination
+    /// worker, expanded through a per-worker fan-out index at delivery —
+    /// results are bit-identical to per-edge unicast, only the record
+    /// traffic shrinks. `false` keeps every send on the per-edge path (the
+    /// verification arm; also skips building the fan-out index and the
+    /// per-vertex broadcast plan — worth setting for programs that never
+    /// broadcast, since the lane's load-time structures cost an extra
+    /// O(E) build pass and O(V) offsets per worker). Default `true`.
+    pub broadcast_fabric: bool,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +60,7 @@ impl Default for EngineConfig {
             num_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             max_supersteps: 10_000,
             seed: 1,
+            broadcast_fabric: true,
         }
     }
 }
@@ -122,6 +133,13 @@ pub struct Engine<P: Program> {
     num_vertices: u64,
     /// The all-to-all exchange buffers (capacity persists across runs).
     mail_grid: OutboxGrid<P::M>,
+    /// Whether the broadcast lane is currently usable: opened at (re)load
+    /// time (config on, vertex ids taggable) and closed — for the rest of
+    /// the run — by the first applied graph mutation, which outdates the
+    /// load-time fan-out index. Workers snapshot it at each compute phase;
+    /// the store happens in the delivery phase, so the superstep barrier
+    /// orders it before every read.
+    lane_open: AtomicBool,
 }
 
 /// Master-owned state the worker threads read during the compute phase.
@@ -219,6 +237,7 @@ impl<P: Program> Engine<P> {
             global,
             num_vertices: 0,
             mail_grid,
+            lane_open: AtomicBool::new(false),
         };
         engine.load_topology(
             n,
@@ -388,10 +407,38 @@ impl<P: Program> Engine<P> {
         // Second pass: adjacency, counting per-worker inbound entries (the
         // delivery-volume bound used to pre-reserve the message fabric),
         // split into worker-local ones (served by the fast-path queue) and
-        // the rest.
+        // the rest — and, with the broadcast lane on, counting each worker's
+        // fan-out index entries per sender in the same sweep.
+        //
+        // The lane needs vertex ids to fit beside [`BROADCAST_TAG`]; larger
+        // graphs silently fall back to per-edge unicast (ids up to 2³¹
+        // cover every workload in this repository).
+        let build_fanout = self.config.broadcast_fabric && (n as u64) <= BROADCAST_TAG as u64;
+        // The fan-out vectors move out of the workers for the build (two
+        // simultaneous worker borrows otherwise: reading one worker's
+        // adjacency while counting into another's index) and are handed
+        // back below, capacities intact across warm resets and migrations.
+        let mut fans: Vec<(Vec<u32>, Vec<u32>)> = self
+            .workers
+            .iter_mut()
+            .map(|w| (std::mem::take(&mut w.fan_offsets), std::mem::take(&mut w.fan_targets)))
+            .collect();
+        for (offsets, targets) in &mut fans {
+            offsets.clear();
+            targets.clear();
+            if build_fanout {
+                offsets.resize(n as usize + 1, 0);
+            }
+        }
         let worker_of = &self.worker_of;
         let mut inbound = vec![0usize; num_workers];
         let mut self_inbound = vec![0usize; num_workers];
+        // Scratch for the per-vertex destination-worker dedup of the
+        // broadcast *plan* (stamps keyed by a monotonically growing vertex
+        // epoch, so no per-vertex reset).
+        let mut plan_stamp = vec![0u64; num_workers];
+        let mut plan_pos = vec![0u32; num_workers];
+        let mut plan_epoch = 0u64;
         for w in &mut self.workers {
             let me = w.id as usize;
             let mut edge_count = 0usize;
@@ -402,19 +449,44 @@ impl<P: Program> Engine<P> {
             w.offsets.push(0);
             w.targets.reserve(edge_count);
             w.edge_values.reserve(edge_count);
+            if build_fanout {
+                w.plan_offsets.push(0);
+            }
             for &gid in &w.global_ids {
                 let ts = neighbors(gid);
+                plan_epoch += 1;
+                let mut local_count = 0u32;
                 for (i, &t) in ts.iter().enumerate() {
                     w.targets.push(t);
                     w.edge_values.push(edge_init(gid, i, t));
                     let dst = worker_of[t as usize] as usize;
                     if dst == me {
                         self_inbound[dst] += 1;
+                        local_count += 1;
                     } else {
                         inbound[dst] += 1;
                     }
+                    if build_fanout {
+                        fans[dst].0[gid as usize + 1] += 1;
+                        if plan_stamp[dst] != plan_epoch {
+                            plan_stamp[dst] = plan_epoch;
+                            plan_pos[dst] = w.plan_workers.len() as u32;
+                            w.plan_workers.push(dst as WorkerId);
+                            // Tentatively a lone neighbour on `dst`; a
+                            // second one demotes the entry to a fanned-out
+                            // broadcast record.
+                            w.plan_single.push(t);
+                        } else {
+                            w.plan_single[plan_pos[dst] as usize] = BROADCAST_MULTI;
+                        }
+                    }
                 }
                 w.offsets.push(w.targets.len() as u64);
+                if build_fanout {
+                    w.plan_offsets.push(w.plan_workers.len() as u32);
+                    w.plan_local.push(local_count);
+                    w.plan_remote.push(ts.len() as u32 - local_count);
+                }
             }
         }
         for ((w, inb), self_inb) in self.workers.iter_mut().zip(inbound).zip(self_inbound) {
@@ -423,6 +495,50 @@ impl<P: Program> Engine<P> {
             // fast-path queue only the worker-local ones.
             w.reserve_inbound(inb + self_inb, self_inb);
         }
+        if build_fanout {
+            // Prefix-sum the per-sender counts into CSR offsets, then fill
+            // each index by revisiting the (now loaded) adjacency once. A
+            // sender's entries per destination worker are contiguous and in
+            // adjacency order — the positions per-edge unicasts would
+            // occupy — so a small per-worker cursor that resets per sender
+            // suffices; no additional O(V x W) cursor scratch on top of the
+            // offsets. (The offset arrays themselves are O(V) per worker —
+            // the dense global-sender keying that makes delivery-time
+            // lookups O(1); a compacted sender remap would shrink that to
+            // O(cut senders) if worker counts ever grow large.)
+            for (offsets, targets) in &mut fans {
+                for s in 0..n as usize {
+                    offsets[s + 1] += offsets[s];
+                }
+                targets.resize(offsets[n as usize] as usize, 0);
+            }
+            let local_idx = &self.local_idx;
+            let mut written = vec![0u32; num_workers];
+            for w in &self.workers {
+                for (li, &gid) in w.global_ids.iter().enumerate() {
+                    let lo = w.offsets[li] as usize;
+                    let hi = w.offsets[li + 1] as usize;
+                    for &t in &w.targets[lo..hi] {
+                        let dst = worker_of[t as usize] as usize;
+                        let (offs, tgts) = &mut fans[dst];
+                        tgts[(offs[gid as usize] + written[dst]) as usize] =
+                            local_idx[t as usize];
+                        written[dst] += 1;
+                    }
+                    for &t in &w.targets[lo..hi] {
+                        written[worker_of[t as usize] as usize] = 0;
+                    }
+                }
+            }
+        }
+        for (w, (offsets, targets)) in self.workers.iter_mut().zip(fans) {
+            w.fan_offsets = offsets;
+            w.fan_targets = targets;
+        }
+        // A fresh topology always reopens the lane: mutations applied by the
+        // previous run are folded into the adjacency the index was just
+        // rebuilt from.
+        self.lane_open.store(build_fanout, Ordering::Release);
         // A finished run leaves every grid cell drained (delivery precedes
         // the halt decision), so the grid carries only capacity forward.
         debug_assert!(
@@ -476,6 +592,7 @@ impl<P: Program> Engine<P> {
         let num_workers = self.workers.len();
         for superstep in 0..self.config.max_supersteps {
             let step_start = Instant::now();
+            let lane_open = self.lane_open.load(Ordering::Acquire);
             for w in &mut self.workers {
                 w.compute_phase(
                     &self.program,
@@ -486,6 +603,7 @@ impl<P: Program> Engine<P> {
                     superstep,
                     self.config.seed,
                     self.num_vertices,
+                    lane_open,
                 );
                 w.publish_outboxes(&self.mail_grid, num_workers);
             }
@@ -496,7 +614,7 @@ impl<P: Program> Engine<P> {
                     &self.local_idx,
                     num_workers,
                 );
-                w.apply_mutations();
+                w.apply_mutations(&self.lane_open);
             }
 
             let per_worker: Vec<WorkerMetrics> =
@@ -542,6 +660,7 @@ impl<P: Program> Engine<P> {
         let worker_of = self.worker_of.as_slice();
         let local_idx = self.local_idx.as_slice();
         let grid = &self.mail_grid;
+        let lane = &self.lane_open;
         let master =
             RwLock::new(MasterState { snapshot: &mut self.snapshot, global: &mut self.global });
         let slots: Vec<Mutex<StepSlot>> =
@@ -568,6 +687,9 @@ impl<P: Program> Engine<P> {
                         {
                             let guard = master.read().expect("master state");
                             let m = &*guard;
+                            // Lane stores happen in the delivery phase, so
+                            // the start barrier orders them before this load.
+                            let lane_open = lane.load(Ordering::Acquire);
                             for w in workers.iter_mut() {
                                 w.compute_phase(
                                     program,
@@ -578,6 +700,7 @@ impl<P: Program> Engine<P> {
                                     superstep,
                                     seed,
                                     num_vertices,
+                                    lane_open,
                                 );
                                 w.publish_outboxes(grid, num_workers);
                             }
@@ -585,7 +708,7 @@ impl<P: Program> Engine<P> {
                         barrier.wait();
                         for w in workers.iter_mut() {
                             w.deliver_and_build(program, grid, local_idx, num_workers);
-                            w.apply_mutations();
+                            w.apply_mutations(lane);
                             let mut slot = slots[w.id as usize].lock().expect("step slot");
                             slot.metrics.clone_from(&w.metrics);
                             // Swap (not take): the stale vector handed back

@@ -42,6 +42,14 @@
 //! [`WorkerMetrics::fabric_reallocs`] counts (and tests pin) any buffer
 //! growth.
 //!
+//! Same-payload sends to a vertex's whole adjacency — the dominant pattern
+//! in announce-style programs — can take the **broadcast lane**
+//! ([`Mailer::broadcast`]): one deduplicated record per destination worker,
+//! expanded through a load-time fan-out index at delivery into exactly the
+//! per-edge positions, so results stay bit-identical while cross-worker
+//! record traffic drops from O(cut edges) to O(distinct (sender, worker)
+//! pairs). See [`engine::EngineConfig::broadcast_fabric`].
+//!
 //! # Determinism
 //!
 //! Engine runs are bit-for-bit deterministic for a given seed and

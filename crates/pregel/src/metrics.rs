@@ -5,14 +5,33 @@
 //! balance in Table IV).
 
 /// Counters for one logical worker within one superstep.
+///
+/// Message counters come in two flavours since the broadcast lane landed:
+/// **logical** counts (`sent_local`/`sent_remote`/`recv_*`) tally the
+/// per-destination-vertex deliveries a program's sends imply — identical
+/// whether the fabric moves them as per-edge unicasts or deduplicated
+/// broadcasts — while **record** counts (`sent_local_records`/
+/// `sent_remote_records`) tally the physical entries pushed into the
+/// fabric's buffers, the thing a distributed deployment would serialise
+/// onto the wire. Under pure unicast the two coincide; under broadcast the
+/// record count drops to one per `(sender, destination worker)` pair.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkerMetrics {
     /// Vertices whose compute function ran.
     pub computed: u64,
-    /// Messages sent to vertices on the same worker.
+    /// Messages (logical deliveries) sent to vertices on the same worker.
     pub sent_local: u64,
-    /// Messages sent to vertices on other workers (network traffic).
+    /// Messages (logical deliveries) sent to vertices on other workers.
     pub sent_remote: u64,
+    /// Physical records pushed into the worker-local fast-path queue (one
+    /// per broadcast regardless of local fan-out; equals `sent_local` under
+    /// pure unicast).
+    pub sent_local_records: u64,
+    /// Physical records pushed into the cross-worker outbox grid — the
+    /// network traffic a distributed deployment would see (one per
+    /// `(sender, destination worker)` pair for broadcasts; equals
+    /// `sent_remote` under pure unicast).
+    pub sent_remote_records: u64,
     /// Messages received from the same worker.
     pub recv_local: u64,
     /// Messages received from other workers.
@@ -75,6 +94,19 @@ impl SuperstepMetrics {
         self.per_worker.iter().map(|w| w.sent_local).sum()
     }
 
+    /// Total cross-worker *records* in this superstep — the entries the
+    /// outbox grid physically carried (≤ [`Self::sent_remote`]; strictly
+    /// fewer when the broadcast lane deduplicated fan-outs).
+    pub fn sent_remote_records(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.sent_remote_records).sum()
+    }
+
+    /// Total worker-local *records* in this superstep (one per broadcast on
+    /// the fast path, one per message for unicasts).
+    pub fn sent_local_records(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.sent_local_records).sum()
+    }
+
     /// Total vertices computed.
     pub fn computed_total(&self) -> u64 {
         self.per_worker.iter().map(|w| w.computed).sum()
@@ -84,10 +116,16 @@ impl SuperstepMetrics {
 /// Aggregates a whole run's metrics.
 #[derive(Debug, Clone, Default)]
 pub struct RunTotals {
-    /// Total messages sent across all supersteps.
+    /// Total messages (logical deliveries) sent across all supersteps.
     pub messages: u64,
-    /// Total remote messages (network traffic proxy).
+    /// Total remote messages — logical deliveries that crossed workers.
     pub remote_messages: u64,
+    /// Total cross-worker records the fabric physically carried (the
+    /// network-traffic proxy after broadcast dedup; equals
+    /// `remote_messages` under pure unicast).
+    pub remote_records: u64,
+    /// Total worker-local records (fast-path queue entries).
+    pub local_records: u64,
     /// Total vertex computations.
     pub computed: u64,
     /// Total wall nanoseconds.
@@ -101,10 +139,23 @@ impl RunTotals {
         for s in steps {
             t.messages += s.sent_total();
             t.remote_messages += s.sent_remote();
+            t.remote_records += s.sent_remote_records();
+            t.local_records += s.sent_local_records();
             t.computed += s.computed_total();
             t.wall_ns += s.wall_ns;
         }
         t
+    }
+
+    /// Remote dedup ratio: logical cross-worker deliveries per physical
+    /// grid record (1.0 under pure unicast or when nothing crossed a
+    /// worker; grows with the fan-out the broadcast lane compressed away).
+    pub fn remote_dedup(&self) -> f64 {
+        if self.remote_records == 0 {
+            1.0
+        } else {
+            self.remote_messages as f64 / self.remote_records as f64
+        }
     }
 
     /// Total worker-local messages: `messages - remote_messages`.
@@ -130,7 +181,14 @@ mod tests {
     use super::*;
 
     fn wm(sl: u64, sr: u64) -> WorkerMetrics {
-        WorkerMetrics { computed: 1, sent_local: sl, sent_remote: sr, ..Default::default() }
+        WorkerMetrics {
+            computed: 1,
+            sent_local: sl,
+            sent_remote: sr,
+            sent_local_records: sl,
+            sent_remote_records: sr / 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -144,13 +202,25 @@ mod tests {
         assert_eq!(s.sent_total(), 10);
         assert_eq!(s.sent_remote(), 8);
         assert_eq!(s.sent_local(), 2);
+        assert_eq!(s.sent_remote_records(), 3);
+        assert_eq!(s.sent_local_records(), 2);
         assert_eq!(s.computed_total(), 2);
         let t = RunTotals::from_supersteps(&[s.clone(), s]);
         assert_eq!(t.messages, 20);
         assert_eq!(t.remote_messages, 16);
+        assert_eq!(t.remote_records, 6);
+        assert_eq!(t.local_records, 4);
         assert_eq!(t.local_messages(), 4);
         assert!((t.local_share() - 0.2).abs() < 1e-12);
+        assert!((t.remote_dedup() - 16.0 / 6.0).abs() < 1e-12);
         assert_eq!(t.wall_ns, 200);
+    }
+
+    #[test]
+    fn unicast_runs_have_neutral_dedup() {
+        assert_eq!(RunTotals::default().remote_dedup(), 1.0);
+        let t = RunTotals { remote_messages: 7, remote_records: 7, ..Default::default() };
+        assert_eq!(t.remote_dedup(), 1.0);
     }
 
     #[test]

@@ -11,7 +11,28 @@ pub type WorkerId = u16;
 /// but keeps its capacity, and the publish swap hands that capacity back to
 /// the sender — a double buffer per cell, so the steady state allocates
 /// nothing.
+///
+/// A record's vertex id is either a plain destination (unicast) or, with
+/// [`BROADCAST_TAG`] set, the *sender* of a deduplicated broadcast that the
+/// receiving worker expands through its fan-out index at delivery time.
 pub type OutboxGrid<M> = Vec<std::sync::Mutex<Vec<(spinner_graph::VertexId, M)>>>;
+
+/// Tag bit marking a grid/fast-path record as a **broadcast** entry: the id
+/// field then carries the *sending* vertex (`id & !BROADCAST_TAG`) instead
+/// of a destination, and the receiving worker fans the message out to every
+/// local vertex in the sender's adjacency. Reusing the id's top bit keeps
+/// broadcast and unicast records interleaved in one buffer — which is what
+/// preserves per-vertex delivery order exactly — at the price of capping
+/// vertex ids at 2³¹ when the broadcast lane is enabled (the engine checks
+/// at load time and falls back to unicast beyond that).
+pub const BROADCAST_TAG: spinner_graph::VertexId = 1 << 31;
+
+/// Sentinel in a broadcast plan's `single` track: the sender has more than
+/// one neighbour on that destination worker, so a tagged broadcast record
+/// is shipped. Any other value is the lone neighbour's id, shipped as a
+/// plain unicast record — one record either way, but the unicast skips the
+/// receiver's fan-out lookup.
+pub(crate) const BROADCAST_MULTI: spinner_graph::VertexId = spinner_graph::VertexId::MAX;
 
 /// Bound for all user data carried by the engine (vertex values, edge
 /// values, messages, global state). Auto-implemented.

@@ -13,8 +13,9 @@ use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::context::{AggCtx, EdgeAddition, Edges, Mailer, VertexContext};
 use crate::metrics::WorkerMetrics;
 use crate::program::Program;
-use crate::types::{OutboxGrid, WorkerId};
+use crate::types::{OutboxGrid, WorkerId, BROADCAST_TAG};
 use spinner_graph::VertexId;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Sentinel for "no next message" in the staging chains.
@@ -50,6 +51,31 @@ pub struct Worker<P: Program> {
     /// phase, at the position the grid's diagonal cell used to occupy (so
     /// per-vertex message order — and therefore every result — is unchanged).
     self_staging: Vec<(VertexId, P::M)>,
+    /// Broadcast fan-out index (the receive side of the broadcast lane): a
+    /// reverse CSR over *global sender ids* — `fan_targets[fan_offsets[s]..
+    /// fan_offsets[s + 1]]` lists, in `s`'s adjacency order, the local
+    /// indices of this worker's vertices that appear in `s`'s engine
+    /// adjacency. Built by `load_topology` alongside the inbound counts
+    /// (capacity preserved across warm resets and migrations), read by the
+    /// delivery phase to expand tagged [`BROADCAST_TAG`] records. Empty when
+    /// the broadcast lane is disabled.
+    pub(crate) fan_offsets: Vec<u32>,
+    pub(crate) fan_targets: Vec<u32>,
+    /// Broadcast *plan* (the send side of the broadcast lane), also built
+    /// by `load_topology`: for local vertex `li`,
+    /// `plan_workers[plan_offsets[li]..plan_offsets[li + 1]]` lists the
+    /// distinct destination workers of its adjacency (first-occurrence
+    /// order), and `plan_local[li]`/`plan_remote[li]` the logical
+    /// local/remote delivery counts one broadcast implies — so
+    /// [`Mailer::broadcast`] costs O(distinct workers), not O(degree).
+    /// Empty (all four) when the broadcast lane is disabled.
+    pub(crate) plan_offsets: Vec<u32>,
+    pub(crate) plan_workers: Vec<WorkerId>,
+    /// Parallel to `plan_workers`: the lone neighbour's id where the
+    /// record can ship as a plain unicast, `BROADCAST_MULTI` otherwise.
+    pub(crate) plan_single: Vec<VertexId>,
+    pub(crate) plan_local: Vec<u32>,
+    pub(crate) plan_remote: Vec<u32>,
     /// Per-vertex chain head/tail into `staging`, valid only when
     /// `chain_epoch[v]` equals the current delivery epoch (stamping avoids
     /// an O(vertices) reset every superstep).
@@ -87,6 +113,13 @@ impl<P: Program> Worker<P> {
             staging: Vec::new(),
             staging_next: Vec::new(),
             self_staging: Vec::new(),
+            fan_offsets: Vec::new(),
+            fan_targets: Vec::new(),
+            plan_offsets: Vec::new(),
+            plan_workers: Vec::new(),
+            plan_single: Vec::new(),
+            plan_local: Vec::new(),
+            plan_remote: Vec::new(),
             chain_head: Vec::new(),
             chain_tail: Vec::new(),
             chain_epoch: Vec::new(),
@@ -110,6 +143,11 @@ impl<P: Program> Worker<P> {
         self.offsets.clear();
         self.targets.clear();
         self.edge_values.clear();
+        self.plan_offsets.clear();
+        self.plan_workers.clear();
+        self.plan_single.clear();
+        self.plan_local.clear();
+        self.plan_remote.clear();
         debug_assert!(self.additions.is_empty(), "additions drained at the last barrier");
     }
 
@@ -164,6 +202,8 @@ impl<P: Program> Worker<P> {
     }
 
     /// Executes the compute phase of one superstep over all local vertices.
+    /// `lane_open` snapshots the engine's broadcast-lane state for the whole
+    /// phase (the lane only closes at a barrier, so the snapshot is exact).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn compute_phase(
         &mut self,
@@ -175,6 +215,7 @@ impl<P: Program> Worker<P> {
         superstep: u64,
         seed: u64,
         num_vertices: u64,
+        lane_open: bool,
     ) {
         let start = Instant::now();
         self.metrics.reset();
@@ -219,6 +260,20 @@ impl<P: Program> Worker<P> {
             self.metrics.computed += 1;
             let lo = self.offsets[i] as usize;
             let hi = self.offsets[i + 1] as usize;
+            // The broadcast plan exists exactly when the lane can open;
+            // with the lane closed the Mailer never reads it.
+            let (bcast_plan, bcast_single, bcast_local, bcast_remote) = if lane_open {
+                let p_lo = self.plan_offsets[i] as usize;
+                let p_hi = self.plan_offsets[i + 1] as usize;
+                (
+                    &self.plan_workers[p_lo..p_hi],
+                    &self.plan_single[p_lo..p_hi],
+                    self.plan_local[i],
+                    self.plan_remote[i],
+                )
+            } else {
+                (&[][..], &[][..], 0, 0)
+            };
             // Split borrows: every field of the context aliases a distinct
             // part of `self`; the inbox slice is read-only and disjoint from
             // all of them.
@@ -240,8 +295,17 @@ impl<P: Program> Worker<P> {
                     local: &mut self.self_staging,
                     worker_of,
                     my_worker: self.id,
+                    sender: self.global_ids[i],
+                    adjacency: &self.targets[lo..hi],
+                    lane_open,
+                    bcast_plan,
+                    bcast_single,
+                    bcast_local,
+                    bcast_remote,
                     sent_local: &mut self.metrics.sent_local,
                     sent_remote: &mut self.metrics.sent_remote,
+                    sent_local_records: &mut self.metrics.sent_local_records,
+                    sent_remote_records: &mut self.metrics.sent_remote_records,
                 },
                 agg: AggCtx { partial: &mut self.partial_aggs, snapshot },
                 halted: &mut self.halted[i],
@@ -281,35 +345,16 @@ impl<P: Program> Worker<P> {
         }
     }
 
-    /// Appends one delivered message to its vertex's staging chain (after
-    /// the program's combiner had a chance to fold it into the chain tail).
-    #[inline]
-    fn stage_message(&mut self, program: &P, v: usize, msg: P::M, epoch: u64) {
-        if self.chain_epoch[v] == epoch {
-            let tail = self.chain_tail[v] as usize;
-            if program.combine(&mut self.staging[tail], &msg) {
-                return;
-            }
-            let idx = self.staging.len() as u32;
-            self.staging.push(msg);
-            self.staging_next.push(NIL);
-            self.staging_next[tail] = idx;
-            self.chain_tail[v] = idx;
-        } else {
-            self.chain_epoch[v] = epoch;
-            let idx = self.staging.len() as u32;
-            self.staging.push(msg);
-            self.staging_next.push(NIL);
-            self.chain_head[v] = idx;
-            self.chain_tail[v] = idx;
-        }
-    }
-
     /// Delivery phase: drains this worker's column of the grid — and the
     /// fast-path local queue in place of the diagonal cell — into the
     /// staging chains (applying the program's combiner), then gathers the
     /// chains into the flat `(msg_offsets, msgs)` inbox and wakes messaged
-    /// vertices. Messages keep (source-worker, send-order) order per vertex.
+    /// vertices. [`BROADCAST_TAG`]ged records fan out through the load-time
+    /// index to every local vertex adjacent to the sender, in the sender's
+    /// adjacency order — exactly the positions the per-edge unicasts would
+    /// have occupied, so per-vertex message order (and therefore every
+    /// result) is identical across the two lanes. Messages keep
+    /// (source-worker, send-order) order per vertex.
     pub(crate) fn deliver_and_build(
         &mut self,
         program: &P,
@@ -324,33 +369,91 @@ impl<P: Program> Worker<P> {
         debug_assert!(self.staging.is_empty() && self.staging_next.is_empty());
 
         let me = self.id as usize;
-        for src in 0..num_workers {
-            if src == me {
-                // Locality fast path: this worker's own sends never entered
-                // the grid. Processing them here — where the diagonal cell
-                // was drained before — preserves the (source-worker,
-                // send-order) order per vertex exactly.
-                if self.self_staging.is_empty() {
+        {
+            // Split borrows: the staging chains grow while the fan-out index
+            // is read to expand broadcasts, so the fields are borrowed once
+            // here and threaded through a free-function stager.
+            let Self {
+                staging,
+                staging_next,
+                chain_head,
+                chain_tail,
+                chain_epoch,
+                fan_offsets,
+                fan_targets,
+                self_staging,
+                metrics,
+                ..
+            } = self;
+            // The tag bit only means "broadcast" when this topology built
+            // the fan-out index (the lane is permanently closed otherwise).
+            // Without it, ids with the top bit set are plain vertex ids of
+            // a > 2³¹-vertex graph and must route through `local_idx` as
+            // unicasts, exactly as before the lane existed. (A built index
+            // with the lane merely *closed* mid-run still expands the
+            // tagged records already in flight.)
+            let expand = !fan_offsets.is_empty();
+            // Stages one drained record; `logical` is the matching recv
+            // counter (one count per delivered message, not per record, so
+            // the traffic accounting is lane-independent).
+            let mut stage_record = |id: VertexId, msg: P::M, logical: &mut u64| {
+                if expand && id & BROADCAST_TAG != 0 {
+                    let s = (id & !BROADCAST_TAG) as usize;
+                    let lo = fan_offsets[s] as usize;
+                    let hi = fan_offsets[s + 1] as usize;
+                    *logical += (hi - lo) as u64;
+                    for &li in &fan_targets[lo..hi] {
+                        stage_message(
+                            program,
+                            staging,
+                            staging_next,
+                            chain_head,
+                            chain_tail,
+                            chain_epoch,
+                            li as usize,
+                            msg.clone(),
+                            epoch,
+                        );
+                    }
+                } else {
+                    *logical += 1;
+                    stage_message(
+                        program,
+                        staging,
+                        staging_next,
+                        chain_head,
+                        chain_tail,
+                        chain_epoch,
+                        local_idx[id as usize] as usize,
+                        msg,
+                        epoch,
+                    );
+                }
+            };
+            for src in 0..num_workers {
+                if src == me {
+                    // Locality fast path: this worker's own sends never
+                    // entered the grid. Processing them here — where the
+                    // diagonal cell was drained before — preserves the
+                    // (source-worker, send-order) order per vertex exactly.
+                    if self_staging.is_empty() {
+                        continue;
+                    }
+                    let mut local = std::mem::take(self_staging);
+                    for (id, msg) in local.drain(..) {
+                        stage_record(id, msg, &mut metrics.recv_local);
+                    }
+                    // Hand the drained buffer back so its capacity persists.
+                    *self_staging = local;
                     continue;
                 }
-                self.metrics.recv_local += self.self_staging.len() as u64;
-                let mut local = std::mem::take(&mut self.self_staging);
-                for (target, msg) in local.drain(..) {
-                    let v = local_idx[target as usize] as usize;
-                    self.stage_message(program, v, msg, epoch);
+                let mut cell = grid[src * num_workers + me].lock().expect("grid lock");
+                if cell.is_empty() {
+                    continue;
                 }
-                // Hand the drained buffer back so its capacity persists.
-                self.self_staging = local;
-                continue;
-            }
-            let mut cell = grid[src * num_workers + me].lock().expect("grid lock");
-            if cell.is_empty() {
-                continue;
-            }
-            self.metrics.recv_remote += cell.len() as u64;
-            for (target, msg) in cell.drain(..) {
-                let v = local_idx[target as usize] as usize;
-                self.stage_message(program, v, msg, epoch);
+                for (id, msg) in cell.drain(..) {
+                    stage_record(id, msg, &mut metrics.recv_remote);
+                }
             }
         }
         // u32 indices/offsets cap a worker at ~4.29e9 staged messages per
@@ -393,10 +496,18 @@ impl<P: Program> Worker<P> {
 
     /// Applies buffered edge additions, keeping each adjacency run sorted and
     /// duplicate-free (a re-added edge overwrites the existing value).
-    pub(crate) fn apply_mutations(&mut self) {
+    ///
+    /// Any applied addition outdates every worker's load-time broadcast
+    /// fan-out index (the new target's hosting worker cannot be patched from
+    /// here mid-phase), so the first mutation closes the engine's broadcast
+    /// `lane_open` for the rest of the run — subsequent broadcasts fall back
+    /// to per-edge unicast, which always reads the live adjacency. The next
+    /// topology (re)load rebuilds the index and reopens the lane.
+    pub(crate) fn apply_mutations(&mut self, lane_open: &AtomicBool) {
         if self.additions.is_empty() {
             return;
         }
+        lane_open.store(false, Ordering::Release);
         let mut additions = std::mem::take(&mut self.additions);
         additions.sort_by_key(|a| (a.local_src, a.target));
 
@@ -475,5 +586,43 @@ impl<P: Program> Worker<P> {
         self.offsets = new_offsets;
         self.targets = new_targets;
         self.edge_values = new_values;
+    }
+}
+
+/// Appends one delivered message to its vertex's staging chain (after the
+/// program's combiner had a chance to fold it into the chain tail). A free
+/// function over the individual buffers — not a `&mut self` method — so the
+/// delivery loop can stage while holding a shared borrow of the broadcast
+/// fan-out index it is expanding from.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn stage_message<P: Program>(
+    program: &P,
+    staging: &mut Vec<P::M>,
+    staging_next: &mut Vec<u32>,
+    chain_head: &mut [u32],
+    chain_tail: &mut [u32],
+    chain_epoch: &mut [u64],
+    v: usize,
+    msg: P::M,
+    epoch: u64,
+) {
+    if chain_epoch[v] == epoch {
+        let tail = chain_tail[v] as usize;
+        if program.combine(&mut staging[tail], &msg) {
+            return;
+        }
+        let idx = staging.len() as u32;
+        staging.push(msg);
+        staging_next.push(NIL);
+        staging_next[tail] = idx;
+        chain_tail[v] = idx;
+    } else {
+        chain_epoch[v] = epoch;
+        let idx = staging.len() as u32;
+        staging.push(msg);
+        staging_next.push(NIL);
+        chain_head[v] = idx;
+        chain_tail[v] = idx;
     }
 }

@@ -9,7 +9,7 @@ use spinner_pregel::program::{MasterContext, Program};
 use spinner_pregel::{Placement, VertexContext};
 
 fn config() -> EngineConfig {
-    EngineConfig { num_threads: 2, max_supersteps: 50, seed: 1 }
+    EngineConfig { num_threads: 2, max_supersteps: 50, seed: 1, ..Default::default() }
 }
 
 /// Adds a reverse edge for every received id, then stops — exercises the
@@ -145,7 +145,7 @@ impl Program for Forever {
 fn superstep_cap_is_enforced() {
     let g = GraphBuilder::new(2).add_edges([(0, 1)]).build();
     let placement = Placement::modulo(2, 1);
-    let cfg = EngineConfig { num_threads: 1, max_supersteps: 7, seed: 1 };
+    let cfg = EngineConfig { num_threads: 1, max_supersteps: 7, seed: 1, ..Default::default() };
     let mut engine = Engine::from_directed(Forever, &g, &placement, cfg, |_| (), |_, _, _| ());
     let summary = engine.run();
     assert_eq!(summary.halt, HaltReason::MaxSupersteps);

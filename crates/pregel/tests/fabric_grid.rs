@@ -1,7 +1,8 @@
 //! Fabric determinism: the flat mailbox + persistent pool must produce
 //! bit-identical results across every `num_workers x num_threads`
-//! combination, with and without a message combiner, and must stop
-//! allocating on the message path once buffer capacities have warmed up.
+//! combination, with and without a message combiner, across the unicast
+//! and deduplicated-broadcast lanes, and must stop allocating on the
+//! message path once buffer capacities have warmed up.
 
 use spinner_graph::generators::{planted_partition, SbmConfig};
 use spinner_graph::{DirectedGraph, GraphBuilder};
@@ -28,6 +29,10 @@ struct MinLabel {
     /// combine-into-chain-tail path) or deliver them individually
     /// (exercises multi-message chains).
     combine: bool,
+    /// Send through [`spinner_pregel::Mailer::broadcast`] instead of a
+    /// per-edge send loop (the payload is the same for every neighbour, so
+    /// the two must deliver identically).
+    broadcast: bool,
 }
 
 impl Program for MinLabel {
@@ -51,8 +56,12 @@ impl Program for MinLabel {
         if best != *ctx.value || ctx.superstep == 0 {
             *ctx.value = best;
             let msg = best;
-            for &t in ctx.edges.targets {
-                ctx.mail.send(t, msg);
+            if self.broadcast {
+                ctx.mail.broadcast(msg);
+            } else {
+                for &t in ctx.edges.targets {
+                    ctx.mail.send(t, msg);
+                }
             }
         }
         ctx.vote_to_halt();
@@ -69,25 +78,34 @@ impl Program for MinLabel {
 }
 
 /// Everything a run exposes that must be identical across the grid:
-/// final values plus the integer per-superstep history.
+/// final values plus the integer per-superstep history (logical message
+/// counts — lane-independent by design).
 #[derive(Debug, PartialEq, Eq)]
 struct Trace {
     values: Vec<u32>,
-    history: Vec<(u64, u64, u64, u64, u64)>,
+    history: Vec<HistoryRow>,
     halt_supersteps: u64,
+    /// Physical grid records over the whole run (NOT part of the
+    /// equality digest: the broadcast lane exists to shrink this).
+    remote_records: u64,
 }
 
-fn run(g: &DirectedGraph, workers: usize, threads: usize, combine: bool) -> Trace {
+fn run_program(
+    g: &DirectedGraph,
+    workers: usize,
+    threads: usize,
+    program: MinLabel,
+    fabric: bool,
+) -> Trace {
     let placement = Placement::hashed(g.num_vertices(), workers, 9);
-    let cfg = EngineConfig { num_threads: threads, max_supersteps: 200, seed: 3 };
-    let mut engine = Engine::from_directed(
-        MinLabel { combine },
-        g,
-        &placement,
-        cfg,
-        |_| u32::MAX,
-        |_, _, _| (),
-    );
+    let cfg = EngineConfig {
+        num_threads: threads,
+        max_supersteps: 200,
+        seed: 3,
+        broadcast_fabric: fabric,
+    };
+    let mut engine =
+        Engine::from_directed(program, g, &placement, cfg, |_| u32::MAX, |_, _, _| ());
     let summary = engine.run();
     assert_eq!(summary.halt, HaltReason::AllHalted);
     Trace {
@@ -101,7 +119,20 @@ fn run(g: &DirectedGraph, workers: usize, threads: usize, combine: bool) -> Trac
             })
             .collect(),
         halt_supersteps: summary.supersteps,
+        remote_records: summary.metrics.iter().map(|s| s.sent_remote_records()).sum(),
     }
+}
+
+fn run(g: &DirectedGraph, workers: usize, threads: usize, combine: bool) -> Trace {
+    run_program(g, workers, threads, MinLabel { combine, broadcast: false }, true)
+}
+
+/// One superstep's integer history row: `(superstep, computed, sent, recv,
+/// active_after)`.
+type HistoryRow = (u64, u64, u64, u64, u64);
+
+fn digest(t: &Trace) -> (&[u32], &[HistoryRow], u64) {
+    (&t.values, &t.history, t.halt_supersteps)
 }
 
 #[test]
@@ -128,6 +159,66 @@ fn identical_across_worker_and_thread_grid() {
     }
 }
 
+/// The broadcast lane against the per-edge baseline, over the full
+/// combiner x workers x threads grid: values, logical message history, and
+/// superstep counts must be bit-identical whether the program broadcasts
+/// with the lane open, broadcasts with the lane closed (per-edge
+/// fallback), or unicasts — while the open lane strictly reduces the
+/// physical cross-worker records on every multi-worker shape.
+#[test]
+fn broadcast_lane_is_bit_identical_to_unicast() {
+    let g = sbm();
+    for &combine in &[false, true] {
+        let reference = run_program(&g, 1, 1, MinLabel { combine, broadcast: false }, false);
+        for &workers in &[1usize, 2, 4, 7] {
+            for &threads in &[1usize, 2, 4] {
+                let unicast = run_program(
+                    &g,
+                    workers,
+                    threads,
+                    MinLabel { combine, broadcast: false },
+                    false,
+                );
+                let fallback = run_program(
+                    &g,
+                    workers,
+                    threads,
+                    MinLabel { combine, broadcast: true },
+                    false,
+                );
+                let broadcast = run_program(
+                    &g,
+                    workers,
+                    threads,
+                    MinLabel { combine, broadcast: true },
+                    true,
+                );
+                for (name, t) in
+                    [("unicast", &unicast), ("fallback", &fallback), ("broadcast", &broadcast)]
+                {
+                    assert_eq!(
+                        digest(t),
+                        digest(&reference),
+                        "{name} diverged at workers={workers} threads={threads} combine={combine}"
+                    );
+                }
+                // The closed lane is record-for-record the unicast path.
+                assert_eq!(fallback.remote_records, unicast.remote_records);
+                if workers > 1 {
+                    assert!(
+                        broadcast.remote_records < unicast.remote_records,
+                        "no dedup at workers={workers}: {} vs {}",
+                        broadcast.remote_records,
+                        unicast.remote_records
+                    );
+                } else {
+                    assert_eq!(broadcast.remote_records, 0);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn combiner_reduces_delivered_messages_but_not_results() {
     let g = sbm();
@@ -142,9 +233,77 @@ fn combiner_reduces_delivered_messages_but_not_results() {
     assert_eq!(recv, sent, "every sent message is counted on receipt");
 }
 
+/// `send_to_all` routes through the broadcast lane exactly when handed the
+/// vertex's full adjacency slice; any sub-slice stays per-edge (the
+/// receiver could not expand it to a partial target set).
+struct SendToAll {
+    /// Pass the full adjacency (lane-eligible) or skip the first neighbour.
+    full: bool,
+}
+
+impl Program for SendToAll {
+    type V = u32;
+    type E = ();
+    type M = u32;
+    type G = ();
+    type WorkerState = ();
+    fn init_global(&self) {}
+    fn init_worker(&self, _g: &(), _w: u16) {}
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[u32]) {
+        if ctx.superstep == 0 {
+            let targets = if self.full { ctx.edges.targets } else { &ctx.edges.targets[1..] };
+            let msg = ctx.vertex;
+            ctx.mail.send_to_all(targets, &msg);
+        } else {
+            *ctx.value = messages.iter().sum();
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+#[test]
+fn send_to_all_routes_full_adjacency_through_the_lane() {
+    // Complete-ish graph: every vertex has neighbours on both workers.
+    let g = GraphBuilder::new(8)
+        .add_edges(
+            (0..8u32).flat_map(|v| (0..8u32).filter(move |&t| t != v).map(move |t| (v, t))),
+        )
+        .build();
+    let placement = Placement::modulo(8, 2);
+    let cfg =
+        EngineConfig { num_threads: 1, max_supersteps: 10, seed: 1, ..Default::default() };
+    let records = |full: bool| {
+        let mut engine = Engine::from_directed(
+            SendToAll { full },
+            &g,
+            &placement,
+            cfg.clone(),
+            |_| 0,
+            |_, _, _| (),
+        );
+        let summary = engine.run();
+        let step0 = &summary.metrics[0];
+        (step0.sent_remote(), step0.sent_remote_records(), engine.collect_values())
+    };
+    let (full_logical, full_records, full_values) = records(true);
+    let (part_logical, part_records, _) = records(false);
+    // Full adjacency: 8 vertices x 4 remote neighbours logical, but only
+    // one record each to the single other worker.
+    assert_eq!(full_logical, 32);
+    assert_eq!(full_records, 8);
+    // Sub-slice: plain unicast, record per message.
+    assert_eq!(part_records, part_logical);
+    // Each vertex hears every other vertex exactly once.
+    let expect: u32 = (0..8).sum();
+    assert!(full_values.iter().enumerate().all(|(v, &x)| x == expect - v as u32));
+}
+
 /// Constant-volume chatter: every vertex messages all neighbours every
 /// superstep until the master halts.
-struct Chatter;
+struct Chatter {
+    /// Announce through the broadcast lane instead of per-edge sends.
+    broadcast: bool,
+}
 
 impl Program for Chatter {
     type V = u64;
@@ -157,8 +316,12 @@ impl Program for Chatter {
     fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[u64]) {
         *ctx.value += messages.iter().sum::<u64>();
         let msg = ctx.vertex as u64;
-        for &t in ctx.edges.targets {
-            ctx.mail.send(t, msg);
+        if self.broadcast {
+            ctx.mail.broadcast(msg);
+        } else {
+            for &t in ctx.edges.targets {
+                ctx.mail.send(t, msg);
+            }
         }
     }
     fn master(&self, ctx: &mut spinner_pregel::program::MasterContext<'_, ()>) {
@@ -176,22 +339,36 @@ fn steady_state_inbox_path_does_not_allocate() {
             [(v, (v + 1) % 64), (v, (v + 7) % 64), (v, (v + 19) % 64)]
         }))
         .build();
-    for &(workers, threads) in &[(1usize, 1usize), (4, 2), (7, 4)] {
-        let placement = Placement::hashed(g.num_vertices(), workers, 5);
-        let cfg = EngineConfig { num_threads: threads, max_supersteps: 100, seed: 1 };
-        let mut engine =
-            Engine::from_directed(Chatter, &g, &placement, cfg, |_| 0, |_, _, _| ());
-        let summary = engine.run();
-        assert_eq!(summary.halt, HaltReason::Master);
-        // Buffers may grow during the first supersteps; after that the
-        // fabric must reuse capacity — zero growth events.
-        for step in summary.metrics.iter().filter(|s| s.superstep >= 3) {
-            let growth: u64 = step.per_worker.iter().map(|w| w.fabric_reallocs).sum();
-            assert_eq!(
-                growth, 0,
-                "fabric buffers grew in steady state at superstep {} (workers={workers}, threads={threads})",
-                step.superstep
+    for &broadcast in &[false, true] {
+        for &(workers, threads) in &[(1usize, 1usize), (4, 2), (7, 4)] {
+            let placement = Placement::hashed(g.num_vertices(), workers, 5);
+            let cfg = EngineConfig {
+                num_threads: threads,
+                max_supersteps: 100,
+                seed: 1,
+                ..Default::default()
+            };
+            let mut engine = Engine::from_directed(
+                Chatter { broadcast },
+                &g,
+                &placement,
+                cfg,
+                |_| 0,
+                |_, _, _| (),
             );
+            let summary = engine.run();
+            assert_eq!(summary.halt, HaltReason::Master);
+            // Buffers may grow during the first supersteps; after that the
+            // fabric must reuse capacity — zero growth events.
+            for step in summary.metrics.iter().filter(|s| s.superstep >= 3) {
+                let growth: u64 = step.per_worker.iter().map(|w| w.fabric_reallocs).sum();
+                assert_eq!(
+                    growth, 0,
+                    "fabric buffers grew in steady state at superstep {} \
+                     (workers={workers}, threads={threads}, broadcast={broadcast})",
+                    step.superstep
+                );
+            }
         }
     }
 }

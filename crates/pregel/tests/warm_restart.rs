@@ -65,7 +65,12 @@ fn grown_graph(n: u32, extra: u32) -> UndirectedGraph {
 
 fn engine_over(g: &UndirectedGraph, workers: usize, threads: usize) -> Engine<MinLabel> {
     let placement = Placement::hashed(g.num_vertices(), workers, 9);
-    let cfg = EngineConfig { num_threads: threads, max_supersteps: 300, seed: 3 };
+    let cfg = EngineConfig {
+        num_threads: threads,
+        max_supersteps: 300,
+        seed: 3,
+        ..Default::default()
+    };
     Engine::from_undirected(MinLabel, g, &placement, cfg, |_| u32::MAX, |_, _, w| w)
 }
 
@@ -188,7 +193,12 @@ fn replace_migrates_state_between_placements() {
         // capacities plus the reload-time reservation mean zero growth.
         engine.warm_reset_undirected(MinLabel, &g, &new_placement, |_| u32::MAX, |_, _, w| w);
         let warm_summary = engine.run();
-        let cfg = EngineConfig { num_threads: threads, max_supersteps: 300, seed: 3 };
+        let cfg = EngineConfig {
+            num_threads: threads,
+            max_supersteps: 300,
+            seed: 3,
+            ..Default::default()
+        };
         let mut cold = Engine::from_undirected(
             MinLabel,
             &g,

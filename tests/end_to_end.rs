@@ -50,7 +50,8 @@ fn spinner_placement_speeds_up_pagerank() {
     let k = 8u32;
     let r = partition(&g, &cfg(k));
 
-    let engine = EngineConfig { num_threads: 4, max_supersteps: 1000, seed: 3 };
+    let engine =
+        EngineConfig { num_threads: 4, max_supersteps: 1000, seed: 3, ..Default::default() };
     let hash = Placement::hashed(d.num_vertices(), k as usize, 5);
     let spin = Placement::from_labels(&r.labels, k as usize);
     let (ranks_hash, m_hash) = run_pagerank(&d, &hash, engine.clone(), 10);
@@ -84,7 +85,8 @@ fn wcc_is_placement_independent() {
         }
     }
     let g = from_undirected_edges(&builder.build());
-    let engine = EngineConfig { num_threads: 2, max_supersteps: 1000, seed: 1 };
+    let engine =
+        EngineConfig { num_threads: 2, max_supersteps: 1000, seed: 1, ..Default::default() };
     let (a, _) = run_wcc(&g, &Placement::hashed(200, 4, 1), engine.clone());
     let (b, _) = run_wcc(&g, &Placement::contiguous(200, 4), engine);
     assert_eq!(a, b);
