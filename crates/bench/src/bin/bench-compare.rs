@@ -104,13 +104,14 @@ fn load(path: &str) -> Vec<ExperimentOutcome> {
 
 /// Which way a quality metric is allowed to move, inferred from its name.
 enum Direction {
-    /// `phi*` (edge locality) and `local_share*` (worker-local message
-    /// share under the placement in effect) — dropping below baseline is a
-    /// regression.
+    /// `phi*` (edge locality), `local_share*` (worker-local message share
+    /// under the placement in effect) and `lookup_throughput*` (serving
+    /// reads/sec) — dropping below baseline is a regression.
     HigherBetter,
-    /// `rho*`, `*migration*`, `*moved*` (balance/movement cost) and
+    /// `rho*`, `*migration*`, `*moved*` (balance/movement cost),
     /// `remote_records*` (physical cross-worker fabric records — what the
-    /// broadcast lane deduplicates) — rising above baseline is a
+    /// broadcast lane deduplicates) and `p99_staleness*` (routing epochs a
+    /// served lookup lags behind head) — rising above baseline is a
     /// regression.
     LowerBetter,
     /// Anything else: reported for the record, never gated.
@@ -118,10 +119,14 @@ enum Direction {
 }
 
 fn direction(name: &str) -> Direction {
-    if name.starts_with("phi") || name.starts_with("local_share") {
+    if name.starts_with("phi")
+        || name.starts_with("local_share")
+        || name.starts_with("lookup_throughput")
+    {
         Direction::HigherBetter
     } else if name.starts_with("rho")
         || name.starts_with("remote_records")
+        || name.starts_with("p99_staleness")
         || name.contains("migration")
         || name.contains("moved")
     {

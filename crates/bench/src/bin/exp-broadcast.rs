@@ -43,15 +43,15 @@ const MIN_DEDUP: f64 = 3.0;
 /// (f64 fields compare by bits; none are NaN by construction).
 fn digest(w: &WindowReport) -> (f64, f64, f64, u32, u64, u64, u64, u64, u64) {
     (
-        w.phi,
-        w.rho,
-        w.migration_fraction,
-        w.iterations,
-        w.supersteps,
-        w.messages,
-        w.sent_local,
-        w.sent_remote,
-        w.placement_moved,
+        w.phi(),
+        w.rho(),
+        w.migration_fraction(),
+        w.iterations(),
+        w.supersteps(),
+        w.messages(),
+        w.sent_local(),
+        w.sent_remote(),
+        w.placement_moved(),
     )
 }
 
@@ -90,12 +90,12 @@ fn main() -> ExitCode {
         let b = broadcast.apply(StreamEvent::Delta(delta));
         eprintln!(
             "window {:>2}: remote msgs {} -> records {} (dedup {:.2}x) phi={:.3} reallocs={}",
-            b.window,
-            b.sent_remote,
-            b.sent_remote_records,
+            b.window(),
+            b.sent_remote(),
+            b.sent_remote_records(),
             b.remote_dedup(),
-            b.phi,
-            b.fabric_reallocs,
+            b.phi(),
+            b.fabric_reallocs(),
         );
     }
 
@@ -114,19 +114,19 @@ fn main() -> ExitCode {
     ]);
     for (u, b) in unicast.windows().iter().zip(broadcast.windows()) {
         t.row([
-            b.window.to_string(),
-            f2(b.phi),
-            b.sent_remote.to_string(),
-            u.sent_remote_records.to_string(),
-            b.sent_remote_records.to_string(),
+            b.window().to_string(),
+            f2(b.phi()),
+            b.sent_remote().to_string(),
+            u.sent_remote_records().to_string(),
+            b.sent_remote_records().to_string(),
             format!("{:.2}x", b.remote_dedup()),
-            b.placement_moved.to_string(),
+            b.placement_moved().to_string(),
         ]);
     }
     println!("{t}");
 
     let records =
-        |s: &StreamSession| s.windows().iter().map(|w| w.sent_remote_records).sum::<u64>();
+        |s: &StreamSession| s.windows().iter().map(|w| w.sent_remote_records()).sum::<u64>();
     let (rec_unicast, rec_broadcast) = (records(&unicast), records(&broadcast));
     let dedup = rec_unicast as f64 / rec_broadcast.max(1) as f64;
     println!(
@@ -137,7 +137,7 @@ fn main() -> ExitCode {
     emit_metric("remote_records_unicast", rec_unicast as f64);
     emit_metric("remote_records_broadcast", rec_broadcast as f64);
     emit_metric("dedup_factor", dedup);
-    emit_metric("phi_final", broadcast.windows().last().expect("bootstrap window").phi);
+    emit_metric("phi_final", broadcast.windows().last().expect("bootstrap window").phi());
 
     // ---- acceptance criteria (self-gating: CI runs this in the smoke
     // suite, so a violation fails the build) ----
@@ -149,18 +149,22 @@ fn main() -> ExitCode {
         if digest(u) != digest(b) {
             violations.push(format!(
                 "window {}: logical trajectory diverged between the arms",
-                u.window
+                u.window()
             ));
         }
         // The unicast arm is the identity baseline: one record per message.
-        if u.sent_remote_records != u.sent_remote || u.sent_local_records != u.sent_local {
+        if u.sent_remote_records() != u.sent_remote()
+            || u.sent_local_records() != u.sent_local()
+        {
             violations.push(format!(
                 "window {}: unicast arm deduplicated ({} records for {} messages)",
-                u.window, u.sent_remote_records, u.sent_remote
+                u.window(),
+                u.sent_remote_records(),
+                u.sent_remote()
             ));
         }
     }
-    if broadcast.windows()[0].placement_moved == 0 {
+    if broadcast.windows()[0].placement_moved() == 0 {
         violations.push(
             "placement feedback never fired: Engine::replace left unexercised".to_string(),
         );
@@ -174,11 +178,12 @@ fn main() -> ExitCode {
     // Steady state across warm resets and the replace migration: the
     // broadcast fabric (fan-out index included) must run entirely inside
     // pre-reserved capacity.
-    for w in broadcast.windows().iter().filter(|w| w.window >= 2) {
-        if w.fabric_reallocs != 0 {
+    for w in broadcast.windows().iter().filter(|w| w.window() >= 2) {
+        if w.fabric_reallocs() != 0 {
             violations.push(format!(
                 "window {}: {} fabric reallocations in the broadcast arm (want 0)",
-                w.window, w.fabric_reallocs
+                w.window(),
+                w.fabric_reallocs()
             ));
         }
     }

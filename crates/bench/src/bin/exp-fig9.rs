@@ -70,7 +70,7 @@ fn main() {
         eprintln!("  spinner phi={:.3} rho={:.3}", spinner.quality.phi, spinner.quality.rho);
         let n = directed.num_vertices();
         let hash_placement = Placement::hashed(n, k as usize, 7);
-        let spinner_placement = Placement::from_labels(&spinner.labels, k as usize);
+        let spinner_placement = Placement::from_labels_balanced(&spinner.labels, k as usize);
 
         let base = run_apps(&directed, &undirected, &hash_placement);
         let opt = run_apps(&directed, &undirected, &spinner_placement);

@@ -48,10 +48,10 @@ fn session_points(session: &StreamSession) -> Trajectory {
         .windows()
         .iter()
         .map(|w| WindowPoint {
-            window: w.window,
-            phi: w.phi,
-            rho: w.rho,
-            migration_fraction: w.migration_fraction,
+            window: w.window(),
+            phi: w.phi(),
+            rho: w.rho(),
+            migration_fraction: w.migration_fraction(),
             local_share: w.local_share(),
         })
         .collect()
@@ -107,11 +107,11 @@ fn main() -> ExitCode {
         let report = label_arm.apply(StreamEvent::Delta(delta));
         eprintln!(
             "window {:>2}: local share {:.3} (hash {:.3}) phi={:.3} moved-to-worker {}",
-            report.window,
+            report.window(),
             report.local_share(),
             hash_arm.last().local_share(),
-            report.phi,
-            report.placement_moved,
+            report.phi(),
+            report.placement_moved(),
         );
     }
 
@@ -133,18 +133,18 @@ fn main() -> ExitCode {
     ]);
     for (h, l) in hash_arm.windows().iter().zip(label_arm.windows()) {
         t.row([
-            h.window.to_string(),
-            f2(l.phi),
+            h.window().to_string(),
+            f2(l.phi()),
             f3(h.local_share()),
             f3(l.local_share()),
-            h.sent_remote.to_string(),
-            l.sent_remote.to_string(),
-            pct1(100.0 * l.placement_moved as f64 / l.num_vertices as f64),
+            h.sent_remote().to_string(),
+            l.sent_remote().to_string(),
+            pct1(100.0 * l.placement_moved() as f64 / l.num_vertices() as f64),
         ]);
     }
     println!("{t}");
     let wall =
-        |s: &StreamSession| s.windows().iter().map(|w| w.wall_ns).sum::<u64>() as f64 * 1e-9;
+        |s: &StreamSession| s.windows().iter().map(|w| w.wall_ns()).sum::<u64>() as f64 * 1e-9;
     println!(
         "stream wall-clock: hash {:.2}s, label-feedback {:.2}s (single host; the remote \
          share is the distributed network-cost proxy)",
@@ -161,21 +161,21 @@ fn main() -> ExitCode {
     // Physical wire traffic of the label-placed arm (records, not logical
     // deliveries): the number both the placement *and* the broadcast dedup
     // push down, pinned lower-is-better against the baseline.
-    let record_total: u64 = label_arm.windows().iter().map(|w| w.sent_remote_records).sum();
+    let record_total: u64 = label_arm.windows().iter().map(|w| w.sent_remote_records()).sum();
     emit_metric("remote_records_label", record_total as f64);
 
     // ---- acceptance criteria (self-gating: CI runs this in the smoke
     // suite, so a violation fails the build) ----
     let mut violations: Vec<String> = Vec::new();
     let boot = &label_arm.windows()[0];
-    if boot.placement_moved == 0 {
+    if boot.placement_moved() == 0 {
         violations.push("bootstrap window did not trigger the label migration".to_string());
     }
     for (h, l) in hash_arm.windows().iter().zip(label_arm.windows()).skip(1) {
         if l.local_share() <= h.local_share() {
             violations.push(format!(
                 "window {}: label-placement local share {:.4} does not exceed hash {:.4}",
-                l.window,
+                l.window(),
                 l.local_share(),
                 h.local_share()
             ));
@@ -185,21 +185,23 @@ fn main() -> ExitCode {
         violations.push("labels diverged between hash and label placement".to_string());
     }
     for (h, l) in hash_arm.windows().iter().zip(label_arm.windows()) {
-        if (h.phi, h.rho, h.iterations, h.messages) != (l.phi, l.rho, l.iterations, l.messages)
+        if (h.phi(), h.rho(), h.iterations(), h.messages())
+            != (l.phi(), l.rho(), l.iterations(), l.messages())
         {
             violations.push(format!(
                 "window {}: label-space history diverged between placements",
-                l.window
+                l.window()
             ));
         }
     }
     // Steady state after the migration: the re-placed layout must run
     // entirely inside pre-reserved fabric capacity.
-    for w in label_arm.windows().iter().filter(|w| w.window >= 2) {
-        if w.fabric_reallocs != 0 {
+    for w in label_arm.windows().iter().filter(|w| w.window() >= 2) {
+        if w.fabric_reallocs() != 0 {
             violations.push(format!(
                 "window {}: {} fabric reallocations after label migration (want 0)",
-                w.window, w.fabric_reallocs
+                w.window(),
+                w.fabric_reallocs()
             ));
         }
     }

@@ -64,7 +64,9 @@ fn main() -> ExitCode {
     let bootstrap = session.last().clone();
     eprintln!(
         "bootstrap: phi={:.3} rho={:.3} iters={}",
-        bootstrap.phi, bootstrap.rho, bootstrap.iterations
+        bootstrap.phi(),
+        bootstrap.rho(),
+        bootstrap.iterations()
     );
     let mut rows = vec![WindowRow {
         report: bootstrap,
@@ -89,7 +91,7 @@ fn main() -> ExitCode {
         let previous = session.labels().to_vec();
         let report = session.apply(stream_event).clone();
         // From-scratch baseline on the same post-delta graph and k.
-        let scratch_cfg = session.config().clone().with_seed(4242 + report.window as u64);
+        let scratch_cfg = session.config().clone().with_seed(4242 + report.window() as u64);
         let scratch = partition(session.undirected(), &scratch_cfg);
         let shared = previous.len().min(scratch.labels.len());
         let migration_scratch =
@@ -97,13 +99,13 @@ fn main() -> ExitCode {
         eprintln!(
             "window {:>2} [{event}]: phi={:.3} rho={:.3} moved {:.1}% (scratch {:.1}%) \
              iters={} reallocs={}",
-            report.window,
-            report.phi,
-            report.rho,
-            100.0 * report.migration_fraction,
+            report.window(),
+            report.phi(),
+            report.rho(),
+            100.0 * report.migration_fraction(),
             100.0 * migration_scratch,
-            report.iterations,
-            report.fabric_reallocs
+            report.iterations(),
+            report.fabric_reallocs()
         );
         rows.push(WindowRow { report, event, migration_scratch });
     }
@@ -111,10 +113,10 @@ fn main() -> ExitCode {
     let trajectory: Trajectory = rows
         .iter()
         .map(|r| WindowPoint {
-            window: r.report.window,
-            phi: r.report.phi,
-            rho: r.report.rho,
-            migration_fraction: r.report.migration_fraction,
+            window: r.report.window(),
+            phi: r.report.phi(),
+            rho: r.report.rho(),
+            migration_fraction: r.report.migration_fraction(),
             local_share: r.report.local_share(),
         })
         .collect();
@@ -126,14 +128,14 @@ fn main() -> ExitCode {
     .header(["window", "event", "k", "phi", "rho", "moved", "moved scratch", "reallocs"]);
     for r in &rows {
         t.row([
-            r.report.window.to_string(),
+            r.report.window().to_string(),
             r.event.clone(),
-            r.report.k.to_string(),
-            f2(r.report.phi),
-            f3(r.report.rho),
-            pct1(100.0 * r.report.migration_fraction),
+            r.report.k().to_string(),
+            f2(r.report.phi()),
+            f3(r.report.rho()),
+            pct1(100.0 * r.report.migration_fraction()),
             pct1(100.0 * r.migration_scratch),
-            r.report.fabric_reallocs.to_string(),
+            r.report.fabric_reallocs().to_string(),
         ]);
     }
     println!("{t}");
@@ -152,9 +154,9 @@ fn main() -> ExitCode {
     // unicast/broadcast comparison itself lives in exp-broadcast).
     // These run under the default hash placement — the label-placement
     // counterpart (and its gate) lives in exp-locality.
-    let sent_local: u64 = rows.iter().map(|r| r.report.sent_local).sum();
-    let sent_remote: u64 = rows.iter().map(|r| r.report.sent_remote).sum();
-    let remote_records: u64 = rows.iter().map(|r| r.report.sent_remote_records).sum();
+    let sent_local: u64 = rows.iter().map(|r| r.report.sent_local()).sum();
+    let sent_remote: u64 = rows.iter().map(|r| r.report.sent_remote()).sum();
+    let remote_records: u64 = rows.iter().map(|r| r.report.sent_remote_records()).sum();
     emit_metric("sent_local", sent_local as f64);
     emit_metric("sent_remote", sent_remote as f64);
     emit_metric("remote_records", remote_records as f64);
@@ -163,25 +165,33 @@ fn main() -> ExitCode {
     // suite, so a violation fails the build) ----
     let mut violations: Vec<String> = Vec::new();
     for r in &rows[1..] {
-        if r.report.migration_fraction >= r.migration_scratch {
+        if r.report.migration_fraction() >= r.migration_scratch {
             violations.push(format!(
                 "window {} [{}]: adaptive moved {:.3} >= scratch {:.3}",
-                r.report.window, r.event, r.report.migration_fraction, r.migration_scratch
+                r.report.window(),
+                r.event,
+                r.report.migration_fraction(),
+                r.migration_scratch
             ));
         }
         let rho_bound = cfg.c + RHO_SLACK;
-        if r.report.rho > rho_bound {
+        if r.report.rho() > rho_bound {
             violations.push(format!(
                 "window {} [{}]: rho {:.3} exceeds balance slack {:.3}",
-                r.report.window, r.event, r.report.rho, rho_bound
+                r.report.window(),
+                r.event,
+                r.report.rho(),
+                rho_bound
             ));
         }
     }
-    for r in rows.iter().filter(|r| r.report.window >= 2) {
-        if r.report.fabric_reallocs != 0 {
+    for r in rows.iter().filter(|r| r.report.window() >= 2) {
+        if r.report.fabric_reallocs() != 0 {
             violations.push(format!(
                 "window {} [{}]: {} steady-state fabric reallocations (want 0)",
-                r.report.window, r.event, r.report.fabric_reallocs
+                r.report.window(),
+                r.event,
+                r.report.fabric_reallocs()
             ));
         }
     }
@@ -233,24 +243,24 @@ fn write_json(rows: &[WindowRow], trajectory: &Trajectory, scale: Scale, k0: u32
              \"sent_local\": {}, \"sent_remote\": {}, \"remote_records\": {}, \
              \"local_share\": {:.6}, \"remote_dedup\": {:.6}, \
              \"fabric_reallocs\": {}}}{sep}\n",
-            r.report.window,
+            r.report.window(),
             r.event,
-            r.report.k,
-            r.report.num_vertices,
-            r.report.num_edges,
-            r.report.phi,
-            r.report.rho,
-            r.report.migration_fraction,
+            r.report.k(),
+            r.report.num_vertices(),
+            r.report.num_edges(),
+            r.report.phi(),
+            r.report.rho(),
+            r.report.migration_fraction(),
             r.migration_scratch,
-            r.report.iterations,
-            r.report.supersteps,
-            r.report.messages,
-            r.report.sent_local,
-            r.report.sent_remote,
-            r.report.sent_remote_records,
+            r.report.iterations(),
+            r.report.supersteps(),
+            r.report.messages(),
+            r.report.sent_local(),
+            r.report.sent_remote(),
+            r.report.sent_remote_records(),
             r.report.local_share(),
             r.report.remote_dedup(),
-            r.report.fabric_reallocs
+            r.report.fabric_reallocs()
         ));
     }
     out.push_str("  ]\n}\n");

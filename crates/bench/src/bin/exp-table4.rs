@@ -38,7 +38,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, placement) in [
         ("Random (hash)", Placement::hashed(n, workers, 7)),
-        ("Spinner", Placement::from_labels(&spinner.labels, workers)),
+        ("Spinner", Placement::from_labels_balanced(&spinner.labels, workers)),
     ] {
         eprintln!("running PageRank x20 with {name} placement...");
         let (_, summary) = run_pagerank(&directed, &placement, engine_cfg.clone(), 20);

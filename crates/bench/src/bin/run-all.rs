@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-stream",
     "exp-locality",
     "exp-broadcast",
+    "exp-serving",
 ];
 
 struct Args {

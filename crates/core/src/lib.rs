@@ -56,4 +56,4 @@ pub use driver::{
     IterationStats, PartitionResult,
 };
 pub use state::{Label, NO_LABEL};
-pub use stream::{StreamEvent, StreamSession, WindowReport};
+pub use stream::{SessionState, StreamEvent, StreamSession, WindowReport, WindowReportParts};

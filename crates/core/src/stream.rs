@@ -37,7 +37,7 @@ use spinner_pregel::engine::Engine;
 use spinner_pregel::{Placement, WorkerId};
 
 /// One window of a dynamic-graph stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StreamEvent {
     /// The graph changed: apply the delta and adapt the previous
     /// partitioning incrementally (§III-D).
@@ -50,10 +50,18 @@ pub enum StreamEvent {
     },
 }
 
-/// Per-window convergence, quality, and cost accounting — one point of a
-/// Fig. 7-style trajectory.
+/// The raw measurements of one [`WindowReport`], with public fields.
+///
+/// This is the construction / serialization surface of the report:
+/// [`WindowReport`] itself keeps its fields private behind read accessors
+/// (so derived statistics like [`WindowReport::local_share`] and plain
+/// measurements present one uniform method-call surface), while `Parts`
+/// is the plain-old-data form used to build one
+/// ([`WindowReport::from_parts`]) or take one apart
+/// ([`WindowReport::to_parts`]) — e.g. for the binary window log kept by
+/// `spinner_serving`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct WindowReport {
+pub struct WindowReportParts {
     /// Window index (0 is the bootstrap partitioning).
     pub window: u32,
     /// Partition count in effect for this window.
@@ -75,41 +83,153 @@ pub struct WindowReport {
     pub supersteps: u64,
     /// Messages exchanged while re-converging.
     pub messages: u64,
+    /// Messages (logical deliveries) that stayed on their worker.
+    pub sent_local: u64,
+    /// Messages (logical deliveries) that crossed workers.
+    pub sent_remote: u64,
+    /// Physical records pushed into the worker-local fast-path queue.
+    pub sent_local_records: u64,
+    /// Physical records pushed across workers.
+    pub sent_remote_records: u64,
+    /// Vertices migrated by label-driven placement feedback.
+    pub placement_moved: u64,
+    /// Wall-clock nanoseconds of the window's run.
+    pub wall_ns: u64,
+    /// Message-fabric buffer growth events during the window.
+    pub fabric_reallocs: u64,
+}
+
+/// Per-window convergence, quality, and cost accounting — one point of a
+/// Fig. 7-style trajectory.
+///
+/// Every measurement is read through an accessor method of the same name —
+/// fields are private, so raw values (`report.messages()`) and derived
+/// statistics ([`Self::local_share`], [`Self::remote_dedup`]) present one
+/// uniform surface, and layers above (e.g. `spinner_serving`, which pairs a
+/// report with its routing epoch and snapshot sizes) can extend it without
+/// mixing fields and methods. To construct or serialize a report, go
+/// through [`WindowReportParts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    parts: WindowReportParts,
+}
+
+impl WindowReport {
+    /// Builds a report from its raw measurements.
+    pub fn from_parts(parts: WindowReportParts) -> Self {
+        Self { parts }
+    }
+
+    /// The raw measurements, cloned out (inverse of [`Self::from_parts`]).
+    pub fn to_parts(&self) -> WindowReportParts {
+        self.parts.clone()
+    }
+
+    /// Window index (0 is the bootstrap partitioning).
+    pub fn window(&self) -> u32 {
+        self.parts.window
+    }
+
+    /// Partition count in effect for this window.
+    pub fn k(&self) -> u32 {
+        self.parts.k
+    }
+
+    /// Vertices after the window's delta.
+    pub fn num_vertices(&self) -> VertexId {
+        self.parts.num_vertices
+    }
+
+    /// Undirected edges after the window's delta.
+    pub fn num_edges(&self) -> u64 {
+        self.parts.num_edges
+    }
+
+    /// Final ratio of local edges φ.
+    pub fn phi(&self) -> f64 {
+        self.parts.phi
+    }
+
+    /// Final maximum normalized load ρ.
+    pub fn rho(&self) -> f64 {
+        self.parts.rho
+    }
+
+    /// Fraction of the vertices that existed *before* the window whose label
+    /// changed while re-converging (1.0 for the bootstrap window).
+    pub fn migration_fraction(&self) -> f64 {
+        self.parts.migration_fraction
+    }
+
+    /// LPA iterations to re-converge.
+    pub fn iterations(&self) -> u32 {
+        self.parts.iterations
+    }
+
+    /// Pregel supersteps executed.
+    pub fn supersteps(&self) -> u64 {
+        self.parts.supersteps
+    }
+
+    /// Messages exchanged while re-converging.
+    pub fn messages(&self) -> u64 {
+        self.parts.messages
+    }
+
     /// Messages (logical deliveries) that stayed on their worker (served by
     /// the fabric's locality fast path). Logical counts are
     /// lane-independent, so [`Self::local_share`] is comparable across the
     /// unicast and broadcast arms.
-    pub sent_local: u64,
+    pub fn sent_local(&self) -> u64 {
+        self.parts.sent_local
+    }
+
     /// Messages (logical deliveries) that crossed workers.
-    pub sent_remote: u64,
+    pub fn sent_remote(&self) -> u64 {
+        self.parts.sent_remote
+    }
+
     /// Physical records pushed into the worker-local fast-path queue (one
-    /// per broadcast; equals `sent_local` under the per-edge unicast arm).
-    pub sent_local_records: u64,
+    /// per broadcast; equals [`Self::sent_local`] under the per-edge unicast
+    /// arm).
+    pub fn sent_local_records(&self) -> u64 {
+        self.parts.sent_local_records
+    }
+
     /// Physical records pushed across workers — the wire traffic a
     /// distributed deployment would serialise for this window (one per
     /// `(sender, destination worker)` pair under the broadcast lane; equals
-    /// `sent_remote` under unicast).
-    pub sent_remote_records: u64,
+    /// [`Self::sent_remote`] under unicast).
+    pub fn sent_remote_records(&self) -> u64 {
+        self.parts.sent_remote_records
+    }
+
     /// Vertices migrated onto a different worker by label-driven placement
     /// feedback *after* this window converged (0 when feedback is disabled
     /// or the remote share stayed under the threshold).
-    pub placement_moved: u64,
+    pub fn placement_moved(&self) -> u64 {
+        self.parts.placement_moved
+    }
+
     /// Wall-clock nanoseconds of the window's run.
-    pub wall_ns: u64,
+    pub fn wall_ns(&self) -> u64 {
+        self.parts.wall_ns
+    }
+
     /// Message-fabric buffer growth events during the window (see
     /// `WorkerMetrics::fabric_reallocs`); 0 from window 2 on when the warm
     /// engine absorbs the stream.
-    pub fabric_reallocs: u64,
-}
+    pub fn fabric_reallocs(&self) -> u64 {
+        self.parts.fabric_reallocs
+    }
 
-impl WindowReport {
     /// Share of this window's messages that stayed worker-local (1.0 for a
     /// window that exchanged none).
     pub fn local_share(&self) -> f64 {
-        if self.messages == 0 {
+        if self.parts.messages == 0 {
             1.0
         } else {
-            self.sent_local as f64 / self.messages as f64
+            self.parts.sent_local as f64 / self.parts.messages as f64
         }
     }
 
@@ -117,10 +237,10 @@ impl WindowReport {
     /// per physical grid record (1.0 under unicast or with no remote
     /// traffic) — the broadcast lane's compression factor.
     pub fn remote_dedup(&self) -> f64 {
-        if self.sent_remote_records == 0 {
+        if self.parts.sent_remote_records == 0 {
             1.0
         } else {
-            self.sent_remote as f64 / self.sent_remote_records as f64
+            self.parts.sent_remote as f64 / self.parts.sent_remote_records as f64
         }
     }
 }
@@ -141,7 +261,7 @@ impl WindowReport {
 /// let mut session = StreamSession::new(base, cfg);
 /// let report =
 ///     session.apply(StreamEvent::Delta(GraphDelta::additions(vec![(0, 300)])));
-/// assert!(report.migration_fraction < 0.5);
+/// assert!(report.migration_fraction() < 0.5);
 /// assert_eq!(session.windows().len(), 2); // bootstrap + one delta window
 /// ```
 pub struct StreamSession {
@@ -159,6 +279,13 @@ pub struct StreamSession {
     /// a per-vertex [`Placement`] — so vertices appended by later deltas
     /// are placed consistently with their initial label.
     label_to_worker: Option<Vec<WorkerId>>,
+    /// The placement the warm engine is *currently* hosted on: the one
+    /// installed by the latest warm reset, or by the latest feedback
+    /// migration if that ran afterwards. Tracked explicitly because it is
+    /// not derivable from the final labels — the window's reset placement
+    /// was computed from the window's *initial* labels — and the serving
+    /// layer must publish exactly what the engine hosts.
+    placement: Placement,
 }
 
 impl StreamSession {
@@ -195,9 +322,10 @@ impl StreamSession {
             engine,
             windows: Vec::new(),
             label_to_worker: None,
+            placement,
         };
         let placement_moved = session.feedback_replace(&result);
-        session.windows.push(WindowReport {
+        session.windows.push(WindowReport::from_parts(WindowReportParts {
             window: 0,
             k: session.cfg.k,
             num_vertices: session.undirected.num_vertices(),
@@ -215,8 +343,66 @@ impl StreamSession {
             placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
-        });
+        }));
         session
+    }
+
+    /// Rebuilds a session from a [`SessionState`] snapshot without
+    /// re-partitioning: the engine is constructed directly on the saved
+    /// labels and hosted on the saved placement, so the next
+    /// [`Self::apply`] behaves bit-identically to the session the state was
+    /// taken from (the warm reset reloads topology and labels either way;
+    /// what matters is that graph, labels, feedback map, and `k` match).
+    ///
+    /// This is the cross-process extension of the warm reset: a restarted
+    /// process resumes serving and streaming from persisted state instead
+    /// of paying a full bootstrap partitioning. `spinner_serving` layers a
+    /// binary snapshot + write-ahead-log codec on top of this.
+    pub fn from_state(state: SessionState) -> Self {
+        let SessionState { cfg, graph, labels, placement, label_assignment, windows } = state;
+        assert!(!windows.is_empty(), "session state must contain the bootstrap window");
+        let undirected = from_undirected_edges(&graph);
+        assert_eq!(
+            labels.len(),
+            undirected.num_vertices() as usize,
+            "labels do not cover the graph"
+        );
+        let placement = Placement::explicit(placement, cfg.num_workers);
+        assert_eq!(placement.num_vertices(), undirected.num_vertices());
+        let program = SpinnerProgram { cfg: cfg.clone(), start_phase: Phase::Initialize };
+        let engine = Engine::from_undirected(
+            program,
+            &undirected,
+            &placement,
+            engine_config(&cfg),
+            |v| VertexState::new(labels[v as usize], true),
+            |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
+        );
+        Self {
+            cfg,
+            graph,
+            undirected,
+            labels,
+            engine,
+            windows,
+            label_to_worker: label_assignment,
+            placement,
+        }
+    }
+
+    /// Snapshots everything a restarted process needs to continue this
+    /// session via [`Self::from_state`]. The undirected view and the engine
+    /// are deliberately absent: both are derived deterministically from the
+    /// directed graph, labels, and placement.
+    pub fn state(&self) -> SessionState {
+        SessionState {
+            cfg: self.cfg.clone(),
+            graph: self.graph.clone(),
+            labels: self.labels.clone(),
+            placement: self.placement.as_slice().to_vec(),
+            label_assignment: self.label_to_worker.clone(),
+            windows: self.windows.clone(),
+        }
     }
 
     /// Applies the next stream window and re-converges, warm. Returns the
@@ -266,6 +452,7 @@ impl StreamSession {
             },
             |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
         );
+        self.placement = placement;
         let summary = self.engine.run();
         let result =
             result_from_engine(&self.cfg, &self.engine, &summary, Some(&self.undirected));
@@ -275,7 +462,7 @@ impl StreamSession {
         let migration_fraction = if old_n > 0 { moved as f64 / old_n as f64 } else { 1.0 };
         self.labels = result.labels.clone();
         let placement_moved = self.feedback_replace(&result);
-        self.windows.push(WindowReport {
+        self.windows.push(WindowReport::from_parts(WindowReportParts {
             window: self.windows.len() as u32,
             k: self.cfg.k,
             num_vertices: self.undirected.num_vertices(),
@@ -293,7 +480,7 @@ impl StreamSession {
             placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
-        });
+        }));
         self.windows.last().expect("window just pushed")
     }
 
@@ -347,6 +534,7 @@ impl StreamSession {
         let placement =
             Placement::from_label_assignment(&self.labels, &assignment, self.cfg.num_workers);
         let stats = self.engine.replace(&placement);
+        self.placement = placement;
         self.label_to_worker = Some(assignment);
         stats.moved
     }
@@ -402,6 +590,36 @@ impl StreamSession {
     pub fn label_assignment(&self) -> Option<&[WorkerId]> {
         self.label_to_worker.as_deref()
     }
+
+    /// The placement the warm engine is currently hosted on — what a
+    /// serving layer should publish for vertex → worker routing. Updated by
+    /// every window's warm reset and by each placement-feedback migration.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
+/// A self-contained snapshot of a [`StreamSession`] — everything
+/// [`StreamSession::from_state`] needs to continue the stream (and serve
+/// lookups) bit-identically in another process. Produced by
+/// [`StreamSession::state`]; `spinner_serving` defines the binary on-disk
+/// encoding.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The session configuration; `k` reflects any [`StreamEvent::Resize`]
+    /// already applied.
+    pub cfg: SpinnerConfig,
+    /// The evolving directed edge list as of the snapshot.
+    pub graph: DirectedGraph,
+    /// The current labelling (one label per vertex).
+    pub labels: Vec<Label>,
+    /// The worker hosting each vertex — the engine's live placement.
+    pub placement: Vec<WorkerId>,
+    /// The label → worker map installed by the latest placement-feedback
+    /// migration, if any.
+    pub label_assignment: Option<Vec<WorkerId>>,
+    /// All window reports so far (index 0 is the bootstrap).
+    pub windows: Vec<WindowReport>,
 }
 
 /// Total message-fabric growth events across a run.
@@ -454,9 +672,9 @@ mod tests {
         session.apply(StreamEvent::Delta(delta));
         assert_eq!(session.labels(), cold.labels.as_slice(), "warm adapt diverged from cold");
         let w = session.last();
-        assert_eq!(w.iterations, cold.iterations);
-        assert!((w.phi - cold.quality.phi).abs() < 1e-15);
-        assert!((w.rho - cold.quality.rho).abs() < 1e-15);
+        assert_eq!(w.iterations(), cold.iterations);
+        assert!((w.phi() - cold.quality.phi).abs() < 1e-15);
+        assert!((w.rho() - cold.quality.rho).abs() < 1e-15);
     }
 
     #[test]
@@ -484,13 +702,13 @@ mod tests {
         );
         for delta in stream {
             let report = session.apply(StreamEvent::Delta(delta));
-            assert!(report.migration_fraction < 0.5, "window moved too much");
-            assert!(report.rho < cfg.c + 0.25, "rho {}", report.rho);
+            assert!(report.migration_fraction() < 0.5, "window moved too much");
+            assert!(report.rho() < cfg.c + 0.25, "rho {}", report.rho());
         }
         assert_eq!(session.windows().len(), 6);
         // Windows >= 2 run entirely inside warmed buffers.
         for w in &session.windows()[2..] {
-            assert_eq!(w.fabric_reallocs, 0, "window {} grew the fabric", w.window);
+            assert_eq!(w.fabric_reallocs(), 0, "window {} grew the fabric", w.window());
         }
         // Labels cover the grown vertex set.
         assert_eq!(session.labels().len(), session.undirected().num_vertices() as usize);
@@ -511,7 +729,7 @@ mod tests {
         let mut fed = StreamSession::new(g0.clone(), feedback_cfg);
         // Hash placement over 4 workers leaves ~3/4 of messages remote, so
         // the bootstrap window must trigger the migration.
-        assert!(fed.last().placement_moved > 0, "feedback did not trigger");
+        assert!(fed.last().placement_moved() > 0, "feedback did not trigger");
         assert!(fed.label_assignment().is_some());
         assert_eq!(plain.labels(), fed.labels());
 
@@ -524,14 +742,56 @@ mod tests {
             fed.apply(StreamEvent::Delta(delta));
             let (p, f) = (plain.last(), fed.last());
             assert_eq!(plain.labels(), fed.labels(), "feedback changed the label space");
-            assert_eq!(p.messages, f.messages, "feedback changed message volume");
+            assert_eq!(p.messages(), f.messages(), "feedback changed message volume");
             assert!(
                 f.local_share() > p.local_share(),
                 "window {}: label placement {:.3} <= hash {:.3}",
-                f.window,
+                f.window(),
                 f.local_share(),
                 p.local_share()
             );
+        }
+    }
+
+    /// `state()` → `from_state()` round-trips mid-stream: the restored
+    /// session must continue the stream bit-identically to the original —
+    /// labels, reports (modulo wall-clock), placement, and feedback map.
+    #[test]
+    fn from_state_continues_bit_identically() {
+        let g0 = base(1800, 19);
+        let cfg = cfg(6).with_placement_feedback(0.5);
+        let mut original = StreamSession::new(g0.clone(), cfg);
+        let mut stream = DeltaStream::new(
+            g0,
+            DeltaStreamConfig { windows: 6, seed: 37, ..DeltaStreamConfig::default() },
+        );
+        // Advance two windows (plus a resize) before snapshotting.
+        original.apply(StreamEvent::Delta(stream.next().expect("window")));
+        original.apply(StreamEvent::Resize { k: 8 });
+
+        let mut restored = StreamSession::from_state(original.state());
+        assert_eq!(restored.labels(), original.labels());
+        assert_eq!(restored.k(), original.k());
+        assert_eq!(restored.placement(), original.placement());
+        assert_eq!(restored.label_assignment(), original.label_assignment());
+        assert_eq!(restored.windows().len(), original.windows().len());
+
+        for event in [
+            StreamEvent::Delta(stream.next().expect("window")),
+            StreamEvent::Resize { k: 5 },
+            StreamEvent::Delta(stream.next().expect("window")),
+        ] {
+            original.apply(event.clone());
+            restored.apply(event);
+            assert_eq!(restored.labels(), original.labels(), "restored session diverged");
+            assert_eq!(restored.placement(), original.placement());
+            let (o, r) = (original.last(), restored.last());
+            assert_eq!(r.window(), o.window());
+            assert_eq!(r.iterations(), o.iterations());
+            assert_eq!(r.phi().to_bits(), o.phi().to_bits());
+            assert_eq!(r.rho().to_bits(), o.rho().to_bits());
+            assert_eq!(r.messages(), o.messages());
+            assert_eq!(r.placement_moved(), o.placement_moved());
         }
     }
 

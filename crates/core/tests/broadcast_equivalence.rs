@@ -40,16 +40,16 @@ fn cfg(k: u32, seed: u64, broadcast: bool) -> SpinnerConfig {
 /// `PartialEq`, and none are NaN by construction).
 fn digest(w: &WindowReport) -> (u32, f64, f64, f64, u32, u64, u64, u64, u64, u64) {
     (
-        w.window,
-        w.phi,
-        w.rho,
-        w.migration_fraction,
-        w.iterations,
-        w.supersteps,
-        w.messages,
-        w.sent_local,
-        w.sent_remote,
-        w.placement_moved,
+        w.window(),
+        w.phi(),
+        w.rho(),
+        w.migration_fraction(),
+        w.iterations(),
+        w.supersteps(),
+        w.messages(),
+        w.sent_local(),
+        w.sent_remote(),
+        w.placement_moved(),
     )
 }
 
@@ -80,24 +80,24 @@ fn run_arms(graph_seed: u64, stream_seed: u64, k: u32) {
     assert_eq!(unicast.labels(), broadcast.labels(), "labels diverged across lanes");
     // The feedback migration (Engine::replace) must actually have fired,
     // so the broadcast index demonstrably survived an in-place re-hosting.
-    assert!(broadcast.windows()[0].placement_moved > 0, "replace never triggered");
+    assert!(broadcast.windows()[0].placement_moved() > 0, "replace never triggered");
     let mut remote_unicast = 0u64;
     let mut remote_broadcast = 0u64;
     for (u, b) in unicast.windows().iter().zip(broadcast.windows()) {
-        assert_eq!(digest(u), digest(b), "window {} diverged across lanes", u.window);
+        assert_eq!(digest(u), digest(b), "window {} diverged across lanes", u.window());
         // Unicast is the identity arm: records == logical messages.
-        assert_eq!(u.sent_remote_records, u.sent_remote);
-        assert_eq!(u.sent_local_records, u.sent_local);
+        assert_eq!(u.sent_remote_records(), u.sent_remote());
+        assert_eq!(u.sent_local_records(), u.sent_local());
         // Broadcast never ships more than unicast would.
-        assert!(b.sent_remote_records <= u.sent_remote_records);
-        assert!(b.sent_local_records <= u.sent_local_records);
-        remote_unicast += u.sent_remote_records;
-        remote_broadcast += b.sent_remote_records;
+        assert!(b.sent_remote_records() <= u.sent_remote_records());
+        assert!(b.sent_local_records() <= u.sent_local_records());
+        remote_unicast += u.sent_remote_records();
+        remote_broadcast += b.sent_remote_records();
         // Warm resets and the replace keep both arms allocation-free once
         // capacities have warmed up.
-        if u.window >= 2 {
-            assert_eq!(u.fabric_reallocs, 0, "unicast window {} grew", u.window);
-            assert_eq!(b.fabric_reallocs, 0, "broadcast window {} grew", b.window);
+        if u.window() >= 2 {
+            assert_eq!(u.fabric_reallocs(), 0, "unicast window {} grew", u.window());
+            assert_eq!(b.fabric_reallocs(), 0, "broadcast window {} grew", b.window());
         }
     }
     assert!(
@@ -146,7 +146,7 @@ fn hub_stream_dedup_ratio_is_substantial() {
     let (logical, records) = session
         .windows()
         .iter()
-        .fold((0u64, 0u64), |(l, r), w| (l + w.sent_remote, r + w.sent_remote_records));
+        .fold((0u64, 0u64), |(l, r), w| (l + w.sent_remote(), r + w.sent_remote_records()));
     assert!(records > 0);
     let ratio = logical as f64 / records as f64;
     assert!(ratio > 2.0, "dedup ratio {ratio:.2} too small ({logical} / {records})");

@@ -48,19 +48,18 @@ fn digest(r: &PartitionResult) -> (&[u32], &[spinner_core::IterationStats], u32,
 }
 
 /// The placements under test for a given `(n, workers, variant)` — every
-/// constructor the crate offers, including label-derived ones built from an
-/// arbitrary (seeded) labelling, exercising both the modulo wrap and the
-/// balanced packing.
+/// constructor the crate offers, including an explicit per-vertex map (the
+/// snapshot-restore path) and the balanced label packing built from an
+/// arbitrary (seeded) labelling.
 fn placement(variant: usize, n: u32, workers: usize, seed: u64) -> Placement {
     match variant {
         0 => Placement::hashed(n, workers, seed),
         1 => Placement::modulo(n, workers),
         2 => Placement::contiguous(n, workers),
         3 => {
-            let labels: Vec<u32> = (0..n)
-                .map(|v| (mix3(seed, v as u64, 0xD1A) % (2 * workers as u64 + 1)) as u32)
-                .collect();
-            Placement::from_labels(&labels, workers)
+            let worker_of: Vec<_> =
+                (0..n).map(|v| (mix3(seed, v as u64, 0xD1A) % workers as u64) as u16).collect();
+            Placement::explicit(worker_of, workers)
         }
         _ => {
             let labels: Vec<u32> = (0..n)

@@ -13,7 +13,7 @@ use crate::ids::VertexId;
 use crate::rng::SplitMix64;
 
 /// A batch of changes to apply to a directed graph.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphDelta {
     /// Directed edges to add.
     pub added_edges: Vec<(VertexId, VertexId)>,

@@ -63,6 +63,11 @@ impl Placement {
     /// whenever worker balance matters; this variant is kept for the
     /// paper-faithful hash and for `k <= num_workers` setups, where the two
     /// differ only in which worker a label lands on.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the modulo wrap piles large labels onto one worker when k > num_workers; \
+                use `from_labels_balanced` (or `from_label_assignment` to reuse a map)"
+    )]
     pub fn from_labels(labels: &[u32], num_workers: usize) -> Self {
         assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
         let worker_of =
@@ -109,6 +114,19 @@ impl Placement {
             loads.push(Reverse((load + counts[l], w)));
         }
         assignment
+    }
+
+    /// Placement from an explicit per-vertex worker vector — the inverse of
+    /// [`Self::as_slice`], used to rehost an engine on a placement restored
+    /// from a serialized snapshot (see `spinner_serving`). Panics if any
+    /// entry names a worker outside `0..num_workers`.
+    pub fn explicit(worker_of: Vec<WorkerId>, num_workers: usize) -> Self {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize + 1);
+        assert!(
+            worker_of.iter().all(|&w| (w as usize) < num_workers),
+            "worker id out of range"
+        );
+        Self { worker_of, num_workers }
     }
 
     /// Placement from an explicit label → worker `assignment` (as produced
@@ -200,25 +218,35 @@ mod tests {
     }
 
     #[test]
-    fn from_labels_groups_by_label() {
+    fn from_labels_balanced_groups_by_label() {
         let labels = vec![2, 0, 2, 1, 0];
-        let p = Placement::from_labels(&labels, 3);
+        let p = Placement::from_labels_balanced(&labels, 3);
         assert_eq!(p.worker_of(0), p.worker_of(2));
         assert_eq!(p.worker_of(1), p.worker_of(4));
         assert_ne!(p.worker_of(0), p.worker_of(3));
     }
 
+    /// Pinned behavior of the deprecated `from_labels`: the §V-F modulo hash
+    /// `worker(v) = l(v) mod L`, including the wrap that motivates the
+    /// deprecation (labels 5 and 1 collide on worker 1 with L = 4). Keep
+    /// until `from_labels` is removed.
     #[test]
-    fn labels_wrap_modulo_workers() {
+    #[allow(deprecated)]
+    fn deprecated_from_labels_wraps_modulo_workers() {
         let labels = vec![5, 1];
         let p = Placement::from_labels(&labels, 4);
         assert_eq!(p.worker_of(0), 1);
         assert_eq!(p.worker_of(1), 1);
+        // Same label still lands on the same worker.
+        let q = Placement::from_labels(&[2, 0, 2, 1, 0], 3);
+        assert_eq!(q.worker_of(0), q.worker_of(2));
+        assert_eq!(q.worker_of(1), q.worker_of(4));
     }
 
     /// The documented `from_labels` hazard: with k > L the modulo wrap can
-    /// stack the heaviest labels on one worker; the balanced packing keeps
-    /// the same-label-same-worker property while spreading the load.
+    /// stack the heaviest labels on one worker (labels 0 and 2 collide mod 2
+    /// for worker sizes [100, 10]); the balanced packing keeps the
+    /// same-label-same-worker property while spreading the load.
     #[test]
     fn balanced_fixes_modulo_pileup() {
         // Labels 0 and 2 are huge and collide modulo 2; labels 1 and 3 tiny.
@@ -227,9 +255,7 @@ mod tests {
         labels.extend(std::iter::repeat_n(2u32, 50));
         labels.extend(std::iter::repeat_n(1u32, 5));
         labels.extend(std::iter::repeat_n(3u32, 5));
-        let wrapped = Placement::from_labels(&labels, 2);
         let balanced = Placement::from_labels_balanced(&labels, 2);
-        assert_eq!(wrapped.worker_sizes(), vec![100, 10]);
         assert_eq!(balanced.worker_sizes(), vec![55, 55]);
         // Same label still means same worker.
         for (v, &l) in labels.iter().enumerate() {
@@ -262,6 +288,19 @@ mod tests {
         assert_eq!(p.worker_of(0), 1);
         assert_eq!(p.worker_of(1), 0);
         assert_eq!(p.worker_of(2), 2);
+    }
+
+    #[test]
+    fn explicit_round_trips_as_slice() {
+        let p = Placement::hashed(100, 5, 9);
+        let q = Placement::explicit(p.as_slice().to_vec(), 5);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker id out of range")]
+    fn explicit_rejects_out_of_range_workers() {
+        let _ = Placement::explicit(vec![0, 3], 3);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! The serving front-end: one ingest thread owns a [`ServingNode`] and
+//! applies stream windows; any number of lookup threads hold cloned
+//! [`RoutingReader`]s and answer "which worker hosts vertex v?" without
+//! locks.
+
+use std::path::Path;
+
+use spinner_core::{StreamEvent, StreamSession, WindowReport};
+use spinner_graph::VertexId;
+
+use crate::persist::{PersistError, ResumeStats, SessionStore};
+use crate::routing::{Lookup, RoutingReader, RoutingTable};
+use crate::wal::WalRecord;
+
+/// What one [`ServingNode::ingest`] call did, for callers that meter the
+/// write path.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    epoch: u64,
+    record_bytes: u64,
+    wal_bytes: u64,
+    snapshot_bytes: u64,
+    report: WindowReport,
+}
+
+impl IngestReport {
+    /// The routing epoch published for this window (equals the session's
+    /// window count).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Framed bytes this window appended to the WAL (0 when the node runs
+    /// without persistence).
+    pub fn record_bytes(&self) -> u64 {
+        self.record_bytes
+    }
+
+    /// Total WAL size after the append (0 without persistence).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Current snapshot size (0 without persistence).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+
+    /// The partition-quality report the session produced for this window.
+    pub fn report(&self) -> &WindowReport {
+        &self.report
+    }
+}
+
+/// A partition-serving node: a [`StreamSession`] that repartitions as the
+/// graph changes, an epoch-versioned [`RoutingTable`] that publishes where
+/// every vertex lives, and (optionally) a [`SessionStore`] that makes the
+/// whole thing restartable.
+///
+/// Threading model: exactly one thread calls [`ingest`](Self::ingest);
+/// lookup threads each clone a [`RoutingReader`] once and call
+/// [`RoutingReader::lookup`] freely — reads are wait-free against the
+/// writer and never observe a torn table.
+pub struct ServingNode {
+    session: StreamSession,
+    table: RoutingTable,
+    store: Option<SessionStore>,
+}
+
+impl ServingNode {
+    /// Wraps `session` for serving without persistence. The session's
+    /// current placement is published immediately, so lookups work before
+    /// the first ingest.
+    pub fn new(session: StreamSession) -> Self {
+        let mut table =
+            RoutingTable::with_capacity(session.placement().as_slice().len() as u32);
+        table.publish_at(session.windows().len() as u64, session.placement().as_slice());
+        Self { session, table, store: None }
+    }
+
+    /// Wraps `session` for serving and starts a fresh store at `dir`
+    /// (snapshot of the current state, empty WAL).
+    pub fn with_persistence(
+        session: StreamSession,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, PersistError> {
+        let store = SessionStore::create(dir, &session.state())?;
+        let mut node = Self::new(session);
+        node.store = Some(store);
+        Ok(node)
+    }
+
+    /// Restarts a node from `dir`: loads the snapshot, replays the WAL
+    /// (dropping a torn tail), rebuilds the warm session, and publishes the
+    /// recovered placement. Labels and placement are bit-identical to the
+    /// node that wrote the store.
+    pub fn resume_from(dir: impl AsRef<Path>) -> Result<(Self, ResumeStats), PersistError> {
+        let (state, store, stats) = SessionStore::load(dir)?;
+        let session = StreamSession::from_state(state);
+        let mut node = Self::new(session);
+        node.store = Some(store);
+        Ok((node, stats))
+    }
+
+    /// Applies one stream window: repartitions, logs the state delta to the
+    /// WAL (when persistent), then publishes the new placement as the next
+    /// routing epoch. Readers flip to the new epoch atomically; until then
+    /// they serve the previous one.
+    pub fn ingest(&mut self, event: StreamEvent) -> Result<IngestReport, PersistError> {
+        let before = self.store.as_ref().map(|_| self.session.state());
+        let report = self.session.apply(event.clone()).clone();
+        let mut record_bytes = 0;
+        if let Some(store) = &mut self.store {
+            let record = WalRecord::diff(
+                before.as_ref().expect("captured"),
+                &self.session.state(),
+                event,
+            );
+            record_bytes = store.append(&record)?;
+        }
+        let epoch = self.session.windows().len() as u64;
+        self.table.publish_at(epoch, self.session.placement().as_slice());
+        Ok(IngestReport {
+            epoch,
+            record_bytes,
+            wal_bytes: self.store.as_ref().map_or(0, SessionStore::wal_bytes),
+            snapshot_bytes: self.store.as_ref().map_or(0, SessionStore::snapshot_bytes),
+            report,
+        })
+    }
+
+    /// Folds the WAL into a fresh snapshot, bounding restart time. No-op
+    /// without persistence.
+    pub fn compact(&mut self) -> Result<(), PersistError> {
+        if let Some(store) = &mut self.store {
+            store.compact(&self.session.state())?;
+        }
+        Ok(())
+    }
+
+    /// A wait-free routing handle to hand to a lookup thread.
+    pub fn reader(&self) -> RoutingReader {
+        self.table.reader()
+    }
+
+    /// Convenience single lookup through a fresh reader.
+    pub fn lookup(&self, v: VertexId) -> Option<Lookup> {
+        self.table.reader().lookup(v)
+    }
+
+    /// The currently published routing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.table.head()
+    }
+
+    /// The underlying session, for labels / windows / quality inspection.
+    pub fn session(&self) -> &StreamSession {
+        &self.session
+    }
+
+    /// The routing table, for its allocation / retry counters.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_core::SpinnerConfig;
+    use spinner_graph::{DirectedGraph, GraphBuilder, GraphDelta};
+
+    fn ring(n: u32) -> DirectedGraph {
+        GraphBuilder::new(n).add_edges((0..n).map(|v| (v, (v + 1) % n))).build()
+    }
+
+    fn cfg(k: u32) -> SpinnerConfig {
+        SpinnerConfig { seed: 7, max_iterations: 12, ..SpinnerConfig::new(k) }
+    }
+
+    #[test]
+    fn node_serves_the_session_placement() {
+        let session = StreamSession::new(ring(400), cfg(4));
+        let node = ServingNode::new(session);
+        assert_eq!(node.epoch(), 1, "bootstrap window is epoch 1");
+        let placement = node.session().placement().as_slice().to_vec();
+        let reader = node.reader();
+        for (v, &w) in placement.iter().enumerate() {
+            let hit = reader.lookup(v as u32).expect("published");
+            assert_eq!(hit.worker(), w);
+            assert_eq!(hit.epoch(), 1);
+        }
+        assert!(reader.lookup(placement.len() as u32).is_none(), "past-end lookup misses");
+    }
+
+    #[test]
+    fn ingest_advances_the_epoch_and_routing() {
+        let session = StreamSession::new(ring(300), cfg(3));
+        let mut node = ServingNode::new(session);
+        let delta = GraphDelta {
+            new_vertices: 20,
+            added_edges: vec![(0, 305), (300, 310)],
+            removed_edges: vec![],
+        };
+        let report = node.ingest(StreamEvent::Delta(delta)).expect("no persistence, no I/O");
+        assert_eq!(report.epoch(), 2);
+        assert_eq!(node.epoch(), 2);
+        assert_eq!(report.record_bytes(), 0, "no store attached");
+        let placement = node.session().placement().as_slice().to_vec();
+        assert_eq!(placement.len(), 320);
+        let reader = node.reader();
+        for (v, &w) in placement.iter().enumerate() {
+            assert_eq!(reader.lookup(v as u32).expect("published").worker(), w);
+        }
+    }
+
+    #[test]
+    fn persistent_node_restarts_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("spinner-node-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut live = {
+            let session = StreamSession::new(ring(500), cfg(4));
+            ServingNode::with_persistence(session, &dir).expect("create store")
+        };
+        for i in 0..3u32 {
+            let delta = GraphDelta {
+                new_vertices: 10,
+                added_edges: vec![(i, 500 + i * 10), (i * 7 % 500, 501 + i * 10)],
+                removed_edges: vec![],
+            };
+            let rep = live.ingest(StreamEvent::Delta(delta)).expect("append");
+            assert!(rep.record_bytes() > 0);
+            assert!(rep.wal_bytes() > 0);
+        }
+
+        let (resumed, stats) = ServingNode::resume_from(&dir).expect("resume");
+        assert_eq!(stats.replayed_windows, 3);
+        assert!(!stats.truncated_tail);
+        assert_eq!(resumed.epoch(), live.epoch());
+        assert_eq!(resumed.session().labels(), live.session().labels());
+        assert_eq!(
+            resumed.session().placement().as_slice(),
+            live.session().placement().as_slice()
+        );
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn compact_folds_wal_into_snapshot() {
+        let dir = std::env::temp_dir().join(format!("spinner-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let session = StreamSession::new(ring(200), cfg(2));
+        let mut node = ServingNode::with_persistence(session, &dir).expect("create store");
+        node.ingest(StreamEvent::Delta(GraphDelta {
+            new_vertices: 5,
+            added_edges: vec![(1, 201)],
+            removed_edges: vec![],
+        }))
+        .expect("ingest");
+        node.ingest(StreamEvent::Resize { k: 3 }).expect("ingest");
+        let labels = node.session().labels().to_vec();
+        node.compact().expect("compact");
+
+        let (resumed, stats) = ServingNode::resume_from(&dir).expect("resume");
+        assert_eq!(stats.replayed_windows, 0, "WAL was folded in");
+        assert_eq!(resumed.session().labels(), labels.as_slice());
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,223 @@
+//! On-disk session store: a snapshot file plus an append-only WAL in one
+//! directory, and the [`SessionPersist`] extension that gives
+//! [`StreamSession`] a `resume_from` warm start.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::{fmt, io};
+
+use spinner_core::{SessionState, StreamSession};
+
+use crate::codec::CorruptError;
+use crate::snapshot::{decode_state, encode_state};
+use crate::wal::{read_wal, WalRecord};
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Write-ahead-log file name inside a store directory.
+pub const WAL_FILE: &str = "wal.bin";
+
+/// Failure while persisting or restoring a session.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The stored bytes are corrupt beyond the recoverable WAL tail.
+    Corrupt(CorruptError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "session store I/O error: {e}"),
+            Self::Corrupt(e) => write!(f, "session store corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CorruptError> for PersistError {
+    fn from(e: CorruptError) -> Self {
+        Self::Corrupt(e)
+    }
+}
+
+/// What a [`SessionStore::load`] recovered, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeStats {
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_windows: usize,
+    /// True when a torn tail (crash mid-append) was discarded.
+    pub truncated_tail: bool,
+    /// Size of the snapshot file in bytes.
+    pub snapshot_bytes: u64,
+    /// Clean WAL bytes retained after recovery.
+    pub wal_bytes: u64,
+}
+
+/// A directory holding one session's snapshot + WAL.
+///
+/// The write path is: [`SessionStore::create`] once with the bootstrap (or
+/// checkpoint) state, then [`SessionStore::append`] one [`WalRecord`] per
+/// window. The read path is [`SessionStore::load`], which replays the WAL
+/// onto the snapshot — truncating a torn tail — and reopens it for append,
+/// so a restarted process continues logging where the dead one stopped.
+pub struct SessionStore {
+    dir: PathBuf,
+    wal: File,
+    wal_bytes: u64,
+    snapshot_bytes: u64,
+}
+
+impl SessionStore {
+    /// Creates (or resets) the store at `dir`: writes `state` as the
+    /// snapshot and starts an empty WAL.
+    pub fn create(dir: impl AsRef<Path>, state: &SessionState) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let bytes = encode_state(state);
+        write_atomically(&dir.join(SNAPSHOT_FILE), &bytes)?;
+        let wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(dir.join(WAL_FILE))?;
+        Ok(Self { dir, wal, wal_bytes: 0, snapshot_bytes: bytes.len() as u64 })
+    }
+
+    /// Opens the store at `dir`, replays the WAL onto the snapshot, and
+    /// returns the recovered state together with the reopened store. A torn
+    /// WAL tail is truncated away; corruption anywhere else errors.
+    pub fn load(
+        dir: impl AsRef<Path>,
+    ) -> Result<(SessionState, Self, ResumeStats), PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut snapshot_bytes = Vec::new();
+        File::open(dir.join(SNAPSHOT_FILE))?.read_to_end(&mut snapshot_bytes)?;
+        let mut state = decode_state(&snapshot_bytes)?;
+
+        let mut wal_bytes = Vec::new();
+        match File::open(dir.join(WAL_FILE)) {
+            Ok(mut f) => {
+                f.read_to_end(&mut wal_bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let scan = read_wal(&wal_bytes);
+        for record in &scan.records {
+            record.apply_to(&mut state)?;
+        }
+
+        let wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(dir.join(WAL_FILE))?;
+        wal.set_len(scan.clean_bytes)?;
+        let stats = ResumeStats {
+            replayed_windows: scan.records.len(),
+            truncated_tail: scan.truncated_tail,
+            snapshot_bytes: snapshot_bytes.len() as u64,
+            wal_bytes: scan.clean_bytes,
+        };
+        let store = Self {
+            dir,
+            wal,
+            wal_bytes: scan.clean_bytes,
+            snapshot_bytes: snapshot_bytes.len() as u64,
+        };
+        Ok((state, store, stats))
+    }
+
+    /// Appends one window record and flushes it. Returns the framed size in
+    /// bytes.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        use std::io::Seek;
+        let framed = record.encode_framed();
+        self.wal.seek(io::SeekFrom::Start(self.wal_bytes))?;
+        self.wal.write_all(&framed)?;
+        self.wal.flush()?;
+        self.wal_bytes += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+
+    /// Rewrites the snapshot as `state` and empties the WAL — bounding
+    /// restart time for long streams. Crash-safe: the new snapshot lands
+    /// via rename before the old WAL is dropped.
+    pub fn compact(&mut self, state: &SessionState) -> io::Result<()> {
+        let bytes = encode_state(state);
+        write_atomically(&self.dir.join(SNAPSHOT_FILE), &bytes)?;
+        self.snapshot_bytes = bytes.len() as u64;
+        self.wal.set_len(0)?;
+        self.wal_bytes = 0;
+        Ok(())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current WAL size in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Current snapshot size in bytes.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+}
+
+/// Writes `bytes` to `path` through a temporary file + rename, so readers
+/// never observe a half-written snapshot.
+fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Persistence extension for [`StreamSession`]: warm-start a restarted
+/// process from a [`SessionStore`] directory instead of re-partitioning
+/// from scratch.
+///
+/// Bring the trait into scope (`use spinner_serving::SessionPersist;` or
+/// via `spinner::prelude::*`) and call
+/// `StreamSession::resume_from("state-dir")`.
+pub trait SessionPersist: Sized {
+    /// Rebuilds the session from `dir`'s snapshot + WAL. The result is
+    /// bit-identical — labels, placement, feedback map, report history — to
+    /// the session that wrote the store, including when its process died
+    /// mid-append (the torn record's window is simply not yet applied).
+    fn resume_from(dir: impl AsRef<Path>) -> Result<Self, PersistError>;
+
+    /// Writes the session's current state as a fresh store at `dir`
+    /// (snapshot only, empty WAL) — a one-shot checkpoint for sessions not
+    /// fronted by a [`crate::ServingNode`].
+    fn checkpoint_to(&self, dir: impl AsRef<Path>) -> Result<(), PersistError>;
+}
+
+impl SessionPersist for StreamSession {
+    fn resume_from(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let (state, _store, _stats) = SessionStore::load(dir)?;
+        Ok(StreamSession::from_state(state))
+    }
+
+    fn checkpoint_to(&self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
+        SessionStore::create(dir, &self.state())?;
+        Ok(())
+    }
+}

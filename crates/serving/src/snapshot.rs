@@ -1,0 +1,338 @@
+//! Binary snapshot of a [`SessionState`]: everything a restarted process
+//! needs to rebuild a [`spinner_core::StreamSession`] via
+//! [`spinner_core::StreamSession::from_state`] — config, directed graph,
+//! labels, live placement, feedback map, and the window-report history.
+//!
+//! Layout: an 8-byte magic, a varint-encoded payload, and a trailing
+//! CRC-32 of the payload. The graph is stored as per-vertex degree plus
+//! delta-encoded sorted neighbour gaps (CSR order is already sorted), which
+//! keeps the file a small multiple of the in-memory CSR.
+
+use spinner_core::config::{BalanceObjective, RestartScope};
+use spinner_core::{SessionState, SpinnerConfig, WindowReport, WindowReportParts};
+use spinner_graph::GraphBuilder;
+
+use crate::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};
+
+/// Magic prefix of a snapshot file (versioned; bump on layout change).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP1";
+
+/// Encodes `state` into a self-verifying snapshot byte vector.
+pub fn encode_state(state: &SessionState) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_config(&mut w, &state.cfg);
+    // Graph: vertex count, then degree + neighbour gaps per vertex.
+    let graph = &state.graph;
+    w.put_varint(u64::from(graph.num_vertices()));
+    for v in graph.vertices() {
+        let neighbors = graph.out_neighbors(v);
+        w.put_varint(neighbors.len() as u64);
+        let mut prev = 0u64;
+        for &d in neighbors {
+            w.put_varint(u64::from(d) - prev);
+            prev = u64::from(d);
+        }
+    }
+    w.put_varint(state.labels.len() as u64);
+    for &l in &state.labels {
+        w.put_varint(u64::from(l));
+    }
+    w.put_varint(state.placement.len() as u64);
+    for &p in &state.placement {
+        w.put_varint(u64::from(p));
+    }
+    match &state.label_assignment {
+        None => w.put_u8(0),
+        Some(assignment) => {
+            w.put_u8(1);
+            w.put_varint(assignment.len() as u64);
+            for &a in assignment {
+                w.put_varint(u64::from(a));
+            }
+        }
+    }
+    w.put_varint(state.windows.len() as u64);
+    for report in &state.windows {
+        put_report(&mut w, &report.to_parts());
+    }
+
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+/// Decodes a snapshot produced by [`encode_state`], verifying magic and
+/// checksum.
+pub fn decode_state(bytes: &[u8]) -> Result<SessionState> {
+    let payload =
+        bytes.strip_prefix(SNAPSHOT_MAGIC).ok_or(CorruptError { context: "snapshot magic" })?;
+    if payload.len() < 4 {
+        return Err(CorruptError { context: "snapshot checksum" });
+    }
+    let (payload, crc_bytes) = payload.split_at(payload.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(payload) != stored {
+        return Err(CorruptError { context: "snapshot checksum" });
+    }
+
+    let mut r = ByteReader::new(payload);
+    let cfg = read_config(&mut r)?;
+    let n = r.varint("graph vertex count")? as u32;
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..n {
+        let degree = r.varint("vertex degree")?;
+        let mut prev = 0u64;
+        for _ in 0..degree {
+            prev += r.varint("neighbour gap")?;
+            let d =
+                u32::try_from(prev).map_err(|_| CorruptError { context: "neighbour id" })?;
+            builder.add_edge(v, d);
+        }
+    }
+    let graph = builder.build();
+
+    let labels = read_u32_list(&mut r, "labels")?;
+    let placement_raw = read_u32_list(&mut r, "placement")?;
+    let mut placement = Vec::with_capacity(placement_raw.len());
+    for p in placement_raw {
+        placement.push(u16::try_from(p).map_err(|_| CorruptError { context: "worker id" })?);
+    }
+    let label_assignment = match r.u8("assignment tag")? {
+        0 => None,
+        1 => {
+            let raw = read_u32_list(&mut r, "label assignment")?;
+            let mut assignment = Vec::with_capacity(raw.len());
+            for a in raw {
+                assignment
+                    .push(u16::try_from(a).map_err(|_| CorruptError { context: "worker id" })?);
+            }
+            Some(assignment)
+        }
+        _ => return Err(CorruptError { context: "assignment tag" }),
+    };
+    let window_count = r.varint("window count")?;
+    let mut windows = Vec::new();
+    for _ in 0..window_count {
+        windows.push(WindowReport::from_parts(read_report(&mut r)?));
+    }
+    if !r.is_exhausted() {
+        return Err(CorruptError { context: "snapshot trailing bytes" });
+    }
+    Ok(SessionState { cfg, graph, labels, placement, label_assignment, windows })
+}
+
+fn read_u32_list(r: &mut ByteReader<'_>, context: &'static str) -> Result<Vec<u32>> {
+    let len = r.varint(context)?;
+    let mut out = Vec::with_capacity(len.min(1 << 24) as usize);
+    for _ in 0..len {
+        out.push(u32::try_from(r.varint(context)?).map_err(|_| CorruptError { context })?);
+    }
+    Ok(out)
+}
+
+fn put_config(w: &mut ByteWriter, cfg: &SpinnerConfig) {
+    w.put_varint(u64::from(cfg.k));
+    w.put_f64(cfg.c);
+    w.put_f64(cfg.epsilon);
+    w.put_varint(u64::from(cfg.window));
+    w.put_varint(u64::from(cfg.max_iterations));
+    w.put_u8(u8::from(cfg.ignore_halting));
+    w.put_varint(cfg.seed);
+    w.put_varint(cfg.num_workers as u64);
+    w.put_varint(cfg.num_threads as u64);
+    w.put_u8(u8::from(cfg.async_worker_loads));
+    w.put_u8(u8::from(cfg.balance_penalty));
+    w.put_u8(u8::from(cfg.probabilistic_migration));
+    w.put_u8(u8::from(cfg.in_engine_conversion));
+    w.put_u8(match cfg.objective {
+        BalanceObjective::Edges => 0,
+        BalanceObjective::Vertices => 1,
+    });
+    match &cfg.capacity_weights {
+        None => w.put_u8(0),
+        Some(weights) => {
+            w.put_u8(1);
+            w.put_varint(weights.len() as u64);
+            for &weight in weights {
+                w.put_f64(weight);
+            }
+        }
+    }
+    w.put_u8(match cfg.restart_scope {
+        RestartScope::All => 0,
+        RestartScope::AffectedOnly => 1,
+    });
+    match cfg.placement_feedback {
+        None => w.put_u8(0),
+        Some(threshold) => {
+            w.put_u8(1);
+            w.put_f64(threshold);
+        }
+    }
+    w.put_u8(u8::from(cfg.broadcast_fabric));
+    w.put_u8(u8::from(cfg.exhaustive_candidate_scan));
+}
+
+fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
+    let k = u32::try_from(r.varint("config k")?)
+        .ok()
+        .filter(|&k| k >= 1)
+        .ok_or(CorruptError { context: "config k" })?;
+    let mut cfg = SpinnerConfig::new(k);
+    cfg.c = r.f64("config c")?;
+    cfg.epsilon = r.f64("config epsilon")?;
+    cfg.window = r.varint("config window")? as u32;
+    cfg.max_iterations = r.varint("config max_iterations")? as u32;
+    cfg.ignore_halting = read_bool(r, "config ignore_halting")?;
+    cfg.seed = r.varint("config seed")?;
+    cfg.num_workers = r.varint("config num_workers")? as usize;
+    cfg.num_threads = r.varint("config num_threads")? as usize;
+    cfg.async_worker_loads = read_bool(r, "config async_worker_loads")?;
+    cfg.balance_penalty = read_bool(r, "config balance_penalty")?;
+    cfg.probabilistic_migration = read_bool(r, "config probabilistic_migration")?;
+    cfg.in_engine_conversion = read_bool(r, "config in_engine_conversion")?;
+    cfg.objective = match r.u8("config objective")? {
+        0 => BalanceObjective::Edges,
+        1 => BalanceObjective::Vertices,
+        _ => return Err(CorruptError { context: "config objective" }),
+    };
+    cfg.capacity_weights = match r.u8("config capacity tag")? {
+        0 => None,
+        1 => {
+            let len = r.varint("config capacity len")?;
+            let mut weights = Vec::with_capacity(len.min(1 << 16) as usize);
+            for _ in 0..len {
+                weights.push(r.f64("config capacity weight")?);
+            }
+            Some(weights)
+        }
+        _ => return Err(CorruptError { context: "config capacity tag" }),
+    };
+    cfg.restart_scope = match r.u8("config restart_scope")? {
+        0 => RestartScope::All,
+        1 => RestartScope::AffectedOnly,
+        _ => return Err(CorruptError { context: "config restart_scope" }),
+    };
+    cfg.placement_feedback = match r.u8("config feedback tag")? {
+        0 => None,
+        1 => Some(r.f64("config feedback threshold")?),
+        _ => return Err(CorruptError { context: "config feedback tag" }),
+    };
+    cfg.broadcast_fabric = read_bool(r, "config broadcast_fabric")?;
+    cfg.exhaustive_candidate_scan = read_bool(r, "config exhaustive_candidate_scan")?;
+    Ok(cfg)
+}
+
+fn read_bool(r: &mut ByteReader<'_>, context: &'static str) -> Result<bool> {
+    match r.u8(context)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CorruptError { context }),
+    }
+}
+
+/// Appends one [`WindowReportParts`] (shared by snapshot and WAL records).
+pub(crate) fn put_report(w: &mut ByteWriter, parts: &WindowReportParts) {
+    w.put_varint(u64::from(parts.window));
+    w.put_varint(u64::from(parts.k));
+    w.put_varint(u64::from(parts.num_vertices));
+    w.put_varint(parts.num_edges);
+    w.put_f64(parts.phi);
+    w.put_f64(parts.rho);
+    w.put_f64(parts.migration_fraction);
+    w.put_varint(u64::from(parts.iterations));
+    w.put_varint(parts.supersteps);
+    w.put_varint(parts.messages);
+    w.put_varint(parts.sent_local);
+    w.put_varint(parts.sent_remote);
+    w.put_varint(parts.sent_local_records);
+    w.put_varint(parts.sent_remote_records);
+    w.put_varint(parts.placement_moved);
+    w.put_varint(parts.wall_ns);
+    w.put_varint(parts.fabric_reallocs);
+}
+
+/// Reads one [`WindowReportParts`] appended by [`put_report`].
+pub(crate) fn read_report(r: &mut ByteReader<'_>) -> Result<WindowReportParts> {
+    Ok(WindowReportParts {
+        window: r.varint("report window")? as u32,
+        k: r.varint("report k")? as u32,
+        num_vertices: r.varint("report num_vertices")? as u32,
+        num_edges: r.varint("report num_edges")?,
+        phi: r.f64("report phi")?,
+        rho: r.f64("report rho")?,
+        migration_fraction: r.f64("report migration_fraction")?,
+        iterations: r.varint("report iterations")? as u32,
+        supersteps: r.varint("report supersteps")?,
+        messages: r.varint("report messages")?,
+        sent_local: r.varint("report sent_local")?,
+        sent_remote: r.varint("report sent_remote")?,
+        sent_local_records: r.varint("report sent_local_records")?,
+        sent_remote_records: r.varint("report sent_remote_records")?,
+        placement_moved: r.varint("report placement_moved")?,
+        wall_ns: r.varint("report wall_ns")?,
+        fabric_reallocs: r.varint("report fabric_reallocs")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_core::{StreamEvent, StreamSession};
+    use spinner_graph::generators::{planted_partition, SbmConfig};
+    use spinner_graph::GraphDelta;
+
+    fn sample_state() -> SessionState {
+        let graph = planted_partition(SbmConfig {
+            n: 400,
+            communities: 4,
+            internal_degree: 6.0,
+            external_degree: 1.0,
+            skew: None,
+            seed: 11,
+        });
+        let mut cfg = SpinnerConfig::new(4).with_seed(5).with_placement_feedback(0.5);
+        cfg.num_workers = 4;
+        cfg.max_iterations = 40;
+        let mut session = StreamSession::new(graph, cfg);
+        session.apply(StreamEvent::Delta(GraphDelta::additions(vec![(0, 200), (1, 399)])));
+        session.state()
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identical() {
+        let state = sample_state();
+        let bytes = encode_state(&state);
+        let decoded = decode_state(&bytes).expect("decodes");
+        assert_eq!(decoded.labels, state.labels);
+        assert_eq!(decoded.placement, state.placement);
+        assert_eq!(decoded.label_assignment, state.label_assignment);
+        assert_eq!(decoded.windows, state.windows);
+        assert_eq!(decoded.graph.num_vertices(), state.graph.num_vertices());
+        assert_eq!(decoded.graph.num_edges(), state.graph.num_edges());
+        let edges_a: Vec<_> = state.graph.edges().collect();
+        let edges_b: Vec<_> = decoded.graph.edges().collect();
+        assert_eq!(edges_a, edges_b);
+        assert_eq!(decoded.cfg.k, state.cfg.k);
+        assert_eq!(decoded.cfg.seed, state.cfg.seed);
+        assert_eq!(decoded.cfg.placement_feedback, state.cfg.placement_feedback);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut bytes = encode_state(&sample_state());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(decode_state(&bytes).is_err(), "checksum missed a flipped bit");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_state(&sample_state());
+        assert!(decode_state(&bytes[..bytes.len() - 9]).is_err());
+        assert!(decode_state(&bytes[..4]).is_err());
+    }
+}

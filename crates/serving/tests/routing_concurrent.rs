@@ -1,0 +1,109 @@
+//! Lookup-during-migration safety: reader threads hammer a [`RoutingTable`]
+//! while one writer publishes a long sequence of growing placements. Every
+//! lookup must be internally consistent with *some* published epoch — never
+//! a torn mix of two — and no staler than the head the reader itself
+//! observed around the call.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use spinner_pregel::WorkerId;
+use spinner_serving::RoutingTable;
+
+/// Deterministic worker for `(epoch, v)` — lets readers verify a lookup
+/// against the publishing epoch without sharing the placement vectors.
+fn expected(epoch: u64, v: u32) -> WorkerId {
+    let x = epoch
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(v).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    ((x >> 33) % 64) as WorkerId
+}
+
+fn placement(epoch: u64, len: usize) -> Vec<WorkerId> {
+    (0..len as u32).map(|v| expected(epoch, v)).collect()
+}
+
+/// Table size at `epoch` — crosses the 4096-entry segment boundary and
+/// keeps growing, so readers race both epoch flips and segment allocation.
+fn len_at(epoch: u64) -> usize {
+    3_000 + (epoch as usize) * 700
+}
+
+#[test]
+fn concurrent_lookups_always_match_a_published_epoch() {
+    const EPOCHS: u64 = 48;
+    const READERS: usize = 4;
+
+    let mut table = RoutingTable::with_capacity(len_at(EPOCHS) as u32);
+    table.publish_at(1, &placement(1, len_at(1)));
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..READERS {
+        let reader = table.reader();
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let mut verified = 0u64;
+            let mut last_epoch = 0u64;
+            let mut rng = 0x1234_5678_u64 ^ (t as u64) << 40;
+            while !done.load(Ordering::Relaxed) {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let head_before = reader.head();
+                let v = (rng >> 33) as u32 % len_at(head_before) as u32;
+                let Some(hit) = reader.lookup(v) else {
+                    // Only possible when v raced past a *shrinking* table;
+                    // our tables only grow, so a published v must resolve.
+                    panic!("lookup({v}) missed at head {head_before}");
+                };
+                let head_after = reader.head();
+                // Torn-read check: worker and epoch must agree.
+                assert_eq!(
+                    hit.worker(),
+                    expected(hit.epoch(), v),
+                    "worker/epoch mismatch at v={v} epoch={}",
+                    hit.epoch()
+                );
+                // Staleness: the hit comes from an epoch that was head at
+                // some instant during the call.
+                assert!(
+                    hit.epoch() >= head_before && hit.epoch() <= head_after,
+                    "epoch {} outside [{head_before}, {head_after}]",
+                    hit.epoch()
+                );
+                // Head never runs backwards for a single reader.
+                assert!(hit.epoch() >= last_epoch, "epoch regressed");
+                last_epoch = hit.epoch();
+                verified += 1;
+            }
+            verified
+        }));
+    }
+
+    for epoch in 2..=EPOCHS {
+        table.publish_at(epoch, &placement(epoch, len_at(epoch)));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let verified: u64 = handles.into_iter().map(|h| h.join().expect("reader panicked")).sum();
+    assert!(verified > 1_000, "readers barely ran ({verified} lookups)");
+
+    // Quiesced: every read now serves the final epoch exactly — staleness 0.
+    let reader = table.reader();
+    assert_eq!(reader.head(), EPOCHS);
+    for v in (0..len_at(EPOCHS) as u32).step_by(97) {
+        let hit = reader.lookup(v).expect("published");
+        assert_eq!(hit.epoch(), EPOCHS);
+        assert_eq!(hit.worker(), expected(EPOCHS, v));
+    }
+}
+
+#[test]
+fn preallocated_table_publishes_without_growing() {
+    let mut table = RoutingTable::with_capacity(len_at(8) as u32);
+    let baseline = table.reallocs();
+    for epoch in 1..=8 {
+        table.publish_at(epoch, &placement(epoch, len_at(epoch)));
+    }
+    assert_eq!(table.reallocs(), baseline, "publishes within capacity must not allocate");
+}

@@ -1,0 +1,161 @@
+//! Crash-recovery property: run a persistent [`ServingNode`] over a random
+//! event stream, kill it after a random window prefix — optionally tearing
+//! the last WAL record, as a crash mid-append would — resume, and finish
+//! the stream. The resumed run must end bit-identical to an uninterrupted
+//! session that saw the same events.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
+use spinner_graph::{DirectedGraph, GraphBuilder, GraphDelta};
+use spinner_serving::{ServingNode, SessionPersist};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> std::path::PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("spinner-wal-replay-{}-{n}", std::process::id()))
+}
+
+fn base_graph(n: u32, seed: u64) -> DirectedGraph {
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let mut rng = seed | 1;
+    for _ in 0..n * 2 {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = (rng >> 33) as u32 % n;
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let b = (rng >> 33) as u32 % n;
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    GraphBuilder::new(n).add_edges(edges).build()
+}
+
+fn cfg(k: u32, seed: u64) -> SpinnerConfig {
+    let mut cfg = SpinnerConfig::new(k).with_seed(seed);
+    cfg.num_workers = 8;
+    cfg.num_threads = 2;
+    cfg.max_iterations = 10;
+    cfg.placement_feedback = Some(0.05);
+    cfg
+}
+
+/// Turns a proptest-drawn spec into a concrete event: growth deltas keyed
+/// off the current vertex count, or an elastic resize.
+fn materialize(spec: (u8, u64), current_n: u32) -> StreamEvent {
+    let (kind, seed) = spec;
+    if kind % 4 == 3 {
+        StreamEvent::Resize { k: 2 + u32::from(kind % 3) }
+    } else {
+        let mut rng = seed | 1;
+        let new_vertices = 4 + (kind % 8) as u32;
+        let mut added = Vec::new();
+        for i in 0..6 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (rng >> 33) as u32 % current_n;
+            added.push((a, current_n + (i % new_vertices)));
+        }
+        StreamEvent::Delta(GraphDelta {
+            new_vertices,
+            added_edges: added,
+            removed_edges: vec![],
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill-and-resume at any window, with or without a torn tail, ends in
+    /// the exact state of the uninterrupted run.
+    #[test]
+    fn resumed_run_is_bit_identical(
+        seed in 0u64..1000,
+        specs in prop::collection::vec((any::<u8>(), any::<u64>()), 2..5),
+        prefix_hint in any::<u8>(),
+        tear_bytes in 0u64..12,
+    ) {
+        let n0 = 250;
+        let prefix = 1 + usize::from(prefix_hint) % specs.len();
+
+        // Reference: one uninterrupted session over the whole stream.
+        let mut reference = StreamSession::new(base_graph(n0, seed), cfg(3, seed));
+        let mut events = Vec::new();
+        for &spec in &specs {
+            let event = materialize(spec, reference.graph().num_vertices());
+            reference.apply(event.clone());
+            events.push(event);
+        }
+
+        // Persistent run, killed after `prefix` windows.
+        let dir = scratch_dir();
+        let mut node = ServingNode::with_persistence(
+            StreamSession::new(base_graph(n0, seed), cfg(3, seed)),
+            &dir,
+        ).expect("create store");
+        for event in &events[..prefix] {
+            node.ingest(event.clone()).expect("ingest");
+        }
+        drop(node); // the "crash"
+
+        // Optionally tear the tail of the WAL, as an interrupted append would.
+        let wal_path = dir.join("wal.bin");
+        let wal_len = std::fs::metadata(&wal_path).expect("wal exists").len();
+        let torn = tear_bytes > 0 && tear_bytes < wal_len;
+        if torn {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .expect("open wal")
+                .set_len(wal_len - tear_bytes)
+                .expect("truncate");
+        }
+
+        let (mut resumed, stats) = ServingNode::resume_from(&dir).expect("resume");
+        let replay_from = stats.replayed_windows;
+        prop_assert!(replay_from <= prefix);
+        if torn {
+            // A torn tail loses exactly the interrupted record, never more.
+            prop_assert_eq!(replay_from, prefix - 1);
+            prop_assert!(stats.truncated_tail);
+        } else {
+            prop_assert_eq!(replay_from, prefix);
+        }
+
+        // Finish the stream: re-ingest the window whose record was torn,
+        // then everything the dead process never saw.
+        for event in &events[replay_from..] {
+            resumed.ingest(event.clone()).expect("ingest after resume");
+        }
+
+        prop_assert_eq!(resumed.session().labels(), reference.labels());
+        prop_assert_eq!(
+            resumed.session().placement().as_slice(),
+            reference.placement().as_slice()
+        );
+        prop_assert_eq!(resumed.session().windows().len(), reference.windows().len());
+        for (a, b) in resumed.session().windows().iter().zip(reference.windows()) {
+            prop_assert_eq!(a.phi().to_bits(), b.phi().to_bits());
+            prop_assert_eq!(a.rho().to_bits(), b.rho().to_bits());
+            prop_assert_eq!(a.messages(), b.messages());
+        }
+        prop_assert_eq!(resumed.epoch(), reference.windows().len() as u64);
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// The `SessionPersist` trait surface alone (no node) round-trips too.
+    #[test]
+    fn session_checkpoint_resume_round_trip(seed in 0u64..200) {
+        let mut session = StreamSession::new(base_graph(200, seed), cfg(2, seed));
+        session.apply(materialize((1, seed), session.graph().num_vertices()));
+        let dir = scratch_dir();
+        session.checkpoint_to(&dir).expect("checkpoint");
+        let restored = StreamSession::resume_from(&dir).expect("resume");
+        prop_assert_eq!(restored.labels(), session.labels());
+        prop_assert_eq!(restored.placement().as_slice(), session.placement().as_slice());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -7,12 +7,11 @@
 //! cargo run --release --example dynamic_graph
 //! ```
 
-use spinner_core::{adapt, partition, SpinnerConfig};
-use spinner_graph::conversion::from_undirected_edges;
-use spinner_graph::generators::{planted_partition, SbmConfig};
-use spinner_graph::mutation::{apply_delta, sample_new_edges};
-use spinner_graph::GraphDelta;
-use spinner_metrics::partitioning_difference;
+use spinner::graph::conversion::from_undirected_edges;
+use spinner::graph::generators::{planted_partition, SbmConfig};
+use spinner::graph::mutation::{apply_delta, sample_new_edges};
+use spinner::metrics::partitioning_difference;
+use spinner::prelude::*;
 
 fn main() {
     // An undirected friendship graph.

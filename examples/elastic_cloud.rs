@@ -5,10 +5,10 @@
 //! cargo run --release --example elastic_cloud
 //! ```
 
-use spinner_core::{elastic, partition, SpinnerConfig};
-use spinner_graph::conversion::to_weighted_undirected;
-use spinner_graph::generators::{planted_partition, SbmConfig};
-use spinner_metrics::partitioning_difference;
+use spinner::graph::conversion::to_weighted_undirected;
+use spinner::graph::generators::{planted_partition, SbmConfig};
+use spinner::metrics::partitioning_difference;
+use spinner::prelude::*;
 
 fn main() {
     let graph = to_weighted_undirected(&planted_partition(SbmConfig {

@@ -4,9 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use spinner_core::{partition, SpinnerConfig};
-use spinner_graph::conversion::to_weighted_undirected;
-use spinner_graph::generators::{planted_partition, SbmConfig};
+use spinner::graph::conversion::to_weighted_undirected;
+use spinner::graph::generators::{planted_partition, SbmConfig};
+use spinner::prelude::*;
 
 fn main() {
     // 1. Get a directed graph (here: a synthetic social network with 16
@@ -44,8 +44,8 @@ fn main() {
     println!("per-partition loads: {:?}", result.quality.loads);
 
     // 5. The labels vector maps every vertex to its partition; feed it to
-    //    `spinner_pregel::Placement::from_labels` to co-locate partitions
-    //    on workers, or write it out for an external system.
+    //    `Placement::from_labels_balanced` to co-locate partitions on
+    //    workers, or write it out for an external system.
     let sample: Vec<_> = result.labels.iter().take(8).collect();
     println!("first labels: {sample:?}");
 

@@ -6,12 +6,12 @@
 //! cargo run --release --example social_network
 //! ```
 
-use spinner_core::{partition, SpinnerConfig};
-use spinner_graph::conversion::to_weighted_undirected;
-use spinner_graph::generators::{rmat, RmatConfig};
-use spinner_pregel::algorithms::{run_pagerank, run_sssp, run_wcc};
-use spinner_pregel::sim::CostModel;
-use spinner_pregel::{EngineConfig, Placement};
+use spinner::graph::conversion::to_weighted_undirected;
+use spinner::graph::generators::{rmat, RmatConfig};
+use spinner::pregel::algorithms::{run_pagerank, run_sssp, run_wcc};
+use spinner::pregel::sim::CostModel;
+use spinner::pregel::EngineConfig;
+use spinner::prelude::*;
 
 fn main() {
     // A Twitter-like follower graph: R-MAT with Graph500 skew.
@@ -31,7 +31,7 @@ fn main() {
         result.quality.phi, result.quality.rho, result.iterations
     );
     let n = directed.num_vertices();
-    let spinner_placement = Placement::from_labels(&result.labels, k as usize);
+    let spinner_placement = Placement::from_labels_balanced(&result.labels, k as usize);
     let hash_placement = Placement::hashed(n, k as usize, 5);
 
     let engine = EngineConfig::default();

@@ -1,12 +1,12 @@
 //! Integration tests for incremental (§III-D) and elastic (§III-E)
 //! repartitioning — the paper's Figs. 7 and 8 at test scale.
 
-use spinner_core::{adapt, elastic, partition, SpinnerConfig, StreamEvent, StreamSession};
-use spinner_graph::conversion::from_undirected_edges;
-use spinner_graph::generators::{planted_partition, SbmConfig};
-use spinner_graph::mutation::{apply_delta, sample_new_edges};
-use spinner_graph::{DeltaStream, DeltaStreamConfig, GraphDelta};
-use spinner_metrics::partitioning_difference;
+use spinner::graph::conversion::from_undirected_edges;
+use spinner::graph::generators::{planted_partition, SbmConfig};
+use spinner::graph::mutation::{apply_delta, sample_new_edges};
+use spinner::graph::{DeltaStream, DeltaStreamConfig};
+use spinner::metrics::partitioning_difference;
+use spinner::prelude::*;
 
 fn base_graph() -> spinner_graph::DirectedGraph {
     planted_partition(SbmConfig {
@@ -131,7 +131,7 @@ fn stream_shrinks_partitions_mid_stream() {
 
     // k: 8 -> 5 while the stream is live.
     let report = session.apply(StreamEvent::Resize { k: 5 }).clone();
-    assert_eq!(report.k, 5);
+    assert_eq!(report.k(), 5);
     assert_eq!(session.k(), 5);
     assert!(session.labels().iter().all(|&l| l < 5));
     let mut loads = [0u64; 5];
@@ -139,7 +139,7 @@ fn stream_shrinks_partitions_mid_stream() {
         loads[l as usize] += 1;
     }
     assert!(loads.iter().all(|&l| l > 0), "empty partition after shrink: {loads:?}");
-    assert!(report.rho < 1.25, "rho {}", report.rho);
+    assert!(report.rho() < 1.25, "rho {}", report.rho());
     // Vertices of surviving partitions mostly keep their label...
     let kept =
         before_shrink.iter().zip(session.labels()).filter(|&(&a, &b)| a < 5 && a == b).count()
@@ -150,21 +150,21 @@ fn stream_shrinks_partitions_mid_stream() {
     let scratch = partition(&from_undirected_edges(session.graph()), &cfg(5).with_seed(777));
     let moved_scratch = partitioning_difference(&before_shrink, &scratch.labels);
     assert!(
-        report.migration_fraction < moved_scratch,
+        report.migration_fraction() < moved_scratch,
         "shrink moved {} vs scratch {moved_scratch}",
-        report.migration_fraction
+        report.migration_fraction()
     );
 
     // The stream continues warm after the shrink: no fabric growth, valid
     // labels over the grown vertex set.
     let next = session.apply(StreamEvent::Delta(deltas.next().expect("window"))).clone();
-    assert_eq!(next.fabric_reallocs, 0, "fabric grew after mid-stream shrink");
+    assert_eq!(next.fabric_reallocs(), 0, "fabric grew after mid-stream shrink");
     assert_eq!(session.labels().len(), session.undirected().num_vertices() as usize);
     assert!(session.labels().iter().all(|&l| l < 5));
     assert!(
-        next.migration_fraction < 0.4,
+        next.migration_fraction() < 0.4,
         "post-shrink window moved {}",
-        next.migration_fraction
+        next.migration_fraction()
     );
 }
 

@@ -1,12 +1,13 @@
 //! Cross-crate integration tests: the full pipeline from generator through
 //! conversion, partitioning, and application execution on the Pregel engine.
 
-use spinner_core::{partition, partition_directed, SpinnerConfig};
-use spinner_graph::conversion::{from_undirected_edges, to_weighted_undirected};
-use spinner_graph::{Dataset, Scale};
-use spinner_pregel::algorithms::{run_pagerank, run_wcc};
-use spinner_pregel::sim::CostModel;
-use spinner_pregel::{EngineConfig, Placement};
+use spinner::core::partition_directed;
+use spinner::graph::conversion::{from_undirected_edges, to_weighted_undirected};
+use spinner::graph::{Dataset, Scale};
+use spinner::pregel::algorithms::{run_pagerank, run_wcc};
+use spinner::pregel::sim::CostModel;
+use spinner::pregel::EngineConfig;
+use spinner::prelude::*;
 
 fn cfg(k: u32) -> SpinnerConfig {
     let mut cfg = SpinnerConfig::new(k).with_seed(42);
@@ -53,7 +54,7 @@ fn spinner_placement_speeds_up_pagerank() {
     let engine =
         EngineConfig { num_threads: 4, max_supersteps: 1000, seed: 3, ..Default::default() };
     let hash = Placement::hashed(d.num_vertices(), k as usize, 5);
-    let spin = Placement::from_labels(&r.labels, k as usize);
+    let spin = Placement::from_labels_balanced(&r.labels, k as usize);
     let (ranks_hash, m_hash) = run_pagerank(&d, &hash, engine.clone(), 10);
     let (ranks_spin, m_spin) = run_pagerank(&d, &spin, engine, 10);
 

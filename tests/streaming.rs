@@ -5,9 +5,9 @@
 //! engine-level `fabric_grid` guarantee to multi-window stateful runs
 //! through warm resets, elastic resizes, and graph deltas.
 
-use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
-use spinner_graph::generators::{planted_partition, SbmConfig};
-use spinner_graph::{DeltaStream, DeltaStreamConfig, DirectedGraph};
+use spinner::graph::generators::{planted_partition, SbmConfig};
+use spinner::graph::{DeltaStream, DeltaStreamConfig};
+use spinner::prelude::*;
 
 fn base_graph() -> DirectedGraph {
     planted_partition(SbmConfig {
@@ -67,14 +67,14 @@ fn run_session(num_workers: usize, num_threads: usize, async_loads: bool) -> Ses
             .iter()
             .map(|w| {
                 (
-                    w.k,
-                    w.iterations,
-                    w.supersteps,
-                    w.messages,
-                    w.num_edges,
-                    w.num_vertices,
-                    w.phi.to_bits(),
-                    w.rho.to_bits(),
+                    w.k(),
+                    w.iterations(),
+                    w.supersteps(),
+                    w.messages(),
+                    w.num_edges(),
+                    w.num_vertices(),
+                    w.phi().to_bits(),
+                    w.rho().to_bits(),
                 )
             })
             .collect(),

@@ -25,7 +25,7 @@ fn reexports_resolve_and_interoperate() {
     let hash = baselines::hash_partition(g.num_vertices(), k, 7);
     assert_eq!(hash.len(), r.labels.len());
 
-    let placement = pregel::Placement::from_labels(&r.labels, k as usize);
+    let placement = pregel::Placement::from_labels_balanced(&r.labels, k as usize);
     assert_eq!(placement.num_workers(), k as usize);
 }
 
@@ -37,4 +37,27 @@ fn umbrella_paths_name_the_same_types_as_the_crates() {
     assert_eq!(cfg.k, 3);
     let label: spinner_core::Label = spinner::core::NO_LABEL;
     assert_eq!(label, spinner_core::NO_LABEL);
+}
+
+#[test]
+fn prelude_names_the_same_types_and_covers_the_common_path() {
+    use spinner::prelude::*;
+
+    // Prelude items are the canonical types, not shadows.
+    let cfg: spinner_core::SpinnerConfig = SpinnerConfig::new(2).with_seed(3);
+    let g: spinner_graph::DirectedGraph =
+        GraphBuilder::new(60).add_edges((0..60).map(|v| (v, (v + 1) % 60))).build();
+
+    // Build → stream → serve, entirely through the prelude surface.
+    let session = StreamSession::new(g, cfg);
+    let report: &WindowReport = &session.windows()[0];
+    assert!(report.phi().is_finite());
+    let node = ServingNode::new(session);
+    let reader: RoutingReader = node.reader();
+    let hit: Lookup = reader.lookup(0).expect("bootstrap epoch published");
+    let worker: WorkerId = hit.worker();
+    assert_eq!(worker, node.session().placement().as_slice()[0]);
+
+    // The serving crate is also reachable as `spinner::serving`.
+    let _table: spinner::serving::RoutingTable = RoutingTable::new();
 }
