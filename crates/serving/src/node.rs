@@ -106,6 +106,15 @@ impl ServingNode {
     /// WAL (when persistent), then publishes the new placement as the next
     /// routing epoch. Readers flip to the new epoch atomically; until then
     /// they serve the previous one.
+    ///
+    /// # Errors
+    ///
+    /// A failed WAL append ends persistence for the run: the session has
+    /// already advanced past what the log holds, so any later append would
+    /// leave a gap a resume would misread. The store is dropped (a
+    /// [`Self::resume_from`] of the directory recovers the last fully
+    /// logged window), the new epoch is still published so serving stays
+    /// consistent with the live session, and the error is returned.
     pub fn ingest(&mut self, event: StreamEvent) -> Result<IngestReport, PersistError> {
         let before = self.store.as_ref().map(|_| self.session.state());
         let report = self.session.apply(event.clone()).clone();
@@ -116,7 +125,15 @@ impl ServingNode {
                 &self.session.state(),
                 event,
             );
-            record_bytes = store.append(&record)?;
+            match store.append(&record) {
+                Ok(bytes) => record_bytes = bytes,
+                Err(e) => {
+                    self.store = None;
+                    let epoch = self.session.windows().len() as u64;
+                    self.table.publish_at(epoch, self.session.placement().as_slice());
+                    return Err(e.into());
+                }
+            }
         }
         let epoch = self.session.windows().len() as u64;
         self.table.publish_at(epoch, self.session.placement().as_slice());
@@ -243,6 +260,56 @@ mod tests {
             resumed.session().placement().as_slice(),
             live.session().placement().as_slice()
         );
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn resume_skips_stale_wal_after_crash_mid_compact() {
+        let dir =
+            std::env::temp_dir().join(format!("spinner-midcompact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let session = StreamSession::new(ring(300), cfg(3));
+        let mut node = ServingNode::with_persistence(session, &dir).expect("create store");
+        for i in 0..3u32 {
+            node.ingest(StreamEvent::Delta(GraphDelta {
+                new_vertices: 5,
+                added_edges: vec![(i, 300 + i * 5)],
+                removed_edges: vec![],
+            }))
+            .expect("ingest");
+        }
+        let labels = node.session().labels().to_vec();
+        let epoch = node.epoch();
+
+        // Simulate compact() dying between the snapshot rename and the WAL
+        // truncation: fresh snapshot on disk, full stale WAL left behind.
+        let snapshot = crate::snapshot::encode_state(&node.session().state());
+        drop(node);
+        std::fs::write(dir.join(crate::persist::SNAPSHOT_FILE), snapshot).expect("snapshot");
+
+        let (mut resumed, stats) = ServingNode::resume_from(&dir).expect("resume");
+        assert_eq!(stats.replayed_windows, 0, "every record predates the snapshot");
+        assert_eq!(stats.skipped_windows, 3);
+        assert_eq!(resumed.epoch(), epoch);
+        assert_eq!(resumed.session().labels(), labels.as_slice());
+
+        // The store stays appendable: a further window and a second resume
+        // replay exactly that window on top of the skipped prefix.
+        resumed
+            .ingest(StreamEvent::Delta(GraphDelta {
+                new_vertices: 2,
+                added_edges: vec![(7, 315)],
+                removed_edges: vec![],
+            }))
+            .expect("ingest after resume");
+        let labels = resumed.session().labels().to_vec();
+        drop(resumed);
+        let (again, stats) = ServingNode::resume_from(&dir).expect("second resume");
+        assert_eq!(stats.skipped_windows, 3);
+        assert_eq!(stats.replayed_windows, 1);
+        assert_eq!(again.session().labels(), labels.as_slice());
 
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }

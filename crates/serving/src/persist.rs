@@ -55,6 +55,10 @@ impl From<CorruptError> for PersistError {
 pub struct ResumeStats {
     /// WAL records replayed on top of the snapshot.
     pub replayed_windows: usize,
+    /// Stale WAL records skipped because a [`SessionStore::compact`] had
+    /// already folded their windows into the snapshot (non-zero only after
+    /// a crash between the snapshot rename and the WAL truncation).
+    pub skipped_windows: usize,
     /// True when a torn tail (crash mid-append) was discarded.
     pub truncated_tail: bool,
     /// Size of the snapshot file in bytes.
@@ -85,11 +89,9 @@ impl SessionStore {
         std::fs::create_dir_all(&dir)?;
         let bytes = encode_state(state);
         write_atomically(&dir.join(SNAPSHOT_FILE), &bytes)?;
-        let wal = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(dir.join(WAL_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = OpenOptions::new().create(true).write(true).truncate(true).open(&wal_path)?;
+        sync_dir(&wal_path)?;
         Ok(Self { dir, wal, wal_bytes: 0, snapshot_bytes: bytes.len() as u64 })
     }
 
@@ -113,8 +115,19 @@ impl SessionStore {
             Err(e) => return Err(e.into()),
         }
         let scan = read_wal(&wal_bytes);
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
         for record in &scan.records {
+            // A compact() that died between the snapshot rename and the WAL
+            // truncation leaves the whole old log behind the new snapshot.
+            // Records for windows the snapshot already contains are skipped;
+            // a record that skips *ahead* still fails apply_to.
+            if (record.window as usize) < state.windows.len() {
+                skipped += 1;
+                continue;
+            }
             record.apply_to(&mut state)?;
+            replayed += 1;
         }
 
         let wal = OpenOptions::new()
@@ -123,8 +136,10 @@ impl SessionStore {
             .truncate(false)
             .open(dir.join(WAL_FILE))?;
         wal.set_len(scan.clean_bytes)?;
+        wal.sync_all()?;
         let stats = ResumeStats {
-            replayed_windows: scan.records.len(),
+            replayed_windows: replayed,
+            skipped_windows: skipped,
             truncated_tail: scan.truncated_tail,
             snapshot_bytes: snapshot_bytes.len() as u64,
             wal_bytes: scan.clean_bytes,
@@ -138,26 +153,30 @@ impl SessionStore {
         Ok((state, store, stats))
     }
 
-    /// Appends one window record and flushes it. Returns the framed size in
-    /// bytes.
+    /// Appends one window record and fsyncs it (`sync_data`), so an
+    /// acknowledged window survives OS crash or power loss, not just a
+    /// process kill. Returns the framed size in bytes.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
         use std::io::Seek;
         let framed = record.encode_framed();
         self.wal.seek(io::SeekFrom::Start(self.wal_bytes))?;
         self.wal.write_all(&framed)?;
-        self.wal.flush()?;
+        self.wal.sync_data()?;
         self.wal_bytes += framed.len() as u64;
         Ok(framed.len() as u64)
     }
 
     /// Rewrites the snapshot as `state` and empties the WAL — bounding
     /// restart time for long streams. Crash-safe: the new snapshot lands
-    /// via rename before the old WAL is dropped.
+    /// via fsynced rename before the WAL is truncated, and a crash between
+    /// the two leaves a stale log prefix that [`Self::load`] recognises by
+    /// window number and skips.
     pub fn compact(&mut self, state: &SessionState) -> io::Result<()> {
         let bytes = encode_state(state);
         write_atomically(&self.dir.join(SNAPSHOT_FILE), &bytes)?;
         self.snapshot_bytes = bytes.len() as u64;
         self.wal.set_len(0)?;
+        self.wal.sync_all()?;
         self.wal_bytes = 0;
         Ok(())
     }
@@ -179,15 +198,26 @@ impl SessionStore {
 }
 
 /// Writes `bytes` to `path` through a temporary file + rename, so readers
-/// never observe a half-written snapshot.
+/// never observe a half-written snapshot. The file is fsynced before the
+/// rename and the directory after it, so the swap also survives power loss.
 fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
-        f.flush()?;
+        f.sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    sync_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, making a rename or file creation
+/// in it durable.
+fn sync_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => File::open(parent)?.sync_all(),
+        _ => Ok(()),
+    }
 }
 
 /// Persistence extension for [`StreamSession`]: warm-start a restarted

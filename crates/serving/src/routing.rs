@@ -153,9 +153,24 @@ impl RoutingTable {
     /// head. Used on restart to re-enter the epoch sequence where the
     /// persisted session left off (epoch = number of applied windows)
     /// rather than restarting from 1.
+    ///
+    /// # Panics
+    ///
+    /// Buffers alternate by epoch parity, so once anything is published,
+    /// `epoch` must differ from the head in parity — otherwise the write
+    /// would land on the buffer readers are actively serving and lookups
+    /// would spin for the whole rewrite instead of staying wait-free.
+    /// Consecutive epochs (all [`Self::publish`] calls) always satisfy
+    /// this; a same-parity jump past the head (e.g. head 2 → epoch 4)
+    /// panics. From head 0 any starting epoch is fine.
     pub fn publish_at(&mut self, epoch: u64, workers: &[WorkerId]) {
         let head = self.shared.head.load(Ordering::Relaxed);
         assert!(epoch > head, "epoch {epoch} must exceed head {head}");
+        assert!(
+            head == 0 || (epoch ^ head) & 1 == 1,
+            "epoch {epoch} shares parity with head {head}: it would rewrite the buffer \
+             readers are serving; publish an adjacent-parity (e.g. consecutive) epoch"
+        );
         let buf = &self.shared.bufs[(epoch & 1) as usize];
         // Mark the buffer as being rewritten *before* touching entries; the
         // release fence orders the marker ahead of the entry stores, so a
@@ -353,6 +368,26 @@ mod tests {
         assert_eq!(reader.head(), 7);
         assert_eq!(reader.lookup(1).expect("v1").epoch(), 7);
         assert_eq!(table.publish(&[8, 8]), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares parity with head")]
+    fn same_parity_jump_past_head_is_rejected() {
+        let mut table = RoutingTable::new();
+        table.publish(&[1, 1]); // head 1
+        table.publish(&[2, 2]); // head 2
+        table.publish_at(4, &[4, 4]); // would rewrite the buffer serving head 2
+    }
+
+    #[test]
+    fn odd_parity_jump_past_head_is_fine() {
+        let mut table = RoutingTable::new();
+        table.publish(&[1, 1]);
+        table.publish(&[2, 2]);
+        table.publish_at(5, &[5, 5]);
+        let reader = table.reader();
+        assert_eq!(reader.head(), 5);
+        assert_eq!(reader.lookup(0).expect("v0").worker(), 5);
     }
 
     #[test]

@@ -184,12 +184,12 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
     let mut cfg = SpinnerConfig::new(k);
     cfg.c = r.f64("config c")?;
     cfg.epsilon = r.f64("config epsilon")?;
-    cfg.window = r.varint("config window")? as u32;
-    cfg.max_iterations = r.varint("config max_iterations")? as u32;
+    cfg.window = read_u32(r, "config window")?;
+    cfg.max_iterations = read_u32(r, "config max_iterations")?;
     cfg.ignore_halting = read_bool(r, "config ignore_halting")?;
     cfg.seed = r.varint("config seed")?;
-    cfg.num_workers = r.varint("config num_workers")? as usize;
-    cfg.num_threads = r.varint("config num_threads")? as usize;
+    cfg.num_workers = read_count(r, "config num_workers")?;
+    cfg.num_threads = read_count(r, "config num_threads")?;
     cfg.async_worker_loads = read_bool(r, "config async_worker_loads")?;
     cfg.balance_penalty = read_bool(r, "config balance_penalty")?;
     cfg.probabilistic_migration = read_bool(r, "config probabilistic_migration")?;
@@ -224,6 +224,21 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
     cfg.broadcast_fabric = read_bool(r, "config broadcast_fabric")?;
     cfg.exhaustive_candidate_scan = read_bool(r, "config exhaustive_candidate_scan")?;
     Ok(cfg)
+}
+
+fn read_u32(r: &mut ByteReader<'_>, context: &'static str) -> Result<u32> {
+    u32::try_from(r.varint(context)?).map_err(|_| CorruptError { context })
+}
+
+/// Reads a worker/thread count: 1..=2^16 (worker ids are `u16`). Keeps a
+/// corrupt-but-CRC-valid snapshot from panicking downstream (e.g. in
+/// `Placement::explicit`'s asserts) or allocating per a huge bogus count.
+fn read_count(r: &mut ByteReader<'_>, context: &'static str) -> Result<usize> {
+    let raw = r.varint(context)?;
+    if !(1..=1 << 16).contains(&raw) {
+        return Err(CorruptError { context });
+    }
+    Ok(raw as usize)
 }
 
 fn read_bool(r: &mut ByteReader<'_>, context: &'static str) -> Result<bool> {
@@ -327,6 +342,20 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
         assert!(decode_state(&bytes).is_err(), "checksum missed a flipped bit");
+    }
+
+    #[test]
+    fn out_of_range_config_counts_are_corrupt_not_panics() {
+        for workers in [0usize, (1 << 16) + 1] {
+            let mut state = sample_state();
+            state.cfg.num_workers = workers;
+            let bytes = encode_state(&state);
+            let err = decode_state(&bytes).expect_err("bogus num_workers must not decode");
+            assert!(format!("{err}").contains("num_workers"), "unexpected error: {err}");
+        }
+        let mut state = sample_state();
+        state.cfg.num_threads = 0;
+        assert!(decode_state(&encode_state(&state)).is_err());
     }
 
     #[test]

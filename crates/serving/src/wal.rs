@@ -154,17 +154,20 @@ impl WalRecord {
     }
 
     fn decode_payload(payload: &[u8]) -> Result<Self> {
+        let u32_of = |raw: u64, context: &'static str| {
+            u32::try_from(raw).map_err(|_| CorruptError { context })
+        };
         let mut r = ByteReader::new(payload);
-        let window = r.varint("wal window")? as u32;
-        let k = r.varint("wal k")? as u32;
+        let window = u32_of(r.varint("wal window")?, "wal window")?;
+        let k = u32_of(r.varint("wal k")?, "wal k")?;
         let event = match r.u8("wal event tag")? {
             0 => {
-                let new_vertices = r.varint("wal new_vertices")? as VertexId;
+                let new_vertices = u32_of(r.varint("wal new_vertices")?, "wal new_vertices")?;
                 let added_edges = read_edges(&mut r)?;
                 let removed_edges = read_edges(&mut r)?;
                 StreamEvent::Delta(GraphDelta { added_edges, removed_edges, new_vertices })
             }
-            1 => StreamEvent::Resize { k: r.varint("wal resize k")? as u32 },
+            1 => StreamEvent::Resize { k: u32_of(r.varint("wal resize k")?, "wal resize k")? },
             _ => return Err(CorruptError { context: "wal event tag" }),
         };
         let label_updates = read_updates(&mut r, |raw| Ok(raw as u32))?;
