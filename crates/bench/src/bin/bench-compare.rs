@@ -16,7 +16,8 @@
 //!   trajectories, see `spinner_bench::emit_metric`) are seeded and exactly
 //!   reproducible, so they get a much tighter gate: a higher-is-better
 //!   metric (`phi*`, `local_share*` — the message-locality share of the
-//!   placement in effect) regresses when it drops more than the quality
+//!   placement in effect, `availability*` — lookups answered during fault
+//!   recovery) regresses when it drops more than the quality
 //!   fraction (default 5%) below baseline; a lower-is-better one (`rho*`,
 //!   `*migration*`, `*moved*`, `remote_records*` — the physical record
 //!   traffic the broadcast fabric deduplicates) when it rises more than
@@ -105,8 +106,10 @@ fn load(path: &str) -> Vec<ExperimentOutcome> {
 /// Which way a quality metric is allowed to move, inferred from its name.
 enum Direction {
     /// `phi*` (edge locality), `local_share*` (worker-local message share
-    /// under the placement in effect) and `lookup_throughput*` (serving
-    /// reads/sec) — dropping below baseline is a regression.
+    /// under the placement in effect), `lookup_throughput*` (serving
+    /// reads/sec) and `availability*` (the share of lookups answered while
+    /// a fault recovery was in flight) — dropping below baseline is a
+    /// regression.
     HigherBetter,
     /// `rho*`, `*migration*`, `*moved*` (balance/movement cost),
     /// `remote_records*` (physical cross-worker fabric records — what the
@@ -122,6 +125,7 @@ fn direction(name: &str) -> Direction {
     if name.starts_with("phi")
         || name.starts_with("local_share")
         || name.starts_with("lookup_throughput")
+        || name.starts_with("availability")
     {
         Direction::HigherBetter
     } else if name.starts_with("rho")

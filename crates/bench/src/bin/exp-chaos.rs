@@ -1,0 +1,593 @@
+//! **Chaos harness** — the robustness companion to `exp-serving`: a
+//! scripted fault schedule drives a persistent [`ServingNode`] through
+//! process kills at every storage-op index, a death mid-compaction,
+//! single-bit corruption sweeps over the snapshot and WAL, a worker loss
+//! under live churn with lookup threads hammering throughout, and a
+//! degraded-persistence stretch where the store keeps failing while the
+//! node keeps serving.
+//!
+//! Expected shape: every kill point resumes bit-identical to the
+//! uninterrupted run; every flipped bit surfaces as a typed
+//! [`PersistError::Corrupt`] or a clean WAL truncation — never a panic,
+//! never silently wrong labels; worker-loss recovery re-places about the
+//! lost fraction of the graph (gated: moved < 2x the lost vertex count,
+//! orders of magnitude below a scratch repartition) and re-converges φ/ρ to
+//! the streaming gates within five windows; and lookup availability stays
+//! at 100% through all of it. The binary **asserts** these criteria and
+//! exits non-zero on violation, so the CI smoke suite doubles as the
+//! fault-tolerance gate.
+//!
+//! Writes `bench-out/CHAOS.json` (override with `SPINNER_CHAOS_JSON`) and
+//! emits `METRIC recovery_migrations_fraction` (lower-is-better),
+//! `METRIC availability_during_recovery` (higher-is-better) and
+//! `METRIC phi_after_recovery` (higher-is-better) for `bench-compare`.
+
+use spinner_bench::{emit_metric, scale_from_env, threads_from_env, Table};
+use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
+use spinner_graph::{Dataset, DeltaStream, DeltaStreamConfig};
+use spinner_pregel::WorkerId;
+use spinner_serving::{
+    decode_state, Fault, FaultPlan, FaultyStorage, Health, MemStorage, PersistError,
+    RetryPolicy, RoutingReader, ServingNode, StoreFile,
+};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lookup threads hammering the node through the live-fault phases.
+const READERS: usize = 4;
+/// Stream windows in the kill sweep (ops swept: 2 store-creation ops plus
+/// one WAL append per window).
+const SWEEP_WINDOWS: usize = 3;
+/// Torn bytes a killed append leaves on the medium (exercises tail
+/// truncation at every append kill point).
+const TORN_BYTES: usize = 7;
+/// Single-bit flips tried per file in the corruption sweep.
+const FLIPS: usize = 48;
+/// Churn windows after the worker loss; φ/ρ must be back inside the
+/// streaming gates within these.
+const RECOVERY_WINDOWS: usize = 5;
+/// The worker whose state phase D loses.
+const LOST_WORKER: WorkerId = 3;
+/// Balance slack over the capacity constant `c` (mirrors exp-stream).
+const RHO_SLACK: f64 = 0.15;
+/// φ is allowed to dip at most this far below its pre-loss value once the
+/// recovery windows have run.
+const PHI_SLACK: f64 = 0.05;
+
+/// Fail-fast retry policy: kills are terminal, so retries only burn time.
+fn no_retry() -> RetryPolicy {
+    RetryPolicy { attempts: 1, base_backoff: Duration::ZERO, max_degraded_windows: 0 }
+}
+
+/// What the lookup threads saw while a fault phase ran.
+struct HammerStats {
+    attempts: u64,
+    hits: u64,
+    /// `staleness_buckets[s]` = hits whose epoch was `s` behind head.
+    staleness_buckets: [u64; 8],
+}
+
+/// Hammers cloned readers until `stop`, tallying availability (a miss on a
+/// vertex the table has published is an availability drop) and staleness.
+fn hammer(reader: &RoutingReader, stop: &Arc<AtomicBool>) -> HammerStats {
+    let mut handles = Vec::new();
+    for t in 0..READERS {
+        let reader = reader.clone();
+        let stop = Arc::clone(stop);
+        handles.push(std::thread::spawn(move || {
+            let mut stats = HammerStats { attempts: 0, hits: 0, staleness_buckets: [0; 8] };
+            let mut rng = 0x2545_F491_4F6C_DD1Du64 ^ ((t as u64) << 48);
+            while !stop.load(Ordering::Relaxed) {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let len = reader.len();
+                if len == 0 {
+                    continue;
+                }
+                let v = (rng >> 33) as u32 % len as u32;
+                stats.attempts += 1;
+                if let Some(hit) = reader.lookup(v) {
+                    stats.hits += 1;
+                    let staleness = reader.head().saturating_sub(hit.epoch()) as usize;
+                    stats.staleness_buckets[staleness.min(7)] += 1;
+                }
+            }
+            stats
+        }));
+    }
+    let mut merged = HammerStats { attempts: 0, hits: 0, staleness_buckets: [0; 8] };
+    for h in handles {
+        let s = h.join().expect("reader thread");
+        merged.attempts += s.attempts;
+        merged.hits += s.hits;
+        for (m, b) in merged.staleness_buckets.iter_mut().zip(s.staleness_buckets) {
+            *m += b;
+        }
+    }
+    merged
+}
+
+/// p99 of the staleness histogram, in epochs.
+fn p99_staleness(stats: &HammerStats) -> u64 {
+    let total: u64 = stats.staleness_buckets.iter().sum();
+    let threshold = (total as f64 * 0.99).ceil() as u64;
+    let mut cumulative = 0;
+    for (s, &count) in stats.staleness_buckets.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= threshold {
+            return s as u64;
+        }
+    }
+    7
+}
+
+fn flipped(bytes: &[u8], bit: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    let bit = (bit % (out.len() as u64 * 8)) as usize;
+    out[bit / 8] ^= 1 << (bit % 8);
+    out
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let k = 16u32;
+    let base = Dataset::Tuenti.build_directed(scale);
+    eprintln!("tuenti analogue: |V|={} |E|={}", base.num_vertices(), base.num_edges());
+
+    // Label-driven placement feedback keeps the serving placement aligned
+    // with computed labels, so a worker-loss recovery (which re-places the
+    // whole graph by label) only moves what the loss actually touched.
+    let mut cfg = SpinnerConfig::new(k).with_seed(42).with_placement_feedback(0.5);
+    cfg.num_threads = threads_from_env();
+    cfg.num_workers = 16;
+    let rho_bound = cfg.c + RHO_SLACK;
+
+    let mut deltas = DeltaStream::new(
+        base.clone(),
+        DeltaStreamConfig {
+            windows: (SWEEP_WINDOWS + 1 + RECOVERY_WINDOWS + 2) as u32,
+            add_fraction: 0.010,
+            remove_fraction: 0.004,
+            vertex_fraction: 0.002,
+            attach_degree: 3,
+            triadic_fraction: 0.8,
+            hub_bias: 0.5,
+            seed: 99,
+        },
+    );
+    let mut next_event = || StreamEvent::Delta(deltas.next().expect("delta window"));
+
+    eprintln!("bootstrap partitioning (k={k})...");
+    let state0 = StreamSession::new(base, cfg.clone()).state();
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- phase A: kill the storage at every op index; each death point
+    // must resume and finish bit-identical to the uninterrupted run.
+    let sweep_events: Vec<StreamEvent> = (0..SWEEP_WINDOWS).map(|_| next_event()).collect();
+    let mut reference = StreamSession::from_state(state0.clone());
+    for event in &sweep_events {
+        reference.apply(event.clone());
+    }
+    let total_ops = 2 + SWEEP_WINDOWS as u64;
+    let mut identical_resumes = 0usize;
+    for kill_op in 0..total_ops {
+        let disk = MemStorage::new();
+        let plan = FaultPlan::new().fail(kill_op, Fault::Kill { keep: TORN_BYTES });
+        let mut durable = 0usize;
+        if let Ok(node) = ServingNode::with_storage(
+            StreamSession::from_state(state0.clone()),
+            Box::new(FaultyStorage::new(disk.clone(), plan)),
+        ) {
+            let mut node = node.with_retry_policy(no_retry());
+            for event in &sweep_events {
+                match node.ingest(event.clone()) {
+                    Ok(rep) if rep.health() == Health::Healthy => durable += 1,
+                    _ => break, // storage dead — the process dies here
+                }
+            }
+        }
+        let (mut node, start) = match ServingNode::resume_from_storage(Box::new(disk.clone())) {
+            Ok((node, stats)) => {
+                if stats.replayed_windows != durable {
+                    violations.push(format!(
+                        "kill at op {kill_op}: resume replayed {} windows, {durable} were \
+                         acknowledged durable",
+                        stats.replayed_windows
+                    ));
+                }
+                (node, durable)
+            }
+            Err(_) => {
+                if kill_op != 0 {
+                    violations.push(format!(
+                        "kill at op {kill_op}: store unreadable though the snapshot landed"
+                    ));
+                }
+                // Death before the bootstrap snapshot: recreate from scratch.
+                let node = ServingNode::with_storage(
+                    StreamSession::from_state(state0.clone()),
+                    Box::new(disk.clone()),
+                )
+                .expect("clean medium");
+                (node, 0)
+            }
+        };
+        for event in &sweep_events[start..] {
+            node.ingest(event.clone()).expect("ingest after resume");
+        }
+        if node.session().labels() == reference.labels()
+            && node.session().placement().as_slice() == reference.placement().as_slice()
+        {
+            identical_resumes += 1;
+        } else {
+            violations.push(format!("kill at op {kill_op}: resumed run diverged"));
+        }
+        eprintln!(
+            "kill op {kill_op}: {durable} durable windows, resumed + finished {}",
+            if node.session().labels() == reference.labels() {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    // ---- phase B: death between the compaction's snapshot swap and its
+    // WAL truncation — the stale log must be skipped, not replayed twice.
+    let midcompact_ok = {
+        let disk = MemStorage::new();
+        // Ops: create = 0,1; two appends = 2,3; compact = write_atomic 4,
+        // truncate 5 (killed).
+        let plan = FaultPlan::kill_at(5);
+        let mut node = ServingNode::with_storage(
+            StreamSession::from_state(state0.clone()),
+            Box::new(FaultyStorage::new(disk.clone(), plan)),
+        )
+        .expect("create store")
+        .with_retry_policy(no_retry());
+        node.ingest(sweep_events[0].clone()).expect("window 1");
+        node.ingest(sweep_events[1].clone()).expect("window 2");
+        let labels = node.session().labels().to_vec();
+        let died = node.compact().is_err();
+        drop(node);
+        let (resumed, stats) =
+            ServingNode::resume_from_storage(Box::new(disk)).expect("resume past compact");
+        let ok = died
+            && stats.replayed_windows == 0
+            && stats.skipped_windows == 2
+            && resumed.session().labels() == labels.as_slice();
+        if !ok {
+            violations.push(format!(
+                "mid-compact kill: died={died}, replayed={}, skipped={}, labels \
+                 identical={}",
+                stats.replayed_windows,
+                stats.skipped_windows,
+                resumed.session().labels() == labels.as_slice()
+            ));
+        }
+        eprintln!(
+            "mid-compact kill: skipped {} stale records, resumed {}",
+            stats.skipped_windows,
+            if ok { "bit-identical" } else { "WRONG" }
+        );
+        ok
+    };
+
+    // ---- phase C: flip single bits across the snapshot and the WAL; every
+    // flip must surface as a typed error or a clean truncation.
+    let (snapshot_bytes, wal_bytes, prefix_labels) = {
+        let disk = MemStorage::new();
+        let mut node = ServingNode::with_storage(
+            StreamSession::from_state(state0.clone()),
+            Box::new(disk.clone()),
+        )
+        .expect("create store");
+        let mut prefix_labels = vec![node.session().labels().to_vec()];
+        node.ingest(sweep_events[0].clone()).expect("window 1");
+        prefix_labels.push(node.session().labels().to_vec());
+        node.ingest(sweep_events[1].clone()).expect("window 2");
+        prefix_labels.push(node.session().labels().to_vec());
+        (
+            disk.dump(StoreFile::Snapshot).expect("snapshot"),
+            disk.dump(StoreFile::Wal).expect("wal"),
+            prefix_labels,
+        )
+    };
+    let mut snapshot_flips_detected = 0usize;
+    for i in 0..FLIPS {
+        let bit = (i as u64 * 8 * snapshot_bytes.len() as u64) / FLIPS as u64 + 3;
+        let bad = flipped(&snapshot_bytes, bit);
+        let disk = MemStorage::new();
+        disk.plant(StoreFile::Snapshot, bad.clone());
+        disk.plant(StoreFile::Wal, wal_bytes.clone());
+        let typed = decode_state(&bad).is_err()
+            && matches!(
+                ServingNode::resume_from_storage(Box::new(disk)),
+                Err(PersistError::Corrupt(_))
+            );
+        if typed {
+            snapshot_flips_detected += 1;
+        } else {
+            violations.push(format!("snapshot bit {bit}: flip not surfaced as Corrupt"));
+        }
+    }
+    let mut wal_flips_truncated = 0usize;
+    for i in 0..FLIPS {
+        let bit = (i as u64 * 8 * wal_bytes.len() as u64) / FLIPS as u64 + 5;
+        let disk = MemStorage::new();
+        disk.plant(StoreFile::Snapshot, snapshot_bytes.clone());
+        disk.plant(StoreFile::Wal, flipped(&wal_bytes, bit));
+        match ServingNode::resume_from_storage(Box::new(disk)) {
+            Ok((node, stats)) => {
+                let clean = stats.truncated_tail
+                    && stats.replayed_windows < 2
+                    && node.session().labels()
+                        == prefix_labels[stats.replayed_windows].as_slice();
+                if clean {
+                    wal_flips_truncated += 1;
+                } else {
+                    violations.push(format!(
+                        "wal bit {bit}: resume served a non-prefix state (replayed {})",
+                        stats.replayed_windows
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("wal bit {bit}: resume errored: {e}")),
+        }
+    }
+    eprintln!(
+        "corruption sweep: {snapshot_flips_detected}/{FLIPS} snapshot flips typed, \
+         {wal_flips_truncated}/{FLIPS} wal flips cleanly truncated"
+    );
+
+    // ---- phase D: worker loss under live churn, lookup threads hammering
+    // throughout. Recovery must stay scoped and availability must not drop.
+    let disk = MemStorage::new();
+    let mut node = ServingNode::with_storage(
+        StreamSession::from_state(state0.clone()),
+        Box::new(disk.clone()),
+    )
+    .expect("create store");
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = node.reader();
+    let readers = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || hammer(&reader, &stop))
+    };
+    let pre = node.ingest(next_event()).expect("pre-loss churn window");
+    let phi_before = pre.report().phi();
+    let hosted =
+        node.session().placement().as_slice().iter().filter(|&&w| w == LOST_WORKER).count()
+            as u64;
+    let labels_before = node.session().labels().to_vec();
+    let loss = node.report_worker_loss(LOST_WORKER).expect("worker loss recovery");
+    let lost = loss.report().lost_vertices();
+    // Recovery cost = vertices whose *partition label* changed across the
+    // recovery window (the thing a scratch repartition maximises); the
+    // balanced by-label re-pack may shuffle more worker slots than this.
+    let moved = labels_before
+        .iter()
+        .zip(node.session().labels())
+        .filter(|&(&old, &new)| old != new)
+        .count() as u64;
+    let mut phi_after = loss.report().phi();
+    let mut recovered_in = None;
+    for w in 1..=RECOVERY_WINDOWS {
+        let rep = node.ingest(next_event()).expect("post-loss churn window");
+        phi_after = rep.report().phi();
+        let rho = rep.report().rho();
+        if recovered_in.is_none() && phi_after >= phi_before - PHI_SLACK && rho <= rho_bound {
+            recovered_in = Some(w);
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let churn_stats = readers.join().expect("reader pool");
+    let availability = if churn_stats.attempts == 0 {
+        0.0
+    } else {
+        churn_stats.hits as f64 / churn_stats.attempts as f64
+    };
+    let p99 = p99_staleness(&churn_stats);
+    eprintln!(
+        "worker loss: {lost} vertices lost ({hosted} hosted), {moved} labels migrated, \
+         phi {phi_before:.3} -> {phi_after:.3}, availability {availability:.6}, \
+         p99 staleness {p99}"
+    );
+
+    if lost != hosted || lost == 0 {
+        violations.push(format!(
+            "worker loss recovered {lost} vertices but worker {LOST_WORKER} hosted {hosted}"
+        ));
+    }
+    if moved >= 2 * lost {
+        violations.push(format!(
+            "recovery migrated {moved} labels for {lost} lost vertices (want < 2x — a \
+             scratch repartition would move ~{})",
+            labels_before.len()
+        ));
+    }
+    match recovered_in {
+        Some(w) => eprintln!("phi/rho back inside streaming gates {w} windows after loss"),
+        None => violations.push(format!(
+            "phi/rho not back inside gates within {RECOVERY_WINDOWS} windows of the loss \
+             (phi {phi_after:.3} vs pre-loss {phi_before:.3}, rho bound {rho_bound:.3})"
+        )),
+    }
+    if churn_stats.hits != churn_stats.attempts || churn_stats.attempts == 0 {
+        violations.push(format!(
+            "availability dropped during recovery: {}/{} lookups answered",
+            churn_stats.hits, churn_stats.attempts
+        ));
+    }
+    if p99 > 1 {
+        violations
+            .push(format!("p99 lookup staleness {p99} epochs during recovery (want <= 1)"));
+    }
+
+    // ---- phase E: persistence goes dark mid-stream; the node must degrade,
+    // keep serving, then re-checkpoint its way back to Healthy — and the
+    // whole history must land durably once storage recovers.
+    let degraded_ok = {
+        let disk = MemStorage::new();
+        // Ops: create 0,1; the first post-bootstrap append (op 2) fails both
+        // attempts (ops 2,3) -> Degraded; the next ingest re-checkpoints
+        // clean and heals.
+        let plan = FaultPlan::new().fail(2, Fault::Full).fail(3, Fault::Full);
+        let mut node = ServingNode::with_storage(
+            StreamSession::from_state(state0.clone()),
+            Box::new(FaultyStorage::new(disk.clone(), plan)),
+        )
+        .expect("create store")
+        .with_retry_policy(RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::ZERO,
+            max_degraded_windows: 8,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = node.reader();
+        let readers = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || hammer(&reader, &stop))
+        };
+        let degraded = node.ingest(next_event()).expect("ingest into dark storage");
+        let healed = node.ingest(next_event()).expect("ingest heals");
+        stop.store(true, Ordering::Relaxed);
+        let stats = readers.join().expect("reader pool");
+        drop(node);
+        let (resumed, _) = ServingNode::resume_from_storage(Box::new(disk)).expect("resume");
+        let ok = degraded.health() == Health::Degraded
+            && healed.health() == Health::Healthy
+            && stats.hits == stats.attempts
+            && stats.hits > 0
+            && p99_staleness(&stats) <= 1
+            && resumed.session().windows().len() == 3;
+        if !ok {
+            violations.push(format!(
+                "degraded serving: health {:?} -> {:?}, {}/{} lookups, p99 {}, resumed \
+                 {} windows (want 3)",
+                degraded.health(),
+                healed.health(),
+                stats.hits,
+                stats.attempts,
+                p99_staleness(&stats),
+                resumed.session().windows().len()
+            ));
+        }
+        eprintln!(
+            "degraded stretch: {} lookups served while persistence was dark, healed by \
+             re-checkpoint, resume sees {} windows",
+            stats.hits,
+            resumed.session().windows().len()
+        );
+        ok
+    };
+
+    // ---- report ----
+    let migration_fraction = moved as f64 / labels_before.len().max(1) as f64;
+    let mut t = Table::new(format!(
+        "Chaos harness: kill sweep, corruption, worker loss, degraded serving \
+         (Tuenti analogue, k={k})"
+    ))
+    .header(["phase", "checks", "outcome"]);
+    t.row([
+        "kill sweep".to_string(),
+        format!("{total_ops} kill points"),
+        format!("{identical_resumes}/{total_ops} bit-identical"),
+    ]);
+    t.row([
+        "mid-compact kill".to_string(),
+        "stale WAL skip".to_string(),
+        if midcompact_ok { "ok" } else { "FAILED" }.to_string(),
+    ]);
+    t.row([
+        "corruption".to_string(),
+        format!("{} bit flips", 2 * FLIPS),
+        format!("{snapshot_flips_detected} typed + {wal_flips_truncated} truncated"),
+    ]);
+    t.row([
+        "worker loss".to_string(),
+        format!("{lost} lost, churn x{RECOVERY_WINDOWS}"),
+        format!("moved {moved}, availability {availability:.4}"),
+    ]);
+    t.row([
+        "degraded".to_string(),
+        "serve without store".to_string(),
+        if degraded_ok { "ok" } else { "FAILED" }.to_string(),
+    ]);
+    println!("{t}");
+
+    write_json(
+        identical_resumes,
+        total_ops as usize,
+        snapshot_flips_detected,
+        wal_flips_truncated,
+        lost,
+        moved,
+        migration_fraction,
+        availability,
+        phi_before,
+        phi_after,
+        recovered_in,
+    );
+
+    emit_metric("recovery_migrations_fraction", migration_fraction);
+    emit_metric("availability_during_recovery", availability);
+    emit_metric("phi_after_recovery", phi_after);
+
+    if violations.is_empty() {
+        println!(
+            "chaos gates hold: {total_ops} kill points bit-identical, {} flips contained, \
+             loss recovery moved {moved} < 2x{lost}, availability {availability:.4}",
+            2 * FLIPS
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("ACCEPTANCE VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    identical_resumes: usize,
+    kill_points: usize,
+    snapshot_flips: usize,
+    wal_flips: usize,
+    lost: u64,
+    moved: u64,
+    migration_fraction: f64,
+    availability: f64,
+    phi_before: f64,
+    phi_after: f64,
+    recovered_in: Option<usize>,
+) {
+    let path = std::env::var("SPINNER_CHAOS_JSON")
+        .unwrap_or_else(|_| "bench-out/CHAOS.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"exp-chaos\",\n");
+    out.push_str(&format!("  \"kill_points\": {kill_points},\n"));
+    out.push_str(&format!("  \"bit_identical_resumes\": {identical_resumes},\n"));
+    out.push_str(&format!("  \"snapshot_flips_typed\": {snapshot_flips},\n"));
+    out.push_str(&format!("  \"wal_flips_truncated\": {wal_flips},\n"));
+    out.push_str(&format!("  \"lost_vertices\": {lost},\n"));
+    out.push_str(&format!("  \"recovery_moved\": {moved},\n"));
+    out.push_str(&format!("  \"recovery_migrations_fraction\": {migration_fraction:.6},\n"));
+    out.push_str(&format!("  \"availability_during_recovery\": {availability:.6},\n"));
+    out.push_str(&format!("  \"phi_before_loss\": {phi_before:.6},\n"));
+    out.push_str(&format!("  \"phi_after_recovery\": {phi_after:.6},\n"));
+    out.push_str(&format!(
+        "  \"recovered_in_windows\": {}\n",
+        recovered_in.map_or("null".to_string(), |w| w.to_string())
+    ));
+    out.push_str("}\n");
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+    }
+    std::fs::write(&path, out).expect("write chaos report");
+    eprintln!("wrote {path}");
+}

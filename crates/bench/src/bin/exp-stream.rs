@@ -118,6 +118,8 @@ fn main() -> ExitCode {
             rho: r.report.rho(),
             migration_fraction: r.report.migration_fraction(),
             local_share: r.report.local_share(),
+            lost_fraction: r.report.lost_vertices() as f64
+                / f64::from(r.report.num_vertices().max(1)),
         })
         .collect();
 

@@ -38,6 +38,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-locality",
     "exp-broadcast",
     "exp-serving",
+    "exp-chaos",
 ];
 
 struct Args {

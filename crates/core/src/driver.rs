@@ -220,6 +220,46 @@ pub(crate) fn incremental_labels(
     labels
 }
 
+/// Partition-loss initialisation (failure recovery): every vertex flagged
+/// in `lost` is treated as having lost its label state and is reseeded;
+/// all other vertices keep their labels. Reseeding mirrors
+/// [`incremental_labels`]'s least-loaded rule — partition loads are
+/// computed from the *surviving* vertices only, then each lost vertex (in
+/// id order) joins the least-loaded partition at that point — so recovery
+/// starts from a balanced, deterministic assignment rather than random
+/// labels, and the subsequent LPA re-convergence only has to repair
+/// locality, not load.
+pub(crate) fn loss_labels(
+    graph: &UndirectedGraph,
+    previous: &[Label],
+    lost: &[bool],
+    k: u32,
+) -> Vec<Label> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    assert_eq!(previous.len(), lost.len(), "lost flags must cover the labelling");
+    let mut labels = previous.to_vec();
+    let mut loads = vec![0i64; k as usize];
+    for (v, &l) in previous.iter().enumerate() {
+        assert!(l < k, "previous label {l} out of range for k={k}");
+        if !lost[v] {
+            loads[l as usize] += graph.weighted_degree(v as VertexId) as i64;
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(i64, Label)>> =
+        (0..k).map(|l| Reverse((loads[l as usize], l))).collect();
+    for (v, flag) in lost.iter().enumerate() {
+        if !flag {
+            continue;
+        }
+        let Reverse((load, least)) = heap.pop().expect("k >= 1 labels");
+        labels[v] = least;
+        heap.push(Reverse((load + graph.weighted_degree(v as VertexId) as i64, least)));
+    }
+    labels
+}
+
 /// Elastic initialisation (§III-E / Eq. 11).
 pub(crate) fn elastic_labels(
     previous: &[Label],

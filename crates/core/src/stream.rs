@@ -25,8 +25,8 @@
 
 use crate::config::{RestartScope, SpinnerConfig};
 use crate::driver::{
-    delta_affected, elastic_labels, engine_config, incremental_labels, random_labels,
-    result_from_engine, PartitionResult,
+    delta_affected, elastic_labels, engine_config, incremental_labels, loss_labels,
+    random_labels, result_from_engine, PartitionResult,
 };
 use crate::program::SpinnerProgram;
 use crate::state::{EdgeState, Label, Phase, VertexState, NO_LABEL};
@@ -47,6 +47,16 @@ pub enum StreamEvent {
     Resize {
         /// The new partition count.
         k: u32,
+    },
+    /// A worker failed and its partition state was lost (the paper's §V
+    /// failure scenario). The vertices the engine hosted on that worker are
+    /// reseeded with balanced labels, restarted as the only affected set,
+    /// and re-converged warm; the window then re-places all vertices by
+    /// computed label onto the worker slot's replacement. The graph and
+    /// `k` are untouched — only labels and placement recover.
+    WorkerLoss {
+        /// The worker slot whose hosted state was lost.
+        worker: WorkerId,
     },
 }
 
@@ -97,6 +107,12 @@ pub struct WindowReportParts {
     pub wall_ns: u64,
     /// Message-fabric buffer growth events during the window.
     pub fabric_reallocs: u64,
+    /// Vertices whose hosted state was lost to a failed worker and reseeded
+    /// this window (non-zero only for [`StreamEvent::WorkerLoss`] windows —
+    /// the recovery-cost denominator: compare against
+    /// `migration_fraction × num_vertices` to see how much of the lost set
+    /// actually ended up migrating).
+    pub lost_vertices: u64,
 }
 
 /// Per-window convergence, quality, and cost accounting — one point of a
@@ -223,6 +239,17 @@ impl WindowReport {
         self.parts.fabric_reallocs
     }
 
+    /// Vertices reseeded because a failed worker lost their state (non-zero
+    /// only for [`StreamEvent::WorkerLoss`] recovery windows).
+    pub fn lost_vertices(&self) -> u64 {
+        self.parts.lost_vertices
+    }
+
+    /// True when this window recovered from a worker loss.
+    pub fn is_recovery(&self) -> bool {
+        self.parts.lost_vertices > 0
+    }
+
     /// Share of this window's messages that stayed worker-local (1.0 for a
     /// window that exchanged none).
     pub fn local_share(&self) -> f64 {
@@ -343,6 +370,7 @@ impl StreamSession {
             placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
+            lost_vertices: 0,
         }));
         session
     }
@@ -414,6 +442,7 @@ impl StreamSession {
     /// [`StreamEvent::Resize`].
     pub fn apply(&mut self, event: StreamEvent) -> &WindowReport {
         let old_n = self.labels.len();
+        let mut lost_flags: Vec<bool> = Vec::new();
         let labels = match &event {
             StreamEvent::Delta(delta) => {
                 self.graph = apply_delta(&self.graph, delta);
@@ -426,7 +455,17 @@ impl StreamSession {
                 self.cfg.k = *k;
                 labels
             }
+            StreamEvent::WorkerLoss { worker } => {
+                assert!(
+                    usize::from(*worker) < self.cfg.num_workers,
+                    "lost worker {worker} out of range for {} workers",
+                    self.cfg.num_workers
+                );
+                lost_flags = self.placement.as_slice().iter().map(|&w| w == *worker).collect();
+                loss_labels(&self.undirected, &self.labels, &lost_flags, self.cfg.k)
+            }
         };
+        let lost_vertices = lost_flags.iter().filter(|&&f| f).count() as u64;
         // Which vertices restart migrations (only consulted under
         // `RestartScope::AffectedOnly`; empty marks everyone affected).
         let affected = match &event {
@@ -435,6 +474,11 @@ impl StreamSession {
             {
                 delta_affected(self.undirected.num_vertices(), old_n as VertexId, delta)
             }
+            // Recovery windows always restart only the lost vertices,
+            // regardless of the configured scope: recovery cost must scale
+            // with the lost fraction, not the graph (survivors still adapt
+            // passively — they recompute scores as neighbors move).
+            StreamEvent::WorkerLoss { .. } => std::mem::take(&mut lost_flags),
             _ => Vec::new(),
         };
 
@@ -461,7 +505,10 @@ impl StreamSession {
             self.labels.iter().zip(&result.labels).filter(|&(&old, &new)| old != new).count();
         let migration_fraction = if old_n > 0 { moved as f64 / old_n as f64 } else { 1.0 };
         self.labels = result.labels.clone();
-        let placement_moved = self.feedback_replace(&result);
+        let placement_moved = match &event {
+            StreamEvent::WorkerLoss { .. } => self.recovery_replace(),
+            _ => self.feedback_replace(&result),
+        };
         self.windows.push(WindowReport::from_parts(WindowReportParts {
             window: self.windows.len() as u32,
             k: self.cfg.k,
@@ -480,6 +527,7 @@ impl StreamSession {
             placement_moved,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
+            lost_vertices,
         }));
         self.windows.last().expect("window just pushed")
     }
@@ -529,6 +577,23 @@ impl StreamSession {
         if remote_share <= threshold {
             return 0;
         }
+        self.replace_by_label()
+    }
+
+    /// A [`StreamEvent::WorkerLoss`] window's final step: re-place every
+    /// vertex by computed label unconditionally (no feedback threshold —
+    /// recovery must land the reseeded vertices on deliberate, balanced
+    /// workers, not wherever the reset placement put them). Installs the
+    /// label → worker map even when feedback is off, so later windows keep
+    /// the recovered, label-aligned placement.
+    fn recovery_replace(&mut self) -> u64 {
+        self.replace_by_label()
+    }
+
+    /// Migrates the engine onto the balanced by-label placement for the
+    /// current labels, installing the label → worker map. Returns how many
+    /// vertices changed worker.
+    fn replace_by_label(&mut self) -> u64 {
         let assignment =
             Placement::balanced_label_assignment(&self.labels, self.cfg.num_workers);
         let placement =
@@ -793,6 +858,66 @@ mod tests {
             assert_eq!(r.messages(), o.messages());
             assert_eq!(r.placement_moved(), o.placement_moved());
         }
+    }
+
+    /// Worker-loss recovery: reseeding + affected-only re-convergence must
+    /// keep label migration proportional to the lost fraction (not the
+    /// graph), land a valid labelling, and be deterministic across a
+    /// `state()`/`from_state()` process boundary.
+    #[test]
+    fn worker_loss_recovery_is_scoped_and_deterministic() {
+        let g0 = base(2500, 11);
+        let cfg = cfg(6).with_placement_feedback(0.5);
+        let mut session = StreamSession::new(g0, cfg);
+        session.apply(StreamEvent::Delta(GraphDelta::additions(vec![(0, 1200), (3, 900)])));
+        let mut twin = StreamSession::from_state(session.state());
+        let phi_before = session.last().phi();
+        let n = session.labels().len();
+
+        let lost_worker: WorkerId = 2;
+        let hosted =
+            session.placement().as_slice().iter().filter(|&&w| w == lost_worker).count() as u64;
+        assert!(hosted > 0, "test worker hosts nothing");
+
+        let report = session.apply(StreamEvent::WorkerLoss { worker: lost_worker }).clone();
+        assert_eq!(report.lost_vertices(), hosted);
+        assert!(report.is_recovery());
+        let moved = (report.migration_fraction() * n as f64).round() as u64;
+        assert!(moved < 2 * hosted, "recovery moved {moved} labels for {hosted} lost vertices");
+        assert!(moved < n as u64 / 2, "recovery approached a scratch repartition");
+        assert!(
+            report.phi() > phi_before - 0.1,
+            "recovery φ {} collapsed from {phi_before}",
+            report.phi()
+        );
+        assert!(session.labels().iter().all(|&l| l < session.k()));
+
+        // Same loss applied to the restored twin: bit-identical recovery
+        // (modulo wall-clock).
+        twin.apply(StreamEvent::WorkerLoss { worker: lost_worker });
+        assert_eq!(twin.labels(), session.labels());
+        assert_eq!(twin.placement(), session.placement());
+        let mut a = twin.last().to_parts();
+        let mut b = report.to_parts();
+        a.wall_ns = 0;
+        b.wall_ns = 0;
+        assert_eq!(a, b);
+    }
+
+    /// A loss window installs the label → worker map even on a session
+    /// without placement feedback: the reseeded vertices must land on
+    /// deliberate workers (hash placement scatters each label across all
+    /// workers, so the by-label re-place genuinely migrates here), and
+    /// later windows keep the recovered placement.
+    #[test]
+    fn worker_loss_replaces_even_without_feedback() {
+        let g0 = base(1200, 17);
+        let mut session = StreamSession::new(g0, cfg(4));
+        assert!(session.label_assignment().is_none());
+        let report = session.apply(StreamEvent::WorkerLoss { worker: 0 }).clone();
+        assert!(session.label_assignment().is_some(), "loss must install the label map");
+        assert!(report.is_recovery());
+        assert!(report.placement_moved() > 0, "hash → by-label re-place must migrate");
     }
 
     #[test]

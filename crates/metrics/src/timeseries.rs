@@ -21,6 +21,10 @@ pub struct WindowPoint {
     /// placement-locality series a label-driven placement is meant to push
     /// towards φ (1.0 for a window that exchanged no messages).
     pub local_share: f64,
+    /// Fraction of the graph's vertices whose hosted state this window
+    /// recovered after a worker loss (0.0 for every ordinary window, so
+    /// recovery windows stand out in the series).
+    pub lost_fraction: f64,
 }
 
 /// A φ/ρ/migration time series across stream windows.
@@ -122,8 +126,9 @@ impl Trajectory {
             let sep = if i + 1 == self.points.len() { "" } else { "," };
             out.push_str(&format!(
                 "    {{\"window\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
-                 \"migration_fraction\": {:.6}, \"local_share\": {:.6}}}{sep}\n",
-                p.window, p.phi, p.rho, p.migration_fraction, p.local_share
+                 \"migration_fraction\": {:.6}, \"local_share\": {:.6}, \
+                 \"lost_fraction\": {:.6}}}{sep}\n",
+                p.window, p.phi, p.rho, p.migration_fraction, p.local_share, p.lost_fraction
             ));
         }
         out.push_str("  ]");
@@ -142,7 +147,14 @@ mod tests {
     use super::*;
 
     fn point(window: u32, phi: f64, rho: f64, moved: f64) -> WindowPoint {
-        WindowPoint { window, phi, rho, migration_fraction: moved, local_share: 0.25 }
+        WindowPoint {
+            window,
+            phi,
+            rho,
+            migration_fraction: moved,
+            local_share: 0.25,
+            lost_fraction: 0.0,
+        }
     }
 
     fn sample() -> Trajectory {

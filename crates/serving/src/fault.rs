@@ -1,0 +1,581 @@
+//! Storage abstraction + deterministic fault injection.
+//!
+//! [`SessionStore`](crate::SessionStore) talks to its two files through the
+//! [`Storage`] trait instead of `std::fs` directly. Production uses
+//! [`DiskStorage`]; tests and the chaos harness swap in [`MemStorage`] (an
+//! in-memory "disk" that survives dropping the store, modelling a process
+//! death without touching the filesystem) and wrap either in
+//! [`FaultyStorage`], which injects a scripted [`FaultPlan`] — torn writes,
+//! failed syncs, ENOSPC, single-bit corruption, and kill-points — at exact
+//! operation indices. Every durability claim the serving crate makes is
+//! exercised against this layer, so the claims are reproducible tests
+//! rather than code-review folklore.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Which of the store's two files an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreFile {
+    /// The snapshot (`snapshot.bin`), replaced atomically as a whole.
+    Snapshot,
+    /// The write-ahead log (`wal.bin`), appended one record at a time.
+    Wal,
+}
+
+/// The I/O surface a [`SessionStore`](crate::SessionStore) needs.
+///
+/// Each method is one *durable* operation: when it returns `Ok`, the effect
+/// has reached the medium (fsynced, for [`DiskStorage`]). The store counts
+/// on exactly this granularity — the fault injector's "op N" indices refer
+/// to calls of these methods.
+pub trait Storage: Send {
+    /// Reads the whole file; `Ok(None)` when it does not exist.
+    fn read(&mut self, file: StoreFile) -> io::Result<Option<Vec<u8>>>;
+
+    /// Replaces the file with `bytes` all-or-nothing: a reader (or a crash)
+    /// observes either the old contents or the new, never a mix.
+    fn write_atomic(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()>;
+
+    /// Appends `bytes` at the end of the file (created empty when absent)
+    /// and makes them durable before returning. Not atomic: a crash mid-way
+    /// may leave a torn tail, which the WAL's CRC framing detects.
+    fn append(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()>;
+
+    /// Truncates the file to `len` bytes (created when absent), durably.
+    fn truncate(&mut self, file: StoreFile, len: u64) -> io::Result<()>;
+
+    /// Short human-readable location for error messages and logs.
+    fn describe(&self) -> String;
+}
+
+/// Filesystem-backed [`Storage`]: one directory holding `snapshot.bin` and
+/// `wal.bin`, with the same durability discipline the store used before the
+/// trait existed — tmp + fsync + rename + directory fsync for the snapshot,
+/// `sync_data` after WAL appends.
+pub struct DiskStorage {
+    dir: PathBuf,
+    /// Cached append handle + logical end for the WAL so repeated appends
+    /// don't reopen the file. Positions are tracked explicitly rather than
+    /// relying on `O_APPEND` so a truncate through another handle can't
+    /// race the cached offset.
+    wal: Option<(File, u64)>,
+}
+
+impl DiskStorage {
+    /// Opens (creating if needed) the directory backing this storage.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, wal: None })
+    }
+
+    fn path(&self, file: StoreFile) -> PathBuf {
+        match file {
+            StoreFile::Snapshot => self.dir.join(crate::persist::SNAPSHOT_FILE),
+            StoreFile::Wal => self.dir.join(crate::persist::WAL_FILE),
+        }
+    }
+
+    fn wal_handle(&mut self) -> io::Result<&mut (File, u64)> {
+        if self.wal.is_none() {
+            let path = self.path(StoreFile::Wal);
+            let f = OpenOptions::new().create(true).write(true).truncate(false).open(&path)?;
+            let len = f.metadata()?.len();
+            sync_dir(&path)?;
+            self.wal = Some((f, len));
+        }
+        Ok(self.wal.as_mut().expect("wal handle just opened"))
+    }
+}
+
+impl Storage for DiskStorage {
+    fn read(&mut self, file: StoreFile) -> io::Result<Option<Vec<u8>>> {
+        match File::open(self.path(file)) {
+            Ok(mut f) => {
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)?;
+                Ok(Some(bytes))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_atomic(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()> {
+        let path = self.path(file);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        sync_dir(&path)?;
+        if file == StoreFile::Wal {
+            self.wal = None; // cached offset is stale
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()> {
+        assert_eq!(file, StoreFile::Wal, "only the WAL is append-mode");
+        use std::io::Seek;
+        let (f, end) = self.wal_handle()?;
+        f.seek(io::SeekFrom::Start(*end))?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+        *end += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn truncate(&mut self, file: StoreFile, len: u64) -> io::Result<()> {
+        match file {
+            StoreFile::Wal => {
+                let (f, end) = self.wal_handle()?;
+                f.set_len(len)?;
+                f.sync_all()?;
+                *end = len;
+                Ok(())
+            }
+            StoreFile::Snapshot => {
+                let f = OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(false)
+                    .open(self.path(file))?;
+                f.set_len(len)?;
+                f.sync_all()
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.dir.display().to_string()
+    }
+}
+
+/// Fsyncs the directory containing `path`, making a rename or file creation
+/// in it durable.
+fn sync_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => File::open(parent)?.sync_all(),
+        _ => Ok(()),
+    }
+}
+
+/// In-memory [`Storage`]: the file map lives behind an `Arc`, so clones
+/// share one "disk". Dropping a [`SessionStore`](crate::SessionStore) built
+/// on one handle models a process death — a clone taken beforehand still
+/// sees every durable byte, and resuming from it exercises exactly the
+/// recovery path a real restart would, at memory speed.
+#[derive(Clone, Default)]
+pub struct MemStorage {
+    files: Arc<Mutex<HashMap<StoreFile, Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// A fresh, empty in-memory disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Byte-for-byte copy of the current disk contents, e.g. to diff two
+    /// crash points.
+    pub fn dump(&self, file: StoreFile) -> Option<Vec<u8>> {
+        self.files.lock().expect("mem disk lock").get(&file).cloned()
+    }
+
+    /// Overwrites a file wholesale — the corruption tests' way of planting
+    /// flipped bits without going through the fault injector.
+    pub fn plant(&self, file: StoreFile, bytes: Vec<u8>) {
+        self.files.lock().expect("mem disk lock").insert(file, bytes);
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&mut self, file: StoreFile) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.dump(file))
+    }
+
+    fn write_atomic(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()> {
+        self.plant(file, bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem disk lock")
+            .entry(file)
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, file: StoreFile, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem disk lock");
+        let buf = files.entry(file).or_default();
+        if (buf.len() as u64) > len {
+            buf.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "<mem>".to_string()
+    }
+}
+
+/// One injected failure, scheduled by a [`FaultPlan`] at an op index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The op fails without touching the medium — e.g. ENOSPC up front.
+    Full,
+    /// Torn write: only the first `keep` bytes of the payload reach the
+    /// medium, then the op fails. On [`Storage::write_atomic`] this behaves
+    /// like [`Fault::Full`] (the torn temp file never gets renamed in).
+    Torn {
+        /// Payload bytes that make it to the medium before the failure.
+        keep: usize,
+    },
+    /// The data reaches the medium but the final sync fails, so the caller
+    /// must treat the write as not-durable even though it may have landed.
+    SyncFailed,
+    /// Silent single-bit corruption: the op *succeeds* but bit
+    /// `bit % (len * 8)` of the payload is flipped on the way down. Reads
+    /// flip a bit of the data on the way up.
+    BitFlip {
+        /// Which bit to flip, reduced modulo the payload size.
+        bit: u64,
+    },
+    /// Process death at this op: the first `keep` payload bytes land (like
+    /// a torn write), the op fails, and *every* subsequent op on this
+    /// storage fails too — the process is gone until a new storage is built
+    /// over the same medium.
+    Kill {
+        /// Payload bytes that make it to the medium before death.
+        keep: usize,
+    },
+}
+
+/// A deterministic schedule mapping operation indices to [`Fault`]s.
+///
+/// Op indices count calls into the wrapped [`Storage`] (reads included),
+/// starting at 0. Build one explicitly with [`FaultPlan::fail`] /
+/// [`FaultPlan::kill_at`], or derive a pseudo-random schedule from a seed
+/// with [`FaultPlan::seeded`] — same seed, same faults, every run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every op passes through (but is still counted).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` at op index `op` (builder-style).
+    pub fn fail(mut self, op: u64, fault: Fault) -> Self {
+        self.faults.insert(op, fault);
+        self
+    }
+
+    /// A plan whose only fault is a clean kill (no torn bytes) at `op`.
+    pub fn kill_at(op: u64) -> Self {
+        Self::new().fail(op, Fault::Kill { keep: 0 })
+    }
+
+    /// A pseudo-random plan: each of the first `ops` op indices draws a
+    /// fault with probability ~`density` (0.0–1.0), with the fault kind and
+    /// torn/flip offsets derived from `seed`. Kills are excluded — a seeded
+    /// plan models a flaky medium, not a dying process; schedule kills
+    /// explicitly.
+    pub fn seeded(seed: u64, ops: u64, density: f64) -> Self {
+        let mut plan = Self::new();
+        let threshold = (density.clamp(0.0, 1.0) * u32::MAX as f64) as u64;
+        for op in 0..ops {
+            let h = splitmix64(seed ^ op.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            if (h & u64::from(u32::MAX)) >= threshold {
+                continue;
+            }
+            let fault = match (h >> 32) % 4 {
+                0 => Fault::Full,
+                1 => Fault::Torn { keep: (h >> 34) as usize % 64 },
+                2 => Fault::SyncFailed,
+                _ => Fault::BitFlip { bit: h >> 34 },
+            };
+            plan.faults.insert(op, fault);
+        }
+        plan
+    }
+
+    /// Number of scheduled faults remaining in the plan.
+    pub fn remaining(&self) -> usize {
+        self.faults.len()
+    }
+
+    fn take(&mut self, op: u64) -> Option<Fault> {
+        self.faults.remove(&op)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Wraps any [`Storage`] and injects the faults a [`FaultPlan`] schedules,
+/// by op index. Deterministic: the same plan over the same op sequence
+/// produces the same failures, so every chaos scenario is replayable.
+pub struct FaultyStorage<S> {
+    inner: S,
+    plan: FaultPlan,
+    op: u64,
+    dead: bool,
+    injected: u64,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    /// Wraps `inner`, injecting `plan`'s faults.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        Self { inner, plan, op: 0, dead: false, injected: 0 }
+    }
+
+    /// Ops observed so far (useful for sizing kill sweeps).
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// True once a [`Fault::Kill`] has fired; all further ops fail.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The wrapped storage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Draws this op's fault (advancing the op counter) or fails
+    /// immediately when the storage is already dead.
+    fn next_fault(&mut self) -> io::Result<Option<Fault>> {
+        if self.dead {
+            return Err(killed());
+        }
+        let fault = self.plan.take(self.op);
+        self.op += 1;
+        if fault.is_some() {
+            self.injected += 1;
+        }
+        Ok(fault)
+    }
+}
+
+fn killed() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "injected fault: storage killed")
+}
+
+fn enospc() -> io::Error {
+    // `ErrorKind::StorageFull` needs rustc 1.83; `WriteZero` keeps the MSRV
+    // and callers match on the message anyway.
+    io::Error::new(io::ErrorKind::WriteZero, "injected fault: no space left on device")
+}
+
+fn sync_failed() -> io::Error {
+    io::Error::other("injected fault: sync failed")
+}
+
+fn flip(bytes: &[u8], bit: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if !out.is_empty() {
+        let bit = (bit % (out.len() as u64 * 8)) as usize;
+        out[bit / 8] ^= 1 << (bit % 8);
+    }
+    out
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn read(&mut self, file: StoreFile) -> io::Result<Option<Vec<u8>>> {
+        match self.next_fault()? {
+            None | Some(Fault::SyncFailed) => self.inner.read(file),
+            Some(Fault::Full) | Some(Fault::Torn { .. }) => Err(enospc()),
+            Some(Fault::BitFlip { bit }) => {
+                Ok(self.inner.read(file)?.map(|bytes| flip(&bytes, bit)))
+            }
+            Some(Fault::Kill { .. }) => {
+                self.dead = true;
+                Err(killed())
+            }
+        }
+    }
+
+    fn write_atomic(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault()? {
+            None => self.inner.write_atomic(file, bytes),
+            // An atomic replace that fails part-way leaves the *old* file:
+            // the torn temp copy never gets renamed in. So Torn == Full here.
+            Some(Fault::Full) | Some(Fault::Torn { .. }) => Err(enospc()),
+            Some(Fault::SyncFailed) => {
+                self.inner.write_atomic(file, bytes)?;
+                Err(sync_failed())
+            }
+            Some(Fault::BitFlip { bit }) => self.inner.write_atomic(file, &flip(bytes, bit)),
+            Some(Fault::Kill { .. }) => {
+                self.dead = true;
+                Err(killed())
+            }
+        }
+    }
+
+    fn append(&mut self, file: StoreFile, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault()? {
+            None => self.inner.append(file, bytes),
+            Some(Fault::Full) => Err(enospc()),
+            Some(Fault::Torn { keep }) => {
+                let keep = keep.min(bytes.len());
+                self.inner.append(file, &bytes[..keep])?;
+                Err(enospc())
+            }
+            Some(Fault::SyncFailed) => {
+                self.inner.append(file, bytes)?;
+                Err(sync_failed())
+            }
+            Some(Fault::BitFlip { bit }) => self.inner.append(file, &flip(bytes, bit)),
+            Some(Fault::Kill { keep }) => {
+                self.dead = true;
+                let keep = keep.min(bytes.len());
+                // Best-effort torn tail on the way down; the death error
+                // wins regardless of whether the partial append landed.
+                let _ = self.inner.append(file, &bytes[..keep]);
+                Err(killed())
+            }
+        }
+    }
+
+    fn truncate(&mut self, file: StoreFile, len: u64) -> io::Result<()> {
+        match self.next_fault()? {
+            None | Some(Fault::BitFlip { .. }) => self.inner.truncate(file, len),
+            Some(Fault::Full) | Some(Fault::Torn { .. }) => Err(enospc()),
+            Some(Fault::SyncFailed) => {
+                self.inner.truncate(file, len)?;
+                Err(sync_failed())
+            }
+            Some(Fault::Kill { .. }) => {
+                self.dead = true;
+                Err(killed())
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("faulty({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_shares_one_disk_across_clones() {
+        let disk = MemStorage::new();
+        let mut a = disk.clone();
+        a.append(StoreFile::Wal, b"abc").unwrap();
+        drop(a); // "process death"
+        let mut b = disk.clone();
+        assert_eq!(b.read(StoreFile::Wal).unwrap().as_deref(), Some(&b"abc"[..]));
+        b.truncate(StoreFile::Wal, 1).unwrap();
+        assert_eq!(disk.dump(StoreFile::Wal).as_deref(), Some(&b"a"[..]));
+        assert_eq!(disk.dump(StoreFile::Snapshot), None);
+    }
+
+    #[test]
+    fn torn_append_keeps_prefix_and_fails() {
+        let disk = MemStorage::new();
+        let plan = FaultPlan::new().fail(1, Fault::Torn { keep: 2 });
+        let mut s = FaultyStorage::new(disk.clone(), plan);
+        s.append(StoreFile::Wal, b"one").unwrap(); // op 0 clean
+        let err = s.append(StoreFile::Wal, b"twotwo").unwrap_err(); // op 1 torn
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(disk.dump(StoreFile::Wal).as_deref(), Some(&b"onetw"[..]));
+        assert_eq!(s.injected(), 1);
+        assert!(!s.is_dead());
+    }
+
+    #[test]
+    fn kill_is_terminal_for_all_later_ops() {
+        let mut s = FaultyStorage::new(MemStorage::new(), FaultPlan::kill_at(0));
+        assert!(s.append(StoreFile::Wal, b"x").is_err());
+        assert!(s.is_dead());
+        assert!(s.read(StoreFile::Wal).is_err());
+        assert!(s.write_atomic(StoreFile::Snapshot, b"y").is_err());
+        assert!(s.truncate(StoreFile::Wal, 0).is_err());
+    }
+
+    #[test]
+    fn atomic_write_fault_leaves_old_contents() {
+        let disk = MemStorage::new();
+        disk.plant(StoreFile::Snapshot, b"old".to_vec());
+        let plan = FaultPlan::new().fail(0, Fault::Torn { keep: 1 });
+        let mut s = FaultyStorage::new(disk.clone(), plan);
+        assert!(s.write_atomic(StoreFile::Snapshot, b"new").is_err());
+        assert_eq!(disk.dump(StoreFile::Snapshot).as_deref(), Some(&b"old"[..]));
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let disk = MemStorage::new();
+        let plan = FaultPlan::new().fail(0, Fault::BitFlip { bit: 9 });
+        let mut s = FaultyStorage::new(disk.clone(), plan);
+        s.write_atomic(StoreFile::Snapshot, &[0u8, 0u8]).unwrap();
+        assert_eq!(disk.dump(StoreFile::Snapshot).unwrap(), vec![0u8, 2u8]);
+    }
+
+    #[test]
+    fn sync_failed_lands_data_but_reports_error() {
+        let disk = MemStorage::new();
+        let plan = FaultPlan::new().fail(0, Fault::SyncFailed);
+        let mut s = FaultyStorage::new(disk.clone(), plan);
+        assert!(s.append(StoreFile::Wal, b"ack").is_err());
+        assert_eq!(disk.dump(StoreFile::Wal).as_deref(), Some(&b"ack"[..]));
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let a = FaultPlan::seeded(7, 100, 0.3);
+        let b = FaultPlan::seeded(7, 100, 0.3);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.remaining() > 0);
+        assert!(a.remaining() < 100);
+        assert!(!format!("{a:?}").contains("Kill"));
+    }
+
+    #[test]
+    fn disk_storage_round_trips() {
+        let dir = std::env::temp_dir().join(format!("spinner-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = DiskStorage::open(&dir).unwrap();
+        assert_eq!(s.read(StoreFile::Snapshot).unwrap(), None);
+        s.write_atomic(StoreFile::Snapshot, b"snap").unwrap();
+        s.append(StoreFile::Wal, b"aa").unwrap();
+        s.append(StoreFile::Wal, b"bb").unwrap();
+        s.truncate(StoreFile::Wal, 3).unwrap();
+        assert_eq!(s.read(StoreFile::Snapshot).unwrap().as_deref(), Some(&b"snap"[..]));
+        assert_eq!(s.read(StoreFile::Wal).unwrap().as_deref(), Some(&b"aab"[..]));
+        s.append(StoreFile::Wal, b"c").unwrap();
+        assert_eq!(s.read(StoreFile::Wal).unwrap().as_deref(), Some(&b"aabc"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

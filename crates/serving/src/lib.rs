@@ -35,6 +35,7 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod fault;
 pub mod node;
 pub mod persist;
 pub mod routing;
@@ -42,7 +43,8 @@ pub mod snapshot;
 pub mod wal;
 
 pub use codec::CorruptError;
-pub use node::{IngestReport, ServingNode};
+pub use fault::{DiskStorage, Fault, FaultPlan, FaultyStorage, MemStorage, Storage, StoreFile};
+pub use node::{Health, IngestReport, RetryPolicy, ServingNode};
 pub use persist::{PersistError, ResumeStats, SessionPersist, SessionStore};
 pub use routing::{Lookup, RoutingReader, RoutingTable};
 pub use snapshot::{decode_state, encode_state};

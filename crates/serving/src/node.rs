@@ -2,15 +2,97 @@
 //! applies stream windows; any number of lookup threads hold cloned
 //! [`RoutingReader`]s and answer "which worker hosts vertex v?" without
 //! locks.
+//!
+//! Persistence failures do not stop serving. The node runs a three-state
+//! health machine:
+//!
+//! - **Healthy** — every window's record reaches the WAL (with bounded
+//!   retry + exponential backoff on transient faults) before the epoch is
+//!   published.
+//! - **Degraded** — an append failed past its retries. The WAL now misses
+//!   at least one window, so appending later windows would leave a gap a
+//!   resume would misread; instead each subsequent ingest attempts a full
+//!   re-checkpoint ([`SessionStore::compact`]), which resynchronises the
+//!   snapshot past the gap and returns the node to Healthy. Throughout,
+//!   epochs keep publishing and lookups keep serving — routing never
+//!   depends on the store.
+//! - **Poisoned** — the degraded recovery failed
+//!   [`RetryPolicy::max_degraded_windows`] windows in a row. The store is
+//!   dropped (resuming its directory recovers the last fully persisted
+//!   window) and the node serves on, non-persistent, reporting the state so
+//!   an operator can re-attach storage deliberately.
 
+use std::io;
 use std::path::Path;
+use std::time::Duration;
 
 use spinner_core::{StreamEvent, StreamSession, WindowReport};
 use spinner_graph::VertexId;
+use spinner_pregel::WorkerId;
 
+use crate::fault::Storage;
 use crate::persist::{PersistError, ResumeStats, SessionStore};
 use crate::routing::{Lookup, RoutingReader, RoutingTable};
 use crate::wal::WalRecord;
+
+/// Persistence health of a [`ServingNode`] (see the module docs for the
+/// state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Every applied window is durably logged.
+    Healthy,
+    /// At least one window is not persisted; each ingest retries a full
+    /// re-checkpoint while serving continues from memory.
+    Degraded,
+    /// Persistence was abandoned after repeated degraded-mode failures; the
+    /// node serves on without a store.
+    Poisoned,
+}
+
+/// How a [`ServingNode`] retries failed storage operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per storage operation, including the first (min 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry. Zero
+    /// disables sleeping (useful in tests).
+    pub base_backoff: Duration,
+    /// Consecutive windows the node may spend Degraded (failing to persist)
+    /// before it gives up on the store and poisons.
+    pub max_degraded_windows: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { attempts: 3, base_backoff: Duration::from_millis(1), max_degraded_windows: 8 }
+    }
+}
+
+/// Runs `op` under `policy`, counting extra attempts into `retries`.
+fn with_retry<T>(
+    policy: &RetryPolicy,
+    retries: &mut u32,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let mut delay = policy.base_backoff;
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= policy.attempts.max(1) {
+                    return Err(e);
+                }
+                *retries += 1;
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                delay = delay.saturating_mul(2);
+            }
+        }
+    }
+}
 
 /// What one [`ServingNode::ingest`] call did, for callers that meter the
 /// write path.
@@ -20,6 +102,8 @@ pub struct IngestReport {
     record_bytes: u64,
     wal_bytes: u64,
     snapshot_bytes: u64,
+    health: Health,
+    persist_retries: u32,
     report: WindowReport,
 }
 
@@ -31,7 +115,8 @@ impl IngestReport {
     }
 
     /// Framed bytes this window appended to the WAL (0 when the node runs
-    /// without persistence).
+    /// without persistence, and 0 for a Degraded-mode window recovered by a
+    /// re-checkpoint — the window lands in the snapshot, not the log).
     pub fn record_bytes(&self) -> u64 {
         self.record_bytes
     }
@@ -44,6 +129,16 @@ impl IngestReport {
     /// Current snapshot size (0 without persistence).
     pub fn snapshot_bytes(&self) -> u64 {
         self.snapshot_bytes
+    }
+
+    /// Persistence health after this window.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Storage retries this ingest performed beyond first attempts.
+    pub fn persist_retries(&self) -> u32 {
+        self.persist_retries
     }
 
     /// The partition-quality report the session produced for this window.
@@ -65,6 +160,13 @@ pub struct ServingNode {
     session: StreamSession,
     table: RoutingTable,
     store: Option<SessionStore>,
+    health: Health,
+    retry: RetryPolicy,
+    /// Consecutive windows spent Degraded (0 unless Degraded).
+    degraded_windows: u32,
+    /// Windows applied to the live session but not yet persisted (reset by
+    /// a successful re-checkpoint; frozen once Poisoned).
+    unpersisted_windows: u64,
 }
 
 impl ServingNode {
@@ -75,7 +177,15 @@ impl ServingNode {
         let mut table =
             RoutingTable::with_capacity(session.placement().as_slice().len() as u32);
         table.publish_at(session.windows().len() as u64, session.placement().as_slice());
-        Self { session, table, store: None }
+        Self {
+            session,
+            table,
+            store: None,
+            health: Health::Healthy,
+            retry: RetryPolicy::default(),
+            degraded_windows: 0,
+            unpersisted_windows: 0,
+        }
     }
 
     /// Wraps `session` for serving and starts a fresh store at `dir`
@@ -90,67 +200,180 @@ impl ServingNode {
         Ok(node)
     }
 
+    /// Like [`Self::with_persistence`], over an arbitrary [`Storage`]
+    /// backend — an in-memory one, or a fault-injecting wrapper.
+    pub fn with_storage(
+        session: StreamSession,
+        storage: Box<dyn Storage>,
+    ) -> Result<Self, PersistError> {
+        let store = SessionStore::create_on(storage, &session.state())?;
+        let mut node = Self::new(session);
+        node.store = Some(store);
+        Ok(node)
+    }
+
     /// Restarts a node from `dir`: loads the snapshot, replays the WAL
-    /// (dropping a torn tail), rebuilds the warm session, and publishes the
+    /// (dropping a torn tail — [`ResumeStats::truncated_bytes`] says how
+    /// much was lost), rebuilds the warm session, and publishes the
     /// recovered placement. Labels and placement are bit-identical to the
     /// node that wrote the store.
     pub fn resume_from(dir: impl AsRef<Path>) -> Result<(Self, ResumeStats), PersistError> {
         let (state, store, stats) = SessionStore::load(dir)?;
+        Ok((Self::resumed(state, store), stats))
+    }
+
+    /// Like [`Self::resume_from`], over an arbitrary [`Storage`] backend.
+    pub fn resume_from_storage(
+        storage: Box<dyn Storage>,
+    ) -> Result<(Self, ResumeStats), PersistError> {
+        let (state, store, stats) = SessionStore::load_on(storage)?;
+        Ok((Self::resumed(state, store), stats))
+    }
+
+    fn resumed(state: spinner_core::SessionState, store: SessionStore) -> Self {
         let session = StreamSession::from_state(state);
         let mut node = Self::new(session);
         node.store = Some(store);
-        Ok((node, stats))
+        node
     }
 
-    /// Applies one stream window: repartitions, logs the state delta to the
-    /// WAL (when persistent), then publishes the new placement as the next
+    /// Replaces the retry/degradation policy (builder-style).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Current persistence health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Windows applied to the live session but not persisted (0 when
+    /// Healthy; frozen at its last value once Poisoned).
+    pub fn unpersisted_windows(&self) -> u64 {
+        self.unpersisted_windows
+    }
+
+    /// Applies one stream window: repartitions, persists the window (when a
+    /// store is attached), then publishes the new placement as the next
     /// routing epoch. Readers flip to the new epoch atomically; until then
     /// they serve the previous one.
     ///
+    /// Persistence faults never block serving: the epoch is published and
+    /// the report returned regardless, with [`IngestReport::health`] saying
+    /// where the window's bytes stand. A Healthy append is retried under
+    /// the [`RetryPolicy`] (safe: a duplicate from an ambiguous failure is
+    /// skipped on load by window number); on exhaustion the node turns
+    /// Degraded and each subsequent ingest attempts a full re-checkpoint
+    /// instead, which heals the WAL gap and restores Healthy.
+    ///
     /// # Errors
     ///
-    /// A failed WAL append ends persistence for the run: the session has
-    /// already advanced past what the log holds, so any later append would
-    /// leave a gap a resume would misread. The store is dropped (a
-    /// [`Self::resume_from`] of the directory recovers the last fully
-    /// logged window), the new epoch is still published so serving stays
-    /// consistent with the live session, and the error is returned.
+    /// Only the transition to [`Health::Poisoned`] — degraded recovery
+    /// failing [`RetryPolicy::max_degraded_windows`] windows in a row —
+    /// returns the final storage error; the store is dropped (resuming the
+    /// directory recovers the last persisted window) and the node keeps
+    /// serving without one.
     pub fn ingest(&mut self, event: StreamEvent) -> Result<IngestReport, PersistError> {
         let before = self.store.as_ref().map(|_| self.session.state());
         let report = self.session.apply(event.clone()).clone();
         let mut record_bytes = 0;
+        let mut retries = 0u32;
+        let mut failure: Option<io::Error> = None;
         if let Some(store) = &mut self.store {
-            let record = WalRecord::diff(
-                before.as_ref().expect("captured"),
-                &self.session.state(),
-                event,
-            );
-            match store.append(&record) {
-                Ok(bytes) => record_bytes = bytes,
-                Err(e) => {
-                    self.store = None;
-                    let epoch = self.session.windows().len() as u64;
-                    self.table.publish_at(epoch, self.session.placement().as_slice());
-                    return Err(e.into());
+            let after = self.session.state();
+            match self.health {
+                Health::Healthy => {
+                    let record =
+                        WalRecord::diff(before.as_ref().expect("captured"), &after, event);
+                    match with_retry(&self.retry, &mut retries, || store.append(&record)) {
+                        Ok(bytes) => record_bytes = bytes,
+                        Err(e) => {
+                            self.health = Health::Degraded;
+                            self.degraded_windows = 1;
+                            self.unpersisted_windows += 1;
+                            failure = Some(e);
+                        }
+                    }
                 }
+                Health::Degraded => {
+                    // The WAL already misses >= 1 window; appending would
+                    // leave a gap, so recover via a full re-checkpoint.
+                    match with_retry(&self.retry, &mut retries, || store.compact(&after)) {
+                        Ok(()) => {
+                            self.health = Health::Healthy;
+                            self.degraded_windows = 0;
+                            self.unpersisted_windows = 0;
+                        }
+                        Err(e) => {
+                            self.degraded_windows += 1;
+                            self.unpersisted_windows += 1;
+                            failure = Some(e);
+                        }
+                    }
+                }
+                Health::Poisoned => unreachable!("poisoned nodes hold no store"),
             }
+        }
+        let poisoned =
+            failure.is_some() && self.degraded_windows > self.retry.max_degraded_windows;
+        if poisoned {
+            self.health = Health::Poisoned;
+            self.store = None;
+            self.degraded_windows = 0;
         }
         let epoch = self.session.windows().len() as u64;
         self.table.publish_at(epoch, self.session.placement().as_slice());
+        if poisoned {
+            return Err(failure.expect("poisoning requires a failure").into());
+        }
         Ok(IngestReport {
             epoch,
             record_bytes,
             wal_bytes: self.store.as_ref().map_or(0, SessionStore::wal_bytes),
             snapshot_bytes: self.store.as_ref().map_or(0, SessionStore::snapshot_bytes),
+            health: self.health,
+            persist_retries: retries,
             report,
         })
     }
 
+    /// Reports that worker `w`'s hosted partition state was lost, running a
+    /// [`StreamEvent::WorkerLoss`] recovery window: the lost vertices are
+    /// reseeded and re-converged warm, the whole graph is re-placed by
+    /// computed label, and the recovered placement is published as the next
+    /// epoch. Lookups keep serving the previous epoch throughout.
+    pub fn report_worker_loss(&mut self, w: WorkerId) -> Result<IngestReport, PersistError> {
+        self.ingest(StreamEvent::WorkerLoss { worker: w })
+    }
+
+    /// Attempts to heal a Degraded node *now* (instead of at the next
+    /// ingest) by re-checkpointing the current state. Returns the health
+    /// afterwards; a no-op when Healthy or Poisoned.
+    pub fn try_recover(&mut self) -> Health {
+        if self.health == Health::Degraded {
+            if let Some(store) = &mut self.store {
+                let mut retries = 0;
+                let state = self.session.state();
+                if with_retry(&self.retry, &mut retries, || store.compact(&state)).is_ok() {
+                    self.health = Health::Healthy;
+                    self.degraded_windows = 0;
+                    self.unpersisted_windows = 0;
+                }
+            }
+        }
+        self.health
+    }
+
     /// Folds the WAL into a fresh snapshot, bounding restart time. No-op
-    /// without persistence.
+    /// without persistence; on a Degraded node a success doubles as
+    /// recovery (it persists exactly the state the WAL is missing).
     pub fn compact(&mut self) -> Result<(), PersistError> {
         if let Some(store) = &mut self.store {
             store.compact(&self.session.state())?;
+            self.health = Health::Healthy;
+            self.degraded_windows = 0;
+            self.unpersisted_windows = 0;
         }
         Ok(())
     }
@@ -184,6 +407,7 @@ impl ServingNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultPlan, FaultyStorage, MemStorage};
     use spinner_core::SpinnerConfig;
     use spinner_graph::{DirectedGraph, GraphBuilder, GraphDelta};
 
@@ -195,11 +419,24 @@ mod tests {
         SpinnerConfig { seed: 7, max_iterations: 12, ..SpinnerConfig::new(k) }
     }
 
+    fn delta(i: u32, n: u32) -> StreamEvent {
+        StreamEvent::Delta(GraphDelta {
+            new_vertices: 5,
+            added_edges: vec![(i % n, n + i * 5)],
+            removed_edges: vec![],
+        })
+    }
+
+    fn fast_retry(attempts: u32, max_degraded_windows: u32) -> RetryPolicy {
+        RetryPolicy { attempts, base_backoff: Duration::ZERO, max_degraded_windows }
+    }
+
     #[test]
     fn node_serves_the_session_placement() {
         let session = StreamSession::new(ring(400), cfg(4));
         let node = ServingNode::new(session);
         assert_eq!(node.epoch(), 1, "bootstrap window is epoch 1");
+        assert_eq!(node.health(), Health::Healthy);
         let placement = node.session().placement().as_slice().to_vec();
         let reader = node.reader();
         for (v, &w) in placement.iter().enumerate() {
@@ -223,6 +460,7 @@ mod tests {
         assert_eq!(report.epoch(), 2);
         assert_eq!(node.epoch(), 2);
         assert_eq!(report.record_bytes(), 0, "no store attached");
+        assert_eq!(report.health(), Health::Healthy);
         let placement = node.session().placement().as_slice().to_vec();
         assert_eq!(placement.len(), 320);
         let reader = node.reader();
@@ -254,6 +492,7 @@ mod tests {
         let (resumed, stats) = ServingNode::resume_from(&dir).expect("resume");
         assert_eq!(stats.replayed_windows, 3);
         assert!(!stats.truncated_tail);
+        assert_eq!(stats.truncated_bytes, 0);
         assert_eq!(resumed.epoch(), live.epoch());
         assert_eq!(resumed.session().labels(), live.session().labels());
         assert_eq!(
@@ -273,12 +512,7 @@ mod tests {
         let session = StreamSession::new(ring(300), cfg(3));
         let mut node = ServingNode::with_persistence(session, &dir).expect("create store");
         for i in 0..3u32 {
-            node.ingest(StreamEvent::Delta(GraphDelta {
-                new_vertices: 5,
-                added_edges: vec![(i, 300 + i * 5)],
-                removed_edges: vec![],
-            }))
-            .expect("ingest");
+            node.ingest(delta(i, 300)).expect("ingest");
         }
         let labels = node.session().labels().to_vec();
         let epoch = node.epoch();
@@ -297,13 +531,7 @@ mod tests {
 
         // The store stays appendable: a further window and a second resume
         // replay exactly that window on top of the skipped prefix.
-        resumed
-            .ingest(StreamEvent::Delta(GraphDelta {
-                new_vertices: 2,
-                added_edges: vec![(7, 315)],
-                removed_edges: vec![],
-            }))
-            .expect("ingest after resume");
+        resumed.ingest(delta(7, 315)).expect("ingest after resume");
         let labels = resumed.session().labels().to_vec();
         drop(resumed);
         let (again, stats) = ServingNode::resume_from(&dir).expect("second resume");
@@ -321,12 +549,7 @@ mod tests {
 
         let session = StreamSession::new(ring(200), cfg(2));
         let mut node = ServingNode::with_persistence(session, &dir).expect("create store");
-        node.ingest(StreamEvent::Delta(GraphDelta {
-            new_vertices: 5,
-            added_edges: vec![(1, 201)],
-            removed_edges: vec![],
-        }))
-        .expect("ingest");
+        node.ingest(delta(1, 200)).expect("ingest");
         node.ingest(StreamEvent::Resize { k: 3 }).expect("ingest");
         let labels = node.session().labels().to_vec();
         node.compact().expect("compact");
@@ -336,5 +559,148 @@ mod tests {
         assert_eq!(resumed.session().labels(), labels.as_slice());
 
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn transient_append_fault_is_retried_transparently() {
+        let disk = MemStorage::new();
+        let session = StreamSession::new(ring(200), cfg(2));
+        // Ops 0–1 are the store creation; op 2 is the first append, which
+        // fails once — the retry (op 3) goes through clean.
+        let storage = FaultyStorage::new(disk.clone(), FaultPlan::new().fail(2, Fault::Full));
+        let mut node = ServingNode::with_storage(session, Box::new(storage))
+            .expect("create")
+            .with_retry_policy(fast_retry(3, 8));
+        let rep = node.ingest(delta(0, 200)).expect("ingest");
+        assert_eq!(rep.health(), Health::Healthy);
+        assert_eq!(rep.persist_retries(), 1);
+        assert!(rep.record_bytes() > 0);
+
+        let labels = node.session().labels().to_vec();
+        drop(node);
+        let (resumed, stats) =
+            ServingNode::resume_from_storage(Box::new(disk)).expect("resume");
+        assert_eq!(stats.replayed_windows, 1);
+        assert_eq!(resumed.session().labels(), labels.as_slice());
+    }
+
+    #[test]
+    fn ambiguous_append_retry_is_idempotent_on_resume() {
+        let disk = MemStorage::new();
+        let session = StreamSession::new(ring(200), cfg(2));
+        // SyncFailed lands the record but reports failure; the retry
+        // appends a duplicate. Resume must skip the duplicate by window
+        // number and reconstruct the exact same state.
+        let storage =
+            FaultyStorage::new(disk.clone(), FaultPlan::new().fail(2, Fault::SyncFailed));
+        let mut node = ServingNode::with_storage(session, Box::new(storage))
+            .expect("create")
+            .with_retry_policy(fast_retry(3, 8));
+        let rep = node.ingest(delta(0, 200)).expect("ingest");
+        assert_eq!(rep.health(), Health::Healthy);
+        assert_eq!(rep.persist_retries(), 1);
+
+        let labels = node.session().labels().to_vec();
+        let windows = node.session().windows().len();
+        drop(node);
+        let (resumed, stats) =
+            ServingNode::resume_from_storage(Box::new(disk)).expect("resume");
+        assert_eq!(stats.replayed_windows, 1, "first copy applies");
+        assert_eq!(stats.skipped_windows, 1, "duplicate copy is skipped");
+        assert_eq!(resumed.session().labels(), labels.as_slice());
+        assert_eq!(resumed.session().windows().len(), windows);
+    }
+
+    #[test]
+    fn degraded_node_keeps_serving_then_recovers_by_recheckpoint() {
+        let disk = MemStorage::new();
+        let session = StreamSession::new(ring(300), cfg(3));
+        // First append fails through all 2 attempts (ops 2–3) → Degraded.
+        let plan = FaultPlan::new().fail(2, Fault::Full).fail(3, Fault::Full);
+        let storage = FaultyStorage::new(disk.clone(), plan);
+        let mut node = ServingNode::with_storage(session, Box::new(storage))
+            .expect("create")
+            .with_retry_policy(fast_retry(2, 8));
+
+        let rep = node.ingest(delta(0, 300)).expect("degraded, not fatal");
+        assert_eq!(rep.health(), Health::Degraded);
+        assert_eq!(node.unpersisted_windows(), 1);
+        assert_eq!(rep.epoch(), 2, "epoch still published");
+        assert!(node.lookup(0).is_some(), "serving continues while degraded");
+
+        // Next ingest re-checkpoints (faults exhausted) and heals.
+        let rep = node.ingest(delta(1, 305)).expect("recovered");
+        assert_eq!(rep.health(), Health::Healthy);
+        assert_eq!(node.unpersisted_windows(), 0);
+        assert_eq!(rep.record_bytes(), 0, "recovery re-checkpoints instead of appending");
+        assert_eq!(rep.epoch(), 3);
+
+        // Both windows — including the one that never hit the WAL — are in
+        // the re-checkpointed snapshot.
+        let labels = node.session().labels().to_vec();
+        drop(node);
+        let (resumed, stats) =
+            ServingNode::resume_from_storage(Box::new(disk)).expect("resume");
+        assert_eq!(stats.replayed_windows, 0, "snapshot carries everything");
+        assert_eq!(resumed.session().labels(), labels.as_slice());
+        assert_eq!(resumed.session().windows().len(), 3);
+    }
+
+    #[test]
+    fn dead_storage_poisons_after_the_grace_window_and_serving_survives() {
+        let disk = MemStorage::new();
+        let session = StreamSession::new(ring(300), cfg(3));
+        // Storage dies at the first append; nothing ever succeeds again.
+        let storage = FaultyStorage::new(disk.clone(), FaultPlan::kill_at(2));
+        let mut node = ServingNode::with_storage(session, Box::new(storage))
+            .expect("create")
+            .with_retry_policy(fast_retry(2, 1));
+
+        assert_eq!(
+            node.ingest(delta(0, 300)).expect("first failure degrades").health(),
+            Health::Degraded
+        );
+        let err = node.ingest(delta(1, 305)).expect_err("grace exhausted poisons");
+        assert!(matches!(err, PersistError::Io(_)));
+        assert_eq!(node.health(), Health::Poisoned);
+        assert_eq!(node.unpersisted_windows(), 2);
+
+        // Poisoned ≠ dead: epochs advance and lookups serve, store-free.
+        let rep = node.ingest(delta(2, 310)).expect("poisoned node serves on");
+        assert_eq!(rep.health(), Health::Poisoned);
+        assert_eq!(rep.epoch(), 4);
+        assert!(node.lookup(10).is_some());
+
+        // The store directory still resumes to the last persisted state —
+        // the bootstrap snapshot, since no append ever landed.
+        let (resumed, stats) =
+            ServingNode::resume_from_storage(Box::new(disk)).expect("resume");
+        assert_eq!(stats.replayed_windows, 0);
+        assert_eq!(resumed.session().windows().len(), 1);
+    }
+
+    #[test]
+    fn worker_loss_recovers_and_republishes() {
+        let mut cfg = cfg(4);
+        cfg.num_workers = 8;
+        let session = StreamSession::new(ring(600), cfg);
+        let mut node = ServingNode::new(session);
+        let lost: WorkerId = 3;
+        let hosted =
+            node.session().placement().as_slice().iter().filter(|&&w| w == lost).count() as u64;
+        assert!(hosted > 0, "worker 3 hosts nothing; test graph too small");
+
+        let rep = node.report_worker_loss(lost).expect("no store");
+        assert_eq!(rep.epoch(), 2);
+        assert!(rep.report().is_recovery());
+        assert_eq!(rep.report().lost_vertices(), hosted);
+        // The published routing matches the recovered placement exactly.
+        let placement = node.session().placement().as_slice().to_vec();
+        let reader = node.reader();
+        for (v, &w) in placement.iter().enumerate() {
+            let hit = reader.lookup(v as u32).expect("published");
+            assert_eq!(hit.worker(), w);
+            assert_eq!(hit.epoch(), 2);
+        }
     }
 }

@@ -1,27 +1,26 @@
-//! On-disk session store: a snapshot file plus an append-only WAL in one
-//! directory, and the [`SessionPersist`] extension that gives
+//! Session store: a snapshot plus an append-only WAL behind a [`Storage`]
+//! backend, and the [`SessionPersist`] extension that gives
 //! [`StreamSession`] a `resume_from` warm start.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::{fmt, io};
 
 use spinner_core::{SessionState, StreamSession};
 
 use crate::codec::CorruptError;
+use crate::fault::{DiskStorage, Storage, StoreFile};
 use crate::snapshot::{decode_state, encode_state};
 use crate::wal::{read_wal, WalRecord};
 
-/// Snapshot file name inside a store directory.
+/// Snapshot file name inside a disk-backed store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
-/// Write-ahead-log file name inside a store directory.
+/// Write-ahead-log file name inside a disk-backed store directory.
 pub const WAL_FILE: &str = "wal.bin";
 
 /// Failure while persisting or restoring a session.
 #[derive(Debug)]
 pub enum PersistError {
-    /// The underlying filesystem operation failed.
+    /// The underlying storage operation failed.
     Io(io::Error),
     /// The stored bytes are corrupt beyond the recoverable WAL tail.
     Corrupt(CorruptError),
@@ -61,67 +60,81 @@ pub struct ResumeStats {
     pub skipped_windows: usize,
     /// True when a torn tail (crash mid-append) was discarded.
     pub truncated_tail: bool,
-    /// Size of the snapshot file in bytes.
+    /// How many torn-tail bytes were discarded (0 on a clean resume) — the
+    /// operator-facing difference between "resumed clean" and "resumed,
+    /// lost a partial record".
+    pub truncated_bytes: u64,
+    /// Size of the snapshot in bytes.
     pub snapshot_bytes: u64,
     /// Clean WAL bytes retained after recovery.
     pub wal_bytes: u64,
 }
 
-/// A directory holding one session's snapshot + WAL.
+/// A snapshot + WAL pair for one session, on any [`Storage`] backend.
 ///
 /// The write path is: [`SessionStore::create`] once with the bootstrap (or
 /// checkpoint) state, then [`SessionStore::append`] one [`WalRecord`] per
 /// window. The read path is [`SessionStore::load`], which replays the WAL
-/// onto the snapshot — truncating a torn tail — and reopens it for append,
-/// so a restarted process continues logging where the dead one stopped.
+/// onto the snapshot — truncating a torn tail — and reopens the store for
+/// append, so a restarted process continues logging where the dead one
+/// stopped.
+///
+/// `create`/`load` take a directory and run on [`DiskStorage`]; the `_on`
+/// variants take any boxed backend — an in-memory one for tests, or a
+/// [`FaultyStorage`](crate::FaultyStorage) wrapper for chaos runs.
 pub struct SessionStore {
-    dir: PathBuf,
-    wal: File,
+    storage: Box<dyn Storage>,
     wal_bytes: u64,
     snapshot_bytes: u64,
 }
 
 impl SessionStore {
-    /// Creates (or resets) the store at `dir`: writes `state` as the
-    /// snapshot and starts an empty WAL.
+    /// Creates (or resets) a disk-backed store at `dir`: writes `state` as
+    /// the snapshot and starts an empty WAL.
     pub fn create(dir: impl AsRef<Path>, state: &SessionState) -> io::Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let bytes = encode_state(state);
-        write_atomically(&dir.join(SNAPSHOT_FILE), &bytes)?;
-        let wal_path = dir.join(WAL_FILE);
-        let wal = OpenOptions::new().create(true).write(true).truncate(true).open(&wal_path)?;
-        sync_dir(&wal_path)?;
-        Ok(Self { dir, wal, wal_bytes: 0, snapshot_bytes: bytes.len() as u64 })
+        Self::create_on(Box::new(DiskStorage::open(dir)?), state)
     }
 
-    /// Opens the store at `dir`, replays the WAL onto the snapshot, and
-    /// returns the recovered state together with the reopened store. A torn
-    /// WAL tail is truncated away; corruption anywhere else errors.
+    /// [`SessionStore::create`] over an arbitrary backend.
+    pub fn create_on(mut storage: Box<dyn Storage>, state: &SessionState) -> io::Result<Self> {
+        let bytes = encode_state(state);
+        storage.write_atomic(StoreFile::Snapshot, &bytes)?;
+        storage.truncate(StoreFile::Wal, 0)?;
+        Ok(Self { storage, wal_bytes: 0, snapshot_bytes: bytes.len() as u64 })
+    }
+
+    /// Opens the disk-backed store at `dir`, replays the WAL onto the
+    /// snapshot, and returns the recovered state together with the reopened
+    /// store. A torn WAL tail is truncated away; corruption anywhere else
+    /// errors.
     pub fn load(
         dir: impl AsRef<Path>,
     ) -> Result<(SessionState, Self, ResumeStats), PersistError> {
-        let dir = dir.as_ref().to_path_buf();
-        let mut snapshot_bytes = Vec::new();
-        File::open(dir.join(SNAPSHOT_FILE))?.read_to_end(&mut snapshot_bytes)?;
+        Self::load_on(Box::new(DiskStorage::open(dir)?))
+    }
+
+    /// [`SessionStore::load`] over an arbitrary backend.
+    pub fn load_on(
+        mut storage: Box<dyn Storage>,
+    ) -> Result<(SessionState, Self, ResumeStats), PersistError> {
+        let snapshot_bytes = storage.read(StoreFile::Snapshot)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no snapshot in session store at {}", storage.describe()),
+            )
+        })?;
         let mut state = decode_state(&snapshot_bytes)?;
 
-        let mut wal_bytes = Vec::new();
-        match File::open(dir.join(WAL_FILE)) {
-            Ok(mut f) => {
-                f.read_to_end(&mut wal_bytes)?;
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
-        }
+        let wal_bytes = storage.read(StoreFile::Wal)?.unwrap_or_default();
         let scan = read_wal(&wal_bytes);
         let mut replayed = 0usize;
         let mut skipped = 0usize;
         for record in &scan.records {
-            // A compact() that died between the snapshot rename and the WAL
+            // A compact() that died between the snapshot swap and the WAL
             // truncation leaves the whole old log behind the new snapshot.
-            // Records for windows the snapshot already contains are skipped;
-            // a record that skips *ahead* still fails apply_to.
+            // Records for windows the snapshot already contains are skipped
+            // (which also makes a re-appended duplicate harmless); a record
+            // that skips *ahead* still fails apply_to.
             if (record.window as usize) < state.windows.len() {
                 skipped += 1;
                 continue;
@@ -130,60 +143,55 @@ impl SessionStore {
             replayed += 1;
         }
 
-        let wal = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(false)
-            .open(dir.join(WAL_FILE))?;
-        wal.set_len(scan.clean_bytes)?;
-        wal.sync_all()?;
+        storage.truncate(StoreFile::Wal, scan.clean_bytes)?;
         let stats = ResumeStats {
             replayed_windows: replayed,
             skipped_windows: skipped,
             truncated_tail: scan.truncated_tail,
+            truncated_bytes: scan.truncated_bytes,
             snapshot_bytes: snapshot_bytes.len() as u64,
             wal_bytes: scan.clean_bytes,
         };
         let store = Self {
-            dir,
-            wal,
+            storage,
             wal_bytes: scan.clean_bytes,
             snapshot_bytes: snapshot_bytes.len() as u64,
         };
         Ok((state, store, stats))
     }
 
-    /// Appends one window record and fsyncs it (`sync_data`), so an
-    /// acknowledged window survives OS crash or power loss, not just a
-    /// process kill. Returns the framed size in bytes.
+    /// Appends one window record durably (for [`DiskStorage`], `sync_data`
+    /// before returning — an acknowledged window survives OS crash or power
+    /// loss, not just a process kill). Returns the framed size in bytes.
+    ///
+    /// Safe to retry: if an ambiguous failure (e.g. a failed sync) actually
+    /// landed the record, the duplicate a retry appends is skipped on load
+    /// by the same window-number check that guards crashed compactions.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
-        use std::io::Seek;
         let framed = record.encode_framed();
-        self.wal.seek(io::SeekFrom::Start(self.wal_bytes))?;
-        self.wal.write_all(&framed)?;
-        self.wal.sync_data()?;
+        self.storage.append(StoreFile::Wal, &framed)?;
         self.wal_bytes += framed.len() as u64;
         Ok(framed.len() as u64)
     }
 
     /// Rewrites the snapshot as `state` and empties the WAL — bounding
     /// restart time for long streams. Crash-safe: the new snapshot lands
-    /// via fsynced rename before the WAL is truncated, and a crash between
-    /// the two leaves a stale log prefix that [`Self::load`] recognises by
-    /// window number and skips.
+    /// atomically before the WAL is truncated, and a crash between the two
+    /// leaves a stale log prefix that [`Self::load`] recognises by window
+    /// number and skips.
     pub fn compact(&mut self, state: &SessionState) -> io::Result<()> {
         let bytes = encode_state(state);
-        write_atomically(&self.dir.join(SNAPSHOT_FILE), &bytes)?;
+        self.storage.write_atomic(StoreFile::Snapshot, &bytes)?;
         self.snapshot_bytes = bytes.len() as u64;
-        self.wal.set_len(0)?;
-        self.wal.sync_all()?;
+        self.storage.truncate(StoreFile::Wal, 0)?;
         self.wal_bytes = 0;
         Ok(())
     }
 
-    /// The store directory.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// Where the store lives (a directory path, or `<mem>` for the
+    /// in-memory backend).
+    pub fn location(&self) -> String {
+        self.storage.describe()
     }
 
     /// Current WAL size in bytes.
@@ -194,29 +202,6 @@ impl SessionStore {
     /// Current snapshot size in bytes.
     pub fn snapshot_bytes(&self) -> u64 {
         self.snapshot_bytes
-    }
-}
-
-/// Writes `bytes` to `path` through a temporary file + rename, so readers
-/// never observe a half-written snapshot. The file is fsynced before the
-/// rename and the directory after it, so the swap also survives power loss.
-fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    sync_dir(path)
-}
-
-/// Fsyncs the directory containing `path`, making a rename or file creation
-/// in it durable.
-fn sync_dir(path: &Path) -> io::Result<()> {
-    match path.parent() {
-        Some(parent) if !parent.as_os_str().is_empty() => File::open(parent)?.sync_all(),
-        _ => Ok(()),
     }
 }
 

@@ -15,6 +15,21 @@
 //! allocates only when the vertex set outgrows the already-initialised
 //! capacity (counted by [`RoutingTable::reallocs`], pinned in tests the
 //! same way the engine's `fabric_reallocs` is).
+//!
+//! # Recovery epochs
+//!
+//! A worker-loss recovery (`ServingNode::report_worker_loss`) publishes its
+//! repaired placement as an ordinary next epoch — there is no special
+//! "recovery" state on the table, and readers never observe a partial
+//! repair. While the recovery epoch is being written, lookups keep serving
+//! the *pre-loss* epoch in full; those answers may still name the lost
+//! worker, exactly as they would have an instant before the loss was
+//! reported. The moment the head advances, every lookup resolves against
+//! the repaired table and the lost worker no longer appears. Staleness is
+//! therefore bounded the same as any publish: an answer is at most one
+//! epoch behind the head observed after the call, so a caller that gets a
+//! connection failure from a dead worker re-resolves at most one epoch
+//! later and lands on the replacement.
 
 use std::sync::atomic::{fence, AtomicU16, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};

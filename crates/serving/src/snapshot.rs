@@ -14,8 +14,9 @@ use spinner_graph::GraphBuilder;
 
 use crate::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};
 
-/// Magic prefix of a snapshot file (versioned; bump on layout change).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP1";
+/// Magic prefix of a snapshot file (versioned; bump on layout change —
+/// `SPNRSNP2` added `lost_vertices` to the window-report record).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP2";
 
 /// Encodes `state` into a self-verifying snapshot byte vector.
 pub fn encode_state(state: &SessionState) -> Vec<u8> {
@@ -268,6 +269,7 @@ pub(crate) fn put_report(w: &mut ByteWriter, parts: &WindowReportParts) {
     w.put_varint(parts.placement_moved);
     w.put_varint(parts.wall_ns);
     w.put_varint(parts.fabric_reallocs);
+    w.put_varint(parts.lost_vertices);
 }
 
 /// Reads one [`WindowReportParts`] appended by [`put_report`].
@@ -290,6 +292,7 @@ pub(crate) fn read_report(r: &mut ByteReader<'_>) -> Result<WindowReportParts> {
         placement_moved: r.varint("report placement_moved")?,
         wall_ns: r.varint("report wall_ns")?,
         fabric_reallocs: r.varint("report fabric_reallocs")?,
+        lost_vertices: r.varint("report lost_vertices")?,
     })
 }
 

@@ -77,6 +77,9 @@ impl WalRecord {
                 state.graph = apply_delta(&state.graph, delta);
             }
             StreamEvent::Resize { .. } => {}
+            // A worker loss changes labels/placement, not the graph; the
+            // diff below carries the whole recovery.
+            StreamEvent::WorkerLoss { .. } => {}
         }
         state.cfg.k = self.k;
         let n = state.graph.num_vertices() as usize;
@@ -123,6 +126,10 @@ impl WalRecord {
                 w.put_u8(1);
                 w.put_varint(u64::from(*k));
             }
+            StreamEvent::WorkerLoss { worker } => {
+                w.put_u8(2);
+                w.put_varint(u64::from(*worker));
+            }
         }
         put_updates(&mut w, &self.label_updates, |&l| u64::from(l));
         put_updates(&mut w, &self.placement_updates, |&p| u64::from(p));
@@ -168,6 +175,10 @@ impl WalRecord {
                 StreamEvent::Delta(GraphDelta { added_edges, removed_edges, new_vertices })
             }
             1 => StreamEvent::Resize { k: u32_of(r.varint("wal resize k")?, "wal resize k")? },
+            2 => StreamEvent::WorkerLoss {
+                worker: u16::try_from(r.varint("wal lost worker")?)
+                    .map_err(|_| CorruptError { context: "wal lost worker" })?,
+            },
             _ => return Err(CorruptError { context: "wal event tag" }),
         };
         let label_updates = read_updates(&mut r, |raw| Ok(raw as u32))?;
@@ -215,6 +226,10 @@ pub struct WalScan {
     pub clean_bytes: u64,
     /// True when trailing bytes had to be discarded.
     pub truncated_tail: bool,
+    /// How many trailing bytes were discarded (0 on a clean scan). Lets an
+    /// operator distinguish a clean resume from one that lost a tail, and
+    /// size what it lost.
+    pub truncated_bytes: u64,
 }
 
 /// Scans `bytes` as a write-ahead log, tolerating a torn tail: a final
@@ -226,7 +241,12 @@ pub fn read_wal(bytes: &[u8]) -> WalScan {
     loop {
         let rest = &bytes[clean..];
         if rest.is_empty() {
-            return WalScan { records, clean_bytes: clean as u64, truncated_tail: false };
+            return WalScan {
+                records,
+                clean_bytes: clean as u64,
+                truncated_tail: false,
+                truncated_bytes: 0,
+            };
         }
         let mut r = ByteReader::new(rest);
         let whole = (|| -> Result<(WalRecord, usize)> {
@@ -253,7 +273,12 @@ pub fn read_wal(bytes: &[u8]) -> WalScan {
                 clean += consumed;
             }
             Err(_) => {
-                return WalScan { records, clean_bytes: clean as u64, truncated_tail: true };
+                return WalScan {
+                    records,
+                    clean_bytes: clean as u64,
+                    truncated_tail: true,
+                    truncated_bytes: (bytes.len() - clean) as u64,
+                };
             }
         }
     }

@@ -1,0 +1,175 @@
+//! Crash-resume chaos sweep: kill the storage at *every* op index in turn
+//! (snapshot write, WAL reset, each append), let the node die, resume a new
+//! node over the same medium, finish the stream, and assert the result is
+//! bit-identical to an uninterrupted run. No surviving kill point may lose
+//! an acknowledged window or invent one.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
+use spinner_graph::{DirectedGraph, GraphBuilder, GraphDelta};
+use spinner_serving::{
+    Fault, FaultPlan, FaultyStorage, Health, MemStorage, RetryPolicy, ServingNode,
+};
+
+fn base_graph(n: u32, seed: u64) -> DirectedGraph {
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let mut rng = seed | 1;
+    for _ in 0..n * 2 {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = (rng >> 33) as u32 % n;
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let b = (rng >> 33) as u32 % n;
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    GraphBuilder::new(n).add_edges(edges).build()
+}
+
+fn cfg(k: u32, seed: u64) -> SpinnerConfig {
+    let mut cfg = SpinnerConfig::new(k).with_seed(seed);
+    cfg.num_workers = 8;
+    cfg.num_threads = 2;
+    cfg.max_iterations = 10;
+    cfg.placement_feedback = Some(0.05);
+    cfg
+}
+
+/// Turns a proptest-drawn spec into a concrete event: growth deltas keyed
+/// off the current vertex count, or an elastic resize.
+fn materialize(spec: (u8, u64), current_n: u32) -> StreamEvent {
+    let (kind, seed) = spec;
+    if kind % 4 == 3 {
+        StreamEvent::Resize { k: 2 + u32::from(kind % 3) }
+    } else {
+        let mut rng = seed | 1;
+        let new_vertices = 4 + (kind % 8) as u32;
+        let mut added = Vec::new();
+        for i in 0..6 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (rng >> 33) as u32 % current_n;
+            added.push((a, current_n + (i % new_vertices)));
+        }
+        StreamEvent::Delta(GraphDelta {
+            new_vertices,
+            added_edges: added,
+            removed_edges: vec![],
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For a random stream, schedule a process death at every storage op
+    /// index the uninterrupted run would perform — op 0 is the bootstrap
+    /// snapshot, op 1 the WAL reset, op `2 + i` window `i`'s append — and
+    /// verify each death point resumes to the uninterrupted run's exact
+    /// state. `keep` tears that many bytes of a killed append onto the
+    /// medium first, exercising the torn-tail truncation path.
+    #[test]
+    fn kill_at_every_op_index_resumes_bit_identical(
+        seed in 0u64..1000,
+        specs in prop::collection::vec((any::<u8>(), any::<u64>()), 2..5),
+        keep in 0usize..12,
+    ) {
+        let n0 = 200;
+
+        // Reference: one uninterrupted session over the whole stream.
+        let mut reference = StreamSession::new(base_graph(n0, seed), cfg(3, seed));
+        let mut events = Vec::new();
+        for &spec in &specs {
+            let event = materialize(spec, reference.graph().num_vertices());
+            reference.apply(event.clone());
+            events.push(event);
+        }
+        let total_ops = 2 + events.len() as u64;
+
+        for kill_op in 0..total_ops {
+            let disk = MemStorage::new();
+            let plan = FaultPlan::new().fail(kill_op, Fault::Kill { keep });
+            let storage = FaultyStorage::new(disk.clone(), plan);
+            // No retries, no grace: the first failure after the kill is the
+            // moment the "process" stops ingesting.
+            let policy = RetryPolicy {
+                attempts: 1,
+                base_backoff: Duration::ZERO,
+                max_degraded_windows: 0,
+            };
+
+            // Run until the kill fires; count windows acknowledged durable.
+            let mut durable = 0usize;
+            if let Ok(node) = ServingNode::with_storage(
+                StreamSession::new(base_graph(n0, seed), cfg(3, seed)),
+                Box::new(storage),
+            ) {
+                let mut node = node.with_retry_policy(policy);
+                for event in &events {
+                    match node.ingest(event.clone()) {
+                        Ok(rep) if rep.health() == Health::Healthy => durable += 1,
+                        _ => break, // storage dead — the process dies here
+                    }
+                }
+                drop(node); // the crash
+            }
+            if kill_op >= 2 {
+                prop_assert_eq!(durable as u64, kill_op - 2, "kill at op {}", kill_op);
+            } else {
+                prop_assert_eq!(durable, 0, "store creation died at op {}", kill_op);
+            }
+
+            // Restart over the same medium and finish the stream.
+            let (mut node, start) =
+                match ServingNode::resume_from_storage(Box::new(disk.clone())) {
+                    Ok((node, stats)) => {
+                        prop_assert_eq!(
+                            stats.replayed_windows, durable,
+                            "kill at op {} lost or invented a window", kill_op
+                        );
+                        // A killed append with torn bytes leaves a tail the
+                        // resume must discard; a clean kill leaves none.
+                        let torn = keep > 0 && kill_op >= 2;
+                        prop_assert_eq!(stats.truncated_tail, torn);
+                        prop_assert_eq!(stats.truncated_bytes > 0, torn);
+                        (node, durable)
+                    }
+                    Err(_) => {
+                        // Only a death before the bootstrap snapshot landed
+                        // loses the store entirely; recreate from scratch.
+                        prop_assert_eq!(kill_op, 0, "post-snapshot death must resume");
+                        let node = ServingNode::with_storage(
+                            StreamSession::new(base_graph(n0, seed), cfg(3, seed)),
+                            Box::new(disk.clone()),
+                        )
+                        .expect("clean medium");
+                        (node, 0)
+                    }
+                };
+            for event in &events[start..] {
+                node.ingest(event.clone()).expect("ingest after resume");
+            }
+
+            prop_assert_eq!(node.session().labels(), reference.labels());
+            prop_assert_eq!(
+                node.session().placement().as_slice(),
+                reference.placement().as_slice()
+            );
+            prop_assert_eq!(node.session().windows().len(), reference.windows().len());
+            for (a, b) in node.session().windows().iter().zip(reference.windows()) {
+                prop_assert_eq!(a.phi().to_bits(), b.phi().to_bits());
+                prop_assert_eq!(a.rho().to_bits(), b.rho().to_bits());
+                prop_assert_eq!(a.messages(), b.messages());
+            }
+            prop_assert_eq!(node.epoch(), reference.windows().len() as u64);
+
+            // And the finished store itself resumes clean — the recovery
+            // left no torn or stale bytes behind.
+            let (again, stats) =
+                ServingNode::resume_from_storage(Box::new(disk)).expect("final resume");
+            prop_assert!(!stats.truncated_tail);
+            prop_assert_eq!(again.session().labels(), reference.labels());
+        }
+    }
+}

@@ -98,6 +98,96 @@ fn concurrent_lookups_always_match_a_published_epoch() {
     }
 }
 
+/// Worker-loss recovery publish: a recovery epoch is an ordinary publish,
+/// so readers racing it must (a) never see a torn mix of the pre-loss and
+/// repaired tables, (b) stop naming the lost worker the instant their
+/// answer carries the recovery epoch, and (c) keep getting answers the
+/// whole time — availability never drops while the repair is written.
+#[test]
+fn worker_loss_publish_never_tears_and_retires_the_lost_worker() {
+    const LOST: WorkerId = 13;
+    const VERTICES: usize = 20_000;
+    const READERS: usize = 4;
+    const ROUNDS: u64 = 24;
+
+    // Pre-loss placement at odd epochs, repaired placement at even epochs:
+    // the repair moves exactly the lost worker's vertices (round-robin over
+    // survivors) and leaves everything else in place, like
+    // `StreamSession`'s by-label re-placement after a `WorkerLoss` event.
+    fn pre_loss(round: u64, v: u32) -> WorkerId {
+        expected(round, v)
+    }
+    fn repaired(round: u64, v: u32) -> WorkerId {
+        let w = pre_loss(round, v);
+        if w == LOST {
+            (usize::from(LOST) + 1 + v as usize % 7) as WorkerId
+        } else {
+            w
+        }
+    }
+
+    let mut table = RoutingTable::with_capacity(VERTICES as u32);
+    table.publish_at(1, &(0..VERTICES as u32).map(|v| pre_loss(0, v)).collect::<Vec<_>>());
+
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..READERS {
+        let reader = table.reader();
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let mut verified = 0u64;
+            let mut rng = 0xBEEF_CAFE_u64 ^ (t as u64) << 40;
+            while !done.load(Ordering::Relaxed) {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = (rng >> 33) as u32 % VERTICES as u32;
+                let hit = reader.lookup(v).expect("availability dropped during recovery");
+                // Epoch 2r+1 serves pre-loss round r, epoch 2r+2 its repair.
+                let round = (hit.epoch() - 1) / 2;
+                if hit.epoch() & 1 == 1 {
+                    assert_eq!(hit.worker(), pre_loss(round, v), "torn pre-loss read at v={v}");
+                } else {
+                    assert_eq!(hit.worker(), repaired(round, v), "torn recovery read at v={v}");
+                    assert_ne!(
+                        hit.worker(),
+                        LOST,
+                        "recovery epoch still routed to the lost worker"
+                    );
+                }
+                verified += 1;
+            }
+            verified
+        }));
+    }
+
+    for round in 0..ROUNDS {
+        // Loss reported: publish the repair, then the next window's table.
+        table.publish_at(
+            2 * round + 2,
+            &(0..VERTICES as u32).map(|v| repaired(round, v)).collect::<Vec<_>>(),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        if round + 1 < ROUNDS {
+            table.publish_at(
+                2 * round + 3,
+                &(0..VERTICES as u32).map(|v| pre_loss(round + 1, v)).collect::<Vec<_>>(),
+            );
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let verified: u64 = handles.into_iter().map(|h| h.join().expect("reader panicked")).sum();
+    assert!(verified > 1_000, "readers barely ran ({verified} lookups)");
+
+    // Quiesced on the final repair: the lost worker is gone from the table.
+    let reader = table.reader();
+    assert_eq!(reader.head(), 2 * ROUNDS);
+    for v in (0..VERTICES as u32).step_by(61) {
+        let hit = reader.lookup(v).expect("published");
+        assert_ne!(hit.worker(), LOST);
+        assert_eq!(hit.worker(), repaired(ROUNDS - 1, v));
+    }
+}
+
 #[test]
 fn preallocated_table_publishes_without_growing() {
     let mut table = RoutingTable::with_capacity(len_at(8) as u32);

@@ -36,6 +36,7 @@ pub mod prelude {
     pub use spinner_metrics::Trajectory;
     pub use spinner_pregel::{Placement, WorkerId};
     pub use spinner_serving::{
-        Lookup, RoutingReader, RoutingTable, ServingNode, SessionPersist, SessionStore,
+        Fault, FaultPlan, FaultyStorage, Health, Lookup, MemStorage, RetryPolicy,
+        RoutingReader, RoutingTable, ServingNode, SessionPersist, SessionStore, Storage,
     };
 }

@@ -61,3 +61,35 @@ fn prelude_names_the_same_types_and_covers_the_common_path() {
     // The serving crate is also reachable as `spinner::serving`.
     let _table: spinner::serving::RoutingTable = RoutingTable::new();
 }
+
+#[test]
+fn prelude_covers_the_fault_tolerance_path() {
+    use spinner::prelude::*;
+    use std::time::Duration;
+
+    // Build a small session and persist it through a storage medium that
+    // dies at the first WAL append — all through prelude names.
+    let g = GraphBuilder::new(40).add_edges((0..40).map(|v| (v, (v + 1) % 40))).build();
+    let session = StreamSession::new(g, SpinnerConfig::new(2).with_seed(5));
+    let disk: MemStorage = MemStorage::new();
+    let plan: FaultPlan = FaultPlan::new().fail(2, Fault::Full).fail(3, Fault::Full);
+    let faulty: FaultyStorage<MemStorage> = FaultyStorage::new(disk.clone(), plan);
+    let mut node = ServingNode::with_storage(session, Box::new(faulty))
+        .expect("bootstrap checkpoint")
+        .with_retry_policy(RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::ZERO,
+            max_degraded_windows: 4,
+        });
+    assert_eq!(node.health(), Health::Healthy);
+    let report =
+        node.ingest(StreamEvent::Delta(GraphDelta::default())).expect("degrade, not die");
+    assert_eq!(report.health(), Health::Degraded);
+
+    // `Storage` itself is nameable for generic code.
+    fn wal_bytes<S: Storage>(s: &mut S) -> usize {
+        s.read(spinner::serving::StoreFile::Wal).ok().flatten().map_or(0, |b| b.len())
+    }
+    let mut medium = disk.clone();
+    assert_eq!(wal_bytes(&mut medium), 0, "both append attempts failed");
+}
