@@ -21,6 +21,7 @@ fn engine_cfg(threads: usize) -> EngineConfig {
         max_supersteps: 10_000,
         seed: 1,
         broadcast_fabric: false,
+        ..EngineConfig::default()
     }
 }
 

@@ -1,0 +1,74 @@
+//! Criterion bench: the work-stealing worker pool against the static
+//! worker→thread split on a hub-skewed graph.
+//!
+//! Preferential-attachment ids are insertion-ordered, so a *contiguous*
+//! placement parks the oldest, highest-degree hubs on worker 0 — the
+//! adversarial layout where a static split makes whichever thread owns
+//! worker 0 the per-superstep straggler. Work-stealing lets the idle
+//! threads claim its chunks; labels stay bit-identical either way (the
+//! engine merges per-worker partials in worker order), so the arms differ
+//! in wall-clock only. Engines are built (topology loaded, fabric warmed)
+//! outside the timing loop: the bench isolates steady-state superstep
+//! scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spinner_graph::generators::barabasi_albert;
+use spinner_pregel::program::Program;
+use spinner_pregel::{Engine, EngineConfig, Placement, VertexContext};
+
+/// Announce-to-all-neighbours every superstep — Spinner's messaging
+/// pattern, and edge-proportional work, so the hub worker dominates.
+struct Announce;
+
+impl Program for Announce {
+    type V = u64;
+    type E = ();
+    type M = u64;
+    type G = ();
+    type WorkerState = ();
+    fn init_global(&self) {}
+    fn init_worker(&self, _g: &(), _w: u16) {}
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[u64]) {
+        *ctx.value = ctx.value.wrapping_add(messages.iter().sum::<u64>());
+        ctx.mail.broadcast(ctx.vertex as u64);
+    }
+    fn master(&self, ctx: &mut spinner_pregel::program::MasterContext<'_, ()>) {
+        if ctx.superstep >= 8 {
+            ctx.halt();
+        }
+    }
+}
+
+fn bench_skew_pool(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 32, 7);
+    let edges = g.num_edges();
+    let placement = Placement::contiguous(g.num_vertices(), 16);
+
+    let mut group = c.benchmark_group("skew_pool");
+    group.sample_size(10);
+    // 9 supersteps of announcements move ~9x|E| logical messages.
+    group.throughput(Throughput::Elements(9 * edges));
+    for (name, stealing, chunk) in [
+        ("hub_static", false, 0usize),
+        ("hub_stealing", true, 0),
+        ("hub_stealing_chunk1", true, 1),
+    ] {
+        let cfg = EngineConfig {
+            num_threads: 8,
+            max_supersteps: 10_000,
+            seed: 1,
+            broadcast_fabric: false,
+            work_stealing: stealing,
+            steal_chunk: chunk,
+            ..EngineConfig::default()
+        };
+        let mut engine =
+            Engine::from_directed(Announce, &g, &placement, cfg, |_| 0, |_, _, _| ());
+        engine.run(); // warm every fabric buffer
+        group.bench_function(name, |b| b.iter(|| engine.run()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew_pool);
+criterion_main!(benches);

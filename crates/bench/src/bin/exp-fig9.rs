@@ -22,6 +22,7 @@ fn engine_cfg() -> EngineConfig {
         // PageRank/SSSP send per-edge payloads, never broadcast: skip the
         // broadcast lane's load-time index build.
         broadcast_fabric: false,
+        ..EngineConfig::default()
     }
 }
 

@@ -27,6 +27,7 @@ fn main() {
         seed: 5,
         // The workloads here never broadcast: skip the lane's index build.
         broadcast_fabric: false,
+        ..EngineConfig::default()
     };
     let n = directed.num_vertices();
 

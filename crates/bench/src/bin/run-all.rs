@@ -39,6 +39,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-broadcast",
     "exp-serving",
     "exp-chaos",
+    "exp-skew",
 ];
 
 struct Args {

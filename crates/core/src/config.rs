@@ -106,6 +106,33 @@ pub struct SpinnerConfig {
     /// they can only differ in tie-breaks among equally-penalised
     /// non-adjacent labels.
     pub exhaustive_candidate_scan: bool,
+    /// Frontier-seeded delta windows for streaming sessions: after a graph
+    /// delta, the session seeds the engine with the converged labels,
+    /// neighbour-label histograms, and partition loads, parks every vertex
+    /// outside the delta's frontier (the delta-touched vertices plus their
+    /// direct neighbours — exactly the vertices whose histograms or scores
+    /// the delta can change), and restarts in the score phase under
+    /// [`RestartScope::AffectedOnly`]. Superstep cost then scales with the
+    /// churn instead of |V|: parked vertices only re-enter when a
+    /// neighbour's migration messages them. `false` (the default, and the
+    /// baseline-faithful arm) re-runs each window densely from the
+    /// converged labels. Resize and worker-loss windows always run densely
+    /// — their changes are global. Labels can differ from the dense arm
+    /// (fewer vertices reconsider their label), so this is quality-gated in
+    /// `exp-stream`, not bit-compared.
+    pub frontier_windows: bool,
+    /// Work stealing in the engine's pooled superstep loop (see
+    /// [`spinner_pregel::engine::EngineConfig::work_stealing`]). Results
+    /// are bit-identical either way; `false` is the static-schedule arm.
+    pub work_stealing: bool,
+    /// Preferred-chunk granularity for the pooled scheduler; `0` keeps the
+    /// static schedule's contiguous blocks (see
+    /// [`spinner_pregel::engine::EngineConfig::steal_chunk`]).
+    pub steal_chunk: usize,
+    /// Drive compute by a dense per-worker vertex scan instead of the
+    /// maintained active list (the verification arm; bit-identical, see
+    /// [`spinner_pregel::engine::EngineConfig::dense_scan`]).
+    pub dense_scan: bool,
 }
 
 impl SpinnerConfig {
@@ -132,6 +159,10 @@ impl SpinnerConfig {
             placement_feedback: None,
             broadcast_fabric: true,
             exhaustive_candidate_scan: false,
+            frontier_windows: false,
+            work_stealing: true,
+            steal_chunk: 0,
+            dense_scan: false,
         }
     }
 
@@ -168,6 +199,33 @@ impl SpinnerConfig {
     /// the verification baseline; see [`Self::broadcast_fabric`]).
     pub fn with_broadcast_fabric(mut self, enabled: bool) -> Self {
         self.broadcast_fabric = enabled;
+        self
+    }
+
+    /// Builder-style frontier-window override (delta windows seed a
+    /// frontier and park the rest; see [`Self::frontier_windows`]).
+    pub fn with_frontier_windows(mut self, enabled: bool) -> Self {
+        self.frontier_windows = enabled;
+        self
+    }
+
+    /// Builder-style work-stealing override (`false` pins the static
+    /// schedule; see [`Self::work_stealing`]).
+    pub fn with_work_stealing(mut self, enabled: bool) -> Self {
+        self.work_stealing = enabled;
+        self
+    }
+
+    /// Builder-style steal-chunk override (see [`Self::steal_chunk`]).
+    pub fn with_steal_chunk(mut self, chunk: usize) -> Self {
+        self.steal_chunk = chunk;
+        self
+    }
+
+    /// Builder-style dense-scan override (the active-set verification arm;
+    /// see [`Self::dense_scan`]).
+    pub fn with_dense_scan(mut self, enabled: bool) -> Self {
+        self.dense_scan = enabled;
         self
     }
 
@@ -215,6 +273,22 @@ mod tests {
     fn broadcast_fabric_defaults_on() {
         assert!(SpinnerConfig::new(4).broadcast_fabric);
         assert!(!SpinnerConfig::new(4).with_broadcast_fabric(false).broadcast_fabric);
+    }
+
+    #[test]
+    fn scheduler_knobs_default_to_fast_arms() {
+        let cfg = SpinnerConfig::new(4);
+        assert!(!cfg.frontier_windows, "frontier windows are opt-in");
+        assert!(cfg.work_stealing, "stealing is the default schedule");
+        assert_eq!(cfg.steal_chunk, 0, "auto chunking by default");
+        assert!(!cfg.dense_scan, "active-set driver is the default");
+        let cfg = cfg
+            .with_frontier_windows(true)
+            .with_work_stealing(false)
+            .with_steal_chunk(3)
+            .with_dense_scan(true);
+        assert!(cfg.frontier_windows && !cfg.work_stealing && cfg.dense_scan);
+        assert_eq!(cfg.steal_chunk, 3);
     }
 
     #[test]

@@ -300,6 +300,9 @@ pub(crate) fn engine_config(cfg: &SpinnerConfig) -> EngineConfig {
         max_supersteps: 2 * cfg.max_iterations as u64 + 8,
         seed: cfg.seed,
         broadcast_fabric: cfg.broadcast_fabric,
+        work_stealing: cfg.work_stealing,
+        steal_chunk: cfg.steal_chunk,
+        dense_scan: cfg.dense_scan,
     }
 }
 

@@ -395,6 +395,27 @@ impl SpinnerProgram {
     }
 }
 
+/// Builds the [`GlobalState`] the master's `Initialize` step would have
+/// produced from the given per-partition loads — the same total-weight,
+/// capacity, and load math, phase set to `ComputeScores`. Used by
+/// frontier-seeded windows that skip the Initialize superstep entirely:
+/// vertex degrees, histograms, and the persistent loads aggregator are
+/// seeded on the engine side, and this supplies the matching master state.
+pub(crate) fn seeded_global(cfg: &SpinnerConfig, loads: Vec<i64>) -> GlobalState {
+    let total: i64 = loads.iter().sum();
+    let mut g = GlobalState::new(Phase::ComputeScores, cfg.k);
+    g.total_weight = total as u64;
+    g.capacities = match &cfg.capacity_weights {
+        Some(weights) => {
+            let sum: f64 = weights.iter().sum();
+            weights.iter().map(|w| cfg.c * total as f64 * w / sum).collect()
+        }
+        None => vec![cfg.c * total as f64 / cfg.k as f64; cfg.k as usize],
+    };
+    g.loads = loads;
+    g
+}
+
 /// Maximum normalized load: each partition's load relative to its ideal
 /// share `C_l / c` (reduces to `max b / (total/k)` in the homogeneous case).
 fn rho_of(loads: &[i64], capacities: &[f64], c: f64) -> f64 {

@@ -23,18 +23,18 @@
 //! grid. Labels are unaffected; with `async_worker_loads = false` they are
 //! bit-identical to a feedback-free run.
 
-use crate::config::{RestartScope, SpinnerConfig};
+use crate::config::{BalanceObjective, RestartScope, SpinnerConfig};
 use crate::driver::{
     delta_affected, elastic_labels, engine_config, incremental_labels, loss_labels,
     random_labels, result_from_engine, PartitionResult,
 };
-use crate::program::SpinnerProgram;
+use crate::program::{seeded_global, SpinnerProgram, AGG_LOADS};
 use crate::state::{EdgeState, Label, Phase, VertexState, NO_LABEL};
 use spinner_graph::conversion::from_undirected_edges;
 use spinner_graph::mutation::apply_delta;
 use spinner_graph::{DirectedGraph, GraphDelta, UndirectedGraph, VertexId};
 use spinner_pregel::engine::Engine;
-use spinner_pregel::{Placement, WorkerId};
+use spinner_pregel::{AggValue, Placement, WorkerId};
 
 /// One window of a dynamic-graph stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +103,11 @@ pub struct WindowReportParts {
     pub sent_remote_records: u64,
     /// Vertices migrated by label-driven placement feedback.
     pub placement_moved: u64,
+    /// Vertex compute invocations across the window's supersteps — the
+    /// active-set scheduler's cost measure: a dense window computes close
+    /// to `supersteps x num_vertices`; a frontier-seeded window only the
+    /// churn (see [`WindowReport::active_fraction`]).
+    pub computed: u64,
     /// Wall-clock nanoseconds of the window's run.
     pub wall_ns: u64,
     /// Message-fabric buffer growth events during the window.
@@ -225,6 +230,24 @@ impl WindowReport {
     /// or the remote share stayed under the threshold).
     pub fn placement_moved(&self) -> u64 {
         self.parts.placement_moved
+    }
+
+    /// Vertex compute invocations across the window's supersteps.
+    pub fn computed(&self) -> u64 {
+        self.parts.computed
+    }
+
+    /// Mean fraction of the graph computed per superstep — `computed /
+    /// (supersteps x num_vertices)`, 0.0 for an empty denominator. Close to
+    /// 1 for dense windows (every non-halted vertex every superstep), and
+    /// « 1 for frontier-seeded delta windows, whose cost scales with churn.
+    pub fn active_fraction(&self) -> f64 {
+        let denom = self.parts.supersteps * self.parts.num_vertices as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            self.parts.computed as f64 / denom as f64
+        }
     }
 
     /// Wall-clock nanoseconds of the window's run.
@@ -368,6 +391,7 @@ impl StreamSession {
             sent_local_records: result.totals.local_records,
             sent_remote_records: result.totals.remote_records,
             placement_moved,
+            computed: result.totals.computed,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
             lost_vertices: 0,
@@ -482,20 +506,100 @@ impl StreamSession {
             _ => Vec::new(),
         };
 
-        let program = SpinnerProgram { cfg: self.cfg.clone(), start_phase: Phase::Initialize };
+        // Frontier-seeded delta windows (opt-in): instead of replaying the
+        // Initialize warm-up densely, seed the engine with everything that
+        // warm-up would recompute — labels, weighted degrees, neighbour-
+        // label histograms, edge label caches, partition loads (both the
+        // master's view and the persistent aggregator the migration phase
+        // folds into) — and park every vertex outside the delta's frontier.
+        // The frontier is the delta-touched vertices plus their direct
+        // neighbours: touched vertices can re-score against changed
+        // adjacency, and their neighbours are exactly the vertices whose
+        // histograms or load penalties the delta (or a touched vertex's
+        // first migration) can change. Anything farther only reacts to
+        // migration announcements, which wake parked vertices through the
+        // normal message path. Resize and worker-loss windows stay dense:
+        // their perturbation is global.
+        let frontier = match &event {
+            StreamEvent::Delta(delta) if self.cfg.frontier_windows => {
+                let touched =
+                    delta_affected(self.undirected.num_vertices(), old_n as VertexId, delta);
+                Some(expand_frontier(&self.undirected, touched))
+            }
+            _ => None,
+        };
+
         let placement = self.placement_for(&labels);
-        self.engine.warm_reset_undirected(
-            program,
-            &self.undirected,
-            &placement,
-            |v| {
-                VertexState::new(
-                    labels[v as usize],
-                    affected.get(v as usize).copied().unwrap_or(true),
-                )
-            },
-            |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
-        );
+        if let Some(frontier) = &frontier {
+            let mut pcfg = self.cfg.clone();
+            // Parked bystanders must stay parked once they settle again —
+            // the existing affected-only halt in ComputeMigrations does
+            // exactly that, with `affected` seeded from the frontier.
+            pcfg.restart_scope = RestartScope::AffectedOnly;
+            let program = SpinnerProgram { cfg: pcfg, start_phase: Phase::ComputeScores };
+            let und = &self.undirected;
+            let objective = self.cfg.objective;
+            let mut loads = vec![0i64; self.cfg.k as usize];
+            for (v, &l) in labels.iter().enumerate() {
+                let load = match objective {
+                    BalanceObjective::Edges => {
+                        und.neighbors(v as VertexId).1.iter().map(|&w| w as i64).sum()
+                    }
+                    BalanceObjective::Vertices => 1,
+                };
+                loads[l as usize] += load;
+            }
+            self.engine.warm_reset_undirected_seeded(
+                program,
+                und,
+                &placement,
+                |v| {
+                    let vi = v as usize;
+                    let (ts, ws) = und.neighbors(v);
+                    let mut degree = 0u64;
+                    let mut hist: Vec<(Label, u32)> = Vec::new();
+                    for (&t, &w) in ts.iter().zip(ws) {
+                        degree += w as u64;
+                        let l = labels[t as usize];
+                        match hist.iter_mut().find(|(hl, _)| *hl == l) {
+                            Some(entry) => entry.1 += w as u32,
+                            None => hist.push((l, w as u32)),
+                        }
+                    }
+                    let state = VertexState {
+                        label: labels[vi],
+                        degree,
+                        candidate: NO_LABEL,
+                        affected: frontier[vi],
+                        label_weights: hist,
+                    };
+                    (state, !frontier[vi])
+                },
+                |_, dst, w| EdgeState { weight: w, neighbor_label: labels[dst as usize] },
+            );
+            // The migration phase folds load deltas into the *persistent*
+            // loads aggregator and the master re-reads it each iteration,
+            // so the aggregator snapshot must be seeded alongside the
+            // global state — identity there would collapse the loads to
+            // just the migration deltas.
+            self.engine.set_aggregate(AGG_LOADS, AggValue::VecI64(loads.clone()));
+            self.engine.set_global(seeded_global(&self.cfg, loads));
+        } else {
+            let program =
+                SpinnerProgram { cfg: self.cfg.clone(), start_phase: Phase::Initialize };
+            self.engine.warm_reset_undirected(
+                program,
+                &self.undirected,
+                &placement,
+                |v| {
+                    VertexState::new(
+                        labels[v as usize],
+                        affected.get(v as usize).copied().unwrap_or(true),
+                    )
+                },
+                |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
+            );
+        }
         self.placement = placement;
         let summary = self.engine.run();
         let result =
@@ -525,6 +629,7 @@ impl StreamSession {
             sent_local_records: result.totals.local_records,
             sent_remote_records: result.totals.remote_records,
             placement_moved,
+            computed: result.totals.computed,
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
             lost_vertices,
@@ -685,6 +790,24 @@ pub struct SessionState {
     pub label_assignment: Option<Vec<WorkerId>>,
     /// All window reports so far (index 0 is the bootstrap).
     pub windows: Vec<WindowReport>,
+}
+
+/// A delta window's frontier: the touched flags widened by one hop. A
+/// touched vertex's direct neighbours see their label histograms or load
+/// penalties change (or receive its first migration announcement before any
+/// message could wake them), so one hop is exactly the set whose next score
+/// can differ; everything farther is reachable only through migration
+/// announcements, which wake parked vertices through the normal path.
+fn expand_frontier(graph: &UndirectedGraph, touched: Vec<bool>) -> Vec<bool> {
+    let mut out = touched.clone();
+    for (v, &t) in touched.iter().enumerate() {
+        if t {
+            for &n in graph.neighbors(v as VertexId).0 {
+                out[n as usize] = true;
+            }
+        }
+    }
+    out
 }
 
 /// Total message-fabric growth events across a run.

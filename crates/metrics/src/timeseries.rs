@@ -25,6 +25,12 @@ pub struct WindowPoint {
     /// recovered after a worker loss (0.0 for every ordinary window, so
     /// recovery windows stand out in the series).
     pub lost_fraction: f64,
+    /// Mean fraction of vertices actually computed per superstep — the
+    /// active-set scheduler's cost series. 1.0 means every superstep
+    /// visited the whole graph (a dense restart); frontier-seeded delta
+    /// windows should sit far below it, scaling the window's cost with
+    /// churn rather than |V|.
+    pub active_fraction: f64,
 }
 
 /// A φ/ρ/migration time series across stream windows.
@@ -118,6 +124,28 @@ impl Trajectory {
         tail.iter().map(|p| p.local_share).sum::<f64>() / tail.len() as f64
     }
 
+    /// Mean per-superstep active fraction over the *post-bootstrap*
+    /// windows — the steady-state compute cost of staying adapted, in
+    /// units of full-graph sweeps. The bootstrap is skipped because it
+    /// necessarily computes everything. 0.0 with fewer than two windows.
+    pub fn mean_active_fraction(&self) -> f64 {
+        let tail = &self.points[self.points.len().min(1)..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|p| p.active_fraction).sum::<f64>() / tail.len() as f64
+    }
+
+    /// The largest post-bootstrap active fraction (0.0 with fewer than two
+    /// windows) — the gate that catches a single window regressing to a
+    /// full-graph sweep even when the mean stays low.
+    pub fn max_active_fraction(&self) -> f64 {
+        self.points[self.points.len().min(1)..]
+            .iter()
+            .map(|p| p.active_fraction)
+            .fold(0.0, f64::max)
+    }
+
     /// Renders the series as a JSON array of per-window objects (the format
     /// embedded in the streaming experiment report).
     pub fn to_json(&self) -> String {
@@ -127,8 +155,14 @@ impl Trajectory {
             out.push_str(&format!(
                 "    {{\"window\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
                  \"migration_fraction\": {:.6}, \"local_share\": {:.6}, \
-                 \"lost_fraction\": {:.6}}}{sep}\n",
-                p.window, p.phi, p.rho, p.migration_fraction, p.local_share, p.lost_fraction
+                 \"lost_fraction\": {:.6}, \"active_fraction\": {:.6}}}{sep}\n",
+                p.window,
+                p.phi,
+                p.rho,
+                p.migration_fraction,
+                p.local_share,
+                p.lost_fraction,
+                p.active_fraction
             ));
         }
         out.push_str("  ]");
@@ -154,6 +188,7 @@ mod tests {
             migration_fraction: moved,
             local_share: 0.25,
             lost_fraction: 0.0,
+            active_fraction: 1.0,
         }
     }
 
@@ -184,6 +219,8 @@ mod tests {
         assert_eq!(t.max_migration_fraction(), 0.0);
         assert_eq!(t.min_local_share(), 1.0);
         assert_eq!(t.mean_local_share(), 0.0);
+        assert_eq!(t.mean_active_fraction(), 0.0);
+        assert_eq!(t.max_active_fraction(), 0.0);
     }
 
     #[test]
@@ -207,6 +244,19 @@ mod tests {
         assert!((t.mean_local_share() - 0.84).abs() < 1e-12);
     }
 
+    /// Frontier-seeded delta windows keep the active series far below the
+    /// dense bootstrap; both aggregates skip the bootstrap window, whose
+    /// full sweep is structural.
+    #[test]
+    fn active_fraction_aggregates_skip_the_bootstrap() {
+        let mut t = Trajectory::new();
+        t.push(WindowPoint { active_fraction: 1.0, ..point(0, 0.7, 1.04, 1.0) });
+        t.push(WindowPoint { active_fraction: 0.08, ..point(1, 0.72, 1.05, 0.1) });
+        t.push(WindowPoint { active_fraction: 0.12, ..point(2, 0.73, 1.05, 0.05) });
+        assert!((t.mean_active_fraction() - 0.10).abs() < 1e-12);
+        assert!((t.max_active_fraction() - 0.12).abs() < 1e-12);
+    }
+
     #[test]
     fn json_lists_every_window() {
         let json = sample().to_json();
@@ -214,6 +264,7 @@ mod tests {
         assert!(json.contains("\"phi\": 0.700000"));
         assert!(json.contains("\"migration_fraction\": 0.060000"));
         assert!(json.contains("\"local_share\": 0.250000"));
+        assert!(json.contains("\"active_fraction\": 1.000000"));
         assert!(json.starts_with("[\n") && json.ends_with(']'));
         // Exactly two separators for three entries.
         assert_eq!(json.matches("},\n").count(), 2);

@@ -17,9 +17,15 @@
 //!
 //! With more than one thread the phases execute on a persistent worker pool
 //! created once per [`Engine::run`]; a barrier-driven protocol replaces the
-//! per-superstep thread spawn/join of earlier versions. All message buffers
-//! are reused across supersteps, so the steady-state message path performs
-//! no heap allocation (see [`WorkerMetrics::fabric_reallocs`]).
+//! per-superstep thread spawn/join of earlier versions. Within each phase
+//! the logical workers are claimed through atomic tokens rather than
+//! statically partitioned, so idle threads steal work from skewed ones
+//! (see [`EngineConfig::work_stealing`]); compute itself walks each
+//! worker's maintained active list instead of every vertex (see
+//! [`EngineConfig::dense_scan`] for the dense verification arm). All
+//! message buffers are reused across supersteps, so the steady-state
+//! message path performs no heap allocation (see
+//! [`WorkerMetrics::fabric_reallocs`]).
 
 use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::metrics::{RunTotals, SuperstepMetrics, WorkerMetrics};
@@ -28,7 +34,7 @@ use crate::types::{OutboxGrid, WorkerId, BROADCAST_MULTI, BROADCAST_TAG};
 use crate::worker::Worker;
 use crate::Placement;
 use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 use std::time::Instant;
 
@@ -52,6 +58,28 @@ pub struct EngineConfig {
     /// broadcast, since the lane's load-time structures cost an extra
     /// O(E) build pass and O(V) offsets per worker). Default `true`.
     pub broadcast_fabric: bool,
+    /// Enable work stealing in the pooled superstep loop: logical workers
+    /// are claimed per phase through atomic tokens, so a thread that
+    /// finishes its preferred chunk steals whatever its siblings have not
+    /// claimed yet instead of idling at the barrier. Results are identical
+    /// either way — a worker's phase runs exactly once on exactly one
+    /// thread, and all cross-worker merges happen in worker order on the
+    /// engine thread. `false` pins every worker to its static owner
+    /// (the pre-stealing schedule). Default `true`.
+    pub work_stealing: bool,
+    /// Preferred-chunk granularity for the pooled scheduler: worker `w`'s
+    /// preferred thread is `(w / steal_chunk) % threads`. `0` (the default)
+    /// picks `num_workers.div_ceil(threads)` — the contiguous blocks of the
+    /// static schedule. Smaller chunks interleave ownership, which spreads
+    /// hot workers across threads even before stealing kicks in.
+    pub steal_chunk: usize,
+    /// Drive the compute phase by a dense `0..n_local` scan (with a
+    /// halted/empty-inbox skip) instead of the maintained active list. Both
+    /// drivers visit the same vertices in the same order, so results are
+    /// bit-identical — this is the verification arm for the active-set
+    /// scheduler, same spirit as `broadcast_fabric = false`. Default
+    /// `false`.
+    pub dense_scan: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,8 +89,32 @@ impl Default for EngineConfig {
             max_supersteps: 10_000,
             seed: 1,
             broadcast_fabric: true,
+            work_stealing: true,
+            steal_chunk: 0,
+            dense_scan: false,
         }
     }
+}
+
+/// Why the broadcast lane is (or is not) usable right now — the diagnosable
+/// face of the engine's internal `lane_open` flag. Every closed state used
+/// to look identical from outside (broadcasts silently fell back to
+/// per-edge unicast); [`Engine::lane_status`] names the cause so the perf
+/// cliff of an oversized id space or a mid-run mutation shows up in
+/// diagnostics instead of only in throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneStatus {
+    /// The lane is open: broadcasts ship one record per destination worker.
+    Open,
+    /// `EngineConfig::broadcast_fabric` is off (the verification arm).
+    DisabledByConfig,
+    /// The vertex-id space does not fit beside [`BROADCAST_TAG`]
+    /// (more than 2³¹ vertices), so the fan-out index was never built and
+    /// every broadcast ships as per-edge unicast for this topology.
+    IdSpaceExceeded,
+    /// A graph mutation was applied mid-run, outdating the load-time
+    /// fan-out index; the lane reopens at the next topology (re)load.
+    ClosedByMutation,
 }
 
 /// Why a run stopped.
@@ -266,6 +318,31 @@ impl<P: Program> Engine<P> {
         graph: &UndirectedGraph,
         placement: &Placement,
         mut init_v: impl FnMut(VertexId) -> P::V,
+        init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
+    ) {
+        self.warm_reset_undirected_seeded(
+            program,
+            graph,
+            placement,
+            |v| (init_v(v), false),
+            init_e,
+        );
+    }
+
+    /// [`Self::warm_reset_undirected`] with per-vertex halted seeding:
+    /// `init_v` also yields each vertex's initial halted flag, so a caller
+    /// that already knows which vertices have work (e.g. a frontier derived
+    /// from a graph delta) can start the run with everything else parked —
+    /// the active-set scheduler then never visits the parked vertices
+    /// unless a message wakes them. Pair with [`Self::set_global`] /
+    /// [`Self::set_aggregate`] when the program's warm-up phases are being
+    /// skipped and their outputs seeded directly.
+    pub fn warm_reset_undirected_seeded(
+        &mut self,
+        program: P,
+        graph: &UndirectedGraph,
+        placement: &Placement,
+        mut init_v: impl FnMut(VertexId) -> (P::V, bool),
         mut init_e: impl FnMut(VertexId, VertexId, u8) -> P::E,
     ) {
         assert_eq!(placement.num_vertices(), graph.num_vertices(), "placement size mismatch");
@@ -277,9 +354,24 @@ impl<P: Program> Engine<P> {
             graph.num_vertices(),
             placement,
             |v| graph.neighbors(v).0,
-            |v| (init_v(v), false),
+            &mut init_v,
             |src, i, dst| init_e(src, dst, graph.neighbors(src).1[i]),
         );
+    }
+
+    /// Overwrites the global state ahead of a run — the seeding companion
+    /// of [`Self::warm_reset_undirected_seeded`] for callers that skip a
+    /// program's warm-up phases and install their outputs directly.
+    pub fn set_global(&mut self, global: P::G) {
+        self.global = global;
+    }
+
+    /// Overwrites one aggregator's snapshot value ahead of a run. Only
+    /// meaningful for persistent aggregators (regular ones reset to
+    /// identity at the next epilogue); the caller owns type agreement with
+    /// the aggregator's spec.
+    pub fn set_aggregate(&mut self, id: usize, value: AggValue) {
+        self.snapshot[id] = value;
     }
 
     /// Re-places the vertices of an idle engine onto the workers prescribed
@@ -411,8 +503,9 @@ impl<P: Program> Engine<P> {
         // fan-out index entries per sender in the same sweep.
         //
         // The lane needs vertex ids to fit beside [`BROADCAST_TAG`]; larger
-        // graphs silently fall back to per-edge unicast (ids up to 2³¹
-        // cover every workload in this repository).
+        // graphs fall back to per-edge unicast (ids up to 2³¹ cover every
+        // workload in this repository). The fallback is *diagnosable*, not
+        // silent: [`Engine::lane_status`] reports `IdSpaceExceeded`.
         let build_fanout = self.config.broadcast_fabric && (n as u64) <= BROADCAST_TAG as u64;
         // The fan-out vectors move out of the workers for the build (two
         // simultaneous worker borrows otherwise: reading one worker's
@@ -567,6 +660,23 @@ impl<P: Program> Engine<P> {
         &self.global
     }
 
+    /// Current state of the broadcast lane, with the cause when closed —
+    /// see [`LaneStatus`]. Derived, not stored: the engine keeps one
+    /// boolean and this method names why it is what it is. Precedence when
+    /// several causes hold: a disabled config wins over an oversized id
+    /// space (the lane would not have been built regardless of size).
+    pub fn lane_status(&self) -> LaneStatus {
+        if self.lane_open.load(Ordering::Acquire) {
+            LaneStatus::Open
+        } else if !self.config.broadcast_fabric {
+            LaneStatus::DisabledByConfig
+        } else if self.num_vertices > BROADCAST_TAG as u64 {
+            LaneStatus::IdSpaceExceeded
+        } else {
+            LaneStatus::ClosedByMutation
+        }
+    }
+
     /// Runs the program to completion.
     pub fn run(&mut self) -> RunSummary {
         let run_start = Instant::now();
@@ -604,6 +714,7 @@ impl<P: Program> Engine<P> {
                     self.config.seed,
                     self.num_vertices,
                     lane_open,
+                    self.config.dense_scan,
                 );
                 w.publish_outboxes(&self.mail_grid, num_workers);
             }
@@ -641,9 +752,23 @@ impl<P: Program> Engine<P> {
     }
 
     /// Superstep loop on a persistent worker pool: `threads` scoped threads
-    /// own contiguous worker chunks for the whole run and advance through
-    /// the compute and delivery phases via a barrier protocol — no thread is
-    /// spawned or joined between supersteps.
+    /// advance through the compute and delivery phases via a barrier
+    /// protocol — no thread is spawned or joined between supersteps.
+    ///
+    /// Within each phase, logical workers are *claimed*, not statically
+    /// assigned: `claims[w]` holds the next unclaimed phase token
+    /// (`2 x superstep` for compute, `2 x superstep + 1` for delivery), and
+    /// a thread takes worker `w` by compare-exchanging the token forward.
+    /// Every thread first walks its preferred chunks (worker `w` prefers
+    /// thread `(w / chunk) % threads`, reproducing the old contiguous
+    /// blocks when `steal_chunk` is 0), then — with `work_stealing` on —
+    /// sweeps the remaining workers from the high end, picking up whatever
+    /// slower siblings have not claimed. Exactly-once execution per phase
+    /// is guaranteed by the CAS; cross-phase visibility by the barriers
+    /// (a claim sweep completes before its thread's barrier wait, so every
+    /// worker's phase has run when the barrier releases). All cross-worker
+    /// merges happen in worker order on the engine thread, so the schedule
+    /// — static, stolen, or interleaved — never affects results.
     fn run_pooled(
         &mut self,
         threads: usize,
@@ -653,8 +778,15 @@ impl<P: Program> Engine<P> {
         let seed = self.config.seed;
         let max_supersteps = self.config.max_supersteps;
         let num_vertices = self.num_vertices;
-        // Split borrows: worker chunks move into the pool threads while the
-        // engine thread keeps the master-owned state.
+        let dense_scan = self.config.dense_scan;
+        let work_stealing = self.config.work_stealing;
+        let chunk = if self.config.steal_chunk == 0 {
+            num_workers.div_ceil(threads)
+        } else {
+            self.config.steal_chunk
+        };
+        // Split borrows: the worker cells move into the pool threads while
+        // the engine thread keeps the master-owned state.
         let program = &self.program;
         let specs = self.specs.as_slice();
         let worker_of = self.worker_of.as_slice();
@@ -665,19 +797,55 @@ impl<P: Program> Engine<P> {
             RwLock::new(MasterState { snapshot: &mut self.snapshot, global: &mut self.global });
         let slots: Vec<Mutex<StepSlot>> =
             (0..num_workers).map(|_| Mutex::new(StepSlot::default())).collect();
+        // One cell and one claim token per logical worker. The mutex is
+        // uncontended by construction — only the CAS winner ever locks a
+        // cell — it exists to move `&mut Worker` across threads safely.
+        let cells: Vec<Mutex<&mut Worker<P>>> =
+            self.workers.iter_mut().map(Mutex::new).collect();
+        let claims: Vec<AtomicU64> = (0..num_workers).map(|_| AtomicU64::new(0)).collect();
 
-        let chunk = num_workers.div_ceil(threads);
-        let pool_size = num_workers.div_ceil(chunk);
         // Phase barrier across the pool plus the engine thread; three waits
         // per superstep (start -> compute, mid -> deliver, end -> epilogue).
-        let barrier = Barrier::new(pool_size + 1);
+        let barrier = Barrier::new(threads + 1);
         let stop = AtomicBool::new(false);
 
         let mut halt = HaltReason::MaxSupersteps;
         std::thread::scope(|s| {
-            for workers in self.workers.chunks_mut(chunk) {
+            for t in 0..threads {
                 let (barrier, stop, master, slots) = (&barrier, &stop, &master, &slots);
+                let (cells, claims) = (&cells, &claims);
                 s.spawn(move || {
+                    let claim = |w: usize, token: u64| {
+                        claims[w]
+                            .compare_exchange(
+                                token,
+                                token + 1,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                    };
+                    // Walks this thread's preferred chunks, then (stealing
+                    // on) the rest from the high end — farthest first from
+                    // the low-indexed chunks the static schedule starts on.
+                    let sweep = |token: u64, run: &mut dyn FnMut(usize)| {
+                        let mut start = t * chunk;
+                        while start < num_workers {
+                            for w in start..(start + chunk).min(num_workers) {
+                                if claim(w, token) {
+                                    run(w);
+                                }
+                            }
+                            start += threads * chunk;
+                        }
+                        if work_stealing {
+                            for w in (0..num_workers).rev() {
+                                if claim(w, token) {
+                                    run(w);
+                                }
+                            }
+                        }
+                    };
                     let mut superstep = 0u64;
                     loop {
                         barrier.wait();
@@ -690,7 +858,8 @@ impl<P: Program> Engine<P> {
                             // Lane stores happen in the delivery phase, so
                             // the start barrier orders them before this load.
                             let lane_open = lane.load(Ordering::Acquire);
-                            for w in workers.iter_mut() {
+                            sweep(superstep * 2, &mut |wi| {
+                                let mut w = cells[wi].lock().expect("worker cell");
                                 w.compute_phase(
                                     program,
                                     &*m.global,
@@ -701,22 +870,24 @@ impl<P: Program> Engine<P> {
                                     seed,
                                     num_vertices,
                                     lane_open,
+                                    dense_scan,
                                 );
                                 w.publish_outboxes(grid, num_workers);
-                            }
+                            });
                         }
                         barrier.wait();
-                        for w in workers.iter_mut() {
+                        sweep(superstep * 2 + 1, &mut |wi| {
+                            let mut w = cells[wi].lock().expect("worker cell");
                             w.deliver_and_build(program, grid, local_idx, num_workers);
                             w.apply_mutations(lane);
-                            let mut slot = slots[w.id as usize].lock().expect("step slot");
+                            let mut slot = slots[wi].lock().expect("step slot");
                             slot.metrics.clone_from(&w.metrics);
                             // Swap (not take): the stale vector handed back
                             // is reset in place next superstep, so the
                             // partials rotate without reallocating.
                             std::mem::swap(&mut slot.partials, &mut w.partial_aggs);
                             slot.halted = w.halted_count();
-                        }
+                        });
                         barrier.wait();
                         superstep += 1;
                     }

@@ -34,10 +34,16 @@
 //! per-vertex queues: sends land in per-destination outboxes that are
 //! swapped into a shared all-to-all grid ([`types::OutboxGrid`]) at the end
 //! of the compute phase; each worker drains its own grid column during
-//! delivery and rebuilds a CSR-style inbox (`msg_offsets`/`msgs`) that the
-//! next compute phase reads as one slice per vertex. With more than one
-//! thread, a persistent pool created once per [`Engine::run`] drives the
-//! phases through a barrier protocol (no per-superstep thread spawns).
+//! delivery and rebuilds a flat, epoch-stamped inbox
+//! (`inbox_start`/`inbox_len`/`msgs`) touching only that superstep's
+//! recipients; the next compute phase reads it as one slice per vertex.
+//! Compute walks each worker's maintained **active list** (the non-halted
+//! vertices) rather than its whole vertex range, so superstep cost scales
+//! with the vertices that have work. With more than one thread, a
+//! persistent pool created once per [`Engine::run`] drives the phases
+//! through a barrier protocol (no per-superstep thread spawns), claiming
+//! workers through atomic tokens so idle threads steal from skewed ones
+//! (see [`engine::EngineConfig::work_stealing`]).
 //! Steady-state supersteps perform no heap allocation on the message path;
 //! [`WorkerMetrics::fabric_reallocs`] counts (and tests pin) any buffer
 //! growth.
@@ -70,7 +76,7 @@ pub mod worker;
 
 pub use aggregate::{AggOp, AggValue, AggregatorSpec};
 pub use context::{AggCtx, Edges, Mailer, VertexContext};
-pub use engine::{Engine, EngineConfig, HaltReason, ReplaceStats, RunSummary};
+pub use engine::{Engine, EngineConfig, HaltReason, LaneStatus, ReplaceStats, RunSummary};
 pub use metrics::{SuperstepMetrics, WorkerMetrics};
 pub use placement::Placement;
 pub use program::{MasterContext, Program};

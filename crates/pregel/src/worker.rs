@@ -4,10 +4,19 @@
 //! Messages flow through a flat, reusable fabric instead of per-vertex
 //! `Vec`s: delivery drains the worker's column of the [`OutboxGrid`] into a
 //! staging buffer (chained per destination vertex), then a single gather
-//! pass rebuilds the CSR-style inbox `(msg_offsets, msgs)` that the compute
-//! phase reads as one slice per vertex. All buffers keep their capacity
-//! across supersteps, so the steady state performs no heap allocation on the
-//! message path.
+//! pass over the *recipients* rebuilds the flat inbox
+//! `(inbox_start, inbox_len, msgs)` that the compute phase reads as one
+//! slice per vertex. All buffers keep their capacity across supersteps, so
+//! the steady state performs no heap allocation on the message path.
+//!
+//! Compute is driven by an **active list** — the sorted local indices of
+//! the non-halted vertices, maintained incrementally (compute survivors
+//! merged with delivery wake-ups) — so a superstep's cost scales with the
+//! vertices that actually have work, not with the worker's vertex count.
+//! The engine's `dense_scan` configuration switches compute back to the
+//! full `0..n_local` walk (with a halted/empty-inbox skip); both drivers
+//! visit exactly the same vertices in the same order, so results are
+//! bit-identical by construction.
 
 use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::context::{AggCtx, EdgeAddition, Edges, Mailer, VertexContext};
@@ -35,9 +44,31 @@ pub struct Worker<P: Program> {
     pub(crate) offsets: Vec<u64>,
     pub(crate) targets: Vec<VertexId>,
     pub(crate) edge_values: Vec<P::E>,
-    /// Flat inbox: vertex `i` reads `msgs[msg_offsets[i]..msg_offsets[i+1]]`.
-    pub(crate) msg_offsets: Vec<u32>,
+    /// Flat inbox: vertex `i` reads `msgs[inbox_start[i]..][..inbox_len[i]]`
+    /// — but only when `inbox_epoch[i]` matches the current delivery epoch;
+    /// a stale stamp means an empty inbox. Stamping lets the gather pass
+    /// touch only the vertices that actually received messages instead of
+    /// rebuilding an O(n_local) offset array every superstep.
+    pub(crate) inbox_start: Vec<u32>,
+    pub(crate) inbox_len: Vec<u32>,
+    pub(crate) inbox_epoch: Vec<u64>,
     pub(crate) msgs: Vec<P::M>,
+    /// Active list: sorted local indices of the non-halted vertices, i.e.
+    /// exactly the set the dense scan would compute. Rebuilt by every
+    /// delivery phase as the merge of `survivors` and `woken`; seeded from
+    /// `halted` at (re)load time.
+    active: Vec<u32>,
+    /// Compute-phase scratch: vertices that computed and did not halt, in
+    /// ascending order (the compute loop itself is ascending).
+    survivors: Vec<u32>,
+    /// Delivery-phase scratch: halted vertices woken by a message this
+    /// epoch (sorted before the merge; disjoint from `survivors` because
+    /// survivors are never halted).
+    woken: Vec<u32>,
+    /// Delivery-phase scratch: local indices that received at least one
+    /// message this epoch, in first-arrival order — the gather pass walks
+    /// this instead of every local vertex.
+    recipients: Vec<u32>,
     /// Delivery staging: messages in arrival order; the gather pass clones
     /// them into `msgs` in vertex order (messages are `Clone` by the
     /// [`crate::types::Value`] bound, and in practice plain-old-data).
@@ -108,8 +139,14 @@ impl<P: Program> Worker<P> {
             offsets: vec![0],
             targets: Vec::new(),
             edge_values: Vec::new(),
-            msg_offsets: vec![0],
+            inbox_start: Vec::new(),
+            inbox_len: Vec::new(),
+            inbox_epoch: Vec::new(),
             msgs: Vec::new(),
+            active: Vec::new(),
+            survivors: Vec::new(),
+            woken: Vec::new(),
+            recipients: Vec::new(),
             staging: Vec::new(),
             staging_next: Vec::new(),
             self_staging: Vec::new(),
@@ -159,8 +196,12 @@ impl<P: Program> Worker<P> {
     /// delivery.
     pub(crate) fn reset_fabric(&mut self) {
         let n_local = self.global_ids.len();
-        self.msg_offsets.clear();
-        self.msg_offsets.resize(n_local + 1, 0);
+        self.inbox_start.clear();
+        self.inbox_start.resize(n_local, 0);
+        self.inbox_len.clear();
+        self.inbox_len.resize(n_local, 0);
+        self.inbox_epoch.clear();
+        self.inbox_epoch.resize(n_local, 0);
         self.chain_head.clear();
         self.chain_head.resize(n_local, NIL);
         self.chain_tail.clear();
@@ -168,6 +209,24 @@ impl<P: Program> Worker<P> {
         self.chain_epoch.clear();
         self.chain_epoch.resize(n_local, 0);
         self.msgs.clear();
+        // A fresh inbox must read as empty even though the monotonic epoch
+        // keeps climbing: bump past every zeroed `inbox_epoch` stamp. (The
+        // first delivery bumps it again, so stamps written by the *previous*
+        // topology can never alias a future inbox either.)
+        self.epoch += 1;
+        // Seed the active list from the load-time halted flags; the
+        // scheduler scratch is sized once here so the per-superstep merge
+        // never allocates (each list is bounded by n_local).
+        self.active.clear();
+        self.active.reserve(n_local);
+        self.active
+            .extend(self.halted.iter().enumerate().filter(|(_, &h)| !h).map(|(i, _)| i as u32));
+        self.survivors.clear();
+        self.survivors.reserve(n_local);
+        self.woken.clear();
+        self.woken.reserve(n_local);
+        self.recipients.clear();
+        self.recipients.reserve(n_local);
         self.metrics.reset();
         debug_assert!(
             self.staging.is_empty()
@@ -201,9 +260,14 @@ impl<P: Program> Worker<P> {
         self.num_halted
     }
 
-    /// Executes the compute phase of one superstep over all local vertices.
-    /// `lane_open` snapshots the engine's broadcast-lane state for the whole
-    /// phase (the lane only closes at a barrier, so the snapshot is exact).
+    /// Executes the compute phase of one superstep. The default driver
+    /// walks the maintained active list (exactly the non-halted vertices,
+    /// ascending); `dense_scan` walks `0..n_local` with a halted/empty-inbox
+    /// skip instead — the same visit set in the same order, so the two
+    /// drivers are bit-identical and the dense arm serves as a cheap
+    /// verification oracle. `lane_open` snapshots the engine's
+    /// broadcast-lane state for the whole phase (the lane only closes at a
+    /// barrier, so the snapshot is exact).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn compute_phase(
         &mut self,
@@ -216,6 +280,7 @@ impl<P: Program> Worker<P> {
         seed: u64,
         num_vertices: u64,
         lane_open: bool,
+        dense_scan: bool,
     ) {
         let start = Instant::now();
         self.metrics.reset();
@@ -243,12 +308,20 @@ impl<P: Program> Worker<P> {
         };
 
         let n_local = self.global_ids.len();
-        debug_assert_eq!(self.msg_offsets.len(), n_local + 1);
-        for i in 0..n_local {
-            let m_lo = self.msg_offsets[i] as usize;
-            let m_hi = self.msg_offsets[i + 1] as usize;
+        debug_assert_eq!(self.inbox_epoch.len(), n_local);
+        debug_assert!(self.survivors.is_empty());
+        let survivors_cap = self.survivors.capacity();
+        let count = if dense_scan { n_local } else { self.active.len() };
+        for idx in 0..count {
+            let i = if dense_scan { idx } else { self.active[idx] as usize };
+            let (m_lo, m_len) = if self.inbox_epoch[i] == self.epoch {
+                (self.inbox_start[i] as usize, self.inbox_len[i] as usize)
+            } else {
+                (0, 0)
+            };
             if self.halted[i] {
-                if m_lo == m_hi {
+                debug_assert!(dense_scan, "active list never holds a halted vertex");
+                if m_len == 0 {
                     continue;
                 }
                 // Delivery wakes messaged vertices, so this is unreachable
@@ -312,14 +385,18 @@ impl<P: Program> Worker<P> {
                 additions: &mut self.additions,
                 local_idx: i as u32,
             };
-            program.compute(&mut ctx, &self.msgs[m_lo..m_hi]);
+            program.compute(&mut ctx, &self.msgs[m_lo..m_lo + m_len]);
             if self.halted[i] {
                 self.num_halted += 1;
+            } else {
+                // Ascending in both drivers, so `survivors` stays sorted.
+                self.survivors.push(i as u32);
             }
         }
         self.cached_worker_state = Some(worker_state);
         self.metrics.fabric_reallocs +=
-            u64::from(self.self_staging.capacity() != self_staging_cap);
+            u64::from(self.self_staging.capacity() != self_staging_cap)
+                + u64::from(self.survivors.capacity() != survivors_cap);
         self.metrics.compute_ns = start.elapsed().as_nanos() as u64;
     }
 
@@ -348,8 +425,10 @@ impl<P: Program> Worker<P> {
     /// Delivery phase: drains this worker's column of the grid — and the
     /// fast-path local queue in place of the diagonal cell — into the
     /// staging chains (applying the program's combiner), then gathers the
-    /// chains into the flat `(msg_offsets, msgs)` inbox and wakes messaged
-    /// vertices. [`BROADCAST_TAG`]ged records fan out through the load-time
+    /// chains into the flat `(inbox_start, inbox_len, msgs)` inbox — walking
+    /// only this epoch's recipients — wakes messaged vertices, and rebuilds
+    /// the active list as the merge of this superstep's compute survivors
+    /// with the newly woken. [`BROADCAST_TAG`]ged records fan out through the load-time
     /// index to every local vertex adjacent to the sender, in the sender's
     /// adjacency order — exactly the positions the per-edge unicasts would
     /// have occupied, so per-vertex message order (and therefore every
@@ -364,6 +443,8 @@ impl<P: Program> Worker<P> {
     ) {
         let caps =
             (self.staging.capacity(), self.staging_next.capacity(), self.msgs.capacity());
+        let sched_caps =
+            (self.recipients.capacity(), self.woken.capacity(), self.active.capacity());
         self.epoch += 1;
         let epoch = self.epoch;
         debug_assert!(self.staging.is_empty() && self.staging_next.is_empty());
@@ -382,9 +463,11 @@ impl<P: Program> Worker<P> {
                 fan_offsets,
                 fan_targets,
                 self_staging,
+                recipients,
                 metrics,
                 ..
             } = self;
+            debug_assert!(recipients.is_empty());
             // The tag bit only means "broadcast" when this topology built
             // the fan-out index (the lane is permanently closed otherwise).
             // Without it, ids with the top bit set are plain vertex ids of
@@ -410,6 +493,7 @@ impl<P: Program> Worker<P> {
                             chain_head,
                             chain_tail,
                             chain_epoch,
+                            recipients,
                             li as usize,
                             msg.clone(),
                             epoch,
@@ -424,6 +508,7 @@ impl<P: Program> Worker<P> {
                         chain_head,
                         chain_tail,
                         chain_epoch,
+                        recipients,
                         local_idx[id as usize] as usize,
                         msg,
                         epoch,
@@ -460,38 +545,68 @@ impl<P: Program> Worker<P> {
         // superstep; fail loudly instead of wrapping (one check per phase).
         assert!(self.staging.len() < NIL as usize, "per-superstep message overflow");
 
-        // Gather: walk each vertex's chain once, cloning messages into the
-        // flat inbox; `clear` keeps every capacity for the next superstep.
+        // Gather: walk each *recipient's* chain once, cloning messages into
+        // the flat inbox and stamping its epoch; vertices with no messages
+        // keep a stale stamp and read as empty without being touched.
+        // `clear` keeps every capacity for the next superstep.
         self.msgs.clear();
-        self.msg_offsets.clear();
-        self.msg_offsets.push(0);
-        let n_local = self.global_ids.len();
-        for v in 0..n_local {
-            if self.chain_epoch[v] == epoch {
-                let mut i = self.chain_head[v] as usize;
-                loop {
-                    self.msgs.push(self.staging[i].clone());
-                    let next = self.staging_next[i];
-                    if next == NIL {
-                        break;
-                    }
-                    i = next as usize;
+        self.woken.clear();
+        for r in 0..self.recipients.len() {
+            let v = self.recipients[r] as usize;
+            debug_assert_eq!(self.chain_epoch[v], epoch);
+            let start = self.msgs.len() as u32;
+            let mut i = self.chain_head[v] as usize;
+            loop {
+                self.msgs.push(self.staging[i].clone());
+                let next = self.staging_next[i];
+                if next == NIL {
+                    break;
                 }
-                if self.halted[v] {
-                    self.halted[v] = false;
-                    self.num_halted -= 1;
-                }
+                i = next as usize;
             }
-            self.msg_offsets.push(self.msgs.len() as u32);
+            self.inbox_start[v] = start;
+            self.inbox_len[v] = self.msgs.len() as u32 - start;
+            self.inbox_epoch[v] = epoch;
+            if self.halted[v] {
+                self.halted[v] = false;
+                self.num_halted -= 1;
+                self.woken.push(v as u32);
+            }
         }
+        self.recipients.clear();
         self.staging.clear();
         self.staging_next.clear();
 
+        // Rebuild the active list: the compute survivors (already sorted)
+        // merged with the newly woken (sorted here; arrival order follows
+        // the grid drain, not vertex order). The two are disjoint — a
+        // survivor is by definition not halted, so it cannot be woken.
+        self.woken.sort_unstable();
+        self.active.clear();
+        let (mut a, mut b) = (0, 0);
+        while a < self.survivors.len() && b < self.woken.len() {
+            if self.survivors[a] < self.woken[b] {
+                self.active.push(self.survivors[a]);
+                a += 1;
+            } else {
+                self.active.push(self.woken[b]);
+                b += 1;
+            }
+        }
+        self.active.extend_from_slice(&self.survivors[a..]);
+        self.active.extend_from_slice(&self.woken[b..]);
+        self.survivors.clear();
+
         let caps_after =
             (self.staging.capacity(), self.staging_next.capacity(), self.msgs.capacity());
+        let sched_caps_after =
+            (self.recipients.capacity(), self.woken.capacity(), self.active.capacity());
         self.metrics.fabric_reallocs += u64::from(caps_after.0 != caps.0)
             + u64::from(caps_after.1 != caps.1)
-            + u64::from(caps_after.2 != caps.2);
+            + u64::from(caps_after.2 != caps.2)
+            + u64::from(sched_caps_after.0 != sched_caps.0)
+            + u64::from(sched_caps_after.1 != sched_caps.1)
+            + u64::from(sched_caps_after.2 != sched_caps.2);
     }
 
     /// Applies buffered edge additions, keeping each adjacency run sorted and
@@ -603,6 +718,7 @@ fn stage_message<P: Program>(
     chain_head: &mut [u32],
     chain_tail: &mut [u32],
     chain_epoch: &mut [u64],
+    recipients: &mut Vec<u32>,
     v: usize,
     msg: P::M,
     epoch: u64,
@@ -619,6 +735,7 @@ fn stage_message<P: Program>(
         chain_tail[v] = idx;
     } else {
         chain_epoch[v] = epoch;
+        recipients.push(v as u32);
         let idx = staging.len() as u32;
         staging.push(msg);
         staging_next.push(NIL);

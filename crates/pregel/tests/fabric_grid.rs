@@ -103,6 +103,7 @@ fn run_program(
         max_supersteps: 200,
         seed: 3,
         broadcast_fabric: fabric,
+        ..EngineConfig::default()
     };
     let mut engine =
         Engine::from_directed(program, g, &placement, cfg, |_| u32::MAX, |_, _, _| ());

@@ -280,12 +280,13 @@ impl ServingNode {
         let mut record_bytes = 0;
         let mut retries = 0u32;
         let mut failure: Option<io::Error> = None;
-        if let Some(store) = &mut self.store {
-            let after = self.session.state();
+        if self.store.is_some() {
             match self.health {
                 Health::Healthy => {
+                    let after = self.session.state();
                     let record =
                         WalRecord::diff(before.as_ref().expect("captured"), &after, event);
+                    let store = self.store.as_mut().expect("store checked above");
                     match with_retry(&self.retry, &mut retries, || store.append(&record)) {
                         Ok(bytes) => record_bytes = bytes,
                         Err(e) => {
@@ -299,17 +300,10 @@ impl ServingNode {
                 Health::Degraded => {
                     // The WAL already misses >= 1 window; appending would
                     // leave a gap, so recover via a full re-checkpoint.
-                    match with_retry(&self.retry, &mut retries, || store.compact(&after)) {
-                        Ok(()) => {
-                            self.health = Health::Healthy;
-                            self.degraded_windows = 0;
-                            self.unpersisted_windows = 0;
-                        }
-                        Err(e) => {
-                            self.degraded_windows += 1;
-                            self.unpersisted_windows += 1;
-                            failure = Some(e);
-                        }
+                    if let Err(e) = self.heal(&mut retries) {
+                        self.degraded_windows += 1;
+                        self.unpersisted_windows += 1;
+                        failure = Some(e);
                     }
                 }
                 Health::Poisoned => unreachable!("poisoned nodes hold no store"),
@@ -347,33 +341,45 @@ impl ServingNode {
         self.ingest(StreamEvent::WorkerLoss { worker: w })
     }
 
+    /// The single degraded-heal path, shared by [`Self::ingest`],
+    /// [`Self::try_recover`] and [`Self::compact`]: re-checkpoint the
+    /// current session state and, **only once the compact has succeeded**,
+    /// reset the health machine. The order is load-bearing — zeroing
+    /// `unpersisted_windows` (or flipping Healthy) before the compact lands
+    /// would erase the evidence of the WAL gap on a failed heal, so a later
+    /// poisoning or operator probe would report a clean store that silently
+    /// misses windows.
+    fn heal(&mut self, retries: &mut u32) -> io::Result<()> {
+        let state = self.session.state();
+        let store = self.store.as_mut().expect("heal requires a store");
+        with_retry(&self.retry, retries, || store.compact(&state))?;
+        self.health = Health::Healthy;
+        self.degraded_windows = 0;
+        self.unpersisted_windows = 0;
+        Ok(())
+    }
+
     /// Attempts to heal a Degraded node *now* (instead of at the next
     /// ingest) by re-checkpointing the current state. Returns the health
-    /// afterwards; a no-op when Healthy or Poisoned.
+    /// afterwards; a no-op when Healthy or Poisoned. A failed attempt
+    /// leaves the health state and [`Self::unpersisted_windows`] untouched.
     pub fn try_recover(&mut self) -> Health {
-        if self.health == Health::Degraded {
-            if let Some(store) = &mut self.store {
-                let mut retries = 0;
-                let state = self.session.state();
-                if with_retry(&self.retry, &mut retries, || store.compact(&state)).is_ok() {
-                    self.health = Health::Healthy;
-                    self.degraded_windows = 0;
-                    self.unpersisted_windows = 0;
-                }
-            }
+        if self.health == Health::Degraded && self.store.is_some() {
+            let mut retries = 0;
+            let _ = self.heal(&mut retries);
         }
         self.health
     }
 
     /// Folds the WAL into a fresh snapshot, bounding restart time. No-op
     /// without persistence; on a Degraded node a success doubles as
-    /// recovery (it persists exactly the state the WAL is missing).
+    /// recovery (it persists exactly the state the WAL is missing). Runs
+    /// under the [`RetryPolicy`]; a final failure propagates with the
+    /// health counters intact.
     pub fn compact(&mut self) -> Result<(), PersistError> {
-        if let Some(store) = &mut self.store {
-            store.compact(&self.session.state())?;
-            self.health = Health::Healthy;
-            self.degraded_windows = 0;
-            self.unpersisted_windows = 0;
+        if self.store.is_some() {
+            let mut retries = 0;
+            self.heal(&mut retries)?;
         }
         Ok(())
     }
@@ -644,6 +650,98 @@ mod tests {
         assert_eq!(stats.replayed_windows, 0, "snapshot carries everything");
         assert_eq!(resumed.session().labels(), labels.as_slice());
         assert_eq!(resumed.session().windows().len(), 3);
+    }
+
+    #[test]
+    fn failed_heal_compact_keeps_the_degraded_evidence() {
+        let disk = MemStorage::new();
+        let session = StreamSession::new(ring(300), cfg(3));
+        // Ops 0-1 create the store. Op 2 (first append) fails → Degraded.
+        // Op 3 is the heal's snapshot write — fail it too, so the
+        // re-checkpoint dies before anything lands.
+        let plan = FaultPlan::new().fail(2, Fault::Full).fail(3, Fault::Full);
+        let storage = FaultyStorage::new(disk.clone(), plan);
+        let mut node = ServingNode::with_storage(session, Box::new(storage))
+            .expect("create")
+            .with_retry_policy(fast_retry(1, 8));
+
+        let rep = node.ingest(delta(0, 300)).expect("degraded, not fatal");
+        assert_eq!(rep.health(), Health::Degraded);
+        assert_eq!(node.unpersisted_windows(), 1);
+
+        // The heal fails: the node must still know it is Degraded and must
+        // still count BOTH unpersisted windows — a heal that zeroed the
+        // counter before compacting would report a clean store here.
+        let rep = node.ingest(delta(1, 305)).expect("failed heal is not fatal");
+        assert_eq!(rep.health(), Health::Degraded);
+        assert_eq!(node.health(), Health::Degraded);
+        assert_eq!(node.unpersisted_windows(), 2);
+        assert_eq!(rep.record_bytes(), 0, "nothing was appended");
+        assert_eq!(rep.epoch(), 3, "serving publishes regardless");
+        assert!(node.lookup(0).is_some());
+
+        // Faults exhausted: the next ingest's heal lands and resets the
+        // machine, and the re-checkpoint carries every window.
+        let rep = node.ingest(delta(2, 310)).expect("healed");
+        assert_eq!(rep.health(), Health::Healthy);
+        assert_eq!(node.unpersisted_windows(), 0);
+        let labels = node.session().labels().to_vec();
+        drop(node);
+        let (resumed, stats) =
+            ServingNode::resume_from_storage(Box::new(disk)).expect("resume");
+        assert_eq!(stats.replayed_windows, 0, "snapshot carries everything");
+        assert_eq!(resumed.session().labels(), labels.as_slice());
+        assert_eq!(resumed.session().windows().len(), 4);
+    }
+
+    #[test]
+    fn failed_heal_between_snapshot_and_truncate_stays_degraded() {
+        let disk = MemStorage::new();
+        let session = StreamSession::new(ring(300), cfg(3));
+        // Op 2: append fails → Degraded. Op 3 (heal snapshot write)
+        // succeeds, op 4 (heal WAL truncate) fails: the compact as a whole
+        // failed, so the node must NOT report Healthy even though the
+        // snapshot happens to be current.
+        let plan = FaultPlan::new().fail(2, Fault::Full).fail(4, Fault::Full);
+        let storage = FaultyStorage::new(disk.clone(), plan);
+        let mut node = ServingNode::with_storage(session, Box::new(storage))
+            .expect("create")
+            .with_retry_policy(fast_retry(1, 8));
+
+        node.ingest(delta(0, 300)).expect("degraded");
+        assert_eq!(node.health(), Health::Degraded);
+        assert_eq!(node.unpersisted_windows(), 1);
+
+        // Direct recovery attempt fails mid-compact: counters survive.
+        assert_eq!(node.try_recover(), Health::Degraded);
+        assert_eq!(node.unpersisted_windows(), 1);
+
+        // Second attempt (faults exhausted) heals and zeroes the counter.
+        assert_eq!(node.try_recover(), Health::Healthy);
+        assert_eq!(node.unpersisted_windows(), 0);
+    }
+
+    #[test]
+    fn public_compact_failure_propagates_and_keeps_counters() {
+        let disk = MemStorage::new();
+        let session = StreamSession::new(ring(200), cfg(2));
+        // Op 2: append fails → Degraded; op 3: compact's snapshot write
+        // fails → the explicit compact() call must error without touching
+        // the health machine.
+        let plan = FaultPlan::new().fail(2, Fault::Full).fail(3, Fault::Full);
+        let storage = FaultyStorage::new(disk.clone(), plan);
+        let mut node = ServingNode::with_storage(session, Box::new(storage))
+            .expect("create")
+            .with_retry_policy(fast_retry(1, 8));
+
+        node.ingest(delta(0, 200)).expect("degraded");
+        assert_eq!(node.health(), Health::Degraded);
+        node.compact().expect_err("compact fault propagates");
+        assert_eq!(node.health(), Health::Degraded);
+        assert_eq!(node.unpersisted_windows(), 1);
+        node.compact().expect("faults exhausted");
+        assert_eq!(node.health(), Health::Healthy);
+        assert_eq!(node.unpersisted_windows(), 0);
     }
 
     #[test]

@@ -15,8 +15,11 @@ use spinner_graph::GraphBuilder;
 use crate::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};
 
 /// Magic prefix of a snapshot file (versioned; bump on layout change —
-/// `SPNRSNP2` added `lost_vertices` to the window-report record).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP2";
+/// `SPNRSNP2` added `lost_vertices` to the window-report record;
+/// `SPNRSNP3` added `computed` to the window-report record and the
+/// scheduler knobs — `frontier_windows`, `work_stealing`, `steal_chunk`,
+/// `dense_scan` — to the config record).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP3";
 
 /// Encodes `state` into a self-verifying snapshot byte vector.
 pub fn encode_state(state: &SessionState) -> Vec<u8> {
@@ -175,6 +178,10 @@ fn put_config(w: &mut ByteWriter, cfg: &SpinnerConfig) {
     }
     w.put_u8(u8::from(cfg.broadcast_fabric));
     w.put_u8(u8::from(cfg.exhaustive_candidate_scan));
+    w.put_u8(u8::from(cfg.frontier_windows));
+    w.put_u8(u8::from(cfg.work_stealing));
+    w.put_varint(cfg.steal_chunk as u64);
+    w.put_u8(u8::from(cfg.dense_scan));
 }
 
 fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
@@ -224,6 +231,11 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
     };
     cfg.broadcast_fabric = read_bool(r, "config broadcast_fabric")?;
     cfg.exhaustive_candidate_scan = read_bool(r, "config exhaustive_candidate_scan")?;
+    cfg.frontier_windows = read_bool(r, "config frontier_windows")?;
+    cfg.work_stealing = read_bool(r, "config work_stealing")?;
+    cfg.steal_chunk = usize::try_from(r.varint("config steal_chunk")?)
+        .map_err(|_| CorruptError { context: "config steal_chunk" })?;
+    cfg.dense_scan = read_bool(r, "config dense_scan")?;
     Ok(cfg)
 }
 
@@ -267,6 +279,7 @@ pub(crate) fn put_report(w: &mut ByteWriter, parts: &WindowReportParts) {
     w.put_varint(parts.sent_local_records);
     w.put_varint(parts.sent_remote_records);
     w.put_varint(parts.placement_moved);
+    w.put_varint(parts.computed);
     w.put_varint(parts.wall_ns);
     w.put_varint(parts.fabric_reallocs);
     w.put_varint(parts.lost_vertices);
@@ -290,6 +303,7 @@ pub(crate) fn read_report(r: &mut ByteReader<'_>) -> Result<WindowReportParts> {
         sent_local_records: r.varint("report sent_local_records")?,
         sent_remote_records: r.varint("report sent_remote_records")?,
         placement_moved: r.varint("report placement_moved")?,
+        computed: r.varint("report computed")?,
         wall_ns: r.varint("report wall_ns")?,
         fabric_reallocs: r.varint("report fabric_reallocs")?,
         lost_vertices: r.varint("report lost_vertices")?,
