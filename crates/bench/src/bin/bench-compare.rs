@@ -125,30 +125,39 @@ fn load(path: &str) -> Vec<ExperimentOutcome> {
 enum Direction {
     /// `phi*` (edge locality), `local_share*` (worker-local message share
     /// under the placement in effect), `lookup_throughput*` (serving
-    /// reads/sec) and `availability*` (the share of lookups answered while
-    /// a fault recovery was in flight) — dropping below baseline is a
-    /// regression.
+    /// reads/sec), `availability*` (the share of lookups answered while a
+    /// fault recovery was in flight), `fold_ratio*` (sender-side combiner
+    /// folding) and `wire_compression*` (raw/compact frame-byte ratio) —
+    /// dropping below baseline is a regression.
     HigherBetter,
     /// `rho*`, `*migration*`, `*moved*` (balance/movement cost),
     /// `remote_records*` (physical cross-worker fabric records — what the
-    /// broadcast lane deduplicates), `p99_staleness*` (routing epochs a
-    /// served lookup lags behind head) and `active_fraction*` (per-
-    /// superstep compute cost of frontier-seeded windows) — rising above
-    /// baseline is a regression.
+    /// broadcast lane deduplicates), `wire_bytes*` / `bytes_per_record*`
+    /// (encoded frame traffic on the serialising transport),
+    /// `p99_staleness*` (routing epochs a served lookup lags behind head)
+    /// and `active_fraction*` (per-superstep compute cost of
+    /// frontier-seeded windows) — rising above baseline is a regression.
     LowerBetter,
     /// Anything else: reported for the record, never gated.
     Informational,
 }
 
 fn direction(name: &str) -> Direction {
+    // `fold_ratio*` and `wire_compression*` gate higher-is-better: both
+    // measure achieved savings (records folded away, raw/compact byte
+    // ratio), so a *drop* below baseline means the wire path regressed.
     if name.starts_with("phi")
         || name.starts_with("local_share")
         || name.starts_with("lookup_throughput")
         || name.starts_with("availability")
+        || name.starts_with("fold_ratio")
+        || name.starts_with("wire_compression")
     {
         Direction::HigherBetter
     } else if name.starts_with("rho")
         || name.starts_with("remote_records")
+        || name.starts_with("wire_bytes")
+        || name.starts_with("bytes_per_record")
         || name.starts_with("p99_staleness")
         || name.starts_with("active_fraction")
         || name.contains("migration")

@@ -1,0 +1,295 @@
+//! **Wire-format fabric** — the serialising transport against the direct
+//! in-memory path, and the compact frame encoding against fixed-width
+//! records. Three identical streaming sessions run the same hub-skewed
+//! delta stream over the Tuenti analogue: one on the default direct path
+//! (buffers move by pointer swap, nothing is serialised), one through the
+//! in-memory ring transport framing every cross-worker batch in the `Raw`
+//! fixed-width format, and one framing in the `Compact` format
+//! (sorted-by-destination delta+varint ids, payload-specialised values).
+//!
+//! Expected shape: labels, φ/ρ, and the whole logical trajectory are
+//! **bit-identical** across all three arms — the transport only changes how
+//! bytes move — while the compact frames carry the same traffic in less
+//! than half the bytes per remote logical message, and the wire path stops
+//! allocating once warm. A fourth pair of runs drives a combiner-bearing
+//! min-label program through the ring transport to pin sender-side
+//! combiner folding: records folded before framing, identical results, and
+//! a fold ratio above 1.
+//!
+//! Emits deterministic `METRIC` lines: `bytes_per_record_*` gate
+//! lower-is-better in `bench-compare`, `wire_compression` and `fold_ratio`
+//! higher-is-better.
+
+use spinner_bench::{emit_metric, f2, scale_from_env, threads_from_env, Table};
+use spinner_core::{SpinnerConfig, StreamEvent, StreamSession, WindowReport};
+use spinner_graph::{Dataset, DeltaStream, DeltaStreamConfig, DirectedGraph, GraphDelta};
+use spinner_pregel::engine::{Engine, EngineConfig};
+use spinner_pregel::program::Program;
+use spinner_pregel::{Placement, TransportKind, VertexContext, WireFormat};
+use std::process::ExitCode;
+
+/// Delta windows in the stream (hub-biased, as in `exp-broadcast`: the
+/// regime where sorted-by-destination delta ids compress best).
+const DELTA_WINDOWS: u32 = 5;
+/// Logical workers hosting the computation.
+const WORKERS: usize = 8;
+/// The acceptance gate: raw frames must spend at least this many times
+/// more bytes per remote logical message than compact frames.
+const MIN_COMPRESSION: f64 = 2.0;
+
+/// The per-window digest that must be identical across all transport arms
+/// (f64 fields compare by bits; none are NaN by construction).
+fn digest(w: &WindowReport) -> (f64, f64, f64, u32, u64, u64, u64, u64, u64) {
+    (
+        w.phi(),
+        w.rho(),
+        w.migration_fraction(),
+        w.iterations(),
+        w.supersteps(),
+        w.messages(),
+        w.sent_local(),
+        w.sent_remote(),
+        w.placement_moved(),
+    )
+}
+
+/// Min-label propagation (WCC) with a folding combiner — Spinner's own
+/// announcement program keeps per-neighbour messages, so the fold gate
+/// needs a combiner-bearing program.
+struct MinLabel;
+
+impl Program for MinLabel {
+    type V = u32;
+    type E = ();
+    type M = u32;
+    type G = ();
+    type WorkerState = ();
+
+    fn init_global(&self) {}
+    fn init_worker(&self, _g: &(), _w: u16) {}
+
+    fn compute(&self, ctx: &mut VertexContext<'_, Self>, messages: &[u32]) {
+        let mut best = *ctx.value;
+        if ctx.superstep == 0 {
+            best = ctx.vertex;
+        }
+        for &m in messages {
+            best = best.min(m);
+        }
+        if best != *ctx.value || ctx.superstep == 0 {
+            *ctx.value = best;
+            for &t in ctx.edges.targets {
+                ctx.mail.send(t, best);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, acc: &mut u32, msg: &u32) -> bool {
+        *acc = (*acc).min(*msg);
+        true
+    }
+}
+
+/// Runs the min-label program over `g` on the ring transport and returns
+/// `(values, fold_ratio, wire_bytes, tail_reallocs)` — the last being the
+/// fabric growth events after the warm-up supersteps, the engine-level
+/// steady-state measure.
+fn run_minlabel(g: &DirectedGraph, threads: usize, fold: bool) -> (Vec<u32>, f64, u64, u64) {
+    let placement = Placement::hashed(g.num_vertices(), WORKERS, 9);
+    let cfg = EngineConfig {
+        num_threads: threads,
+        max_supersteps: 300,
+        seed: 3,
+        transport: TransportKind::Ring,
+        wire_format: WireFormat::Compact,
+        sender_fold: fold,
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        Engine::from_directed(MinLabel, g, &placement, cfg, |_| u32::MAX, |_, _, _| ());
+    let summary = engine.run();
+    let totals = summary.totals();
+    let tail_reallocs = summary
+        .metrics
+        .iter()
+        .skip(3)
+        .map(|s| s.per_worker.iter().map(|w| w.fabric_reallocs).sum::<u64>())
+        .sum();
+    (engine.collect_values(), totals.fold_ratio(), totals.wire_bytes, tail_reallocs)
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let k = 16u32;
+    let base = Dataset::Tuenti.build_directed(scale);
+    eprintln!("tuenti analogue: |V|={} |E|={}", base.num_vertices(), base.num_edges());
+
+    let mut cfg = SpinnerConfig::new(k).with_seed(42);
+    cfg.num_threads = threads_from_env();
+    cfg.num_workers = WORKERS;
+    let direct_cfg = cfg.clone();
+    let raw_cfg =
+        cfg.clone().with_transport(TransportKind::Ring).with_wire_format(WireFormat::Raw);
+    let compact_cfg = cfg.with_transport(TransportKind::Ring);
+
+    let deltas: Vec<GraphDelta> = DeltaStream::new(
+        base.clone(),
+        DeltaStreamConfig {
+            windows: DELTA_WINDOWS,
+            add_fraction: 0.012,
+            remove_fraction: 0.004,
+            vertex_fraction: 0.002,
+            attach_degree: 4,
+            triadic_fraction: 0.6,
+            hub_bias: 1.0,
+            seed: 99,
+        },
+    )
+    .collect();
+
+    eprintln!("bootstrap partitioning (direct vs ring/raw vs ring/compact)...");
+    let mut direct = StreamSession::new(base.clone(), direct_cfg);
+    let mut raw = StreamSession::new(base.clone(), raw_cfg);
+    let mut compact = StreamSession::new(base.clone(), compact_cfg);
+    // The last window is a no-growth probe: an empty delta re-converges
+    // over an unchanged graph, so every buffer — outboxes, frames,
+    // transport channels, decode scratch — must fit in the capacity the
+    // stream already warmed up. Growth windows before it may legitimately
+    // allocate (their traffic exceeds every prior peak); the probe pins
+    // the steady state at exactly zero.
+    let probe = GraphDelta { new_vertices: 0, added_edges: vec![], removed_edges: vec![] };
+    for delta in deltas.into_iter().chain([probe]) {
+        direct.apply(StreamEvent::Delta(delta.clone()));
+        raw.apply(StreamEvent::Delta(delta.clone()));
+        let c = compact.apply(StreamEvent::Delta(delta));
+        eprintln!(
+            "window {:>2}: remote msgs {} -> {} compact bytes ({:.2} B/msg) \
+             phi={:.3} reallocs={}",
+            c.window(),
+            c.sent_remote(),
+            c.wire_bytes(),
+            c.wire_bytes() as f64 / c.sent_remote().max(1) as f64,
+            c.phi(),
+            c.fabric_reallocs(),
+        );
+    }
+
+    let mut t = Table::new(format!(
+        "Frame bytes per window, raw vs compact encoding \
+         ({DELTA_WINDOWS} hub-biased delta windows, k={k}, L={WORKERS})"
+    ))
+    .header(["window", "phi", "remote msgs", "raw bytes", "compact bytes", "ratio"]);
+    for (r, c) in raw.windows().iter().zip(compact.windows()) {
+        t.row([
+            c.window().to_string(),
+            f2(c.phi()),
+            c.sent_remote().to_string(),
+            r.wire_bytes().to_string(),
+            c.wire_bytes().to_string(),
+            format!("{:.2}x", r.wire_bytes() as f64 / c.wire_bytes().max(1) as f64),
+        ]);
+    }
+    println!("{t}");
+
+    let bytes = |s: &StreamSession| s.windows().iter().map(|w| w.wire_bytes()).sum::<u64>();
+    let remote = |s: &StreamSession| s.windows().iter().map(|w| w.sent_remote()).sum::<u64>();
+    let (raw_bytes, compact_bytes) = (bytes(&raw), bytes(&compact));
+    let remote_msgs = remote(&compact);
+    let per_msg_raw = raw_bytes as f64 / remote_msgs.max(1) as f64;
+    let per_msg_compact = compact_bytes as f64 / remote_msgs.max(1) as f64;
+    let compression = raw_bytes as f64 / compact_bytes.max(1) as f64;
+    println!(
+        "stream totals: {raw_bytes} raw vs {compact_bytes} compact bytes for \
+         {remote_msgs} remote messages ({per_msg_raw:.2} vs {per_msg_compact:.2} B/msg, \
+         {compression:.2}x compression; identical logical traffic and labels)"
+    );
+
+    eprintln!("combiner fold (min-label WCC over the ring transport)...");
+    let (folded_values, fold_ratio, folded_bytes, folded_tail) =
+        run_minlabel(&base, threads_from_env(), true);
+    let (unfolded_values, neutral_ratio, unfolded_bytes, _) =
+        run_minlabel(&base, threads_from_env(), false);
+    println!(
+        "sender fold: ratio {fold_ratio:.2}x, {folded_bytes} vs {unfolded_bytes} bytes \
+         (fold off: ratio {neutral_ratio:.2}x); identical components"
+    );
+
+    emit_metric("bytes_per_record_raw", per_msg_raw);
+    emit_metric("bytes_per_record_compact", per_msg_compact);
+    emit_metric("wire_compression", compression);
+    emit_metric("fold_ratio", fold_ratio);
+    emit_metric("phi_final", compact.windows().last().expect("bootstrap window").phi());
+
+    // ---- acceptance criteria (self-gating: CI runs this in the smoke
+    // suite, so a violation fails the build) ----
+    let mut violations: Vec<String> = Vec::new();
+    for (name, arm) in [("raw", &raw), ("compact", &compact)] {
+        if direct.labels() != arm.labels() {
+            violations.push(format!("labels diverged between direct and {name} arms"));
+        }
+        for (d, w) in direct.windows().iter().zip(arm.windows()) {
+            if digest(d) != digest(w) {
+                violations.push(format!(
+                    "window {}: logical trajectory diverged between direct and {name}",
+                    d.window()
+                ));
+            }
+        }
+        // The direct path never serialises; the wire arms always do.
+        let wired = bytes(arm);
+        if wired == 0 {
+            violations.push(format!("{name} arm framed no bytes"));
+        }
+        // Steady state: the no-growth probe window re-converged over an
+        // unchanged graph, so framing, transport channels, and decode
+        // scratch must all have run inside pre-reserved capacity.
+        let probe = arm.windows().last().expect("probe window");
+        if probe.fabric_reallocs() != 0 {
+            violations.push(format!(
+                "probe window: {} fabric reallocations in the {name} arm (want 0)",
+                probe.fabric_reallocs()
+            ));
+        }
+    }
+    if bytes(&direct) != 0 {
+        violations.push("direct arm serialised".to_string());
+    }
+    if compression < MIN_COMPRESSION {
+        violations.push(format!(
+            "compact compression {compression:.2}x below the {MIN_COMPRESSION:.0}x gate \
+             ({raw_bytes} vs {compact_bytes} bytes)"
+        ));
+    }
+    if folded_values != unfolded_values {
+        violations.push("sender-side folding changed the computed components".to_string());
+    }
+    if fold_ratio <= 1.0 {
+        violations.push(format!("fold ratio {fold_ratio:.2} not above 1"));
+    }
+    if neutral_ratio != 1.0 {
+        violations.push(format!("fold-off arm reported ratio {neutral_ratio:.2} (want 1)"));
+    }
+    if folded_tail != 0 {
+        violations
+            .push(format!("{folded_tail} fabric reallocations after engine warm-up (want 0)"));
+    }
+    if folded_bytes >= unfolded_bytes {
+        violations.push(format!(
+            "folding did not shrink frames ({folded_bytes} vs {unfolded_bytes} bytes)"
+        ));
+    }
+    if violations.is_empty() {
+        println!(
+            "all gates passed: bit-identical labels/trajectory across transports, \
+             {compression:.2}x compact compression (gate {MIN_COMPRESSION:.0}x), \
+             {fold_ratio:.2}x sender fold, zero steady-state reallocs"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("ACCEPTANCE VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

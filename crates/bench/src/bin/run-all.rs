@@ -40,6 +40,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-serving",
     "exp-chaos",
     "exp-skew",
+    "exp-wire",
 ];
 
 struct Args {

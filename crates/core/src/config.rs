@@ -1,5 +1,7 @@
 //! Spinner configuration.
 
+use spinner_pregel::{TransportKind, WireFormat};
+
 /// What a partition's load counts (§II-A: "although our approach is general,
 /// here we will focus on balancing partitions on the number of edges they
 /// contain" — both options are implemented).
@@ -133,6 +135,23 @@ pub struct SpinnerConfig {
     /// maintained active list (the verification arm; bit-identical, see
     /// [`spinner_pregel::engine::EngineConfig::dense_scan`]).
     pub dense_scan: bool,
+    /// Message transport between logical workers: the default
+    /// [`TransportKind::Direct`] moves outbox buffers by pointer swap
+    /// (never serialises), [`TransportKind::Ring`] pushes encoded frames
+    /// through in-memory ring channels — the serialisation arm a
+    /// distributed deployment would run. Results are bit-identical across
+    /// transports; only the wire counters change.
+    pub transport: TransportKind,
+    /// Frame encoding on a serialising transport (ignored on the direct
+    /// path): [`WireFormat::Compact`] (default) uses delta+varint ids and
+    /// payload-specialised values, [`WireFormat::Raw`] fixed-width
+    /// records — the size-comparison arm.
+    pub wire_format: WireFormat,
+    /// Sender-side combiner folding on a serialising transport: fold
+    /// same-destination records through the program's combiner before
+    /// framing (the exact fold the receiver would apply, so results are
+    /// unchanged). Default `true`; `false` is the verification arm.
+    pub sender_fold: bool,
 }
 
 impl SpinnerConfig {
@@ -163,6 +182,9 @@ impl SpinnerConfig {
             work_stealing: true,
             steal_chunk: 0,
             dense_scan: false,
+            transport: TransportKind::default(),
+            wire_format: WireFormat::default(),
+            sender_fold: true,
         }
     }
 
@@ -229,6 +251,25 @@ impl SpinnerConfig {
         self
     }
 
+    /// Builder-style transport override (see [`Self::transport`]).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Builder-style wire-format override (see [`Self::wire_format`]).
+    pub fn with_wire_format(mut self, format: WireFormat) -> Self {
+        self.wire_format = format;
+        self
+    }
+
+    /// Builder-style sender-fold override (`false` frames every outbox
+    /// record unfolded; see [`Self::sender_fold`]).
+    pub fn with_sender_fold(mut self, enabled: bool) -> Self {
+        self.sender_fold = enabled;
+        self
+    }
+
     /// Builder-style placement-feedback override: re-place vertices by
     /// computed label whenever a window's remote-message share exceeds
     /// `threshold` (a fraction in `[0, 1)`; 0 re-places after every
@@ -289,6 +330,21 @@ mod tests {
             .with_dense_scan(true);
         assert!(cfg.frontier_windows && !cfg.work_stealing && cfg.dense_scan);
         assert_eq!(cfg.steal_chunk, 3);
+    }
+
+    #[test]
+    fn fabric_knobs_default_to_the_direct_path() {
+        let cfg = SpinnerConfig::new(4);
+        assert_eq!(cfg.transport, TransportKind::Direct);
+        assert_eq!(cfg.wire_format, WireFormat::Compact);
+        assert!(cfg.sender_fold, "fold is on whenever a wire path runs");
+        let cfg = cfg
+            .with_transport(TransportKind::Ring)
+            .with_wire_format(WireFormat::Raw)
+            .with_sender_fold(false);
+        assert_eq!(cfg.transport, TransportKind::Ring);
+        assert_eq!(cfg.wire_format, WireFormat::Raw);
+        assert!(!cfg.sender_fold);
     }
 
     #[test]

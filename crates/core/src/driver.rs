@@ -303,6 +303,9 @@ pub(crate) fn engine_config(cfg: &SpinnerConfig) -> EngineConfig {
         work_stealing: cfg.work_stealing,
         steal_chunk: cfg.steal_chunk,
         dense_scan: cfg.dense_scan,
+        transport: cfg.transport,
+        wire_format: cfg.wire_format,
+        sender_fold: cfg.sender_fold,
     }
 }
 

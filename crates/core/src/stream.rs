@@ -118,6 +118,14 @@ pub struct WindowReportParts {
     /// `migration_fraction × num_vertices` to see how much of the lost set
     /// actually ended up migrating).
     pub lost_vertices: u64,
+    /// Encoded frame bytes moved through the message transport (0 on the
+    /// default direct in-memory path, which never serialises).
+    pub wire_bytes: u64,
+    /// Encoded frames moved through the message transport.
+    pub wire_frames: u64,
+    /// Outbox records eliminated by sender-side combiner folding before
+    /// framing (0 on the direct path or with folding disabled).
+    pub wire_folded: u64,
 }
 
 /// Per-window convergence, quality, and cost accounting — one point of a
@@ -273,6 +281,23 @@ impl WindowReport {
         self.parts.lost_vertices > 0
     }
 
+    /// Encoded frame bytes moved through the message transport during the
+    /// window (0 on the default direct in-memory path).
+    pub fn wire_bytes(&self) -> u64 {
+        self.parts.wire_bytes
+    }
+
+    /// Encoded frames moved through the message transport.
+    pub fn wire_frames(&self) -> u64 {
+        self.parts.wire_frames
+    }
+
+    /// Outbox records eliminated by sender-side combiner folding before
+    /// framing.
+    pub fn wire_folded(&self) -> u64 {
+        self.parts.wire_folded
+    }
+
     /// Share of this window's messages that stayed worker-local (1.0 for a
     /// window that exchanged none).
     pub fn local_share(&self) -> f64 {
@@ -395,6 +420,9 @@ impl StreamSession {
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
             lost_vertices: 0,
+            wire_bytes: result.totals.wire_bytes,
+            wire_frames: result.totals.wire_frames,
+            wire_folded: result.totals.wire_folded,
         }));
         session
     }
@@ -633,6 +661,9 @@ impl StreamSession {
             wall_ns: result.wall_ns,
             fabric_reallocs: fabric_reallocs(&summary),
             lost_vertices,
+            wire_bytes: result.totals.wire_bytes,
+            wire_frames: result.totals.wire_frames,
+            wire_folded: result.totals.wire_folded,
         }));
         self.windows.last().expect("window just pushed")
     }

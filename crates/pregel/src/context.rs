@@ -79,8 +79,14 @@ impl<'a, E> Edges<'a, E> {
 /// [`EngineConfig::broadcast_fabric`]: crate::engine::EngineConfig::broadcast_fabric
 pub struct Mailer<'a, M> {
     pub(crate) outboxes: &'a mut [Vec<(VertexId, M)>],
+    /// Sideband broadcast marks, parallel to `outboxes`: the positions of
+    /// broadcast records within each outbox, maintained only in sideband
+    /// mode (see `sideband`). Unused — and left empty — on the direct path.
+    pub(crate) outbox_marks: &'a mut [Vec<u32>],
     /// The worker-local queue (fast path for `worker_of[target] == my_worker`).
     pub(crate) local: &'a mut Vec<(VertexId, M)>,
+    /// Sideband broadcast marks for the worker-local queue.
+    pub(crate) local_marks: &'a mut Vec<u32>,
     pub(crate) worker_of: &'a [WorkerId],
     pub(crate) my_worker: WorkerId,
     /// The sending vertex (tags its broadcast records).
@@ -92,6 +98,12 @@ pub struct Mailer<'a, M> {
     /// Whether the broadcast lane may be used this superstep (config on,
     /// ids taggable, and no graph mutation has stalled the fan-out index).
     pub(crate) lane_open: bool,
+    /// Sideband broadcast tagging (the wire path): broadcast records carry
+    /// the *untagged* sender id and their queue positions are recorded in
+    /// the marks vectors instead of stealing the id's top bit — which is
+    /// what frees the wire path from the in-memory lane's 2³¹ id cap. The
+    /// direct path keeps the tag-bit scheme (`false`).
+    pub(crate) sideband: bool,
     /// The sender's broadcast plan, precomputed at load time: its
     /// adjacency's distinct destination workers in first-occurrence order
     /// (one fabric record each). Empty when the lane is closed.
@@ -161,20 +173,34 @@ impl<'a, M: Clone> Mailer<'a, M> {
             }
             return;
         }
-        debug_assert_eq!(self.sender & crate::types::BROADCAST_TAG, 0);
-        let tagged = self.sender | crate::types::BROADCAST_TAG;
+        // Sideband mode (the wire path) records broadcast positions in the
+        // marks vectors and ships the sender id untagged, so ids ≥ 2³¹
+        // stay representable; the direct path steals the id top bit.
+        let tagged = if self.sideband {
+            self.sender
+        } else {
+            debug_assert_eq!(self.sender & crate::types::BROADCAST_TAG, 0);
+            self.sender | crate::types::BROADCAST_TAG
+        };
         // The load-time plan already deduplicated the destination workers
         // and counted the logical local/remote split, so a broadcast costs
         // O(distinct destination workers) — no per-edge scan at all.
         *self.sent_local += self.bcast_local as u64;
         *self.sent_remote += self.bcast_remote as u64;
         for (&w, &single) in self.bcast_plan.iter().zip(self.bcast_single) {
-            let id = if single == crate::types::BROADCAST_MULTI { tagged } else { single };
+            let multi = single == crate::types::BROADCAST_MULTI;
+            let id = if multi { tagged } else { single };
             if w == self.my_worker {
                 *self.sent_local_records += 1;
+                if multi && self.sideband {
+                    self.local_marks.push(self.local.len() as u32);
+                }
                 self.local.push((id, msg.clone()));
             } else {
                 *self.sent_remote_records += 1;
+                if multi && self.sideband {
+                    self.outbox_marks[w as usize].push(self.outboxes[w as usize].len() as u32);
+                }
                 self.outboxes[w as usize].push((id, msg.clone()));
             }
         }

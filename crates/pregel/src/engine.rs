@@ -30,7 +30,9 @@
 use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::metrics::{RunTotals, SuperstepMetrics, WorkerMetrics};
 use crate::program::{MasterContext, Program};
+use crate::transport::{RingTransport, Transport, TransportKind};
 use crate::types::{OutboxGrid, WorkerId, BROADCAST_MULTI, BROADCAST_TAG};
+use crate::wire::WireFormat;
 use crate::worker::Worker;
 use crate::Placement;
 use spinner_graph::{DirectedGraph, UndirectedGraph, VertexId};
@@ -80,6 +82,24 @@ pub struct EngineConfig {
     /// scheduler, same spirit as `broadcast_fabric = false`. Default
     /// `false`.
     pub dense_scan: bool,
+    /// How cross-worker message batches move: [`TransportKind::Direct`]
+    /// (the default) swaps outbox buffers through the in-memory
+    /// [`OutboxGrid`] with no serialization; [`TransportKind::Ring`]
+    /// encodes every batch into a [`crate::wire`] frame and moves it
+    /// through an in-process [`RingTransport`] — the serialization
+    /// boundary a distributed (TCP/UDS) backend plugs into. Results are
+    /// bit-identical across transports; only bytes and buffers differ.
+    pub transport: TransportKind,
+    /// Frame encoding used when `transport` serialises
+    /// ([`WireFormat::Compact`] by default; [`WireFormat::Raw`] is the
+    /// byte-hungry verification arm). Ignored on the direct path.
+    pub wire_format: WireFormat,
+    /// Sender-side combiner folding on the wire path: records to the same
+    /// destination vertex are folded through [`Program::combine`] in the
+    /// outbox before framing. Always bit-identical (the fold replays the
+    /// receiver's own chain-tail combine), so it defaults to `true`;
+    /// `false` is the verification arm. Ignored on the direct path.
+    pub sender_fold: bool,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +112,9 @@ impl Default for EngineConfig {
             work_stealing: true,
             steal_chunk: 0,
             dense_scan: false,
+            transport: TransportKind::Direct,
+            wire_format: WireFormat::Compact,
+            sender_fold: true,
         }
     }
 }
@@ -110,7 +133,9 @@ pub enum LaneStatus {
     DisabledByConfig,
     /// The vertex-id space does not fit beside [`BROADCAST_TAG`]
     /// (more than 2³¹ vertices), so the fan-out index was never built and
-    /// every broadcast ships as per-edge unicast for this topology.
+    /// every broadcast ships as per-edge unicast for this topology. Only
+    /// possible on the direct in-memory path: a serialising transport
+    /// carries the broadcast flag out of band and has no id cap.
     IdSpaceExceeded,
     /// A graph mutation was applied mid-run, outdating the load-time
     /// fan-out index; the lane reopens at the next topology (re)load.
@@ -184,7 +209,13 @@ pub struct Engine<P: Program> {
     global: P::G,
     num_vertices: u64,
     /// The all-to-all exchange buffers (capacity persists across runs).
+    /// Idle (every cell empty) when a serialising transport is configured.
     mail_grid: OutboxGrid<P::M>,
+    /// The serialization boundary, when one is configured
+    /// ([`EngineConfig::transport`]): `None` keeps the zero-copy direct
+    /// path; `Some` routes every cross-worker batch through
+    /// [`Worker::publish_wire`] / [`Worker::deliver_and_build_wire`].
+    transport: Option<Box<dyn Transport>>,
     /// Whether the broadcast lane is currently usable: opened at (re)load
     /// time (config on, vertex ids taggable) and closed — for the rest of
     /// the run — by the first applied graph mutation, which outdates the
@@ -278,6 +309,10 @@ impl<P: Program> Engine<P> {
         let global = program.init_global();
         let mail_grid: OutboxGrid<P::M> =
             (0..num_workers * num_workers).map(|_| Mutex::new(Vec::new())).collect();
+        let transport: Option<Box<dyn Transport>> = match config.transport {
+            TransportKind::Direct => None,
+            TransportKind::Ring => Some(Box::new(RingTransport::new(num_workers))),
+        };
         let mut engine = Self {
             program,
             workers,
@@ -289,6 +324,7 @@ impl<P: Program> Engine<P> {
             global,
             num_vertices: 0,
             mail_grid,
+            transport,
             lane_open: AtomicBool::new(false),
         };
         engine.load_topology(
@@ -502,11 +538,15 @@ impl<P: Program> Engine<P> {
         // the rest — and, with the broadcast lane on, counting each worker's
         // fan-out index entries per sender in the same sweep.
         //
-        // The lane needs vertex ids to fit beside [`BROADCAST_TAG`]; larger
-        // graphs fall back to per-edge unicast (ids up to 2³¹ cover every
-        // workload in this repository). The fallback is *diagnosable*, not
-        // silent: [`Engine::lane_status`] reports `IdSpaceExceeded`.
-        let build_fanout = self.config.broadcast_fabric && (n as u64) <= BROADCAST_TAG as u64;
+        // The *direct* lane needs vertex ids to fit beside
+        // [`BROADCAST_TAG`]; larger graphs fall back to per-edge unicast
+        // there. The wire path carries the broadcast flag out of band
+        // (sideband marks in memory, section headers on the wire), so it
+        // has no id cap and the lane stays open at any size. Either way
+        // the fallback is *diagnosable*, not silent:
+        // [`Engine::lane_status`] reports `IdSpaceExceeded`.
+        let build_fanout =
+            fanout_allowed(self.config.broadcast_fabric, self.transport.is_some(), n as u64);
         // The fan-out vectors move out of the workers for the build (two
         // simultaneous worker borrows otherwise: reading one worker's
         // adjacency while counting into another's index) and are handed
@@ -666,15 +706,12 @@ impl<P: Program> Engine<P> {
     /// several causes hold: a disabled config wins over an oversized id
     /// space (the lane would not have been built regardless of size).
     pub fn lane_status(&self) -> LaneStatus {
-        if self.lane_open.load(Ordering::Acquire) {
-            LaneStatus::Open
-        } else if !self.config.broadcast_fabric {
-            LaneStatus::DisabledByConfig
-        } else if self.num_vertices > BROADCAST_TAG as u64 {
-            LaneStatus::IdSpaceExceeded
-        } else {
-            LaneStatus::ClosedByMutation
-        }
+        derive_lane_status(
+            self.lane_open.load(Ordering::Acquire),
+            self.config.broadcast_fabric,
+            self.transport.is_some(),
+            self.num_vertices,
+        )
     }
 
     /// Runs the program to completion.
@@ -700,6 +737,7 @@ impl<P: Program> Engine<P> {
     /// inline in worker order (bit-identical results by construction).
     fn run_serial(&mut self, metrics: &mut Vec<SuperstepMetrics>) -> HaltReason {
         let num_workers = self.workers.len();
+        let sideband = self.transport.is_some();
         for superstep in 0..self.config.max_supersteps {
             let step_start = Instant::now();
             let lane_open = self.lane_open.load(Ordering::Acquire);
@@ -715,16 +753,31 @@ impl<P: Program> Engine<P> {
                     self.num_vertices,
                     lane_open,
                     self.config.dense_scan,
+                    sideband,
                 );
-                w.publish_outboxes(&self.mail_grid, num_workers);
+                match self.transport.as_deref() {
+                    Some(t) => w.publish_wire(
+                        &self.program,
+                        t,
+                        self.config.wire_format,
+                        self.config.sender_fold,
+                        num_workers,
+                    ),
+                    None => w.publish_outboxes(&self.mail_grid, num_workers),
+                }
             }
             for w in &mut self.workers {
-                w.deliver_and_build(
-                    &self.program,
-                    &self.mail_grid,
-                    &self.local_idx,
-                    num_workers,
-                );
+                match self.transport.as_deref() {
+                    Some(t) => {
+                        w.deliver_and_build_wire(&self.program, t, &self.local_idx, num_workers)
+                    }
+                    None => w.deliver_and_build(
+                        &self.program,
+                        &self.mail_grid,
+                        &self.local_idx,
+                        num_workers,
+                    ),
+                }
                 w.apply_mutations(&self.lane_open);
             }
 
@@ -780,6 +833,12 @@ impl<P: Program> Engine<P> {
         let num_vertices = self.num_vertices;
         let dense_scan = self.config.dense_scan;
         let work_stealing = self.config.work_stealing;
+        // `Option<&dyn Transport>` is `Copy`, so each pool thread captures
+        // its own copy of the shared handle (the trait requires `Sync`).
+        let transport = self.transport.as_deref();
+        let wire_format = self.config.wire_format;
+        let sender_fold = self.config.sender_fold;
+        let sideband = transport.is_some();
         let chunk = if self.config.steal_chunk == 0 {
             num_workers.div_ceil(threads)
         } else {
@@ -871,14 +930,31 @@ impl<P: Program> Engine<P> {
                                     num_vertices,
                                     lane_open,
                                     dense_scan,
+                                    sideband,
                                 );
-                                w.publish_outboxes(grid, num_workers);
+                                match transport {
+                                    Some(t) => w.publish_wire(
+                                        program,
+                                        t,
+                                        wire_format,
+                                        sender_fold,
+                                        num_workers,
+                                    ),
+                                    None => w.publish_outboxes(grid, num_workers),
+                                }
                             });
                         }
                         barrier.wait();
                         sweep(superstep * 2 + 1, &mut |wi| {
                             let mut w = cells[wi].lock().expect("worker cell");
-                            w.deliver_and_build(program, grid, local_idx, num_workers);
+                            match transport {
+                                Some(t) => {
+                                    w.deliver_and_build_wire(program, t, local_idx, num_workers)
+                                }
+                                None => {
+                                    w.deliver_and_build(program, grid, local_idx, num_workers)
+                                }
+                            }
                             w.apply_mutations(lane);
                             let mut slot = slots[wi].lock().expect("step slot");
                             slot.metrics.clone_from(&w.metrics);
@@ -1011,4 +1087,66 @@ fn superstep_epilogue<'a, P: Program>(
         None
     };
     (step, reason)
+}
+
+/// Whether the load-time broadcast fan-out index should be built: the lane
+/// must be enabled, and on the direct path vertex ids must fit beside
+/// [`BROADCAST_TAG`]. The wire path carries the broadcast flag out of band
+/// (sideband marks in memory, section flags on the wire), so it is exempt
+/// from the id cap.
+pub(crate) fn fanout_allowed(broadcast_fabric: bool, wire: bool, num_vertices: u64) -> bool {
+    broadcast_fabric && (wire || num_vertices <= BROADCAST_TAG as u64)
+}
+
+/// Names why the broadcast lane is in its current state — the pure core of
+/// [`Engine::lane_status`]. Precedence when several causes hold: a disabled
+/// config wins over an oversized id space (the lane would not have been
+/// built regardless of size), and `IdSpaceExceeded` is only reported on the
+/// direct path — a serialising transport has no id cap, so a closed lane
+/// there can only mean a mutation.
+pub(crate) fn derive_lane_status(
+    lane_open: bool,
+    broadcast_fabric: bool,
+    wire: bool,
+    num_vertices: u64,
+) -> LaneStatus {
+    if lane_open {
+        LaneStatus::Open
+    } else if !broadcast_fabric {
+        LaneStatus::DisabledByConfig
+    } else if !wire && num_vertices > BROADCAST_TAG as u64 {
+        LaneStatus::IdSpaceExceeded
+    } else {
+        LaneStatus::ClosedByMutation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIG: u64 = 3_000_000_000; // > 2^31 vertices
+
+    #[test]
+    fn fanout_gate_caps_only_the_direct_path() {
+        assert!(fanout_allowed(true, false, 1_000));
+        assert!(!fanout_allowed(true, false, BIG));
+        // The wire path keeps the lane at any size …
+        assert!(fanout_allowed(true, true, BIG));
+        assert!(fanout_allowed(true, true, u64::MAX));
+        // … but never resurrects a disabled fabric.
+        assert!(!fanout_allowed(false, true, 1_000));
+    }
+
+    #[test]
+    fn lane_status_is_transport_aware() {
+        assert_eq!(derive_lane_status(true, true, false, BIG), LaneStatus::Open);
+        assert_eq!(derive_lane_status(false, false, false, 10), LaneStatus::DisabledByConfig);
+        // Direct path, oversized id space: the cap is real.
+        assert_eq!(derive_lane_status(false, true, false, BIG), LaneStatus::IdSpaceExceeded);
+        // Wire path: no id cap, so a closed lane means a mutation — the
+        // old code misreported this as IdSpaceExceeded.
+        assert_eq!(derive_lane_status(false, true, true, BIG), LaneStatus::ClosedByMutation);
+        assert_eq!(derive_lane_status(false, true, false, 10), LaneStatus::ClosedByMutation);
+    }
 }

@@ -65,13 +65,16 @@
 
 pub mod aggregate;
 pub mod algorithms;
+pub mod codec;
 pub mod context;
 pub mod engine;
 pub mod metrics;
 pub mod placement;
 pub mod program;
 pub mod sim;
+pub mod transport;
 pub mod types;
+pub mod wire;
 pub mod worker;
 
 pub use aggregate::{AggOp, AggValue, AggregatorSpec};
@@ -81,4 +84,6 @@ pub use metrics::{SuperstepMetrics, WorkerMetrics};
 pub use placement::Placement;
 pub use program::{MasterContext, Program};
 pub use sim::CostModel;
+pub use transport::{RingTransport, Transport, TransportKind};
 pub use types::{Value, WorkerId};
+pub use wire::{WireError, WireFormat, WirePayload, WireRecord};

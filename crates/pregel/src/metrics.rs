@@ -43,6 +43,18 @@ pub struct WorkerMetrics {
     /// delivery. Zero in the steady state — the fabric reuses all capacity
     /// across supersteps — so a nonzero tail is an allocation regression.
     pub fabric_reallocs: u64,
+    /// Bytes of encoded frames this worker published through the transport
+    /// (zero on the direct in-memory path, which moves buffers by pointer
+    /// swap and never serialises).
+    pub bytes_sent: u64,
+    /// Encoded frames published through the transport (at most one per
+    /// destination worker per superstep).
+    pub frames_sent: u64,
+    /// Outbox records eliminated by sender-side combiner folding before
+    /// framing (records to the same destination vertex merged through
+    /// [`crate::Program::combine`] — exactly the fold the receiver's
+    /// staging chains would have applied, so results are unchanged).
+    pub wire_folded: u64,
 }
 
 impl WorkerMetrics {
@@ -111,6 +123,21 @@ impl SuperstepMetrics {
     pub fn computed_total(&self) -> u64 {
         self.per_worker.iter().map(|w| w.computed).sum()
     }
+
+    /// Total encoded frame bytes published through the transport.
+    pub fn bytes_sent(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.bytes_sent).sum()
+    }
+
+    /// Total frames published through the transport.
+    pub fn frames_sent(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.frames_sent).sum()
+    }
+
+    /// Total records eliminated by sender-side combiner folding.
+    pub fn wire_folded(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.wire_folded).sum()
+    }
 }
 
 /// Aggregates a whole run's metrics.
@@ -130,6 +157,13 @@ pub struct RunTotals {
     pub computed: u64,
     /// Total wall nanoseconds.
     pub wall_ns: u64,
+    /// Total encoded frame bytes moved through the transport (zero on the
+    /// direct in-memory path).
+    pub wire_bytes: u64,
+    /// Total frames moved through the transport.
+    pub wire_frames: u64,
+    /// Total outbox records eliminated by sender-side combiner folding.
+    pub wire_folded: u64,
 }
 
 impl RunTotals {
@@ -143,8 +177,34 @@ impl RunTotals {
             t.local_records += s.sent_local_records();
             t.computed += s.computed_total();
             t.wall_ns += s.wall_ns;
+            t.wire_bytes += s.bytes_sent();
+            t.wire_frames += s.frames_sent();
+            t.wire_folded += s.wire_folded();
         }
         t
+    }
+
+    /// Encoded wire bytes per remote *logical* message — the cost figure
+    /// the compact format is built to shrink (0.0 when nothing crossed a
+    /// worker, or on the direct path where nothing is serialised).
+    pub fn wire_bytes_per_remote_message(&self) -> f64 {
+        if self.remote_messages == 0 {
+            0.0
+        } else {
+            self.wire_bytes as f64 / self.remote_messages as f64
+        }
+    }
+
+    /// Sender-side fold ratio: outbox records per record actually framed
+    /// (1.0 when nothing folded — direct path, fold disabled, or no
+    /// combiner; > 1.0 when the sender's combiner fold shrank the batch).
+    pub fn fold_ratio(&self) -> f64 {
+        let framed = self.remote_records.saturating_sub(self.wire_folded);
+        if framed == 0 {
+            1.0
+        } else {
+            self.remote_records as f64 / framed as f64
+        }
     }
 
     /// Remote dedup ratio: logical cross-worker deliveries per physical
@@ -233,5 +293,33 @@ mod tests {
         let mut m = wm(1, 2);
         m.reset();
         assert_eq!(m, WorkerMetrics::default());
+    }
+
+    #[test]
+    fn wire_counters_roll_up() {
+        let mut w = wm(0, 8);
+        w.bytes_sent = 40;
+        w.frames_sent = 2;
+        w.wire_folded = 1;
+        let s =
+            SuperstepMetrics { superstep: 0, per_worker: vec![w], wall_ns: 1, active_after: 0 };
+        assert_eq!(s.bytes_sent(), 40);
+        assert_eq!(s.frames_sent(), 2);
+        assert_eq!(s.wire_folded(), 1);
+        let t = RunTotals::from_supersteps(&[s]);
+        assert_eq!(t.wire_bytes, 40);
+        assert_eq!(t.wire_frames, 2);
+        assert_eq!(t.wire_folded, 1);
+        // 8 remote logical messages, 40 bytes => 5 bytes/message.
+        assert!((t.wire_bytes_per_remote_message() - 5.0).abs() < 1e-12);
+        // 4 outbox records, 1 folded => 4/3.
+        assert!((t.fold_ratio() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_path_ratios_are_neutral() {
+        let t = RunTotals::default();
+        assert_eq!(t.wire_bytes_per_remote_message(), 0.0);
+        assert_eq!(t.fold_ratio(), 1.0);
     }
 }

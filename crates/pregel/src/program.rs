@@ -3,6 +3,7 @@
 use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::context::VertexContext;
 use crate::types::{Value, WorkerId};
+use crate::wire::WirePayload;
 
 /// A Pregel program: associated data types plus the per-vertex compute
 /// function and the per-superstep master compute.
@@ -16,8 +17,11 @@ pub trait Program: Send + Sync + Sized + 'static {
     type V: Value;
     /// Edge value.
     type E: Value;
-    /// Message payload.
-    type M: Value;
+    /// Message payload. The [`WirePayload`] bound gives every message a
+    /// wire encoding, so any program can run behind a serialising
+    /// [`crate::transport::Transport`]; scalar and pair payloads are
+    /// covered by the blanket impls in [`crate::wire`].
+    type M: Value + WirePayload;
     /// Global state broadcast to every vertex, mutated by [`Program::master`]
     /// between supersteps (Giraph: master compute + broadcast aggregators).
     type G: Value;

@@ -22,7 +22,9 @@ use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::context::{AggCtx, EdgeAddition, Edges, Mailer, VertexContext};
 use crate::metrics::WorkerMetrics;
 use crate::program::Program;
+use crate::transport::Transport;
 use crate::types::{OutboxGrid, WorkerId, BROADCAST_TAG};
+use crate::wire::{decode_frame, encode_frame, WireFormat, WireRecord};
 use spinner_graph::VertexId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -116,8 +118,27 @@ pub struct Worker<P: Program> {
     /// Current delivery epoch (bumped once per delivery phase).
     epoch: u64,
     /// Outboxes indexed by destination worker; published into the
-    /// [`OutboxGrid`] at the end of the compute phase.
+    /// [`OutboxGrid`] at the end of the compute phase (direct path) or
+    /// folded + encoded into transport frames (wire path).
     pub(crate) outboxes: Vec<Vec<(VertexId, P::M)>>,
+    /// Sideband broadcast marks, parallel to `outboxes`: positions of
+    /// broadcast records within each outbox. Maintained only on the wire
+    /// path, where broadcast records carry *untagged* sender ids (no 2³¹
+    /// cap) and the flag travels in the frame's section headers instead.
+    pub(crate) outbox_marks: Vec<Vec<u32>>,
+    /// Sideband broadcast marks for the `self_staging` fast-path queue
+    /// (wire path only; the queue itself never crosses the transport).
+    pub(crate) self_marks: Vec<u32>,
+    /// Wire publish scratch: the sorted/folded records of one frame.
+    wire_stage: Vec<WireRecord<P::M>>,
+    /// Wire publish scratch: `(id << 32) | position` sort keys — unique by
+    /// position, so `sort_unstable` yields a *stable* by-destination order
+    /// without the allocation a stable sort would make.
+    sort_keys: Vec<u64>,
+    /// Wire delivery scratch: decoded records of one inbound frame.
+    wire_recv: Vec<WireRecord<P::M>>,
+    /// Wire delivery scratch: one section's decoded ids.
+    wire_ids: Vec<u64>,
     /// Buffered edge additions, applied at the barrier.
     pub(crate) additions: Vec<EdgeAddition<P::E>>,
     /// This superstep's aggregator partials.
@@ -162,6 +183,12 @@ impl<P: Program> Worker<P> {
             chain_epoch: Vec::new(),
             epoch: 0,
             outboxes: (0..num_workers).map(|_| Vec::new()).collect(),
+            outbox_marks: (0..num_workers).map(|_| Vec::new()).collect(),
+            self_marks: Vec::new(),
+            wire_stage: Vec::new(),
+            sort_keys: Vec::new(),
+            wire_recv: Vec::new(),
+            wire_ids: Vec::new(),
             additions: Vec::new(),
             partial_aggs: Vec::new(),
             cached_worker_state: None,
@@ -232,6 +259,8 @@ impl<P: Program> Worker<P> {
             self.staging.is_empty()
                 && self.staging_next.is_empty()
                 && self.self_staging.is_empty()
+                && self.self_marks.is_empty()
+                && self.outbox_marks.iter().all(|m| m.is_empty())
         );
     }
 
@@ -267,7 +296,10 @@ impl<P: Program> Worker<P> {
     /// drivers are bit-identical and the dense arm serves as a cheap
     /// verification oracle. `lane_open` snapshots the engine's
     /// broadcast-lane state for the whole phase (the lane only closes at a
-    /// barrier, so the snapshot is exact).
+    /// barrier, so the snapshot is exact). `sideband` is true on the wire
+    /// path: broadcast records then carry untagged sender ids with their
+    /// queue positions recorded in the marks vectors (see
+    /// [`Mailer::broadcast`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn compute_phase(
         &mut self,
@@ -281,13 +313,16 @@ impl<P: Program> Worker<P> {
         num_vertices: u64,
         lane_open: bool,
         dense_scan: bool,
+        sideband: bool,
     ) {
         let start = Instant::now();
         self.metrics.reset();
         // Fast-path queue growth counts as fabric growth: it replaces the
         // grid's diagonal cell, whose capacity reuse the steady-state
-        // zero-allocation guarantee used to cover.
+        // zero-allocation guarantee used to cover. The sideband mark list
+        // is part of the same queue on the wire path.
         let self_staging_cap = self.self_staging.capacity();
+        let self_marks_cap = self.self_marks.capacity();
         // Reset partials and worker state in place where possible — both are
         // per-superstep, but their buffers need not be.
         if self.partial_aggs.len() == specs.len() {
@@ -365,12 +400,15 @@ impl<P: Program> Worker<P> {
                 worker: &mut worker_state,
                 mail: Mailer {
                     outboxes: &mut self.outboxes,
+                    outbox_marks: &mut self.outbox_marks,
                     local: &mut self.self_staging,
+                    local_marks: &mut self.self_marks,
                     worker_of,
                     my_worker: self.id,
                     sender: self.global_ids[i],
                     adjacency: &self.targets[lo..hi],
                     lane_open,
+                    sideband,
                     bcast_plan,
                     bcast_single,
                     bcast_local,
@@ -396,6 +434,7 @@ impl<P: Program> Worker<P> {
         self.cached_worker_state = Some(worker_state);
         self.metrics.fabric_reallocs +=
             u64::from(self.self_staging.capacity() != self_staging_cap)
+                + u64::from(self.self_marks.capacity() != self_marks_cap)
                 + u64::from(self.survivors.capacity() != survivors_cap);
         self.metrics.compute_ns = start.elapsed().as_nanos() as u64;
     }
@@ -541,6 +580,18 @@ impl<P: Program> Worker<P> {
                 }
             }
         }
+        self.finish_delivery(caps, sched_caps);
+    }
+
+    /// Shared tail of both delivery paths (direct grid and wire frames):
+    /// gather the staging chains into the flat inbox, wake messaged
+    /// vertices, rebuild the active list, and account buffer growth.
+    fn finish_delivery(
+        &mut self,
+        caps: (usize, usize, usize),
+        sched_caps: (usize, usize, usize),
+    ) {
+        let epoch = self.epoch;
         // u32 indices/offsets cap a worker at ~4.29e9 staged messages per
         // superstep; fail loudly instead of wrapping (one check per phase).
         assert!(self.staging.len() < NIL as usize, "per-superstep message overflow");
@@ -607,6 +658,228 @@ impl<P: Program> Worker<P> {
             + u64::from(sched_caps_after.0 != sched_caps.0)
             + u64::from(sched_caps_after.1 != sched_caps.1)
             + u64::from(sched_caps_after.2 != sched_caps.2);
+    }
+
+    /// Wire-path publish: folds, sorts, and encodes each non-empty outbox
+    /// into one frame per destination worker and publishes it through the
+    /// transport. Replaces [`Self::publish_outboxes`] when a transport is
+    /// configured.
+    ///
+    /// Within each maximal unicast run (broadcast records — identified by
+    /// the sideband marks — are never crossed), records are stably sorted
+    /// by destination id and consecutive same-destination records are
+    /// folded through [`Program::combine`] when `fold` is on. That is the
+    /// exact combine call, in the exact order, that the receiver's staging
+    /// chains would have applied at delivery, so results are bit-identical
+    /// for *any* combiner — including non-associative-looking float folds
+    /// and partial combiners (a `combine` returning `false` simply keeps
+    /// both records). Sorting only permutes records *across* destinations
+    /// inside a run, never within one (the sort keys embed the original
+    /// position), so per-vertex delivery order is preserved exactly.
+    pub(crate) fn publish_wire(
+        &mut self,
+        program: &P,
+        transport: &dyn Transport,
+        format: WireFormat,
+        fold: bool,
+        num_workers: usize,
+    ) {
+        let Self { id, outboxes, outbox_marks, wire_stage, sort_keys, metrics, .. } = self;
+        let me = *id as usize;
+        debug_assert!(outboxes[me].is_empty(), "local sends bypass the transport");
+        let scratch_caps = (wire_stage.capacity(), sort_keys.capacity());
+        for dst in 0..num_workers {
+            if dst == me {
+                continue;
+            }
+            let outbox = &mut outboxes[dst];
+            let marks = &mut outbox_marks[dst];
+            if outbox.is_empty() {
+                debug_assert!(marks.is_empty());
+                continue;
+            }
+            wire_stage.clear();
+            let mut unicast_logical = 0u64;
+            let mut mi = 0usize;
+            let mut pos = 0usize;
+            while pos < outbox.len() {
+                if mi < marks.len() && marks[mi] as usize == pos {
+                    // Broadcast run: consecutive marked positions, kept in
+                    // send order (fan-out expansion positions depend on it).
+                    while mi < marks.len() && marks[mi] as usize == pos {
+                        let (bid, msg) = outbox[pos].clone();
+                        wire_stage.push(WireRecord { broadcast: true, id: bid as u64, msg });
+                        mi += 1;
+                        pos += 1;
+                    }
+                    continue;
+                }
+                let run_end = if mi < marks.len() { marks[mi] as usize } else { outbox.len() };
+                let run = &outbox[pos..run_end];
+                unicast_logical += run.len() as u64;
+                sort_keys.clear();
+                for (k, &(idv, _)) in run.iter().enumerate() {
+                    sort_keys.push((u64::from(idv) << 32) | k as u64);
+                }
+                sort_keys.sort_unstable();
+                for &key in sort_keys.iter() {
+                    let idv = (key >> 32) as u32;
+                    let msg = run[(key & 0xFFFF_FFFF) as usize].1.clone();
+                    if fold {
+                        if let Some(last) = wire_stage.last_mut() {
+                            if !last.broadcast
+                                && last.id == u64::from(idv)
+                                && program.combine(&mut last.msg, &msg)
+                            {
+                                metrics.wire_folded += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    wire_stage.push(WireRecord { broadcast: false, id: u64::from(idv), msg });
+                }
+                pos = run_end;
+            }
+            debug_assert_eq!(mi, marks.len());
+            outbox.clear();
+            marks.clear();
+            let buf = transport.begin(me, dst);
+            let cap = buf.capacity();
+            let frame = encode_frame(format, wire_stage, unicast_logical, buf);
+            metrics.bytes_sent += frame.len() as u64;
+            metrics.frames_sent += 1;
+            // Frame-buffer growth is fabric growth: recycling keeps the
+            // capacity across supersteps, so the steady state stays at zero.
+            metrics.fabric_reallocs += u64::from(frame.capacity() != cap);
+            transport.publish(me, dst, frame);
+        }
+        metrics.fabric_reallocs += u64::from(wire_stage.capacity() != scratch_caps.0)
+            + u64::from(sort_keys.capacity() != scratch_caps.1);
+    }
+
+    /// Wire-path delivery: decodes the frames addressed to this worker (and
+    /// drains the sideband-marked local fast-path queue) into the staging
+    /// chains, then runs the shared gather/wake/merge tail. Replaces
+    /// [`Self::deliver_and_build`] when a transport is configured.
+    ///
+    /// Logical receive accounting is fold-invariant: each frame's trailer
+    /// carries its *pre-fold* unicast count, and broadcast records add
+    /// their fan-out width — so `recv_remote` matches the direct path
+    /// bit-for-bit across every transport × format × fold arm.
+    pub(crate) fn deliver_and_build_wire(
+        &mut self,
+        program: &P,
+        transport: &dyn Transport,
+        local_idx: &[u32],
+        num_workers: usize,
+    ) {
+        let caps =
+            (self.staging.capacity(), self.staging_next.capacity(), self.msgs.capacity());
+        let sched_caps =
+            (self.recipients.capacity(), self.woken.capacity(), self.active.capacity());
+        self.epoch += 1;
+        let epoch = self.epoch;
+        debug_assert!(self.staging.is_empty() && self.staging_next.is_empty());
+
+        let me = self.id as usize;
+        {
+            let Self {
+                staging,
+                staging_next,
+                chain_head,
+                chain_tail,
+                chain_epoch,
+                fan_offsets,
+                fan_targets,
+                self_staging,
+                self_marks,
+                recipients,
+                metrics,
+                wire_recv,
+                wire_ids,
+                ..
+            } = self;
+            debug_assert!(recipients.is_empty());
+            let wire_scratch_caps = (wire_recv.capacity(), wire_ids.capacity());
+            // Stages one record (broadcast flag explicit — this path never
+            // reads the id top bit, so ids are full-width) and returns the
+            // logical deliveries it produced.
+            let mut stage_record = |broadcast: bool, rid: u64, msg: P::M| -> u64 {
+                if broadcast {
+                    let s = rid as usize;
+                    let lo = fan_offsets[s] as usize;
+                    let hi = fan_offsets[s + 1] as usize;
+                    for &li in &fan_targets[lo..hi] {
+                        stage_message(
+                            program,
+                            staging,
+                            staging_next,
+                            chain_head,
+                            chain_tail,
+                            chain_epoch,
+                            recipients,
+                            li as usize,
+                            msg.clone(),
+                            epoch,
+                        );
+                    }
+                    (hi - lo) as u64
+                } else {
+                    stage_message(
+                        program,
+                        staging,
+                        staging_next,
+                        chain_head,
+                        chain_tail,
+                        chain_epoch,
+                        recipients,
+                        local_idx[rid as usize] as usize,
+                        msg,
+                        epoch,
+                    );
+                    1
+                }
+            };
+            for src in 0..num_workers {
+                if src == me {
+                    // Locality fast path, sideband flavour: broadcast
+                    // records are the marked positions.
+                    if self_staging.is_empty() {
+                        debug_assert!(self_marks.is_empty());
+                        continue;
+                    }
+                    let mut local = std::mem::take(self_staging);
+                    let mut mi = 0usize;
+                    for (pos, (rid, msg)) in local.drain(..).enumerate() {
+                        let broadcast = mi < self_marks.len() && self_marks[mi] as usize == pos;
+                        if broadcast {
+                            mi += 1;
+                        }
+                        metrics.recv_local += stage_record(broadcast, u64::from(rid), msg);
+                    }
+                    debug_assert_eq!(mi, self_marks.len());
+                    self_marks.clear();
+                    *self_staging = local;
+                    continue;
+                }
+                while let Some(frame) = transport.take(src, me) {
+                    wire_recv.clear();
+                    let unicast_logical = decode_frame::<P::M>(&frame, wire_ids, wire_recv)
+                        .expect("self-encoded frame decodes");
+                    metrics.recv_remote += unicast_logical;
+                    for rec in wire_recv.drain(..) {
+                        let expanded = stage_record(rec.broadcast, rec.id, rec.msg);
+                        if rec.broadcast {
+                            metrics.recv_remote += expanded;
+                        }
+                    }
+                    transport.recycle(src, me, frame);
+                }
+            }
+            metrics.fabric_reallocs += u64::from(wire_recv.capacity() != wire_scratch_caps.0)
+                + u64::from(wire_ids.capacity() != wire_scratch_caps.1);
+        }
+        self.finish_delivery(caps, sched_caps);
     }
 
     /// Applies buffered edge additions, keeping each adjacency run sorted and

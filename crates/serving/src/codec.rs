@@ -1,208 +1,9 @@
-//! Minimal binary codec shared by the snapshot and WAL encodings: LEB128
-//! varints, fixed-width `f64` bit patterns, and a CRC-32 frame check.
-//! Dependency-free by construction (the build environment vendors no serde).
+//! Binary codec used by the snapshot and WAL encodings.
+//!
+//! The implementation lives in [`spinner_pregel::codec`] since the engine's
+//! wire format ([`spinner_pregel::wire`]) shares the same LEB128 varint and
+//! CRC-32 primitives; this module re-exports it so every pre-existing
+//! `spinner_serving::codec::…` path (and the serving test suite pinning the
+//! encoding) keeps working unchanged.
 
-use std::fmt;
-
-/// Decoding failure: the byte stream is truncated or structurally invalid.
-///
-/// A `Corrupt` *tail* of a write-ahead log is expected after a crash and is
-/// handled by truncating to the last whole record; corruption anywhere else
-/// is surfaced to the caller.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CorruptError {
-    /// What the decoder was reading when the bytes ran out or mismatched.
-    pub context: &'static str,
-}
-
-impl fmt::Display for CorruptError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "corrupt or truncated encoding while reading {}", self.context)
-    }
-}
-
-impl std::error::Error for CorruptError {}
-
-/// Shorthand for codec results.
-pub type Result<T> = std::result::Result<T, CorruptError>;
-
-/// Append-only byte sink with varint primitives.
-#[derive(Debug, Default)]
-pub struct ByteWriter {
-    buf: Vec<u8>,
-}
-
-impl ByteWriter {
-    /// An empty writer.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Appends `value` as an LEB128 varint (1–10 bytes).
-    pub fn put_varint(&mut self, mut value: u64) {
-        loop {
-            let byte = (value & 0x7F) as u8;
-            value >>= 7;
-            if value == 0 {
-                self.buf.push(byte);
-                return;
-            }
-            self.buf.push(byte | 0x80);
-        }
-    }
-
-    /// Appends an `f64` as its fixed 8-byte little-endian bit pattern
-    /// (bit-exact round trip; varints would mangle NaN payloads and cost
-    /// more for typical doubles anyway).
-    pub fn put_f64(&mut self, value: f64) {
-        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
-    }
-
-    /// Appends one raw byte.
-    pub fn put_u8(&mut self, value: u8) {
-        self.buf.push(value);
-    }
-
-    /// The bytes written so far.
-    pub fn as_slice(&self) -> &[u8] {
-        &self.buf
-    }
-
-    /// Consumes the writer, returning its buffer.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
-}
-
-/// Forward-only reader over an encoded byte slice.
-#[derive(Debug)]
-pub struct ByteReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    /// A reader positioned at the start of `buf`.
-    pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    /// Reads an LEB128 varint appended by [`ByteWriter::put_varint`].
-    pub fn varint(&mut self, context: &'static str) -> Result<u64> {
-        let mut value: u64 = 0;
-        for shift in (0..64).step_by(7) {
-            let byte = *self.buf.get(self.pos).ok_or(CorruptError { context })?;
-            self.pos += 1;
-            value |= u64::from(byte & 0x7F) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(value);
-            }
-        }
-        Err(CorruptError { context })
-    }
-
-    /// Reads a fixed 8-byte `f64` appended by [`ByteWriter::put_f64`].
-    pub fn f64(&mut self, context: &'static str) -> Result<f64> {
-        let end = self.pos.checked_add(8).ok_or(CorruptError { context })?;
-        let bytes = self.buf.get(self.pos..end).ok_or(CorruptError { context })?;
-        self.pos = end;
-        Ok(f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
-    }
-
-    /// Reads one raw byte.
-    pub fn u8(&mut self, context: &'static str) -> Result<u8> {
-        let byte = *self.buf.get(self.pos).ok_or(CorruptError { context })?;
-        self.pos += 1;
-        Ok(byte)
-    }
-
-    /// True when every byte has been consumed.
-    pub fn is_exhausted(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    /// Bytes consumed so far.
-    pub fn position(&self) -> usize {
-        self.pos
-    }
-}
-
-/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE) of `data` — the frame check appended to every snapshot
-/// and WAL record so a torn or bit-rotted tail is detected on resume.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &byte in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
-    }
-    !crc
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn varint_round_trips_boundaries() {
-        let values =
-            [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX / 2, u64::MAX - 1, u64::MAX];
-        let mut w = ByteWriter::new();
-        for &v in &values {
-            w.put_varint(v);
-        }
-        let bytes = w.into_bytes();
-        let mut r = ByteReader::new(&bytes);
-        for &v in &values {
-            assert_eq!(r.varint("test").expect("decodes"), v);
-        }
-        assert!(r.is_exhausted());
-    }
-
-    #[test]
-    fn f64_round_trips_bit_exact() {
-        let values = [0.0f64, -0.0, 1.5, f64::MIN_POSITIVE, f64::INFINITY, f64::NAN];
-        let mut w = ByteWriter::new();
-        for &v in &values {
-            w.put_f64(v);
-        }
-        let bytes = w.into_bytes();
-        let mut r = ByteReader::new(&bytes);
-        for &v in &values {
-            assert_eq!(r.f64("test").expect("decodes").to_bits(), v.to_bits());
-        }
-    }
-
-    #[test]
-    fn truncation_is_an_error_not_a_panic() {
-        let mut w = ByteWriter::new();
-        w.put_varint(1 << 40);
-        let bytes = w.into_bytes();
-        let mut r = ByteReader::new(&bytes[..bytes.len() - 1]);
-        assert!(r.varint("test").is_err());
-        let mut r = ByteReader::new(&[0xFF; 11]);
-        assert!(r.varint("test").is_err(), "over-long varint accepted");
-    }
-
-    #[test]
-    fn crc32_matches_known_vector() {
-        // The classic check value for "123456789".
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-    }
-}
+pub use spinner_pregel::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};

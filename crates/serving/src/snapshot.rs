@@ -11,6 +11,7 @@
 use spinner_core::config::{BalanceObjective, RestartScope};
 use spinner_core::{SessionState, SpinnerConfig, WindowReport, WindowReportParts};
 use spinner_graph::GraphBuilder;
+use spinner_pregel::{TransportKind, WireFormat};
 
 use crate::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};
 
@@ -18,8 +19,11 @@ use crate::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};
 /// `SPNRSNP2` added `lost_vertices` to the window-report record;
 /// `SPNRSNP3` added `computed` to the window-report record and the
 /// scheduler knobs — `frontier_windows`, `work_stealing`, `steal_chunk`,
-/// `dense_scan` — to the config record).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP3";
+/// `dense_scan` — to the config record; `SPNRSNP4` added the message-fabric
+/// knobs — `transport`, `wire_format`, `sender_fold` — to the config record
+/// and the wire counters — `wire_bytes`, `wire_frames`, `wire_folded` — to
+/// the window-report record).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP4";
 
 /// Encodes `state` into a self-verifying snapshot byte vector.
 pub fn encode_state(state: &SessionState) -> Vec<u8> {
@@ -182,6 +186,15 @@ fn put_config(w: &mut ByteWriter, cfg: &SpinnerConfig) {
     w.put_u8(u8::from(cfg.work_stealing));
     w.put_varint(cfg.steal_chunk as u64);
     w.put_u8(u8::from(cfg.dense_scan));
+    w.put_u8(match cfg.transport {
+        TransportKind::Direct => 0,
+        TransportKind::Ring => 1,
+    });
+    w.put_u8(match cfg.wire_format {
+        WireFormat::Raw => 0,
+        WireFormat::Compact => 1,
+    });
+    w.put_u8(u8::from(cfg.sender_fold));
 }
 
 fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
@@ -236,6 +249,17 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
     cfg.steal_chunk = usize::try_from(r.varint("config steal_chunk")?)
         .map_err(|_| CorruptError { context: "config steal_chunk" })?;
     cfg.dense_scan = read_bool(r, "config dense_scan")?;
+    cfg.transport = match r.u8("config transport")? {
+        0 => TransportKind::Direct,
+        1 => TransportKind::Ring,
+        _ => return Err(CorruptError { context: "config transport" }),
+    };
+    cfg.wire_format = match r.u8("config wire_format")? {
+        0 => WireFormat::Raw,
+        1 => WireFormat::Compact,
+        _ => return Err(CorruptError { context: "config wire_format" }),
+    };
+    cfg.sender_fold = read_bool(r, "config sender_fold")?;
     Ok(cfg)
 }
 
@@ -283,6 +307,9 @@ pub(crate) fn put_report(w: &mut ByteWriter, parts: &WindowReportParts) {
     w.put_varint(parts.wall_ns);
     w.put_varint(parts.fabric_reallocs);
     w.put_varint(parts.lost_vertices);
+    w.put_varint(parts.wire_bytes);
+    w.put_varint(parts.wire_frames);
+    w.put_varint(parts.wire_folded);
 }
 
 /// Reads one [`WindowReportParts`] appended by [`put_report`].
@@ -307,6 +334,9 @@ pub(crate) fn read_report(r: &mut ByteReader<'_>) -> Result<WindowReportParts> {
         wall_ns: r.varint("report wall_ns")?,
         fabric_reallocs: r.varint("report fabric_reallocs")?,
         lost_vertices: r.varint("report lost_vertices")?,
+        wire_bytes: r.varint("report wire_bytes")?,
+        wire_frames: r.varint("report wire_frames")?,
+        wire_folded: r.varint("report wire_folded")?,
     })
 }
 
