@@ -134,9 +134,11 @@ enum Direction {
     /// `remote_records*` (physical cross-worker fabric records — what the
     /// broadcast lane deduplicates), `wire_bytes*` / `bytes_per_record*`
     /// (encoded frame traffic on the serialising transport),
-    /// `p99_staleness*` (routing epochs a served lookup lags behind head)
-    /// and `active_fraction*` (per-superstep compute cost of
-    /// frontier-seeded windows) — rising above baseline is a regression.
+    /// `p99_staleness*` (routing epochs a served lookup lags behind head),
+    /// `active_fraction*` (per-superstep compute cost of frontier-seeded
+    /// windows), `retransmit_ratio*` (reliable-transport re-publishes per
+    /// encoded frame) and `delivery_overhead*` (receive-side repair actions
+    /// per frame) — rising above baseline is a regression.
     LowerBetter,
     /// Anything else: reported for the record, never gated.
     Informational,
@@ -160,6 +162,8 @@ fn direction(name: &str) -> Direction {
         || name.starts_with("bytes_per_record")
         || name.starts_with("p99_staleness")
         || name.starts_with("active_fraction")
+        || name.starts_with("retransmit_ratio")
+        || name.starts_with("delivery_overhead")
         || name.contains("migration")
         || name.contains("moved")
     {
@@ -404,5 +408,67 @@ mod tests {
         )];
         let mut table = String::new();
         assert_eq!(quality_table(&baseline, &throughput_crash, 0.05, 0.25, &mut table), 1);
+    }
+
+    #[test]
+    fn transport_resilience_metrics_gate_in_the_right_direction() {
+        // `retransmit_ratio*` / `delivery_overhead*` are costs (rising is a
+        // regression); `availability*` is a guarantee (dropping is one).
+        let baseline = vec![outcome(
+            "exp-transport-chaos",
+            vec![
+                ("retransmit_ratio_chaos".into(), 0.010),
+                ("delivery_overhead_chaos".into(), 0.020),
+                ("availability_transport_recovery".into(), 1.0),
+            ],
+        )];
+        let mut table = String::new();
+        assert_eq!(quality_table(&baseline, &baseline, 0.05, 0.25, &mut table), 0);
+
+        let ratio_up = vec![outcome(
+            "exp-transport-chaos",
+            vec![
+                ("retransmit_ratio_chaos".into(), 0.012),
+                ("delivery_overhead_chaos".into(), 0.020),
+                ("availability_transport_recovery".into(), 1.0),
+            ],
+        )];
+        let mut table = String::new();
+        assert_eq!(quality_table(&baseline, &ratio_up, 0.05, 0.25, &mut table), 1);
+
+        let overhead_up = vec![outcome(
+            "exp-transport-chaos",
+            vec![
+                ("retransmit_ratio_chaos".into(), 0.010),
+                ("delivery_overhead_chaos".into(), 0.030),
+                ("availability_transport_recovery".into(), 1.0),
+            ],
+        )];
+        let mut table = String::new();
+        assert_eq!(quality_table(&baseline, &overhead_up, 0.05, 0.25, &mut table), 1);
+
+        let availability_down = vec![outcome(
+            "exp-transport-chaos",
+            vec![
+                ("retransmit_ratio_chaos".into(), 0.010),
+                ("delivery_overhead_chaos".into(), 0.020),
+                ("availability_transport_recovery".into(), 0.90),
+            ],
+        )];
+        let mut table = String::new();
+        assert_eq!(quality_table(&baseline, &availability_down, 0.05, 0.25, &mut table), 1);
+
+        // Both costs dropping (a cleaner wire) is an improvement, not a gate
+        // trip.
+        let cleaner = vec![outcome(
+            "exp-transport-chaos",
+            vec![
+                ("retransmit_ratio_chaos".into(), 0.0),
+                ("delivery_overhead_chaos".into(), 0.0),
+                ("availability_transport_recovery".into(), 1.0),
+            ],
+        )];
+        let mut table = String::new();
+        assert_eq!(quality_table(&baseline, &cleaner, 0.05, 0.25, &mut table), 0);
     }
 }

@@ -55,6 +55,7 @@ fn session_points(session: &StreamSession) -> Trajectory {
             local_share: w.local_share(),
             lost_fraction: w.lost_vertices() as f64 / f64::from(w.num_vertices().max(1)),
             active_fraction: w.active_fraction(),
+            retransmits: w.retransmits(),
         })
         .collect()
 }

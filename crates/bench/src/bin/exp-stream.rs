@@ -171,6 +171,7 @@ fn main() -> ExitCode {
             lost_fraction: r.report.lost_vertices() as f64
                 / f64::from(r.report.num_vertices().max(1)),
             active_fraction: r.report.active_fraction(),
+            retransmits: r.report.retransmits(),
         })
         .collect();
 
@@ -229,6 +230,7 @@ fn main() -> ExitCode {
             local_share: w.local_share(),
             lost_fraction: 0.0,
             active_fraction: w.active_fraction(),
+            retransmits: w.retransmits(),
         })
         .collect();
     let frontier_deltas: Vec<&WindowReport> =

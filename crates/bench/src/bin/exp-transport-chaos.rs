@@ -1,0 +1,485 @@
+//! **Transport chaos** — the wire-level robustness companion to
+//! `exp-chaos`: scripted frame-fault plans (drops, duplicates, reorders,
+//! bit flips, torn frames, delivery delays, and a seeded mix) are injected
+//! under a streaming Tuenti-analogue workload running on the serialising
+//! ring transport with the ack/retransmit reliability layer on.
+//!
+//! Expected shape: every recoverable plan is *invisible* — per-window label
+//! digests stay bit-identical to the fault-free reference while the
+//! reliability counters record the repairs; the steady-state probe window
+//! allocates nothing even with the reliability layer folding repairs in;
+//! the retransmit ratio stays bounded; and an unrecoverable lane stall
+//! escalates through lane death into the session's worker-loss recovery
+//! with lookup availability at 100% throughout — a typed recovery, never a
+//! hang. The binary **asserts** these criteria and exits non-zero on
+//! violation.
+//!
+//! Writes `bench-out/TRANSPORT_CHAOS.json` (override with
+//! `SPINNER_TRANSPORT_CHAOS_JSON`) and emits
+//! `METRIC retransmit_ratio_chaos` (lower-is-better),
+//! `METRIC delivery_overhead_chaos` (lower-is-better) and
+//! `METRIC availability_transport_recovery` (higher-is-better) for
+//! `bench-compare`.
+
+use spinner_bench::{emit_metric, scale_from_env, threads_from_env, Table};
+use spinner_core::{SpinnerConfig, StreamEvent, StreamSession};
+use spinner_graph::{Dataset, DeltaStream, DeltaStreamConfig, GraphDelta};
+use spinner_pregel::{TransportFault, TransportFaultPlan, TransportKind, WorkerId};
+use spinner_serving::ServingNode;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Lookup threads hammering the node through the lane-death phase.
+const READERS: usize = 4;
+/// Churn windows per run (plus the allocation-probe window).
+const CHURN_WINDOWS: usize = 2;
+/// Retransmitted frames per encoded frame a recoverable sweep may cost.
+const RETRANSMIT_BOUND: f64 = 0.10;
+/// The sender whose lanes the stall phase kills.
+const STALLED_SENDER: WorkerId = 3;
+
+/// FNV-1a over the label array — the per-window bit-identity digest.
+fn digest(labels: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &l in labels {
+        for b in l.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// What the lookup threads saw while the lane-death phase ran.
+struct HammerStats {
+    attempts: u64,
+    hits: u64,
+}
+
+fn hammer(reader: &spinner_serving::RoutingReader, stop: &Arc<AtomicBool>) -> HammerStats {
+    let mut handles = Vec::new();
+    for t in 0..READERS {
+        let reader = reader.clone();
+        let stop = Arc::clone(stop);
+        handles.push(std::thread::spawn(move || {
+            let mut stats = HammerStats { attempts: 0, hits: 0 };
+            let mut rng = 0x2545_F491_4F6C_DD1Du64 ^ ((t as u64) << 48);
+            while !stop.load(Ordering::Relaxed) {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let len = reader.len();
+                if len == 0 {
+                    continue;
+                }
+                stats.attempts += 1;
+                if reader.lookup((rng >> 33) as u32 % len as u32).is_some() {
+                    stats.hits += 1;
+                }
+            }
+            stats
+        }));
+    }
+    let mut merged = HammerStats { attempts: 0, hits: 0 };
+    for h in handles {
+        let s = h.join().expect("reader thread");
+        merged.attempts += s.attempts;
+        merged.hits += s.hits;
+    }
+    merged
+}
+
+/// One chaos arm's outcome over the shared window schedule.
+struct ArmOutcome {
+    name: &'static str,
+    digests: Vec<u64>,
+    probe_reallocs: u64,
+    /// Whether any scripted fault fired *during* the probe window. A noisy
+    /// probe may legitimately allocate (a held frame empties a lane pool
+    /// for one publish); a quiet probe must match the reference exactly.
+    probe_quiet: bool,
+    retransmits: u64,
+    wire_frames: u64,
+    recovery_actions: u64,
+    injected: u64,
+    remaining: u64,
+}
+
+fn run_arm(
+    name: &'static str,
+    state0: &spinner_core::SessionState,
+    events: &[StreamEvent],
+    plan: Option<TransportFaultPlan>,
+) -> ArmOutcome {
+    let mut session = StreamSession::from_state(state0.clone());
+    if let Some(plan) = plan {
+        session.inject_transport_faults(plan);
+    }
+    let mut digests = Vec::new();
+    let mut retransmits = 0;
+    let mut wire_frames = 0;
+    let mut probe_reallocs = 0;
+    let mut injected_before_probe = 0;
+    for (i, event) in events.iter().enumerate() {
+        if i + 1 == events.len() {
+            injected_before_probe = session.transport_chaos_counts().0;
+        }
+        let report = session.apply(event.clone());
+        retransmits += report.retransmits();
+        wire_frames += report.wire_frames();
+        if i + 1 == events.len() {
+            probe_reallocs = report.fabric_reallocs();
+        }
+        digests.push(digest(session.labels()));
+    }
+    let (injected, remaining) = session.transport_chaos_counts();
+    ArmOutcome {
+        name,
+        digests,
+        probe_reallocs,
+        probe_quiet: injected == injected_before_probe,
+        retransmits,
+        wire_frames,
+        recovery_actions: session.transport_recv_stats().recovery_actions(),
+        injected,
+        remaining,
+    }
+}
+
+fn main() -> ExitCode {
+    let scale = scale_from_env();
+    let k = 16u32;
+    let base = Dataset::Tuenti.build_directed(scale);
+    eprintln!("tuenti analogue: |V|={} |E|={}", base.num_vertices(), base.num_edges());
+
+    let mut cfg = SpinnerConfig::new(k).with_seed(42).with_placement_feedback(0.5);
+    cfg.num_threads = threads_from_env();
+    cfg.num_workers = 16;
+    cfg.transport = TransportKind::Ring;
+
+    let mut deltas = DeltaStream::new(
+        base.clone(),
+        DeltaStreamConfig {
+            windows: (CHURN_WINDOWS + 4) as u32,
+            add_fraction: 0.010,
+            remove_fraction: 0.004,
+            vertex_fraction: 0.002,
+            attach_degree: 3,
+            triadic_fraction: 0.8,
+            hub_bias: 0.5,
+            seed: 99,
+        },
+    );
+    let mut next_event = || StreamEvent::Delta(deltas.next().expect("delta window"));
+
+    eprintln!("bootstrap partitioning (k={k}, ring transport, reliability on)...");
+    let state0 = StreamSession::new(base, cfg.clone()).state();
+    let mut violations: Vec<String> = Vec::new();
+
+    // The shared schedule: churn windows, then an unchanged-graph probe
+    // window — by then every buffer is warm, so any allocation in it is
+    // reliability-layer overhead leaking into the steady state.
+    let mut events: Vec<StreamEvent> = (0..CHURN_WINDOWS).map(|_| next_event()).collect();
+    events.push(StreamEvent::Delta(GraphDelta::default()));
+
+    // ---- phase A: fault-free reference digests on the same wire stack.
+    let reference = run_arm("clean", &state0, &events, None);
+    if reference.retransmits != 0 {
+        violations.push(format!(
+            "clean wire retransmitted {} frames — the reliability layer must be silent \
+             without faults",
+            reference.retransmits
+        ));
+    }
+    eprintln!(
+        "reference: {} frames over {} windows, probe reallocs {}",
+        reference.wire_frames,
+        events.len(),
+        reference.probe_reallocs
+    );
+
+    // ---- phase B: every recoverable fault plan must be invisible in the
+    // digests, allocation-free in the probe window, and bounded in repair
+    // cost.
+    let w = 16usize; // workers, for seeded plan lane space
+    let arms: Vec<ArmOutcome> =
+        vec![
+            run_arm(
+                "drop",
+                &state0,
+                &events,
+                Some(
+                    TransportFaultPlan::new()
+                        .fail(0, 1, 0, TransportFault::Drop)
+                        .fail(5, 9, 1, TransportFault::Drop)
+                        .fail(12, 2, 2, TransportFault::Drop),
+                ),
+            ),
+            run_arm(
+                "duplicate",
+                &state0,
+                &events,
+                Some(TransportFaultPlan::new().fail(1, 0, 0, TransportFault::Duplicate).fail(
+                    7,
+                    11,
+                    1,
+                    TransportFault::Duplicate,
+                )),
+            ),
+            run_arm(
+                "reorder",
+                &state0,
+                &events,
+                Some(
+                    TransportFaultPlan::new()
+                        .fail(2, 3, 0, TransportFault::Reorder { window: 2 })
+                        .fail(10, 4, 1, TransportFault::Reorder { window: 3 }),
+                ),
+            ),
+            run_arm(
+                "flip-bit",
+                &state0,
+                &events,
+                Some(
+                    TransportFaultPlan::new()
+                        .fail(3, 2, 0, TransportFault::FlipBit { bit: 17 })
+                        .fail(8, 15, 1, TransportFault::FlipBit { bit: 4099 }),
+                ),
+            ),
+            run_arm(
+                "torn",
+                &state0,
+                &events,
+                Some(
+                    TransportFaultPlan::new()
+                        .fail(4, 6, 0, TransportFault::Torn { keep: 3 })
+                        .fail(14, 0, 1, TransportFault::Torn { keep: 11 }),
+                ),
+            ),
+            run_arm(
+                "delay",
+                &state0,
+                &events,
+                Some(
+                    TransportFaultPlan::new()
+                        .fail(6, 5, 0, TransportFault::Delay { ticks: 2 })
+                        .fail(9, 13, 1, TransportFault::Delay { ticks: 3 }),
+                ),
+            ),
+            run_arm(
+                "seeded-mix",
+                &state0,
+                &events,
+                Some(TransportFaultPlan::seeded(42, w, 24, 0.02)),
+            ),
+        ];
+
+    let mut sweep_retransmits = 0u64;
+    let mut sweep_frames = 0u64;
+    let mut sweep_repairs = 0u64;
+    let mut sweep_injected = 0u64;
+    for arm in &arms {
+        sweep_retransmits += arm.retransmits;
+        sweep_frames += arm.wire_frames;
+        sweep_repairs += arm.recovery_actions;
+        sweep_injected += arm.injected;
+        if arm.digests != reference.digests {
+            violations.push(format!(
+                "{}: window digests diverged from the fault-free reference",
+                arm.name
+            ));
+        }
+        // Zero steady-state allocations attributable to the reliability
+        // layer: once an arm's faults are consumed, its probe window must
+        // allocate exactly what the fault-free reference does — the
+        // retransmit buffers are retained, not regrown. Arms whose plan is
+        // still firing during the probe (the seeded mix) are exempt: a
+        // frame held by an active fault legitimately empties a lane pool
+        // for one publish.
+        if arm.probe_quiet && arm.probe_reallocs != reference.probe_reallocs {
+            violations.push(format!(
+                "{}: probe window allocated {} times vs reference {} — the reliability \
+                 layer leaked allocations into the steady state",
+                arm.name, arm.probe_reallocs, reference.probe_reallocs
+            ));
+        }
+        let ratio = arm.retransmits as f64 / arm.wire_frames.max(1) as f64;
+        if ratio > RETRANSMIT_BOUND {
+            violations.push(format!(
+                "{}: retransmit ratio {ratio:.4} exceeds {RETRANSMIT_BOUND}",
+                arm.name
+            ));
+        }
+        eprintln!(
+            "{:>10}: digests {}, injected {}/{} faults, {} retransmits / {} frames, \
+             {} repairs, probe reallocs {}{}",
+            arm.name,
+            if arm.digests == reference.digests { "bit-identical" } else { "DIVERGED" },
+            arm.injected,
+            arm.injected + arm.remaining,
+            arm.retransmits,
+            arm.wire_frames,
+            arm.recovery_actions,
+            arm.probe_reallocs,
+            if arm.probe_quiet { "" } else { " (plan active in probe)" }
+        );
+    }
+    if sweep_injected == 0 {
+        violations.push("chaos sweep injected no faults — the plans never fired".into());
+    }
+    let retransmit_ratio = sweep_retransmits as f64 / sweep_frames.max(1) as f64;
+    let delivery_overhead = sweep_repairs as f64 / sweep_frames.max(1) as f64;
+
+    // ---- phase C: a stalled sender exhausts the lane's retry budget; the
+    // dead lane must escalate into worker-loss recovery while lookups keep
+    // serving — never a hang, never an availability drop.
+    let mut node = ServingNode::new(StreamSession::from_state(state0.clone()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = node.reader();
+    let readers = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || hammer(&reader, &stop))
+    };
+    let pre = node.ingest(next_event()).expect("pre-stall churn window");
+    assert!(!pre.report().is_recovery(), "clean window must not recover");
+    // Stall every early frame the victim sends to three peers: whichever
+    // lane the engine trips on first, the error names sender 3 and the
+    // session reseeds exactly the state that sender hosted.
+    let stall = TransportFaultPlan::new()
+        .stall_at(usize::from(STALLED_SENDER), 0, 0)
+        .stall_at(usize::from(STALLED_SENDER), 1, 0)
+        .stall_at(usize::from(STALLED_SENDER), 2, 0);
+    node.inject_transport_faults(stall);
+    let loss = node.ingest(next_event()).expect("lane-death recovery window");
+    let recovery = loss.report().clone();
+    let post = node.ingest(next_event()).expect("post-recovery churn window");
+    stop.store(true, Ordering::Relaxed);
+    let stats = readers.join().expect("reader pool");
+    let availability =
+        if stats.attempts == 0 { 0.0 } else { stats.hits as f64 / stats.attempts as f64 };
+
+    if !recovery.is_recovery() || recovery.lost_vertices() == 0 {
+        violations.push(format!(
+            "lane death did not escalate into recovery (lost_vertices {})",
+            recovery.lost_vertices()
+        ));
+    }
+    if recovery.lanes_dead() == 0 {
+        violations.push("recovery window reports no dead lanes".into());
+    }
+    if node.transport_recoveries() != 1 {
+        violations.push(format!(
+            "node counted {} transport recoveries (want exactly 1)",
+            node.transport_recoveries()
+        ));
+    }
+    if post.report().lanes_dead() != 0 || post.report().is_recovery() {
+        violations.push("post-recovery window still unhealthy".into());
+    }
+    if stats.hits != stats.attempts || stats.attempts == 0 {
+        violations.push(format!(
+            "availability dropped during lane-death recovery: {}/{} lookups answered",
+            stats.hits, stats.attempts
+        ));
+    }
+    eprintln!(
+        "lane death: {} vertices reseeded, {} dead lanes, {} retransmits in the window, \
+         availability {availability:.6}",
+        recovery.lost_vertices(),
+        recovery.lanes_dead(),
+        recovery.retransmits()
+    );
+
+    // ---- report ----
+    let mut t = Table::new(format!(
+        "Transport chaos: recoverable-fault sweep + lane-death escalation \
+         (Tuenti analogue, k={k}, ring transport)"
+    ))
+    .header(["phase", "checks", "outcome"]);
+    t.row([
+        "clean reference".to_string(),
+        format!("{} windows", events.len()),
+        format!("{} frames, 0 retransmits", reference.wire_frames),
+    ]);
+    t.row([
+        "fault sweep".to_string(),
+        format!("{} plans, {sweep_injected} faults", arms.len()),
+        format!(
+            "{} bit-identical, ratio {retransmit_ratio:.4}",
+            arms.iter().filter(|a| a.digests == reference.digests).count()
+        ),
+    ]);
+    t.row([
+        "lane death".to_string(),
+        format!("sender {STALLED_SENDER} stalled"),
+        format!("{} reseeded, availability {availability:.4}", recovery.lost_vertices()),
+    ]);
+    println!("{t}");
+
+    write_json(&arms, &reference, retransmit_ratio, delivery_overhead, &recovery, availability);
+
+    emit_metric("retransmit_ratio_chaos", retransmit_ratio);
+    emit_metric("delivery_overhead_chaos", delivery_overhead);
+    emit_metric("availability_transport_recovery", availability);
+
+    if violations.is_empty() {
+        println!(
+            "transport chaos gates hold: {} plans bit-identical with zero reliability \
+             allocations in the probe, retransmit ratio {retransmit_ratio:.4} <= \
+             {RETRANSMIT_BOUND}, lane death recovered {} vertices at availability \
+             {availability:.4}",
+            arms.len(),
+            recovery.lost_vertices()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("ACCEPTANCE VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn write_json(
+    arms: &[ArmOutcome],
+    reference: &ArmOutcome,
+    retransmit_ratio: f64,
+    delivery_overhead: f64,
+    recovery: &spinner_core::WindowReport,
+    availability: f64,
+) {
+    let path = std::env::var("SPINNER_TRANSPORT_CHAOS_JSON")
+        .unwrap_or_else(|_| "bench-out/TRANSPORT_CHAOS.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"exp-transport-chaos\",\n");
+    out.push_str(&format!("  \"reference_frames\": {},\n", reference.wire_frames));
+    out.push_str("  \"arms\": [\n");
+    for (i, arm) in arms.iter().enumerate() {
+        let sep = if i + 1 == arms.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"plan\": \"{}\", \"bit_identical\": {}, \"injected\": {}, \
+             \"retransmits\": {}, \"wire_frames\": {}, \"repairs\": {}, \
+             \"probe_reallocs\": {}}}{sep}\n",
+            arm.name,
+            arm.digests == reference.digests,
+            arm.injected,
+            arm.retransmits,
+            arm.wire_frames,
+            arm.recovery_actions,
+            arm.probe_reallocs
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"retransmit_ratio_chaos\": {retransmit_ratio:.6},\n"));
+    out.push_str(&format!("  \"delivery_overhead_chaos\": {delivery_overhead:.6},\n"));
+    out.push_str(&format!("  \"lane_death_lost_vertices\": {},\n", recovery.lost_vertices()));
+    out.push_str(&format!("  \"lane_death_lanes_dead\": {},\n", recovery.lanes_dead()));
+    out.push_str(&format!("  \"availability_transport_recovery\": {availability:.6}\n"));
+    out.push_str("}\n");
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+    }
+    std::fs::write(&path, out).expect("write transport chaos report");
+    eprintln!("wrote {path}");
+}

@@ -41,6 +41,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp-chaos",
     "exp-skew",
     "exp-wire",
+    "exp-transport-chaos",
 ];
 
 struct Args {

@@ -1,6 +1,6 @@
 //! Spinner configuration.
 
-use spinner_pregel::{TransportKind, WireFormat};
+use spinner_pregel::{RetryConfig, TransportKind, WireFormat};
 
 /// What a partition's load counts (§II-A: "although our approach is general,
 /// here we will focus on balancing partitions on the number of edges they
@@ -152,6 +152,13 @@ pub struct SpinnerConfig {
     /// framing (the exact fold the receiver would apply, so results are
     /// unchanged). Default `true`; `false` is the verification arm.
     pub sender_fold: bool,
+    /// Retry/timeout budgets for the transport reliability layer (ignored
+    /// on the direct path). `transport_retry.reliable` — on by default —
+    /// wraps the serialising transport in per-lane sequencing with
+    /// cumulative-ack retransmission, so dropped/duplicated/reordered/
+    /// corrupted frames are masked and a dead lane surfaces as a typed
+    /// error the stream session escalates into worker-loss recovery.
+    pub transport_retry: RetryConfig,
 }
 
 impl SpinnerConfig {
@@ -185,6 +192,7 @@ impl SpinnerConfig {
             transport: TransportKind::default(),
             wire_format: WireFormat::default(),
             sender_fold: true,
+            transport_retry: RetryConfig::default(),
         }
     }
 
@@ -270,6 +278,13 @@ impl SpinnerConfig {
         self
     }
 
+    /// Builder-style transport-retry override (see
+    /// [`Self::transport_retry`]).
+    pub fn with_transport_retry(mut self, retry: RetryConfig) -> Self {
+        self.transport_retry = retry;
+        self
+    }
+
     /// Builder-style placement-feedback override: re-place vertices by
     /// computed label whenever a window's remote-message share exceeds
     /// `threshold` (a fraction in `[0, 1)`; 0 re-places after every
@@ -345,6 +360,16 @@ mod tests {
         assert_eq!(cfg.transport, TransportKind::Ring);
         assert_eq!(cfg.wire_format, WireFormat::Raw);
         assert!(!cfg.sender_fold);
+    }
+
+    #[test]
+    fn transport_retry_defaults_to_the_reliable_layer() {
+        let cfg = SpinnerConfig::new(4);
+        assert!(cfg.transport_retry.reliable, "reliability layer is on by default");
+        assert_eq!(cfg.transport_retry, RetryConfig::default());
+        let retry = RetryConfig { max_retransmits: 2, ..RetryConfig::default() };
+        let cfg = cfg.with_transport_retry(retry);
+        assert_eq!(cfg.transport_retry.max_retransmits, 2);
     }
 
     #[test]

@@ -306,6 +306,11 @@ pub(crate) fn engine_config(cfg: &SpinnerConfig) -> EngineConfig {
         transport: cfg.transport,
         wire_format: cfg.wire_format,
         sender_fold: cfg.sender_fold,
+        transport_retry: cfg.transport_retry,
+        // Fault plans are transient chaos apparatus, injected through
+        // `Engine::inject_transport_faults` / `StreamSession::
+        // inject_transport_faults` — never part of a persisted config.
+        transport_faults: None,
     }
 }
 

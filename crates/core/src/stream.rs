@@ -34,7 +34,9 @@ use spinner_graph::conversion::from_undirected_edges;
 use spinner_graph::mutation::apply_delta;
 use spinner_graph::{DirectedGraph, GraphDelta, UndirectedGraph, VertexId};
 use spinner_pregel::engine::Engine;
-use spinner_pregel::{AggValue, Placement, WorkerId};
+use spinner_pregel::{
+    AggValue, HaltReason, Placement, TransportFaultPlan, TransportStats, WorkerId,
+};
 
 /// One window of a dynamic-graph stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +128,17 @@ pub struct WindowReportParts {
     /// Outbox records eliminated by sender-side combiner folding before
     /// framing (0 on the direct path or with folding disabled).
     pub wire_folded: u64,
+    /// Frames re-published by the reliable transport layer after a detected
+    /// loss or corruption (0 on the direct path, and on a clean wire).
+    pub retransmits: u64,
+    /// Peak number of transport lanes that entered the `Degraded` health
+    /// state during the window (they recovered — traffic got through).
+    pub lanes_degraded: u64,
+    /// Transport lanes declared `Dead` during the window. Each death was
+    /// escalated into worker-loss recovery before the window completed, so
+    /// a non-zero count always pairs with a recovery
+    /// ([`WindowReport::is_recovery`]).
+    pub lanes_dead: u64,
 }
 
 /// Per-window convergence, quality, and cost accounting — one point of a
@@ -318,6 +331,35 @@ impl WindowReport {
             self.parts.sent_remote as f64 / self.parts.sent_remote_records as f64
         }
     }
+
+    /// Frames re-published by the reliable transport layer after a detected
+    /// loss or corruption.
+    pub fn retransmits(&self) -> u64 {
+        self.parts.retransmits
+    }
+
+    /// Peak number of transport lanes that entered `Degraded` health during
+    /// the window.
+    pub fn lanes_degraded(&self) -> u64 {
+        self.parts.lanes_degraded
+    }
+
+    /// Transport lanes declared `Dead` during the window (each one was
+    /// escalated into worker-loss recovery).
+    pub fn lanes_dead(&self) -> u64 {
+        self.parts.lanes_dead
+    }
+
+    /// Retransmitted frames per encoded frame — the reliable layer's
+    /// delivery overhead for this window (0.0 for a clean wire or the
+    /// direct path).
+    pub fn retransmit_ratio(&self) -> f64 {
+        if self.parts.wire_frames == 0 {
+            0.0
+        } else {
+            self.parts.retransmits as f64 / self.parts.wire_frames as f64
+        }
+    }
 }
 
 /// A warm streaming session over an evolving graph.
@@ -423,6 +465,9 @@ impl StreamSession {
             wire_bytes: result.totals.wire_bytes,
             wire_frames: result.totals.wire_frames,
             wire_folded: result.totals.wire_folded,
+            retransmits: result.totals.retransmits,
+            lanes_degraded: session.engine.transport_health_counts().0,
+            lanes_dead: 0,
         }));
         session
     }
@@ -629,7 +674,61 @@ impl StreamSession {
             );
         }
         self.placement = placement;
-        let summary = self.engine.run();
+        let mut summary = self.engine.run();
+
+        // Lane-health escalation: when the transport declares a lane dead
+        // (retry budget exhausted or take deadline hit), the engine aborts
+        // the run with a typed [`HaltReason::TransportFailed`] instead of
+        // hanging. The session treats the failing lane's *sender* as a lost
+        // worker — its outbound state is unreachable, which is
+        // operationally the same as the worker being gone — and drives the
+        // exact [`StreamEvent::WorkerLoss`] recovery path: reseed the
+        // vertices it hosted, dense warm reset restarting only those, and
+        // re-run. [`Engine::run`] resets the transport on entry (the
+        // replacement worker connects fresh), and scripted fault plans keep
+        // their per-lane frame clocks across resets (consumed faults stay
+        // consumed), so the loop terminates on any finite plan. Failed
+        // attempts' metrics are kept and prepended below so the window
+        // accounts every frame that actually moved.
+        let mut transport_lost = 0u64;
+        let mut lanes_degraded = 0u64;
+        let mut lanes_dead = 0u64;
+        let mut failed_metrics = Vec::new();
+        let mut escalation_labels: Option<Vec<Label>> = None;
+        while let HaltReason::TransportFailed(err) = summary.halt {
+            let (degraded, dead) = self.engine.transport_health_counts();
+            lanes_degraded = lanes_degraded.max(degraded);
+            lanes_dead += dead.max(1);
+            failed_metrics.append(&mut summary.metrics);
+            let lost_worker = err.sender() as WorkerId;
+            let flags: Vec<bool> =
+                self.placement.as_slice().iter().map(|&w| w == lost_worker).collect();
+            transport_lost += flags.iter().filter(|&&f| f).count() as u64;
+            let seed = escalation_labels.as_deref().unwrap_or(&labels);
+            let relabeled = loss_labels(&self.undirected, seed, &flags, self.cfg.k);
+            let placement = self.placement_for(&relabeled);
+            let program =
+                SpinnerProgram { cfg: self.cfg.clone(), start_phase: Phase::Initialize };
+            self.engine.warm_reset_undirected(
+                program,
+                &self.undirected,
+                &placement,
+                |v| VertexState::new(relabeled[v as usize], flags[v as usize]),
+                |_, _, w| EdgeState { weight: w, neighbor_label: NO_LABEL },
+            );
+            self.placement = placement;
+            escalation_labels = Some(relabeled);
+            summary = self.engine.run();
+        }
+        if !failed_metrics.is_empty() {
+            failed_metrics.append(&mut summary.metrics);
+            summary.metrics = failed_metrics;
+        }
+        let (degraded, dead) = self.engine.transport_health_counts();
+        let lanes_degraded = lanes_degraded.max(degraded);
+        let lanes_dead = lanes_dead + dead;
+        let lost_vertices = lost_vertices + transport_lost;
+
         let result =
             result_from_engine(&self.cfg, &self.engine, &summary, Some(&self.undirected));
 
@@ -637,10 +736,9 @@ impl StreamSession {
             self.labels.iter().zip(&result.labels).filter(|&(&old, &new)| old != new).count();
         let migration_fraction = if old_n > 0 { moved as f64 / old_n as f64 } else { 1.0 };
         self.labels = result.labels.clone();
-        let placement_moved = match &event {
-            StreamEvent::WorkerLoss { .. } => self.recovery_replace(),
-            _ => self.feedback_replace(&result),
-        };
+        let recovering = matches!(&event, StreamEvent::WorkerLoss { .. }) || transport_lost > 0;
+        let placement_moved =
+            if recovering { self.recovery_replace() } else { self.feedback_replace(&result) };
         self.windows.push(WindowReport::from_parts(WindowReportParts {
             window: self.windows.len() as u32,
             k: self.cfg.k,
@@ -664,8 +762,33 @@ impl StreamSession {
             wire_bytes: result.totals.wire_bytes,
             wire_frames: result.totals.wire_frames,
             wire_folded: result.totals.wire_folded,
+            retransmits: result.totals.retransmits,
+            lanes_degraded,
+            lanes_dead,
         }));
         self.windows.last().expect("window just pushed")
+    }
+
+    /// Installs a scripted transport fault plan on the engine, rebuilding
+    /// the transport stack ([`spinner_pregel::FaultyTransport`] under the
+    /// reliable layer when [`SpinnerConfig::transport_retry`] leaves it on).
+    /// No-op on the default direct in-memory transport — chaos needs a
+    /// wire. Fault plans are transient chaos apparatus: they are never
+    /// persisted into [`SessionState`].
+    pub fn inject_transport_faults(&mut self, plan: TransportFaultPlan) {
+        self.engine.inject_transport_faults(plan);
+    }
+
+    /// `(injected, remaining)` counts from the installed fault plan —
+    /// `(0, 0)` when no plan is installed.
+    pub fn transport_chaos_counts(&self) -> (u64, u64) {
+        self.engine.transport_chaos_counts()
+    }
+
+    /// Receive-side reliability counters summed over every lane of the
+    /// engine's transport (all-zero on the direct path or a clean wire).
+    pub fn transport_recv_stats(&self) -> TransportStats {
+        self.engine.transport_recv_stats()
     }
 
     /// The placement for a window starting from `labels`: hash placement

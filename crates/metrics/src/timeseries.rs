@@ -31,6 +31,10 @@ pub struct WindowPoint {
     /// windows should sit far below it, scaling the window's cost with
     /// churn rather than |V|.
     pub active_fraction: f64,
+    /// Frames the reliable transport layer re-published during the window
+    /// (0 on a clean wire or the direct in-memory path), so lossy-wire
+    /// windows stand out in the series.
+    pub retransmits: u64,
 }
 
 /// A φ/ρ/migration time series across stream windows.
@@ -155,14 +159,16 @@ impl Trajectory {
             out.push_str(&format!(
                 "    {{\"window\": {}, \"phi\": {:.6}, \"rho\": {:.6}, \
                  \"migration_fraction\": {:.6}, \"local_share\": {:.6}, \
-                 \"lost_fraction\": {:.6}, \"active_fraction\": {:.6}}}{sep}\n",
+                 \"lost_fraction\": {:.6}, \"active_fraction\": {:.6}, \
+                 \"retransmits\": {}}}{sep}\n",
                 p.window,
                 p.phi,
                 p.rho,
                 p.migration_fraction,
                 p.local_share,
                 p.lost_fraction,
-                p.active_fraction
+                p.active_fraction,
+                p.retransmits
             ));
         }
         out.push_str("  ]");
@@ -189,6 +195,7 @@ mod tests {
             local_share: 0.25,
             lost_fraction: 0.0,
             active_fraction: 1.0,
+            retransmits: 0,
         }
     }
 
@@ -265,6 +272,7 @@ mod tests {
         assert!(json.contains("\"migration_fraction\": 0.060000"));
         assert!(json.contains("\"local_share\": 0.250000"));
         assert!(json.contains("\"active_fraction\": 1.000000"));
+        assert!(json.contains("\"retransmits\": 0"));
         assert!(json.starts_with("[\n") && json.ends_with(']'));
         // Exactly two separators for three entries.
         assert_eq!(json.matches("},\n").count(), 2);

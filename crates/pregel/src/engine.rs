@@ -28,9 +28,13 @@
 //! [`WorkerMetrics::fabric_reallocs`]).
 
 use crate::aggregate::{AggValue, AggregatorSpec};
+use crate::fault::{FaultyTransport, TransportFaultPlan};
 use crate::metrics::{RunTotals, SuperstepMetrics, WorkerMetrics};
 use crate::program::{MasterContext, Program};
-use crate::transport::{RingTransport, Transport, TransportKind};
+use crate::reliable::ReliableTransport;
+use crate::transport::{
+    RetryConfig, RingTransport, Transport, TransportError, TransportKind, TransportStats,
+};
 use crate::types::{OutboxGrid, WorkerId, BROADCAST_MULTI, BROADCAST_TAG};
 use crate::wire::WireFormat;
 use crate::worker::Worker;
@@ -100,6 +104,17 @@ pub struct EngineConfig {
     /// receiver's own chain-tail combine), so it defaults to `true`;
     /// `false` is the verification arm. Ignored on the direct path.
     pub sender_fold: bool,
+    /// Retry/timeout budgets for the transport reliability layer. With
+    /// `transport_retry.reliable` on (the default), every serialising
+    /// transport is wrapped in [`crate::reliable::ReliableTransport`]:
+    /// per-lane sequencing, cumulative-ack retransmission, dedup/reorder,
+    /// and lane-health tracking. Ignored on the direct path.
+    pub transport_retry: RetryConfig,
+    /// Scripted frame-level chaos ([`crate::fault::FaultyTransport`])
+    /// stacked under the reliability layer. Test/experiment apparatus —
+    /// `None` (the default) injects nothing, and the plan is deliberately
+    /// not part of any persisted configuration. Ignored on the direct path.
+    pub transport_faults: Option<TransportFaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +130,37 @@ impl Default for EngineConfig {
             transport: TransportKind::Direct,
             wire_format: WireFormat::Compact,
             sender_fold: true,
+            transport_retry: RetryConfig::default(),
+            transport_faults: None,
+        }
+    }
+}
+
+/// Assembles the configured transport stack, innermost first:
+/// `RingTransport` → chaos wrapper (when a fault plan is scripted) →
+/// reliability layer (unless disabled). The engine only ever sees the
+/// outermost `dyn Transport`.
+fn build_transport_stack(
+    config: &EngineConfig,
+    num_workers: usize,
+) -> Option<Box<dyn Transport>> {
+    match config.transport {
+        TransportKind::Direct => None,
+        TransportKind::Ring => {
+            let ring = RingTransport::new(num_workers);
+            let retry = config.transport_retry;
+            Some(match (&config.transport_faults, retry.reliable) {
+                (Some(plan), true) => Box::new(ReliableTransport::new(
+                    FaultyTransport::new(ring, num_workers, plan.clone()),
+                    num_workers,
+                    retry,
+                )),
+                (Some(plan), false) => {
+                    Box::new(FaultyTransport::new(ring, num_workers, plan.clone()))
+                }
+                (None, true) => Box::new(ReliableTransport::new(ring, num_workers, retry)),
+                (None, false) => Box::new(ring),
+            })
         }
     }
 }
@@ -151,6 +197,14 @@ pub enum HaltReason {
     Master,
     /// The configured superstep cap was reached.
     MaxSupersteps,
+    /// A transport lane failed unrecoverably (retry budget or deadline
+    /// exhausted, peer panicked) — the run aborted with its last
+    /// superstep's traffic accounted but its results unusable. Callers
+    /// treat [`TransportError::sender`] as a lost worker and escalate into
+    /// the same reseed-and-reconverge path a `WorkerLoss` event takes
+    /// (after [`Engine::run`]'s built-in transport reset revives the
+    /// lanes).
+    TransportFailed(TransportError),
 }
 
 /// Result of a run: superstep count, halt cause, and per-superstep metrics.
@@ -240,6 +294,13 @@ struct StepSlot {
     metrics: WorkerMetrics,
     partials: Vec<AggValue>,
     halted: u64,
+    /// First typed transport failure this worker's publish phase raised
+    /// (cleared by the engine thread each superstep). Kept separate from
+    /// the delivery error so error selection is phase-ordered and
+    /// deterministic, matching the serial loop exactly.
+    publish_error: Option<TransportError>,
+    /// First typed transport failure this worker's delivery phase raised.
+    delivery_error: Option<TransportError>,
 }
 
 impl<P: Program> Engine<P> {
@@ -309,10 +370,7 @@ impl<P: Program> Engine<P> {
         let global = program.init_global();
         let mail_grid: OutboxGrid<P::M> =
             (0..num_workers * num_workers).map(|_| Mutex::new(Vec::new())).collect();
-        let transport: Option<Box<dyn Transport>> = match config.transport {
-            TransportKind::Direct => None,
-            TransportKind::Ring => Some(Box::new(RingTransport::new(num_workers))),
-        };
+        let transport = build_transport_stack(&config, num_workers);
         let mut engine = Self {
             program,
             workers,
@@ -714,9 +772,63 @@ impl<P: Program> Engine<P> {
         )
     }
 
+    /// Installs (or replaces) a scripted transport fault plan and rebuilds
+    /// the transport stack around it. A no-op on the direct path — chaos
+    /// only makes sense where frames exist. Call between runs; in-flight
+    /// frames of a previous stack are discarded with it (a finished run
+    /// leaves none).
+    pub fn inject_transport_faults(&mut self, plan: TransportFaultPlan) {
+        self.config.transport_faults = Some(plan);
+        let num_workers = self.workers.len();
+        self.transport = build_transport_stack(&self.config, num_workers);
+    }
+
+    /// Clears transport in-flight state — sequence windows, held frames,
+    /// lane health — keeping buffer pools and consumed fault-plan entries.
+    /// [`Self::run`] does this automatically; exposed for callers that
+    /// inspect lane health between an abort and the re-run.
+    pub fn reset_transport(&self) {
+        if let Some(t) = &self.transport {
+            t.reset();
+        }
+    }
+
+    /// `(degraded, dead)` transport lane tallies — `(0, 0)` on the direct
+    /// path or a fault-free run.
+    pub fn transport_health_counts(&self) -> (u64, u64) {
+        self.transport.as_ref().map_or((0, 0), |t| t.health_counts())
+    }
+
+    /// `(injected, remaining)` scripted-fault tallies from the chaos layer
+    /// — `(0, 0)` when no fault plan is installed.
+    pub fn transport_chaos_counts(&self) -> (u64, u64) {
+        self.transport.as_ref().map_or((0, 0), |t| t.chaos_counts())
+    }
+
+    /// Cumulative receive-side recovery counters summed over all workers
+    /// (retransmits, NACKs, dedups, reorders) — all zero on the direct
+    /// path or a fault-free run.
+    pub fn transport_recv_stats(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        if let Some(t) = &self.transport {
+            for dst in 0..self.workers.len() {
+                total.add(&t.recv_stats(dst));
+            }
+        }
+        total
+    }
+
     /// Runs the program to completion.
     pub fn run(&mut self) -> RunSummary {
         let run_start = Instant::now();
+        // Every run starts on clean lanes: after a normal halt this only
+        // zeroes sequence windows (all frames were delivered), but after a
+        // `TransportFailed` abort it drains stranded frames and revives
+        // dead lanes — the in-process model of a replacement worker's
+        // fresh connections. Buffer pools survive, so no reallocation.
+        if let Some(t) = &self.transport {
+            t.reset();
+        }
         let num_workers = self.workers.len();
         let threads = self.config.num_threads.clamp(1, num_workers.max(1));
         let mut metrics: Vec<SuperstepMetrics> = Vec::new();
@@ -741,6 +853,12 @@ impl<P: Program> Engine<P> {
         for superstep in 0..self.config.max_supersteps {
             let step_start = Instant::now();
             let lane_open = self.lane_open.load(Ordering::Acquire);
+            // First publish-phase error (in worker order), else first
+            // delivery-phase error — the same phase-then-worker selection
+            // the pooled loop applies, so the surfaced failure is
+            // thread-count-invariant.
+            let mut publish_error: Option<TransportError> = None;
+            let mut delivery_error: Option<TransportError> = None;
             for w in &mut self.workers {
                 w.compute_phase(
                     &self.program,
@@ -756,20 +874,31 @@ impl<P: Program> Engine<P> {
                     sideband,
                 );
                 match self.transport.as_deref() {
-                    Some(t) => w.publish_wire(
-                        &self.program,
-                        t,
-                        self.config.wire_format,
-                        self.config.sender_fold,
-                        num_workers,
-                    ),
+                    Some(t) => {
+                        if let Err(e) = w.publish_wire(
+                            &self.program,
+                            t,
+                            self.config.wire_format,
+                            self.config.sender_fold,
+                            num_workers,
+                        ) {
+                            publish_error.get_or_insert(e);
+                        }
+                    }
                     None => w.publish_outboxes(&self.mail_grid, num_workers),
                 }
             }
             for w in &mut self.workers {
                 match self.transport.as_deref() {
                     Some(t) => {
-                        w.deliver_and_build_wire(&self.program, t, &self.local_idx, num_workers)
+                        if let Err(e) = w.deliver_and_build_wire(
+                            &self.program,
+                            t,
+                            &self.local_idx,
+                            num_workers,
+                        ) {
+                            delivery_error.get_or_insert(e);
+                        }
                     }
                     None => w.deliver_and_build(
                         &self.program,
@@ -797,6 +926,12 @@ impl<P: Program> Engine<P> {
                 halted,
             );
             metrics.push(step);
+            // Transport failure aborts after the metrics push — the failed
+            // superstep's traffic is accounted — and outranks any program-
+            // level halt decision taken on its partial state.
+            if let Some(e) = publish_error.or(delivery_error) {
+                return HaltReason::TransportFailed(e);
+            }
             if let Some(reason) = reason {
                 return reason;
             }
@@ -933,13 +1068,21 @@ impl<P: Program> Engine<P> {
                                     sideband,
                                 );
                                 match transport {
-                                    Some(t) => w.publish_wire(
-                                        program,
-                                        t,
-                                        wire_format,
-                                        sender_fold,
-                                        num_workers,
-                                    ),
+                                    Some(t) => {
+                                        if let Err(e) = w.publish_wire(
+                                            program,
+                                            t,
+                                            wire_format,
+                                            sender_fold,
+                                            num_workers,
+                                        ) {
+                                            slots[wi]
+                                                .lock()
+                                                .expect("step slot")
+                                                .publish_error
+                                                .get_or_insert(e);
+                                        }
+                                    }
                                     None => w.publish_outboxes(grid, num_workers),
                                 }
                             });
@@ -947,16 +1090,20 @@ impl<P: Program> Engine<P> {
                         barrier.wait();
                         sweep(superstep * 2 + 1, &mut |wi| {
                             let mut w = cells[wi].lock().expect("worker cell");
-                            match transport {
+                            let delivered = match transport {
                                 Some(t) => {
                                     w.deliver_and_build_wire(program, t, local_idx, num_workers)
                                 }
                                 None => {
-                                    w.deliver_and_build(program, grid, local_idx, num_workers)
+                                    w.deliver_and_build(program, grid, local_idx, num_workers);
+                                    Ok(())
                                 }
-                            }
+                            };
                             w.apply_mutations(lane);
                             let mut slot = slots[wi].lock().expect("step slot");
+                            if let Err(e) = delivered {
+                                slot.delivery_error.get_or_insert(e);
+                            }
                             slot.metrics.clone_from(&w.metrics);
                             // Swap (not take): the stale vector handed back
                             // is reset in place next superstep, so the
@@ -981,11 +1128,19 @@ impl<P: Program> Engine<P> {
                 barrier.wait(); // reports ready
                 let mut per_worker = Vec::with_capacity(num_workers);
                 let mut halted = 0u64;
+                let mut publish_error: Option<TransportError> = None;
+                let mut delivery_error: Option<TransportError> = None;
                 for (slot, buf) in slots.iter().zip(partials.iter_mut()) {
                     let mut slot = slot.lock().expect("step slot");
                     per_worker.push(slot.metrics.clone());
                     std::mem::swap(&mut slot.partials, buf);
                     halted += slot.halted;
+                    if let Some(e) = slot.publish_error.take() {
+                        publish_error.get_or_insert(e);
+                    }
+                    if let Some(e) = slot.delivery_error.take() {
+                        delivery_error.get_or_insert(e);
+                    }
                 }
                 let mut guard = master.write().expect("master state");
                 let m = &mut *guard;
@@ -1003,6 +1158,10 @@ impl<P: Program> Engine<P> {
                 );
                 drop(guard);
                 metrics.push(step);
+                if let Some(e) = publish_error.or(delivery_error) {
+                    halt = HaltReason::TransportFailed(e);
+                    break;
+                }
                 if let Some(reason) = reason {
                     halt = reason;
                     break;

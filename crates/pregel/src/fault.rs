@@ -1,0 +1,560 @@
+//! Scripted frame-level fault injection for transports.
+//!
+//! Mirrors the serving store's `FaultyStorage` discipline at the message
+//! fabric: a [`TransportFaultPlan`] scripts exactly which frame on which
+//! `(sender, receiver)` lane misbehaves and how, keyed by the lane's
+//! monotonically increasing *publish index* (the transport-level analogue
+//! of the storage layer's op index). [`FaultyTransport`] wraps any inner
+//! [`Transport`] and consults the plan on every publish.
+//!
+//! Each scripted fault fires exactly once and is then consumed — so an
+//! escalation loop that re-runs a window after a fault-induced abort makes
+//! progress (a finite plan cannot kill the same run forever), and a seeded
+//! plan replays bit-identically. The chaos layer itself never allocates in
+//! steady state: swallowed and duplicated frames ride the inner transport's
+//! recycling pools plus a small per-lane free list.
+//!
+//! Faults come in two severities:
+//!
+//! - **Recoverable** ([`TransportFault::Drop`], `Duplicate`,
+//!   `Reorder`, `FlipBit`, `Torn`, `Delay`): the reliability layer
+//!   ([`crate::reliable::ReliableTransport`]) must mask them completely —
+//!   the run's results stay bit-identical to a fault-free run.
+//! - **Lane-killing** ([`TransportFault::Stall`]): the sender goes silent
+//!   for the rest of the run. No retransmit can help (the chaos layer sits
+//!   *below* the retained-buffer path, swallowing retransmissions too), so
+//!   the lane exhausts its budget, dies, and the caller escalates into
+//!   worker-loss recovery.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::transport::{Transport, TransportError, TransportStats};
+
+/// One scripted misbehaviour applied to a single published frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// The frame vanishes in flight.
+    Drop,
+    /// The frame is delivered twice back to back.
+    Duplicate,
+    /// The frame is held until `window` further frames have been published
+    /// on the lane (or the lane drains empty), arriving out of order.
+    Reorder {
+        /// How many subsequent publishes overtake the held frame.
+        window: u32,
+    },
+    /// One bit of the frame is flipped in flight (`bit` is taken modulo
+    /// the frame's bit length).
+    FlipBit {
+        /// Absolute bit position to flip, pre-modulo.
+        bit: u64,
+    },
+    /// The frame is truncated to at most `keep` bytes — a torn write.
+    Torn {
+        /// Bytes of the frame that survive.
+        keep: usize,
+    },
+    /// The frame is held for `ticks` receive polls on the lane before it
+    /// arrives.
+    Delay {
+        /// Receive polls to wait out.
+        ticks: u32,
+    },
+    /// The sender goes permanently silent on this lane: this frame and
+    /// every later one (including retransmissions) are swallowed. The only
+    /// fault the reliability layer cannot mask — it escalates to lane
+    /// death and worker-loss recovery.
+    Stall,
+}
+
+impl TransportFault {
+    /// Whether the reliability layer is expected to mask this fault
+    /// completely (everything except [`TransportFault::Stall`]).
+    pub fn is_recoverable(&self) -> bool {
+        !matches!(self, TransportFault::Stall)
+    }
+}
+
+/// The same avalanche mix the serving fault plan uses for seeded chaos.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A script of transport faults keyed by `(sender, receiver, frame index)`,
+/// where the frame index counts publishes on that ordered lane over the
+/// transport's lifetime (resets do *not* rewind it — consumed entries stay
+/// consumed, which is what makes recovery loops terminate).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportFaultPlan {
+    faults: BTreeMap<(usize, usize, u64), TransportFault>,
+}
+
+impl TransportFaultPlan {
+    /// An empty plan: every frame flows clean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts `fault` for the `frame`-th publish on the `src -> dst`
+    /// lane (0-based). Builder-style.
+    pub fn fail(mut self, src: usize, dst: usize, frame: u64, fault: TransportFault) -> Self {
+        self.faults.insert((src, dst, frame), fault);
+        self
+    }
+
+    /// Scripts a permanent [`TransportFault::Stall`] starting at the
+    /// `frame`-th publish on the `src -> dst` lane.
+    pub fn stall_at(self, src: usize, dst: usize, frame: u64) -> Self {
+        self.fail(src, dst, frame, TransportFault::Stall)
+    }
+
+    /// A deterministic pseudo-random plan of *recoverable* faults over a
+    /// `workers × workers` lane grid and the first `frames` publishes per
+    /// lane. `density` is the per-frame fault probability in `[0, 1]`.
+    /// Never emits [`TransportFault::Stall`] — seeded sweeps assert
+    /// bit-identical recovery, and a stall makes that impossible by design.
+    pub fn seeded(seed: u64, workers: usize, frames: u64, density: f64) -> Self {
+        let density = density.clamp(0.0, 1.0);
+        let mut faults = BTreeMap::new();
+        for src in 0..workers {
+            for dst in 0..workers {
+                if src == dst {
+                    continue;
+                }
+                for frame in 0..frames {
+                    let key = (src as u64) << 40 ^ (dst as u64) << 20 ^ frame;
+                    let h = splitmix64(seed ^ splitmix64(key));
+                    let roll = (h >> 11) as f64 / (1u64 << 53) as f64;
+                    if roll >= density {
+                        continue;
+                    }
+                    let pick = splitmix64(h);
+                    let fault = match pick % 6 {
+                        0 => TransportFault::Drop,
+                        1 => TransportFault::Duplicate,
+                        2 => TransportFault::Reorder { window: 1 + (pick >> 8) as u32 % 3 },
+                        3 => TransportFault::FlipBit { bit: pick >> 8 },
+                        4 => TransportFault::Torn { keep: (pick >> 8) as usize % 32 },
+                        _ => TransportFault::Delay { ticks: 1 + (pick >> 8) as u32 % 3 },
+                    };
+                    faults.insert((src, dst, frame), fault);
+                }
+            }
+        }
+        Self { faults }
+    }
+
+    /// Scripted faults not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan scripts any lane-killing fault.
+    pub fn has_stall(&self) -> bool {
+        self.faults.values().any(|f| !f.is_recoverable())
+    }
+
+    /// Consumes and returns the fault scripted for the `frame`-th publish
+    /// on `src -> dst`, if any.
+    pub fn take(&mut self, src: usize, dst: usize, frame: u64) -> Option<TransportFault> {
+        self.faults.remove(&(src, dst, frame))
+    }
+}
+
+/// How a held frame is released back into the inner transport.
+#[derive(Debug)]
+enum Hold {
+    /// Released after this many further publishes on the lane (or when the
+    /// lane drains empty — a reorder must not starve the receiver).
+    Reorder { publishes_left: u32 },
+    /// Released after this many receive polls on the lane.
+    Delay { ticks_left: u32 },
+}
+
+#[derive(Debug)]
+struct HeldFrame {
+    frame: Vec<u8>,
+    hold: Hold,
+}
+
+/// Per-lane chaos state. `published` is the plan's frame-index clock; it
+/// survives resets so plan coordinates are absolute over the transport's
+/// lifetime.
+#[derive(Debug, Default)]
+struct ChaosLane {
+    published: u64,
+    stalled: bool,
+    held: Vec<HeldFrame>,
+    free: Vec<Vec<u8>>,
+}
+
+/// A [`Transport`] decorator that injects the faults scripted in a
+/// [`TransportFaultPlan`] — see the module docs for semantics. Stacks
+/// under [`crate::reliable::ReliableTransport`] so injected faults hit the
+/// wire representation the reliability layer actually defends (sequence
+/// trailer included).
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    workers: usize,
+    plan: Mutex<TransportFaultPlan>,
+    lanes: Vec<Mutex<ChaosLane>>,
+    injected: AtomicU64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` (connecting `workers` workers) with the scripted
+    /// `plan`.
+    pub fn new(inner: T, workers: usize, plan: TransportFaultPlan) -> Self {
+        let lanes = (0..workers * workers).map(|_| Mutex::new(ChaosLane::default())).collect();
+        Self { inner, workers, plan: Mutex::new(plan), lanes, injected: AtomicU64::new(0) }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Scripted faults not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.plan.lock().unwrap_or_else(|p| p.into_inner()).remaining()
+    }
+
+    fn lane(&self, src: usize, dst: usize) -> MutexGuard<'_, ChaosLane> {
+        debug_assert!(src < self.workers && dst < self.workers);
+        self.lanes[src * self.workers + dst].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Counts down reorder holds after a publish on the lane and releases
+    /// the ones that are due, in held order. `skip_last` exempts a hold the
+    /// current publish itself just created — only *subsequent* publishes
+    /// count toward its reorder window.
+    fn release_due_publishes(
+        &self,
+        lane: &mut ChaosLane,
+        src: usize,
+        dst: usize,
+        skip_last: bool,
+    ) -> Result<(), TransportError> {
+        let mut i = 0;
+        // The just-created hold is always the last element; removals keep
+        // relative order, so excluding the tail slot excludes exactly it.
+        while i + usize::from(skip_last) < lane.held.len() {
+            let due = match &mut lane.held[i].hold {
+                Hold::Reorder { publishes_left } => {
+                    *publishes_left = publishes_left.saturating_sub(1);
+                    *publishes_left == 0
+                }
+                Hold::Delay { .. } => false,
+            };
+            if due {
+                let held = lane.held.remove(i);
+                self.inner.publish(src, dst, held.frame)?;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts down delay holds on a receive poll and releases the ones
+    /// that are due, in held order.
+    fn release_due_ticks(
+        &self,
+        lane: &mut ChaosLane,
+        src: usize,
+        dst: usize,
+    ) -> Result<(), TransportError> {
+        let mut i = 0;
+        while i < lane.held.len() {
+            let due = match &mut lane.held[i].hold {
+                Hold::Delay { ticks_left } => {
+                    *ticks_left = ticks_left.saturating_sub(1);
+                    *ticks_left == 0
+                }
+                Hold::Reorder { .. } => false,
+            };
+            if due {
+                let held = lane.held.remove(i);
+                self.inner.publish(src, dst, held.frame)?;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every reorder-held frame (the lane drained empty — holding
+    /// longer would starve the receiver, not reorder it).
+    fn flush_reorders(
+        &self,
+        lane: &mut ChaosLane,
+        src: usize,
+        dst: usize,
+    ) -> Result<bool, TransportError> {
+        let mut released = false;
+        let mut i = 0;
+        while i < lane.held.len() {
+            if matches!(lane.held[i].hold, Hold::Reorder { .. }) {
+                let held = lane.held.remove(i);
+                self.inner.publish(src, dst, held.frame)?;
+                released = true;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(released)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn begin(&self, src: usize, dst: usize) -> Vec<u8> {
+        self.inner.begin(src, dst)
+    }
+
+    fn publish(
+        &self,
+        src: usize,
+        dst: usize,
+        mut frame: Vec<u8>,
+    ) -> Result<(), TransportError> {
+        let mut lane = self.lane(src, dst);
+        let idx = lane.published;
+        lane.published += 1;
+        if lane.stalled {
+            self.inner.recycle(src, dst, frame);
+            return Ok(());
+        }
+        let fault = self.plan.lock().unwrap_or_else(|p| p.into_inner()).take(src, dst, idx);
+        let mut newly_held = false;
+        match fault {
+            None => self.inner.publish(src, dst, frame)?,
+            Some(fault) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                match fault {
+                    TransportFault::Drop => self.inner.recycle(src, dst, frame),
+                    TransportFault::Duplicate => {
+                        let mut copy = lane.free.pop().unwrap_or_default();
+                        copy.clear();
+                        copy.extend_from_slice(&frame);
+                        self.inner.publish(src, dst, frame)?;
+                        self.inner.publish(src, dst, copy)?;
+                    }
+                    TransportFault::Reorder { window } => {
+                        let hold = Hold::Reorder { publishes_left: window.max(1) };
+                        lane.held.push(HeldFrame { frame, hold });
+                        newly_held = true;
+                    }
+                    TransportFault::FlipBit { bit } => {
+                        if !frame.is_empty() {
+                            let b = (bit % (frame.len() as u64 * 8)) as usize;
+                            frame[b / 8] ^= 1 << (b % 8);
+                        }
+                        self.inner.publish(src, dst, frame)?;
+                    }
+                    TransportFault::Torn { keep } => {
+                        frame.truncate(keep.min(frame.len()));
+                        self.inner.publish(src, dst, frame)?;
+                    }
+                    TransportFault::Delay { ticks } => {
+                        let hold = Hold::Delay { ticks_left: ticks.max(1) };
+                        lane.held.push(HeldFrame { frame, hold });
+                    }
+                    TransportFault::Stall => {
+                        lane.stalled = true;
+                        self.inner.recycle(src, dst, frame);
+                    }
+                }
+            }
+        }
+        self.release_due_publishes(&mut lane, src, dst, newly_held)
+    }
+
+    fn take(&self, src: usize, dst: usize) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut lane = self.lane(src, dst);
+        self.release_due_ticks(&mut lane, src, dst)?;
+        if let Some(frame) = self.inner.take(src, dst)? {
+            return Ok(Some(frame));
+        }
+        if self.flush_reorders(&mut lane, src, dst)? {
+            return self.inner.take(src, dst);
+        }
+        Ok(None)
+    }
+
+    fn recycle(&self, src: usize, dst: usize, frame: Vec<u8>) {
+        self.inner.recycle(src, dst, frame)
+    }
+
+    fn reset(&self) {
+        // Held frames belong to the aborted run: their contents are stale,
+        // so recycle the buffers instead of delivering them. Stall marks
+        // clear (the replacement worker's lanes are fresh), but the plan
+        // and publish clocks persist — consumed faults must stay consumed.
+        for src in 0..self.workers {
+            for dst in 0..self.workers {
+                let mut lane = self.lane(src, dst);
+                lane.stalled = false;
+                while let Some(held) = lane.held.pop() {
+                    self.inner.recycle(src, dst, held.frame);
+                }
+            }
+        }
+        self.inner.reset();
+    }
+
+    fn recv_stats(&self, dst: usize) -> TransportStats {
+        self.inner.recv_stats(dst)
+    }
+
+    fn lane_health(&self, src: usize, dst: usize) -> crate::transport::LaneHealth {
+        self.inner.lane_health(src, dst)
+    }
+
+    fn health_counts(&self) -> (u64, u64) {
+        self.inner.health_counts()
+    }
+
+    fn chaos_counts(&self) -> (u64, u64) {
+        (self.injected(), self.remaining() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::RingTransport;
+
+    fn chaos(plan: TransportFaultPlan) -> FaultyTransport<RingTransport> {
+        FaultyTransport::new(RingTransport::new(3), 3, plan)
+    }
+
+    #[test]
+    fn clean_plan_passes_frames_through() {
+        let t = chaos(TransportFaultPlan::new());
+        t.publish(0, 1, vec![1, 2, 3]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(t.chaos_counts(), (0, 0));
+    }
+
+    #[test]
+    fn drop_swallows_exactly_the_scripted_frame() {
+        let t = chaos(TransportFaultPlan::new().fail(0, 1, 1, TransportFault::Drop));
+        t.publish(0, 1, vec![1]).unwrap();
+        t.publish(0, 1, vec![2]).unwrap();
+        t.publish(0, 1, vec![3]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![1]));
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![3]));
+        assert_eq!(t.take(0, 1).unwrap(), None);
+        assert_eq!(t.injected(), 1);
+        assert_eq!(t.remaining(), 0);
+    }
+
+    #[test]
+    fn duplicate_delivers_the_frame_twice() {
+        let t = chaos(TransportFaultPlan::new().fail(0, 1, 0, TransportFault::Duplicate));
+        t.publish(0, 1, vec![7]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![7]));
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![7]));
+        assert_eq!(t.take(0, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn reorder_lets_later_frames_overtake() {
+        let t = chaos(TransportFaultPlan::new().fail(
+            0,
+            1,
+            0,
+            TransportFault::Reorder { window: 2 },
+        ));
+        t.publish(0, 1, vec![1]).unwrap();
+        t.publish(0, 1, vec![2]).unwrap();
+        t.publish(0, 1, vec![3]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![2]));
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![3]));
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn reorder_flushes_rather_than_starves() {
+        let t = chaos(TransportFaultPlan::new().fail(
+            0,
+            1,
+            0,
+            TransportFault::Reorder { window: 5 },
+        ));
+        t.publish(0, 1, vec![1]).unwrap();
+        // No further publishes arrive: the held frame must still surface.
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn flip_bit_corrupts_in_flight() {
+        let t =
+            chaos(TransportFaultPlan::new().fail(0, 1, 0, TransportFault::FlipBit { bit: 0 }));
+        t.publish(0, 1, vec![0b0000_0001]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![0b0000_0000]));
+    }
+
+    #[test]
+    fn torn_truncates() {
+        let t =
+            chaos(TransportFaultPlan::new().fail(0, 1, 0, TransportFault::Torn { keep: 2 }));
+        t.publish(0, 1, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn delay_releases_after_ticks() {
+        let t =
+            chaos(TransportFaultPlan::new().fail(0, 1, 0, TransportFault::Delay { ticks: 2 }));
+        t.publish(0, 1, vec![9]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), None, "tick 1: still held");
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![9]), "tick 2: released");
+    }
+
+    #[test]
+    fn stall_silences_the_lane_permanently() {
+        let t = chaos(TransportFaultPlan::new().stall_at(0, 1, 1));
+        t.publish(0, 1, vec![1]).unwrap();
+        t.publish(0, 1, vec![2]).unwrap();
+        t.publish(0, 1, vec![3]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![1]));
+        assert_eq!(t.take(0, 1).unwrap(), None);
+        // Other lanes are unaffected.
+        t.publish(2, 1, vec![8]).unwrap();
+        assert_eq!(t.take(2, 1).unwrap(), Some(vec![8]));
+    }
+
+    #[test]
+    fn reset_clears_stall_but_not_consumed_faults() {
+        let t = chaos(TransportFaultPlan::new().stall_at(0, 1, 0));
+        t.publish(0, 1, vec![1]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), None);
+        t.reset();
+        // The stall was consumed; after reset the lane flows again and the
+        // publish clock keeps counting (no fault re-fires at index 0).
+        t.publish(0, 1, vec![2]).unwrap();
+        assert_eq!(t.take(0, 1).unwrap(), Some(vec![2]));
+        assert_eq!(t.remaining(), 0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_recoverable() {
+        let a = TransportFaultPlan::seeded(42, 4, 32, 0.1);
+        let b = TransportFaultPlan::seeded(42, 4, 32, 0.1);
+        assert_eq!(a, b);
+        assert!(
+            a.remaining() > 0,
+            "density 0.1 over 12 lanes x 32 frames must script something"
+        );
+        assert!(!a.has_stall(), "seeded plans only script recoverable faults");
+        let c = TransportFaultPlan::seeded(43, 4, 32, 0.1);
+        assert_ne!(a, c, "seed must matter");
+    }
+}

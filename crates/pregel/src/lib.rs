@@ -68,9 +68,11 @@ pub mod algorithms;
 pub mod codec;
 pub mod context;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod placement;
 pub mod program;
+pub mod reliable;
 pub mod sim;
 pub mod transport;
 pub mod types;
@@ -80,10 +82,15 @@ pub mod worker;
 pub use aggregate::{AggOp, AggValue, AggregatorSpec};
 pub use context::{AggCtx, Edges, Mailer, VertexContext};
 pub use engine::{Engine, EngineConfig, HaltReason, LaneStatus, ReplaceStats, RunSummary};
+pub use fault::{FaultyTransport, TransportFault, TransportFaultPlan};
 pub use metrics::{SuperstepMetrics, WorkerMetrics};
 pub use placement::Placement;
 pub use program::{MasterContext, Program};
+pub use reliable::ReliableTransport;
 pub use sim::CostModel;
-pub use transport::{RingTransport, Transport, TransportKind};
+pub use transport::{
+    LaneHealth, RetryConfig, RingTransport, Transport, TransportError, TransportKind,
+    TransportStats,
+};
 pub use types::{Value, WorkerId};
 pub use wire::{WireError, WireFormat, WirePayload, WireRecord};

@@ -55,6 +55,11 @@ pub struct WorkerMetrics {
     /// [`crate::Program::combine`] — exactly the fold the receiver's
     /// staging chains would have applied, so results are unchanged).
     pub wire_folded: u64,
+    /// Frames the transport reliability layer re-published to recover a
+    /// detected gap while delivering to this worker. Zero on the direct
+    /// path and on any fault-free run — the delivery-overhead figure the
+    /// chaos gates bound.
+    pub retransmits: u64,
 }
 
 impl WorkerMetrics {
@@ -138,6 +143,11 @@ impl SuperstepMetrics {
     pub fn wire_folded(&self) -> u64 {
         self.per_worker.iter().map(|w| w.wire_folded).sum()
     }
+
+    /// Total reliability-layer retransmissions during delivery.
+    pub fn retransmits(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.retransmits).sum()
+    }
 }
 
 /// Aggregates a whole run's metrics.
@@ -164,6 +174,9 @@ pub struct RunTotals {
     pub wire_frames: u64,
     /// Total outbox records eliminated by sender-side combiner folding.
     pub wire_folded: u64,
+    /// Total frames the transport reliability layer retransmitted (zero on
+    /// the direct path and on fault-free runs).
+    pub retransmits: u64,
 }
 
 impl RunTotals {
@@ -180,8 +193,20 @@ impl RunTotals {
             t.wire_bytes += s.bytes_sent();
             t.wire_frames += s.frames_sent();
             t.wire_folded += s.wire_folded();
+            t.retransmits += s.retransmits();
         }
         t
+    }
+
+    /// Retransmitted frames per frame originally published (0.0 on the
+    /// direct path or any fault-free run). The reliability layer's recovery
+    /// cost, which the chaos experiment gates to a bounded value.
+    pub fn retransmit_ratio(&self) -> f64 {
+        if self.wire_frames == 0 {
+            0.0
+        } else {
+            self.retransmits as f64 / self.wire_frames as f64
+        }
     }
 
     /// Encoded wire bytes per remote *logical* message — the cost figure
@@ -301,15 +326,19 @@ mod tests {
         w.bytes_sent = 40;
         w.frames_sent = 2;
         w.wire_folded = 1;
+        w.retransmits = 1;
         let s =
             SuperstepMetrics { superstep: 0, per_worker: vec![w], wall_ns: 1, active_after: 0 };
         assert_eq!(s.bytes_sent(), 40);
         assert_eq!(s.frames_sent(), 2);
         assert_eq!(s.wire_folded(), 1);
+        assert_eq!(s.retransmits(), 1);
         let t = RunTotals::from_supersteps(&[s]);
         assert_eq!(t.wire_bytes, 40);
         assert_eq!(t.wire_frames, 2);
         assert_eq!(t.wire_folded, 1);
+        assert_eq!(t.retransmits, 1);
+        assert!((t.retransmit_ratio() - 0.5).abs() < 1e-12);
         // 8 remote logical messages, 40 bytes => 5 bytes/message.
         assert!((t.wire_bytes_per_remote_message() - 5.0).abs() < 1e-12);
         // 4 outbox records, 1 folded => 4/3.
@@ -321,5 +350,6 @@ mod tests {
         let t = RunTotals::default();
         assert_eq!(t.wire_bytes_per_remote_message(), 0.0);
         assert_eq!(t.fold_ratio(), 1.0);
+        assert_eq!(t.retransmit_ratio(), 0.0);
     }
 }

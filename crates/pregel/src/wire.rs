@@ -349,6 +349,23 @@ pub fn encode_frame<M: WirePayload>(
     w.into_bytes()
 }
 
+/// Smallest well-formed frame: format byte + section-terminator varint +
+/// logical-count varint + 4-byte CRC. Transport decorators use this bound
+/// to reject torn frames before structural decoding.
+pub const MIN_FRAME_LEN: usize = 7;
+
+/// Whether `bytes` ends with a valid frame CRC — the fast structural check
+/// a transport reliability layer runs before accepting a frame, without
+/// decoding any records. Equivalent to [`decode_frame`]'s first gate.
+pub fn frame_checksum_ok(bytes: &[u8]) -> bool {
+    if bytes.len() < MIN_FRAME_LEN {
+        return false;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let expect = u32::from_le_bytes(tail.try_into().expect("4-byte CRC tail"));
+    crc32(body) == expect
+}
+
 /// Decodes a frame produced by [`encode_frame`], appending the records to
 /// `out` in their encoded order and returning the pre-fold logical unicast
 /// count from the trailer.
@@ -362,8 +379,7 @@ pub fn decode_frame<M: WirePayload>(
     id_scratch: &mut Vec<u64>,
     out: &mut Vec<WireRecord<M>>,
 ) -> Result<u64, WireError> {
-    // format byte + terminator varint + logical-count varint + 4-byte CRC.
-    if bytes.len() < 7 {
+    if bytes.len() < MIN_FRAME_LEN {
         return Err(WireError::Truncated);
     }
     let (body, tail) = bytes.split_at(bytes.len() - 4);

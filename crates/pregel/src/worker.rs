@@ -22,7 +22,7 @@ use crate::aggregate::{AggValue, AggregatorSpec};
 use crate::context::{AggCtx, EdgeAddition, Edges, Mailer, VertexContext};
 use crate::metrics::WorkerMetrics;
 use crate::program::Program;
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportError};
 use crate::types::{OutboxGrid, WorkerId, BROADCAST_TAG};
 use crate::wire::{decode_frame, encode_frame, WireFormat, WireRecord};
 use spinner_graph::VertexId;
@@ -676,6 +676,10 @@ impl<P: Program> Worker<P> {
     /// both records). Sorting only permutes records *across* destinations
     /// inside a run, never within one (the sort keys embed the original
     /// position), so per-vertex delivery order is preserved exactly.
+    ///
+    /// Returns the first typed [`TransportError`] a publish raised (the
+    /// frames for other destinations are still attempted first, keeping
+    /// outbox/metric state consistent for the abort path).
     pub(crate) fn publish_wire(
         &mut self,
         program: &P,
@@ -683,7 +687,8 @@ impl<P: Program> Worker<P> {
         format: WireFormat,
         fold: bool,
         num_workers: usize,
-    ) {
+    ) -> Result<(), TransportError> {
+        let mut failure: Option<TransportError> = None;
         let Self { id, outboxes, outbox_marks, wire_stage, sort_keys, metrics, .. } = self;
         let me = *id as usize;
         debug_assert!(outboxes[me].is_empty(), "local sends bypass the transport");
@@ -751,10 +756,16 @@ impl<P: Program> Worker<P> {
             // Frame-buffer growth is fabric growth: recycling keeps the
             // capacity across supersteps, so the steady state stays at zero.
             metrics.fabric_reallocs += u64::from(frame.capacity() != cap);
-            transport.publish(me, dst, frame);
+            if let Err(e) = transport.publish(me, dst, frame) {
+                failure.get_or_insert(e);
+            }
         }
         metrics.fabric_reallocs += u64::from(wire_stage.capacity() != scratch_caps.0)
             + u64::from(sort_keys.capacity() != scratch_caps.1);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Wire-path delivery: decodes the frames addressed to this worker (and
@@ -766,13 +777,23 @@ impl<P: Program> Worker<P> {
     /// carries its *pre-fold* unicast count, and broadcast records add
     /// their fan-out width — so `recv_remote` matches the direct path
     /// bit-for-bit across every transport × format × fold arm.
+    ///
+    /// On a typed transport failure the remaining lanes are still drained
+    /// and the shared tail still runs — buffer and scheduler state stay
+    /// consistent for the abort/recovery path — and the first error is
+    /// returned afterwards. Receive-side recovery work (retransmits the
+    /// reliability layer performed on this worker's behalf) is attributed
+    /// to [`WorkerMetrics::retransmits`] by diffing the transport's
+    /// cumulative counters around the drain.
     pub(crate) fn deliver_and_build_wire(
         &mut self,
         program: &P,
         transport: &dyn Transport,
         local_idx: &[u32],
         num_workers: usize,
-    ) {
+    ) -> Result<(), TransportError> {
+        let mut failure: Option<TransportError> = None;
+        let stats_before = transport.recv_stats(self.id as usize);
         let caps =
             (self.staging.capacity(), self.staging_next.capacity(), self.msgs.capacity());
         let sched_caps =
@@ -862,24 +883,55 @@ impl<P: Program> Worker<P> {
                     *self_staging = local;
                     continue;
                 }
-                while let Some(frame) = transport.take(src, me) {
-                    wire_recv.clear();
-                    let unicast_logical = decode_frame::<P::M>(&frame, wire_ids, wire_recv)
-                        .expect("self-encoded frame decodes");
-                    metrics.recv_remote += unicast_logical;
-                    for rec in wire_recv.drain(..) {
-                        let expanded = stage_record(rec.broadcast, rec.id, rec.msg);
-                        if rec.broadcast {
-                            metrics.recv_remote += expanded;
+                loop {
+                    match transport.take(src, me) {
+                        Ok(Some(frame)) => {
+                            wire_recv.clear();
+                            match decode_frame::<P::M>(&frame, wire_ids, wire_recv) {
+                                Ok(unicast_logical) => {
+                                    metrics.recv_remote += unicast_logical;
+                                    for rec in wire_recv.drain(..) {
+                                        let expanded =
+                                            stage_record(rec.broadcast, rec.id, rec.msg);
+                                        if rec.broadcast {
+                                            metrics.recv_remote += expanded;
+                                        }
+                                    }
+                                    transport.recycle(src, me, frame);
+                                }
+                                Err(_) => {
+                                    // Undecodable after transport-level
+                                    // acceptance: only reachable without
+                                    // the reliability layer (which NACKs
+                                    // corrupt frames instead). Typed, not
+                                    // a panic.
+                                    transport.recycle(src, me, frame);
+                                    failure.get_or_insert(TransportError::Corrupt {
+                                        src,
+                                        dst: me,
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            failure.get_or_insert(e);
+                            break;
                         }
                     }
-                    transport.recycle(src, me, frame);
                 }
             }
             metrics.fabric_reallocs += u64::from(wire_recv.capacity() != wire_scratch_caps.0)
                 + u64::from(wire_ids.capacity() != wire_scratch_caps.1);
         }
+        let stats_after = transport.recv_stats(self.id as usize);
+        self.metrics.retransmits += stats_after.retransmits - stats_before.retransmits;
         self.finish_delivery(caps, sched_caps);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Applies buffered edge additions, keeping each adjacency run sorted and

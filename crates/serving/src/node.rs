@@ -167,6 +167,10 @@ pub struct ServingNode {
     /// Windows applied to the live session but not yet persisted (reset by
     /// a successful re-checkpoint; frozen once Poisoned).
     unpersisted_windows: u64,
+    /// Windows in which the session's transport declared a lane dead and
+    /// escalated into worker-loss recovery (see
+    /// [`Self::transport_recoveries`]).
+    transport_recoveries: u64,
 }
 
 impl ServingNode {
@@ -185,6 +189,7 @@ impl ServingNode {
             retry: RetryPolicy::default(),
             degraded_windows: 0,
             unpersisted_windows: 0,
+            transport_recoveries: 0,
         }
     }
 
@@ -277,6 +282,12 @@ impl ServingNode {
     pub fn ingest(&mut self, event: StreamEvent) -> Result<IngestReport, PersistError> {
         let before = self.store.as_ref().map(|_| self.session.state());
         let report = self.session.apply(event.clone()).clone();
+        if report.lanes_dead() > 0 {
+            // The session already ran worker-loss recovery for the dead
+            // lane(s) inside `apply` — the node just counts it, and the
+            // recovered placement is published below like any window.
+            self.transport_recoveries += 1;
+        }
         let mut record_bytes = 0;
         let mut retries = 0u32;
         let mut failure: Option<io::Error> = None;
@@ -397,6 +408,22 @@ impl ServingNode {
     /// The currently published routing epoch.
     pub fn epoch(&self) -> u64 {
         self.table.head()
+    }
+
+    /// Windows whose ingest recovered from a transport lane death: the
+    /// session's reliable layer exhausted its retry budget on a lane,
+    /// declared it dead, and escalated into the worker-loss recovery path
+    /// — lookups kept serving the previous epoch throughout. 0 on a
+    /// healthy wire.
+    pub fn transport_recoveries(&self) -> u64 {
+        self.transport_recoveries
+    }
+
+    /// Installs a scripted transport fault plan on the live session (chaos
+    /// testing; see [`spinner_core::StreamSession::inject_transport_faults`]).
+    /// Transient apparatus — never persisted.
+    pub fn inject_transport_faults(&mut self, plan: spinner_pregel::TransportFaultPlan) {
+        self.session.inject_transport_faults(plan);
     }
 
     /// The underlying session, for labels / windows / quality inspection.

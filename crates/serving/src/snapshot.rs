@@ -11,7 +11,8 @@
 use spinner_core::config::{BalanceObjective, RestartScope};
 use spinner_core::{SessionState, SpinnerConfig, WindowReport, WindowReportParts};
 use spinner_graph::GraphBuilder;
-use spinner_pregel::{TransportKind, WireFormat};
+use spinner_pregel::{RetryConfig, TransportKind, WireFormat};
+use std::time::Duration;
 
 use crate::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};
 
@@ -22,8 +23,11 @@ use crate::codec::{crc32, ByteReader, ByteWriter, CorruptError, Result};
 /// `dense_scan` — to the config record; `SPNRSNP4` added the message-fabric
 /// knobs — `transport`, `wire_format`, `sender_fold` — to the config record
 /// and the wire counters — `wire_bytes`, `wire_frames`, `wire_folded` — to
-/// the window-report record).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP4";
+/// the window-report record; `SPNRSNP5` added the transport-reliability
+/// knobs — `transport_retry` — to the config record and the resilience
+/// counters — `retransmits`, `lanes_degraded`, `lanes_dead` — to the
+/// window-report record).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPNRSNP5";
 
 /// Encodes `state` into a self-verifying snapshot byte vector.
 pub fn encode_state(state: &SessionState) -> Vec<u8> {
@@ -195,6 +199,10 @@ fn put_config(w: &mut ByteWriter, cfg: &SpinnerConfig) {
         WireFormat::Compact => 1,
     });
     w.put_u8(u8::from(cfg.sender_fold));
+    w.put_u8(u8::from(cfg.transport_retry.reliable));
+    w.put_varint(u64::from(cfg.transport_retry.max_retransmits));
+    w.put_varint(cfg.transport_retry.backoff_base.as_micros() as u64);
+    w.put_varint(cfg.transport_retry.take_deadline.as_millis() as u64);
 }
 
 fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
@@ -260,6 +268,12 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<SpinnerConfig> {
         _ => return Err(CorruptError { context: "config wire_format" }),
     };
     cfg.sender_fold = read_bool(r, "config sender_fold")?;
+    cfg.transport_retry = RetryConfig {
+        reliable: read_bool(r, "config retry reliable")?,
+        max_retransmits: read_u32(r, "config retry max_retransmits")?,
+        backoff_base: Duration::from_micros(r.varint("config retry backoff_base")?),
+        take_deadline: Duration::from_millis(r.varint("config retry take_deadline")?),
+    };
     Ok(cfg)
 }
 
@@ -310,6 +324,9 @@ pub(crate) fn put_report(w: &mut ByteWriter, parts: &WindowReportParts) {
     w.put_varint(parts.wire_bytes);
     w.put_varint(parts.wire_frames);
     w.put_varint(parts.wire_folded);
+    w.put_varint(parts.retransmits);
+    w.put_varint(parts.lanes_degraded);
+    w.put_varint(parts.lanes_dead);
 }
 
 /// Reads one [`WindowReportParts`] appended by [`put_report`].
@@ -337,6 +354,9 @@ pub(crate) fn read_report(r: &mut ByteReader<'_>) -> Result<WindowReportParts> {
         wire_bytes: r.varint("report wire_bytes")?,
         wire_frames: r.varint("report wire_frames")?,
         wire_folded: r.varint("report wire_folded")?,
+        retransmits: r.varint("report retransmits")?,
+        lanes_degraded: r.varint("report lanes_degraded")?,
+        lanes_dead: r.varint("report lanes_dead")?,
     })
 }
 

@@ -34,7 +34,10 @@ pub mod prelude {
         DirectedGraph, GraphBuilder, GraphDelta, UndirectedGraph, VertexId,
     };
     pub use spinner_metrics::Trajectory;
-    pub use spinner_pregel::{Placement, TransportKind, WireFormat, WorkerId};
+    pub use spinner_pregel::{
+        LaneHealth, Placement, RetryConfig, TransportFault, TransportFaultPlan, TransportKind,
+        WireFormat, WorkerId,
+    };
     pub use spinner_serving::{
         Fault, FaultPlan, FaultyStorage, Health, Lookup, MemStorage, RetryPolicy,
         RoutingReader, RoutingTable, ServingNode, SessionPersist, SessionStore, Storage,

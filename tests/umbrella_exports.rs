@@ -93,3 +93,29 @@ fn prelude_covers_the_fault_tolerance_path() {
     let mut medium = disk.clone();
     assert_eq!(wal_bytes(&mut medium), 0, "both append attempts failed");
 }
+
+#[test]
+fn prelude_covers_the_transport_resilience_path() {
+    use spinner::prelude::*;
+
+    // Prelude names are the canonical pregel types, not shadows.
+    let retry: spinner_pregel::RetryConfig = RetryConfig::default();
+    assert!(retry.reliable, "reliability layer is on by default");
+    let health: spinner_pregel::LaneHealth = LaneHealth::default();
+    assert_eq!(health, LaneHealth::Healthy);
+
+    // Script a recoverable fault plan and drive a chaos window through the
+    // session surface, entirely via prelude names.
+    let plan: spinner_pregel::TransportFaultPlan =
+        TransportFaultPlan::new().fail(0, 1, 0, TransportFault::Drop);
+    let mut cfg = SpinnerConfig::new(2).with_seed(9);
+    cfg.num_workers = 2;
+    cfg.transport = TransportKind::Ring;
+    let g = GraphBuilder::new(40).add_edges((0..40).map(|v| (v, (v + 1) % 40))).build();
+    let mut session = StreamSession::new(g, cfg);
+    session.inject_transport_faults(plan);
+    let report = session.apply(StreamEvent::Delta(GraphDelta::default()));
+    assert!(!report.is_recovery(), "a dropped frame is retransmitted, not escalated");
+    let (injected, remaining) = session.transport_chaos_counts();
+    assert_eq!((injected, remaining), (1, 0), "the scripted fault fired");
+}
